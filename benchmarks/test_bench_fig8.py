@@ -1,0 +1,31 @@
+"""Benchmark: Figure 8 — per-skin-tone accuracy of Muffin-Balance.
+
+Paper claims reproduced:
+
+* Muffin-Balance redistributes accuracy across the Fitzpatrick scale in a
+  complementary way: some tones gain, some lose a little, the spread
+  narrows and overall accuracy is essentially unaffected.
+"""
+
+from repro.experiments import render_fig8, run_fig8
+
+
+def test_bench_fig8_skin_tone_detail(benchmark, context):
+    results = benchmark.pedantic(run_fig8, args=(context,), rounds=1, iterations=1)
+    print()
+    print(render_fig8(results))
+
+    rows = results["rows"]
+    claims = results["claims"]
+    assert [row["skin_tone"] for row in rows] == [
+        "light",
+        "white",
+        "medium",
+        "olive",
+        "brown",
+        "black",
+    ]
+    assert claims["groups_improved"] >= 1
+    assert claims["muffin_fairer_on_skin_tone"]
+    assert claims["muffin_narrows_skin_tone_spread"]
+    assert claims["overall_accuracy_unaffected"]

@@ -1,0 +1,36 @@
+"""Benchmark: Figure 9 — ablation studies.
+
+Paper claims reproduced:
+
+* (a) training the same fusing structure on the Algorithm-1-weighted proxy
+  dataset yields lower unfairness on both attributes than training it on
+  the original (uniformly weighted) dataset, at equal accuracy;
+* (b) growing the muffin body from 1 to 4 models inflates the parameter
+  count far faster than the reward improves — the trade-off that justifies
+  pairing two models.
+"""
+
+from repro.experiments import render_fig9, run_fig9
+
+
+def test_bench_fig9_ablations(benchmark, context):
+    results = benchmark.pedantic(run_fig9, args=(context,), rounds=1, iterations=1)
+    print()
+    print(render_fig9(results))
+
+    fig9a = results["fig9a"]
+    fig9b = results["fig9b"]
+
+    # (a) weighted proxy dataset helps both attributes and keeps accuracy.
+    assert fig9a["claims"]["weighted_improves_age"]
+    assert fig9a["claims"]["weighted_improves_site"]
+    assert fig9a["claims"]["accuracy_kept"]
+    weighted_row = next(r for r in fig9a["rows"] if r["training_data"] == "weighted")
+    original_row = next(r for r in fig9a["rows"] if r["training_data"] == "original")
+    assert weighted_row["proxy_size"] < original_row["proxy_size"]
+
+    # (b) parameters explode, reward does not.
+    assert [row["paired_models"] for row in fig9b["rows"]] == [1, 2, 3, 4]
+    assert fig9b["claims"]["parameters_grow_with_paired_models"]
+    assert fig9b["claims"]["reward_saturates"]
+    assert fig9b["claims"]["parameter_growth_factor"] > 1.25

@@ -1,0 +1,58 @@
+"""Benchmark: Table I — Muffin vs the existing fairness techniques.
+
+Paper claims reproduced (shape, not absolute numbers):
+
+* the single-attribute baselines (D, L) are inconsistent: improving one
+  attribute tends to degrade the other, and method L costs accuracy;
+* Muffin improves the fairness of *both* attributes for every base
+  architecture without losing overall accuracy (paper headline: +26.32%
+  age / +20.37% site / +5.58% accuracy for MobileNet_V3_Small);
+* the accuracy gain is largest for the small architectures.
+"""
+
+from repro.experiments import render_table1, run_table1
+
+
+def test_bench_table1_main_comparison(benchmark, context):
+    results = benchmark.pedantic(run_table1, args=(context,), rounds=1, iterations=1)
+    print()
+    print(render_table1(results))
+
+    rows = results["rows"]
+    claims = results["claims"]
+    assert len(rows) == 4
+
+    for row in rows:
+        # Muffin never trades one attribute for the other beyond test-split
+        # noise (the candidate is selected on the validation split; for
+        # already-fair attributes a relative threshold alone would be tighter
+        # than the per-group sampling noise of the test set)...
+        for attribute in ("age", "site"):
+            degradation = row[f"muffin_U({attribute})"] - row[f"vanilla_U({attribute})"]
+            tolerance = max(0.04, 0.15 * row[f"vanilla_U({attribute})"])
+            assert degradation < tolerance, (row["model"], attribute, degradation)
+        # ...does not degrade their combined fairness...
+        combined_delta = (
+            row["muffin_U(age)"]
+            - row["vanilla_U(age)"]
+            + row["muffin_U(site)"]
+            - row["vanilla_U(site)"]
+        )
+        assert combined_delta < 0.03, row["model"]
+        # ...and keeps the overall accuracy.
+        assert row["muffin_acc_imp"] > -0.02, row["model"]
+
+    # The paper's headline behaviour: architectures improve both attributes
+    # at once, at least one of them by a clear margin, with accuracy gains
+    # concentrated on the small models.
+    both_improved = [
+        row
+        for row in rows
+        if row["muffin_age_vs_vil"] > 0.0 and row["muffin_site_vs_vil"] > 0.0
+    ]
+    assert len(both_improved) >= 1
+    assert any(
+        row["muffin_age_vs_vil"] > 0.05 and row["muffin_site_vs_vil"] > 0.05 for row in rows
+    )
+    assert claims["max_accuracy_gain"] > 0.0
+    assert claims["small_models_gain_most_accuracy"]

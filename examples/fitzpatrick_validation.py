@@ -1,0 +1,90 @@
+"""Fitzpatrick17K validation workflow (Section 4.5 / Figures 7-8).
+
+Builds the synthetic Fitzpatrick17K stand-in (9 classes; skin-tone and
+lesion-type attributes), trains the ResNet/ShuffleNet/MobileNet pool the
+paper uses for this dataset, runs a pool-wide Muffin search and prints:
+
+* the Pareto comparison between existing models and the Muffin-Nets
+  (Figure 7);
+* the per-skin-tone accuracy of Muffin-Balance against ResNet-18
+  (Figure 8).
+
+Run with::
+
+    python examples/fitzpatrick_validation.py
+"""
+
+from repro.core import MuffinSearch, SearchConfig, HeadTrainConfig
+from repro.data import SyntheticFitzpatrick17K, split_dataset
+from repro.fairness import group_accuracies
+from repro.utils import format_table
+from repro.zoo import ModelPool, TrainConfig, fitzpatrick_pool_names
+
+ATTRIBUTES = ("skin_tone", "type")
+
+
+def main() -> None:
+    dataset = SyntheticFitzpatrick17K(num_samples=5000, seed=1717)
+    split = split_dataset(dataset, seed=2)
+    pool = ModelPool(
+        split,
+        architecture_names=fitzpatrick_pool_names(),
+        train_config=TrainConfig(epochs=40, batch_size=256),
+        seed=3,
+    ).build()
+
+    existing = [
+        {
+            "model": name,
+            "accuracy": ev.accuracy,
+            "U(skin_tone)": ev.unfairness["skin_tone"],
+            "U(type)": ev.unfairness["type"],
+            "overall_U": ev.multi_dimensional_unfairness,
+        }
+        for name, ev in pool.evaluate_all(attributes=ATTRIBUTES).items()
+    ]
+    print(format_table(existing, title="Existing models on Fitzpatrick17K (stand-in)"))
+    print()
+
+    search = MuffinSearch(
+        pool,
+        attributes=list(ATTRIBUTES),
+        num_paired=2,
+        search_config=SearchConfig(episodes=50, episode_batch=5, seed=7),
+        head_config=HeadTrainConfig(epochs=25),
+    )
+    result = search.run()
+    nets = search.named_muffin_nets(result)
+
+    muffin_rows = [
+        {
+            "model": name,
+            "paired": "+".join(net.record.candidate.model_names),
+            "accuracy": net.test_evaluation.accuracy,
+            "U(skin_tone)": net.test_evaluation.unfairness["skin_tone"],
+            "U(type)": net.test_evaluation.unfairness["type"],
+            "overall_U": net.test_evaluation.multi_dimensional_unfairness,
+        }
+        for name, net in nets.items()
+    ]
+    print(format_table(muffin_rows, title="Muffin-Nets on Fitzpatrick17K (Figure 7)"))
+    print()
+
+    # Figure 8: per-skin-tone accuracy of Muffin-Balance vs ResNet-18.
+    balance = nets["Muffin-Balance"]
+    test = split.test
+    spec = test.attributes["skin_tone"]
+    ids = test.group_ids("skin_tone")
+    resnet = pool.get("ResNet-18").predict(test)
+    fused = balance.fused.predict(test)
+    resnet_groups = group_accuracies(resnet, test.labels, ids, spec)
+    fused_groups = group_accuracies(fused, test.labels, ids, spec)
+    per_tone = [
+        {"skin_tone": tone, "ResNet-18": resnet_groups[tone], "Muffin-Balance": fused_groups[tone]}
+        for tone in spec.groups
+    ]
+    print(format_table(per_tone, title="Per-skin-tone accuracy (Figure 8)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: run a small Muffin search end-to-end in one call.
+
+This script exercises the highest-level entry point of the library,
+``repro.quick_muffin_search``: it builds the synthetic ISIC2019 stand-in,
+trains the ten-model pool, runs a short reinforcement-learning search
+anchored on MobileNet_V3_Small and prints the paper-style comparison
+between the vanilla base model and the discovered Muffin-Net.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import quick_muffin_search
+from repro.fairness import relative_improvement
+from repro.utils import format_table
+
+
+def main() -> None:
+    base_model = "MobileNet_V3_Small"
+    outcome = quick_muffin_search(base_model=base_model, episodes=40, num_samples=5000, seed=0)
+
+    pool = outcome["pool"]
+    muffin = outcome["muffin"]
+    vanilla = pool.evaluate(base_model, partition="test")
+    fused_eval = muffin.test_evaluation
+
+    rows = [
+        {
+            "model": f"{base_model} (vanilla)",
+            "accuracy": vanilla.accuracy,
+            "U(age)": vanilla.unfairness["age"],
+            "U(site)": vanilla.unfairness["site"],
+        },
+        {
+            "model": muffin.name,
+            "accuracy": fused_eval.accuracy,
+            "U(age)": fused_eval.unfairness["age"],
+            "U(site)": fused_eval.unfairness["site"],
+        },
+    ]
+    print(format_table(rows, title="Quickstart: vanilla vs Muffin"))
+    print()
+    print(f"Muffin body: {muffin.record.candidate.model_names}")
+    print(f"Muffin head: MLP{list(muffin.record.candidate.hidden_sizes)} "
+          f"({muffin.record.candidate.activation})")
+    print(
+        "Fairness improvement: "
+        f"age {relative_improvement(vanilla.unfairness['age'], fused_eval.unfairness['age']):+.1%}, "
+        f"site {relative_improvement(vanilla.unfairness['site'], fused_eval.unfairness['site']):+.1%}, "
+        f"accuracy {fused_eval.accuracy - vanilla.accuracy:+.2%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

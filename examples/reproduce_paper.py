@@ -1,0 +1,18 @@
+"""Regenerate every table and figure of the paper from the command line.
+
+Thin wrapper around :mod:`repro.experiments.runner`.  By default it runs at
+the "fast" scale (CI-friendly); pass ``--scale paper`` for the
+paper-equivalent configuration, or list specific experiment ids::
+
+    python examples/reproduce_paper.py fig1 table1 --output-dir results/
+
+The structured per-experiment JSON and a combined text report are written to
+``--output-dir`` when given.
+"""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in environments without the ``wheel``
+package (offline editable installs fall back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

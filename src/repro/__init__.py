@@ -1,0 +1,77 @@
+"""Reproduction of "Muffin: A Framework Toward Multi-Dimension AI Fairness by
+Uniting Off-the-Shelf Models" (Sheng et al., DAC 2023).
+
+The package is organised as:
+
+* :mod:`repro.nn` — numpy neural-network substrate (autograd, layers, losses,
+  optimisers, RNN cells);
+* :mod:`repro.data` — synthetic dermatology datasets with multi-attribute
+  group structure (stand-ins for ISIC2019 and Fitzpatrick17K);
+* :mod:`repro.zoo` — the off-the-shelf model pool (simulated backbones +
+  trained classifier heads);
+* :mod:`repro.fairness` — unfairness scores, group accuracy, Pareto tools;
+* :mod:`repro.baselines` — single-attribute methods D (data balancing) and
+  L (fair loss);
+* :mod:`repro.core` — the Muffin framework: model fusing, fairness proxy
+  dataset, multi-fairness reward, RNN controller and the search loop;
+* :mod:`repro.experiments` — harness regenerating every table and figure of
+  the paper's evaluation section.
+
+Quickstart::
+
+    from repro import quick_muffin_search
+
+    outcome = quick_muffin_search(base_model="MobileNet_V3_Small", episodes=40)
+    print(outcome["muffin"].test_evaluation.accuracy)
+"""
+
+from . import baselines, core, data, fairness, nn, utils, zoo
+from .version import __version__
+
+__all__ = [
+    "nn",
+    "data",
+    "zoo",
+    "fairness",
+    "baselines",
+    "core",
+    "utils",
+    "__version__",
+    "quick_muffin_search",
+]
+
+
+def quick_muffin_search(
+    base_model: str = "MobileNet_V3_Small",
+    attributes=("age", "site"),
+    episodes: int = 40,
+    num_samples: int = 4000,
+    seed: int = 0,
+):
+    """One-call demonstration of the full pipeline on the synthetic ISIC stand-in.
+
+    Builds the dataset, trains a compact model pool, runs a short Muffin
+    search anchored on ``base_model`` and returns a dictionary with the pool,
+    the search result and the finalised Muffin-Net.  Intended for examples
+    and smoke tests; the experiment harness exposes every knob.
+    """
+    from .core import MuffinSearch, SearchConfig
+    from .data import SyntheticISIC2019, split_dataset
+    from .zoo import ModelPool, TrainConfig
+
+    dataset = SyntheticISIC2019(num_samples=num_samples, seed=2019 + seed)
+    split = split_dataset(dataset, seed=seed)
+    pool = ModelPool(
+        split,
+        train_config=TrainConfig(epochs=40, batch_size=256, seed=seed),
+        seed=seed,
+    ).build()
+    search = MuffinSearch(
+        pool,
+        attributes=list(attributes),
+        base_model=pool.get(base_model).label,
+        search_config=SearchConfig(episodes=episodes, seed=seed),
+    )
+    result = search.run()
+    muffin = search.finalize(result, metric="reward", name="Muffin")
+    return {"dataset": dataset, "split": split, "pool": pool, "result": result, "muffin": muffin}

@@ -1,0 +1,14 @@
+"""Command-line entry point: ``python -m repro``.
+
+Delegates to the experiment runner, so the package can regenerate the
+paper's tables and figures directly::
+
+    python -m repro fig1 table1 --scale fast --output-dir results/
+"""
+
+import sys
+
+from .experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,26 @@
+"""Single-attribute fairness baselines the paper compares Muffin against."""
+
+from .data_balance import (
+    BaselineOutcome,
+    DataBalanceConfig,
+    apply_data_balancing,
+    balance_dataset,
+    balancing_weights,
+    group_sampling_plan,
+)
+from .fair_loss import FairLossConfig, apply_fair_loss
+from .single_attr import OptimizationCell, SingleAttributeOptimizer, SingleAttributeStudy
+
+__all__ = [
+    "DataBalanceConfig",
+    "BaselineOutcome",
+    "balance_dataset",
+    "balancing_weights",
+    "group_sampling_plan",
+    "apply_data_balancing",
+    "FairLossConfig",
+    "apply_fair_loss",
+    "SingleAttributeOptimizer",
+    "SingleAttributeStudy",
+    "OptimizationCell",
+]

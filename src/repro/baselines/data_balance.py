@@ -1,0 +1,170 @@
+"""Single-attribute fairness baseline "Method D": data balancing.
+
+The paper's first competitor (citing Weiss et al., "Cost-sensitive learning
+vs. sampling") improves fairness of one attribute by balancing the data of
+that attribute's groups before training: the unprivileged groups are
+over-sampled and augmented (flip / rotate / scale on images; the feature-
+space analogues in :mod:`repro.data.transforms` here) until every group is
+comparable in size to the largest one.
+
+Two variants are provided:
+
+* ``resample`` — physical over-sampling with augmented copies (the paper's
+  method D);
+* ``reweight`` — the cost-sensitive equivalent that keeps the dataset intact
+  but weights each sample inversely to its group frequency.
+
+Both optimise fairness of a *single* attribute, which is exactly the
+limitation Figure 2 demonstrates: improving the target attribute degrades
+the other one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import FairnessDataset
+from ..data.splits import DataSplit
+from ..data.transforms import AugmentationConfig, augment_subset, concatenate_datasets
+from ..utils.rng import get_rng
+from ..zoo.model import ZooModel
+from ..zoo.training import TrainConfig, TrainResult, train_model
+
+
+@dataclass
+class DataBalanceConfig:
+    """Configuration of the data-balancing baseline."""
+
+    #: how close each group's size must get to the largest group's size
+    target_ratio: float = 0.85
+    #: upper bound on the over-sampling factor applied to any single group
+    max_duplication: float = 4.0
+    #: augmentation strengths used for the synthesized copies
+    augmentation: AugmentationConfig = None  # type: ignore[assignment]
+    variant: str = "resample"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_ratio <= 1.0:
+            raise ValueError("target_ratio must be in (0, 1]")
+        if self.max_duplication < 1.0:
+            raise ValueError("max_duplication must be at least 1")
+        if self.variant not in {"resample", "reweight"}:
+            raise ValueError("variant must be 'resample' or 'reweight'")
+        if self.augmentation is None:
+            self.augmentation = AugmentationConfig()
+
+
+def group_sampling_plan(
+    dataset: FairnessDataset, attribute: str, config: DataBalanceConfig
+) -> Dict[str, int]:
+    """Number of *additional* samples to synthesise per group of ``attribute``."""
+    spec = dataset.attributes[attribute]
+    sizes = dataset.group_sizes(attribute)
+    largest = max(sizes.values())
+    plan: Dict[str, int] = {}
+    for group in spec.groups:
+        current = sizes[group]
+        if current == 0:
+            plan[group] = 0
+            continue
+        target = int(round(config.target_ratio * largest))
+        extra = max(0, target - current)
+        extra = min(extra, int((config.max_duplication - 1.0) * current))
+        plan[group] = extra
+    return plan
+
+
+def balance_dataset(
+    dataset: FairnessDataset,
+    attribute: str,
+    config: Optional[DataBalanceConfig] = None,
+) -> FairnessDataset:
+    """Return an augmented dataset whose groups of ``attribute`` are balanced."""
+    config = config or DataBalanceConfig()
+    rng = get_rng(config.seed)
+    plan = group_sampling_plan(dataset, attribute, config)
+    pieces: List[FairnessDataset] = [dataset]
+    for group, extra in plan.items():
+        if extra <= 0:
+            continue
+        members = dataset.group_indices(attribute, group)
+        chosen = rng.choice(members, size=extra, replace=True)
+        pieces.append(
+            augment_subset(
+                dataset,
+                chosen,
+                config=config.augmentation,
+                seed=int(rng.integers(0, 2**31)),
+                attribute=attribute,
+            )
+        )
+    if len(pieces) == 1:
+        return dataset
+    return concatenate_datasets(pieces, name=f"{dataset.name}[balanced:{attribute}]")
+
+
+def balancing_weights(dataset: FairnessDataset, attribute: str) -> np.ndarray:
+    """Cost-sensitive per-sample weights: inverse group frequency, mean 1."""
+    spec = dataset.attributes[attribute]
+    ids = dataset.group_ids(attribute)
+    counts = np.bincount(ids, minlength=spec.num_groups).astype(np.float64)
+    counts[counts == 0] = 1.0
+    inverse = 1.0 / counts
+    weights = inverse[ids]
+    return weights / weights.mean()
+
+
+@dataclass
+class BaselineOutcome:
+    """A baseline-optimized model plus its training metadata."""
+
+    model: ZooModel
+    attribute: str
+    method: str
+    train_result: TrainResult
+    balanced_size: Optional[int] = None
+
+
+def apply_data_balancing(
+    base_model: ZooModel,
+    split: DataSplit,
+    attribute: str,
+    train_config: Optional[TrainConfig] = None,
+    config: Optional[DataBalanceConfig] = None,
+) -> BaselineOutcome:
+    """Retrain ``base_model``'s architecture with Method D on ``attribute``.
+
+    A fresh head is trained from scratch (the paper retrains the whole
+    network; with frozen backbones the head is the trainable part) on the
+    balanced training set, and the resulting model is returned for fairness
+    evaluation on the untouched test split.
+    """
+    config = config or DataBalanceConfig()
+    train_config = train_config or TrainConfig()
+    label = f"{base_model.label}+D({attribute})"
+    model = base_model.clone_untrained(seed=config.seed, label=label)
+
+    if config.variant == "resample":
+        balanced = balance_dataset(split.train, attribute, config)
+        result = train_model(model, balanced, split.val, train_config)
+        return BaselineOutcome(
+            model=model,
+            attribute=attribute,
+            method="D",
+            train_result=result,
+            balanced_size=len(balanced),
+        )
+
+    weights = balancing_weights(split.train, attribute)
+    result = train_model(model, split.train, split.val, train_config, sample_weights=weights)
+    return BaselineOutcome(
+        model=model,
+        attribute=attribute,
+        method="D",
+        train_result=result,
+        balanced_size=len(split.train),
+    )

@@ -1,0 +1,61 @@
+"""Single-attribute fairness baseline "Method L": fair loss function.
+
+The paper's second competitor (citing Jozani et al. on weighted balanced
+loss functions, and the fair-loss literature) adds a regularisation term to
+the training loss that penalises the disparity of per-group losses for one
+sensitive attribute.  Training a model with this loss improves fairness of
+the target attribute but — like Method D — typically degrades the others
+and costs some accuracy (Table I shows Method L losing accuracy on every
+architecture).
+
+The implementation retrains a fresh classifier head with
+:class:`repro.nn.FairRegularizedLoss` on the target attribute's groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..data.splits import DataSplit
+from ..zoo.model import ZooModel
+from ..zoo.training import TrainConfig, train_model
+from .data_balance import BaselineOutcome
+
+
+@dataclass
+class FairLossConfig:
+    """Configuration of the fair-loss baseline."""
+
+    #: weight of the group-disparity penalty added to the cross-entropy
+    fairness_weight: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fairness_weight < 0:
+            raise ValueError("fairness_weight must be non-negative")
+
+
+def apply_fair_loss(
+    base_model: ZooModel,
+    split: DataSplit,
+    attribute: str,
+    train_config: Optional[TrainConfig] = None,
+    config: Optional[FairLossConfig] = None,
+) -> BaselineOutcome:
+    """Retrain ``base_model``'s architecture with Method L on ``attribute``."""
+    config = config or FairLossConfig()
+    train_config = train_config or TrainConfig()
+    if attribute not in split.train.attributes:
+        raise KeyError(f"dataset has no attribute '{attribute}'")
+
+    label = f"{base_model.label}+L({attribute})"
+    model = base_model.clone_untrained(seed=config.seed, label=label)
+    fair_config = replace(
+        train_config,
+        fair_attribute=attribute,
+        fairness_weight=config.fairness_weight,
+        seed=config.seed,
+    )
+    result = train_model(model, split.train, split.val, fair_config)
+    return BaselineOutcome(model=model, attribute=attribute, method="L", train_result=result)

@@ -1,0 +1,164 @@
+"""Driver for the single-attribute optimization study (Figure 2, Table I).
+
+``SingleAttributeOptimizer`` applies both baseline methods (D = data
+balancing, L = fair loss) to one architecture for each unfair attribute and
+collects the resulting fairness evaluations.  The see-saw effect of Figure 2
+— optimizing age degrades site and vice versa — falls directly out of the
+collected grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.splits import DataSplit
+from ..fairness.metrics import FairnessEvaluation, evaluate_predictions
+from ..fairness.report import ModelFairnessReport
+from ..zoo.model import ZooModel
+from ..zoo.training import TrainConfig
+from .data_balance import BaselineOutcome, DataBalanceConfig, apply_data_balancing
+from .fair_loss import FairLossConfig, apply_fair_loss
+
+
+@dataclass
+class OptimizationCell:
+    """One (method, attribute) entry of the single-attribute grid."""
+
+    method: str
+    attribute: str
+    outcome: BaselineOutcome
+    evaluation: FairnessEvaluation
+
+    @property
+    def label(self) -> str:
+        return f"{self.method}({self.attribute})"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "attribute": self.attribute,
+            "label": self.label,
+            "evaluation": self.evaluation.to_dict(),
+        }
+
+
+@dataclass
+class SingleAttributeStudy:
+    """All single-attribute optimization results for one architecture."""
+
+    model_name: str
+    vanilla: FairnessEvaluation
+    cells: List[OptimizationCell] = field(default_factory=list)
+
+    def cell(self, method: str, attribute: str) -> OptimizationCell:
+        for candidate in self.cells:
+            if candidate.method == method and candidate.attribute == attribute:
+                return candidate
+        raise KeyError(f"no cell for method '{method}' and attribute '{attribute}'")
+
+    def seesaw_pairs(self, attributes: Sequence[str]) -> List[Dict[str, object]]:
+        """For every cell, how the optimized and the *other* attributes moved.
+
+        Each row records the change (optimized - vanilla) of the unfairness
+        score of the attribute being optimized and of every other attribute;
+        a negative delta is an improvement.  Figure 2's observation is that
+        the optimized attribute's delta is negative while at least one other
+        attribute's delta is positive.
+        """
+        rows: List[Dict[str, object]] = []
+        for cell in self.cells:
+            row: Dict[str, object] = {
+                "method": cell.method,
+                "optimized_attribute": cell.attribute,
+            }
+            for attribute in attributes:
+                delta = cell.evaluation.unfairness[attribute] - self.vanilla.unfairness[attribute]
+                row[f"delta_U({attribute})"] = delta
+            row["delta_accuracy"] = cell.evaluation.accuracy - self.vanilla.accuracy
+            rows.append(row)
+        return rows
+
+    def reports(self) -> List[ModelFairnessReport]:
+        """One report per cell, referenced against the vanilla evaluation."""
+        reports = [
+            ModelFairnessReport(
+                model_name=f"{self.model_name} (vanilla)", evaluation=self.vanilla
+            )
+        ]
+        for cell in self.cells:
+            reports.append(
+                ModelFairnessReport(
+                    model_name=f"{self.model_name} {cell.label}",
+                    evaluation=cell.evaluation,
+                    baseline=self.vanilla,
+                    metadata={"method": cell.method, "attribute": cell.attribute},
+                )
+            )
+        return reports
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model_name,
+            "vanilla": self.vanilla.to_dict(),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+class SingleAttributeOptimizer:
+    """Applies methods D and L per attribute to one base model."""
+
+    def __init__(
+        self,
+        split: DataSplit,
+        train_config: Optional[TrainConfig] = None,
+        balance_config: Optional[DataBalanceConfig] = None,
+        fair_loss_config: Optional[FairLossConfig] = None,
+    ) -> None:
+        self.split = split
+        self.train_config = train_config or TrainConfig()
+        self.balance_config = balance_config or DataBalanceConfig()
+        self.fair_loss_config = fair_loss_config or FairLossConfig()
+
+    def _evaluate(self, model: ZooModel, attributes: Optional[Sequence[str]]) -> FairnessEvaluation:
+        return evaluate_predictions(model.predict(self.split.test), self.split.test, attributes)
+
+    def run(
+        self,
+        base_model: ZooModel,
+        attributes: Sequence[str],
+        methods: Sequence[str] = ("D", "L"),
+        eval_attributes: Optional[Sequence[str]] = None,
+    ) -> SingleAttributeStudy:
+        """Optimize ``base_model`` for each attribute with each method."""
+        if not base_model.is_trained:
+            raise ValueError("the base model must be trained before running the study")
+        eval_attributes = list(eval_attributes or attributes)
+        study = SingleAttributeStudy(
+            model_name=base_model.label,
+            vanilla=self._evaluate(base_model, eval_attributes),
+        )
+        for attribute in attributes:
+            for method in methods:
+                outcome = self._apply(base_model, attribute, method)
+                evaluation = self._evaluate(outcome.model, eval_attributes)
+                study.cells.append(
+                    OptimizationCell(
+                        method=method,
+                        attribute=attribute,
+                        outcome=outcome,
+                        evaluation=evaluation,
+                    )
+                )
+        return study
+
+    def _apply(self, base_model: ZooModel, attribute: str, method: str) -> BaselineOutcome:
+        if method == "D":
+            return apply_data_balancing(
+                base_model, self.split, attribute, self.train_config, self.balance_config
+            )
+        if method == "L":
+            return apply_fair_loss(
+                base_model, self.split, attribute, self.train_config, self.fair_loss_config
+            )
+        raise ValueError(f"unknown optimization method '{method}'; expected 'D' or 'L'")

@@ -1,0 +1,59 @@
+"""Muffin core: search space, model fusing, proxy dataset, reward, controller
+and the reinforcement-learning search driver."""
+
+from .controller import ControllerConfig, Episode, RandomController, RNNController
+from .fusing import FusedModel, FusedPrediction, MuffinBody, MuffinHead, oracle_union_predictions
+from .proxy import (
+    ProxyDataset,
+    build_proxy_dataset,
+    compute_group_weights,
+    compute_image_weights,
+    uniform_proxy_dataset,
+)
+from .results import EpisodeRecord, MuffinNet, MuffinSearchResult, rebuild_fused_model
+from .reward import MultiFairnessReward, RewardConfig
+from .search import BodyOutputCache, MuffinSearch, SearchConfig
+from .search_space import (
+    DEFAULT_ACTIVATIONS,
+    DEFAULT_DEPTH_CHOICES,
+    DEFAULT_WIDTH_CHOICES,
+    DecisionStep,
+    FusingCandidate,
+    SearchSpace,
+)
+from .trainer import HeadTrainConfig, HeadTrainResult, train_head
+
+__all__ = [
+    "SearchSpace",
+    "DecisionStep",
+    "FusingCandidate",
+    "DEFAULT_WIDTH_CHOICES",
+    "DEFAULT_DEPTH_CHOICES",
+    "DEFAULT_ACTIVATIONS",
+    "MuffinBody",
+    "MuffinHead",
+    "FusedModel",
+    "FusedPrediction",
+    "oracle_union_predictions",
+    "ProxyDataset",
+    "build_proxy_dataset",
+    "uniform_proxy_dataset",
+    "compute_image_weights",
+    "compute_group_weights",
+    "MultiFairnessReward",
+    "RewardConfig",
+    "HeadTrainConfig",
+    "HeadTrainResult",
+    "train_head",
+    "RNNController",
+    "RandomController",
+    "ControllerConfig",
+    "Episode",
+    "MuffinSearch",
+    "SearchConfig",
+    "BodyOutputCache",
+    "EpisodeRecord",
+    "MuffinSearchResult",
+    "MuffinNet",
+    "rebuild_fused_model",
+]

@@ -1,0 +1,224 @@
+"""RNN controller with REINFORCE updates (Figure 4 component ④, Equation 4).
+
+The controller emits the search-space decisions one at a time: at every step
+an RNN cell consumes an embedding of the previous decision and a fully
+connected layer produces the logits of the current decision's choices.  The
+controller is trained with the Monte-Carlo policy gradient of Williams
+(REINFORCE):
+
+``grad J = 1/m * sum_k sum_t gamma^{T-t} * grad log pi(a_t | a_{t-1:1}) * (R_k - b)``
+
+where ``m`` is the episode batch size, ``gamma`` an exponential discount and
+``b`` an exponential moving average of past rewards (the variance-reducing
+baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..utils.rng import get_rng
+from .search_space import SearchSpace
+
+
+@dataclass
+class ControllerConfig:
+    """Hyper-parameters of the RNN controller."""
+
+    hidden_size: int = 32
+    embedding_size: int = 16
+    lr: float = 5e-3
+    #: exponential reward discount gamma of Equation 4
+    gamma: float = 1.0
+    #: decay of the exponential-moving-average baseline b
+    baseline_decay: float = 0.9
+    #: entropy bonus encouraging exploration early in the search
+    entropy_weight: float = 1e-3
+    grad_clip: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden_size <= 0 or self.embedding_size <= 0:
+            raise ValueError("hidden_size and embedding_size must be positive")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        if not 0.0 <= self.baseline_decay < 1.0:
+            raise ValueError("baseline_decay must be in [0, 1)")
+
+
+@dataclass
+class Episode:
+    """One sampled decision sequence and (later) its reward."""
+
+    actions: List[int]
+    log_probs: List[nn.Tensor]
+    entropies: List[nn.Tensor]
+    reward: Optional[float] = None
+
+
+class RNNController(nn.Module):
+    """Autoregressive categorical policy over the search-space decisions."""
+
+    def __init__(self, search_space: SearchSpace, config: Optional[ControllerConfig] = None) -> None:
+        super().__init__()
+        self.search_space = search_space
+        self.config = config or ControllerConfig()
+        rng = get_rng(self.config.seed)
+
+        embedding = self.config.embedding_size
+        hidden = self.config.hidden_size
+        choice_counts = search_space.num_choices()
+
+        self.cell = nn.RNNCell(embedding, hidden, rng=rng)
+        #: learned start-of-sequence input
+        self.start_token = nn.Parameter(rng.normal(0.0, 0.1, size=(1, embedding)), name="start")
+        # One embedding table per step (the step's choices feed the next step)
+        # and one classification layer per step producing that step's logits.
+        self._embeddings: List[nn.Parameter] = []
+        self._output_layers: List[nn.Linear] = []
+        for index, count in enumerate(choice_counts):
+            table = nn.Parameter(
+                rng.normal(0.0, 0.1, size=(count, embedding)), name=f"embed_{index}"
+            )
+            setattr(self, f"embedding_{index}", table)
+            self._embeddings.append(table)
+            layer = nn.Linear(hidden, count, init="xavier_uniform", rng=rng)
+            setattr(self, f"output_{index}", layer)
+            self._output_layers.append(layer)
+
+        self.optimizer = nn.Adam(list(self.parameters()), lr=self.config.lr)
+        self.baseline: Optional[float] = None
+        self.update_history: List[Dict[str, float]] = []
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _step_distribution(self, step: int, hidden: nn.Tensor, previous_action: Optional[int]):
+        """Return (log_probs, new_hidden) for one decision step."""
+        if previous_action is None:
+            inputs = self.start_token
+        else:
+            table = self._embeddings[step - 1]
+            inputs = table[np.asarray([previous_action])]
+        hidden = self.cell(inputs, hidden)
+        logits = self._output_layers[step](hidden)
+        log_probs = nn.functional.log_softmax(logits, axis=-1)
+        return log_probs, hidden
+
+    def sample(self, rng: Optional[np.random.Generator] = None, greedy: bool = False) -> Episode:
+        """Sample one decision sequence (or take the greedy argmax sequence)."""
+        rng = rng if rng is not None else self._rng
+        hidden = self.cell.init_hidden(batch_size=1)
+        actions: List[int] = []
+        log_prob_tensors: List[nn.Tensor] = []
+        entropies: List[nn.Tensor] = []
+        previous: Optional[int] = None
+        for step in range(self.search_space.num_steps):
+            log_probs, hidden = self._step_distribution(step, hidden, previous)
+            probabilities = np.exp(log_probs.data[0])
+            probabilities = probabilities / probabilities.sum()
+            if greedy:
+                action = int(np.argmax(probabilities))
+            else:
+                action = int(rng.choice(len(probabilities), p=probabilities))
+            actions.append(action)
+            log_prob_tensors.append(log_probs[0, action])
+            entropy = -(log_probs[0] * log_probs[0].exp()).sum()
+            entropies.append(entropy)
+            previous = action
+        return Episode(actions=actions, log_probs=log_prob_tensors, entropies=entropies)
+
+    def greedy_actions(self) -> List[int]:
+        """The most likely decision sequence under the current policy."""
+        return self.sample(greedy=True).actions
+
+    def action_probabilities(self) -> List[np.ndarray]:
+        """Per-step choice probabilities along the greedy path (diagnostics)."""
+        hidden = self.cell.init_hidden(batch_size=1)
+        previous: Optional[int] = None
+        distributions: List[np.ndarray] = []
+        for step in range(self.search_space.num_steps):
+            log_probs, hidden = self._step_distribution(step, hidden, previous)
+            probs = np.exp(log_probs.data[0])
+            distributions.append(probs / probs.sum())
+            previous = int(np.argmax(probs))
+        return distributions
+
+    # ------------------------------------------------------------------
+    # REINFORCE update
+    # ------------------------------------------------------------------
+    def update(self, episodes: Sequence[Episode]) -> Dict[str, float]:
+        """Apply one policy-gradient step from a batch of rewarded episodes."""
+        episodes = [ep for ep in episodes if ep.reward is not None]
+        if not episodes:
+            raise ValueError("update() needs at least one episode with a reward")
+
+        rewards = np.asarray([float(ep.reward) for ep in episodes])
+        batch_mean = float(rewards.mean())
+        if self.baseline is None:
+            self.baseline = batch_mean
+        baseline = self.baseline
+
+        total_steps = self.search_space.num_steps
+        gamma = self.config.gamma
+        loss: Optional[nn.Tensor] = None
+        for episode in episodes:
+            advantage = float(episode.reward) - baseline
+            for t, log_prob in enumerate(episode.log_probs):
+                discount = gamma ** (total_steps - 1 - t)
+                term = log_prob * (-(advantage * discount) / len(episodes))
+                loss = term if loss is None else loss + term
+            if self.config.entropy_weight > 0:
+                for entropy in episode.entropies:
+                    bonus = entropy * (-(self.config.entropy_weight) / len(episodes))
+                    loss = bonus if loss is None else loss + bonus
+
+        assert loss is not None
+        self.zero_grad()
+        loss.backward()
+        grad_norm = nn.clip_grad_norm(list(self.parameters()), self.config.grad_clip)
+        self.optimizer.step()
+
+        # Update the exponential moving average baseline after the step, as
+        # in Equation 4 where b is an average of past rewards.
+        decay = self.config.baseline_decay
+        self.baseline = decay * baseline + (1.0 - decay) * batch_mean
+
+        stats = {
+            "loss": float(loss.item()),
+            "mean_reward": batch_mean,
+            "baseline": float(self.baseline),
+            "grad_norm": float(grad_norm),
+        }
+        self.update_history.append(stats)
+        return stats
+
+
+class RandomController:
+    """Uniform random policy used as a search ablation / sanity baseline."""
+
+    def __init__(self, search_space: SearchSpace, seed: int = 0) -> None:
+        self.search_space = search_space
+        self._rng = get_rng(seed)
+        self.baseline: Optional[float] = None
+        self.update_history: List[Dict[str, float]] = []
+
+    def sample(self, rng: Optional[np.random.Generator] = None, greedy: bool = False) -> Episode:
+        rng = rng if rng is not None else self._rng
+        actions = self.search_space.random_actions(rng)
+        return Episode(actions=actions, log_probs=[], entropies=[])
+
+    def greedy_actions(self) -> List[int]:
+        return self.search_space.random_actions(self._rng)
+
+    def update(self, episodes: Sequence[Episode]) -> Dict[str, float]:
+        rewards = [float(ep.reward) for ep in episodes if ep.reward is not None]
+        mean_reward = float(np.mean(rewards)) if rewards else 0.0
+        stats = {"loss": 0.0, "mean_reward": mean_reward, "baseline": mean_reward, "grad_norm": 0.0}
+        self.update_history.append(stats)
+        return stats

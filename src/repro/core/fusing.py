@@ -1,0 +1,256 @@
+"""The model-fusing structure: muffin body + muffin head.
+
+* :class:`MuffinBody` — the selected off-the-shelf models, frozen.  Its
+  output for a sample is the concatenation of every member's class-
+  probability vector.
+* :class:`MuffinHead` — the small MLP chosen by the controller.  It maps the
+  body output to class logits and is the only trained component.
+* :class:`FusedModel` — body + head.  At inference time, samples on which
+  every body member agrees keep the consensus prediction (the paper: "the
+  proposed technique is not going to change the output if all models reached
+  consensus"); the head arbitrates only the disagreements.
+
+An :func:`oracle_union_predictions` helper implements the ideal arbiter of
+Figure 3(b): whenever at least one body member is correct the oracle picks a
+correct one.  It upper-bounds what any head can achieve and is used by the
+disagreement experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import FairnessDataset
+from ..fairness.metrics import FairnessEvaluation, evaluate_predictions
+from ..utils.rng import get_rng
+from ..zoo.model import ZooModel
+from .search_space import FusingCandidate
+
+
+class MuffinBody:
+    """The frozen off-the-shelf models selected for fusion."""
+
+    def __init__(self, models: Sequence[ZooModel]) -> None:
+        if not models:
+            raise ValueError("the muffin body needs at least one model")
+        num_classes = {model.num_classes for model in models}
+        if len(num_classes) != 1:
+            raise ValueError("all body models must share the same number of classes")
+        untrained = [model.label for model in models if not model.is_trained]
+        if untrained:
+            raise ValueError(f"body models must be trained; untrained: {untrained}")
+        self.models: List[ZooModel] = list(models)
+        self.num_classes = num_classes.pop()
+
+    # ------------------------------------------------------------------
+    @property
+    def model_names(self) -> List[str]:
+        return [model.label for model in self.models]
+
+    @property
+    def output_dim(self) -> int:
+        """Dimension of the concatenated probability vector fed to the head."""
+        return len(self.models) * self.num_classes
+
+    @property
+    def num_parameters(self) -> int:
+        """Nominal parameter count of the frozen body (sum of member counts)."""
+        return sum(model.num_parameters for model in self.models)
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    # ------------------------------------------------------------------
+    def member_probabilities(
+        self, dataset: FairnessDataset, indices: Optional[np.ndarray] = None
+    ) -> List[np.ndarray]:
+        """Per-member class-probability matrices ``(N, C)``."""
+        return [model.predict_proba(dataset, indices) for model in self.models]
+
+    def forward(self, dataset: FairnessDataset, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Concatenated member probabilities ``(N, len(models) * C)``."""
+        return np.concatenate(self.member_probabilities(dataset, indices), axis=1)
+
+    def consensus(
+        self, dataset: FairnessDataset, indices: Optional[np.ndarray] = None
+    ) -> Dict[str, np.ndarray]:
+        """Member predictions, agreement mask and the agreed-upon labels."""
+        member_predictions = np.stack(
+            [probs.argmax(axis=-1) for probs in self.member_probabilities(dataset, indices)],
+            axis=0,
+        )
+        agree = np.all(member_predictions == member_predictions[0], axis=0)
+        return {
+            "member_predictions": member_predictions,
+            "agree": agree,
+            "consensus_prediction": member_predictions[0],
+        }
+
+
+class MuffinHead(nn.Module):
+    """The controller-chosen MLP that arbitrates body disagreements."""
+
+    def __init__(
+        self,
+        body_output_dim: int,
+        num_classes: int,
+        hidden_sizes: Sequence[int],
+        activation: str = "relu",
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = get_rng(seed if seed is not None else 0)
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        self.activation = activation
+        self.mlp = nn.MLP(
+            in_features=body_output_dim,
+            hidden_sizes=self.hidden_sizes,
+            num_classes=num_classes,
+            activation=activation,
+            rng=rng,
+        )
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.mlp(x)
+
+    def layer_description(self, num_classes: int) -> List[int]:
+        """Width list in the paper's Table I notation (hidden widths + output)."""
+        return [*self.hidden_sizes, num_classes]
+
+    def __repr__(self) -> str:
+        return f"MuffinHead(hidden={list(self.hidden_sizes)}, activation='{self.activation}')"
+
+
+@dataclass
+class FusedPrediction:
+    """Predictions of a fused model plus bookkeeping about the arbitration."""
+
+    predictions: np.ndarray
+    consensus_mask: np.ndarray
+    head_predictions: np.ndarray
+    consensus_predictions: np.ndarray
+
+    @property
+    def arbitrated_fraction(self) -> float:
+        """Fraction of samples whose label was decided by the muffin head."""
+        if self.consensus_mask.size == 0:
+            return 0.0
+        return float((~self.consensus_mask).mean())
+
+
+class FusedModel:
+    """Muffin body + muffin head, the artefact the search produces."""
+
+    def __init__(self, body: MuffinBody, head: MuffinHead, name: str = "Muffin-Net") -> None:
+        self.body = body
+        self.head = head
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_candidate(
+        cls,
+        candidate: FusingCandidate,
+        models: Sequence[ZooModel],
+        seed: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> "FusedModel":
+        """Instantiate the fused structure described by a search candidate."""
+        body = MuffinBody(models)
+        head = MuffinHead(
+            body_output_dim=body.output_dim,
+            num_classes=body.num_classes,
+            hidden_sizes=candidate.hidden_sizes,
+            activation=candidate.activation,
+            seed=seed,
+        )
+        return cls(body, head, name=name or f"Muffin[{candidate.describe()}]")
+
+    @property
+    def num_classes(self) -> int:
+        return self.body.num_classes
+
+    @property
+    def num_parameters(self) -> int:
+        """Nominal total parameters: frozen body + trainable head."""
+        return self.body.num_parameters + self.head.num_parameters()
+
+    @property
+    def trainable_parameters(self) -> int:
+        """Parameters actually trained by Muffin (head only)."""
+        return self.head.num_parameters()
+
+    # ------------------------------------------------------------------
+    def head_logits(self, dataset: FairnessDataset, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Head logits computed from the body's concatenated probabilities."""
+        body_output = self.body.forward(dataset, indices)
+        return self.head(nn.Tensor(body_output)).data
+
+    def predict_detailed(
+        self,
+        dataset: FairnessDataset,
+        indices: Optional[np.ndarray] = None,
+        use_consensus_shortcut: bool = True,
+    ) -> FusedPrediction:
+        """Predict with full arbitration bookkeeping."""
+        consensus = self.body.consensus(dataset, indices)
+        head_predictions = self.head_logits(dataset, indices).argmax(axis=-1)
+        if use_consensus_shortcut:
+            predictions = np.where(
+                consensus["agree"], consensus["consensus_prediction"], head_predictions
+            )
+        else:
+            predictions = head_predictions
+        return FusedPrediction(
+            predictions=predictions,
+            consensus_mask=consensus["agree"],
+            head_predictions=head_predictions,
+            consensus_predictions=consensus["consensus_prediction"],
+        )
+
+    def predict(
+        self,
+        dataset: FairnessDataset,
+        indices: Optional[np.ndarray] = None,
+        use_consensus_shortcut: bool = True,
+    ) -> np.ndarray:
+        """Hard class predictions."""
+        return self.predict_detailed(dataset, indices, use_consensus_shortcut).predictions
+
+    def evaluate(
+        self,
+        dataset: FairnessDataset,
+        attributes: Optional[Sequence[str]] = None,
+        use_consensus_shortcut: bool = True,
+    ) -> FairnessEvaluation:
+        """Fairness evaluation of the fused model."""
+        predictions = self.predict(dataset, use_consensus_shortcut=use_consensus_shortcut)
+        return evaluate_predictions(predictions, dataset, attributes)
+
+    def __repr__(self) -> str:
+        return (
+            f"FusedModel(name='{self.name}', body={self.body.model_names}, "
+            f"head={self.head.layer_description(self.num_classes)})"
+        )
+
+
+def oracle_union_predictions(
+    member_predictions: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """The ideal arbiter of Figure 3(b).
+
+    ``member_predictions`` has shape ``(num_models, N)``.  Whenever at least
+    one member predicts the true label the oracle returns that label;
+    otherwise it returns the first member's prediction.  This bounds the
+    accuracy any muffin head could reach on the same body.
+    """
+    member_predictions = np.asarray(member_predictions)
+    labels = np.asarray(labels, dtype=np.int64)
+    if member_predictions.ndim != 2 or member_predictions.shape[1] != labels.shape[0]:
+        raise ValueError("member_predictions must have shape (num_models, N)")
+    any_correct = np.any(member_predictions == labels[None, :], axis=0)
+    return np.where(any_correct, labels, member_predictions[0])

@@ -1,0 +1,182 @@
+"""Fairness proxy dataset (Figure 4 component ②, Algorithm 1).
+
+Muffin does not train its head on the full training set.  It builds a
+*proxy dataset* containing only unprivileged-group samples (privileged data
+rarely produces disagreements and the fused model never changes consensus
+outputs anyway) and weights each group so samples that are unprivileged
+under *several* attributes count more.
+
+Algorithm 1 of the paper:
+
+1. for every unfair attribute ``a_k`` and every unprivileged group ``g`` of
+   that attribute, every image in ``g`` gets ``w[img] += 1`` — the image
+   weight counts how many unprivileged groups the image belongs to;
+2. the weight of an unprivileged group is the mean image weight of its
+   members: ``w[g] = sum_{i in g} w[i] / N_i``.
+
+During head training each sample is weighted by the weight of the
+unprivileged group(s) it belongs to (Equation 2).  Samples in several
+unprivileged groups take the mean of their groups' weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import FairnessDataset
+
+
+@dataclass
+class ProxyDataset:
+    """The unprivileged-group subset plus the Algorithm-1 weights."""
+
+    dataset: FairnessDataset
+    indices: np.ndarray
+    sample_weights: np.ndarray
+    image_weights: np.ndarray
+    group_weights: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    attributes: Tuple[str, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    @property
+    def subset(self) -> FairnessDataset:
+        """The proxy data as a standalone dataset (same order as ``indices``)."""
+        return self.dataset.subset(self.indices, name=f"{self.dataset.name}[proxy]")
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "size": int(len(self.indices)),
+            "fraction_of_dataset": float(len(self.indices) / max(len(self.dataset), 1)),
+            "attributes": list(self.attributes),
+            "group_weights": {k: dict(v) for k, v in self.group_weights.items()},
+            "weight_range": [float(self.sample_weights.min()), float(self.sample_weights.max())]
+            if len(self.indices)
+            else [0.0, 0.0],
+        }
+
+
+def compute_image_weights(
+    dataset: FairnessDataset, attributes: Sequence[str]
+) -> np.ndarray:
+    """First loop of Algorithm 1: per-image unprivileged-membership count."""
+    weights = np.zeros(len(dataset), dtype=np.float64)
+    for attribute in attributes:
+        spec = dataset.attributes[attribute]
+        ids = dataset.group_ids(attribute)
+        unprivileged = spec.unprivileged_indices()
+        weights += np.isin(ids, unprivileged).astype(np.float64)
+    return weights
+
+
+def compute_group_weights(
+    dataset: FairnessDataset,
+    attributes: Sequence[str],
+    image_weights: Optional[np.ndarray] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Second loop of Algorithm 1: mean image weight per unprivileged group."""
+    if image_weights is None:
+        image_weights = compute_image_weights(dataset, attributes)
+    group_weights: Dict[str, Dict[str, float]] = {}
+    for attribute in attributes:
+        spec = dataset.attributes[attribute]
+        ids = dataset.group_ids(attribute)
+        per_group: Dict[str, float] = {}
+        for group in spec.unprivileged:
+            mask = ids == spec.group_index(group)
+            per_group[group] = float(image_weights[mask].mean()) if mask.any() else 0.0
+        group_weights[attribute] = per_group
+    return group_weights
+
+
+def build_proxy_dataset(
+    dataset: FairnessDataset,
+    attributes: Optional[Sequence[str]] = None,
+    include_privileged: bool = False,
+    normalize: bool = True,
+) -> ProxyDataset:
+    """Build the fairness proxy dataset used to train the muffin head.
+
+    Parameters
+    ----------
+    dataset:
+        The *training* partition.
+    attributes:
+        The unfair attributes being optimised (default: all attributes of
+        the dataset).
+    include_privileged:
+        If True, keep privileged samples too (with weight 1).  This is the
+        "original dataset" arm of the Figure 9(a) ablation.
+    normalize:
+        Normalise the final sample weights to mean 1 so the loss scale does
+        not depend on how many attributes are optimised.
+    """
+    attribute_names: Tuple[str, ...] = tuple(attributes or dataset.attributes.names)
+    for name in attribute_names:
+        if name not in dataset.attributes:
+            raise KeyError(f"dataset has no attribute '{name}'")
+
+    image_weights = compute_image_weights(dataset, attribute_names)
+    group_weights = compute_group_weights(dataset, attribute_names, image_weights)
+
+    unprivileged_mask = image_weights > 0
+    if include_privileged:
+        selected = np.arange(len(dataset))
+    else:
+        selected = np.where(unprivileged_mask)[0]
+    if selected.size == 0:
+        raise ValueError(
+            "the proxy dataset is empty: no sample belongs to an unprivileged group"
+        )
+
+    # Per-sample training weight: the mean Algorithm-1 group weight over the
+    # unprivileged groups the sample belongs to; privileged samples get 1.
+    sample_weights = np.ones(len(dataset), dtype=np.float64)
+    accumulated = np.zeros(len(dataset), dtype=np.float64)
+    membership = np.zeros(len(dataset), dtype=np.float64)
+    for attribute in attribute_names:
+        spec = dataset.attributes[attribute]
+        ids = dataset.group_ids(attribute)
+        for group, weight in group_weights[attribute].items():
+            mask = ids == spec.group_index(group)
+            accumulated[mask] += weight
+            membership[mask] += 1.0
+    has_membership = membership > 0
+    sample_weights[has_membership] = accumulated[has_membership] / membership[has_membership]
+
+    selected_weights = sample_weights[selected]
+    if normalize and selected_weights.size:
+        selected_weights = selected_weights / selected_weights.mean()
+
+    return ProxyDataset(
+        dataset=dataset,
+        indices=selected,
+        sample_weights=selected_weights,
+        image_weights=image_weights,
+        group_weights=group_weights,
+        attributes=attribute_names,
+    )
+
+
+def uniform_proxy_dataset(
+    dataset: FairnessDataset, attributes: Optional[Sequence[str]] = None
+) -> ProxyDataset:
+    """The 'original data' ablation arm: full dataset, all weights equal to 1.
+
+    Used by the Figure 9(a) ablation to quantify the contribution of the
+    weighted proxy dataset.
+    """
+    attribute_names: Tuple[str, ...] = tuple(attributes or dataset.attributes.names)
+    indices = np.arange(len(dataset))
+    return ProxyDataset(
+        dataset=dataset,
+        indices=indices,
+        sample_weights=np.ones(len(dataset), dtype=np.float64),
+        image_weights=compute_image_weights(dataset, attribute_names),
+        group_weights=compute_group_weights(dataset, attribute_names),
+        attributes=attribute_names,
+    )

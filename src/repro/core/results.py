@@ -1,0 +1,276 @@
+"""Result containers of the Muffin search.
+
+``EpisodeRecord`` captures everything about one evaluated candidate (the
+decoded fusing structure, the trained head weights, the fairness evaluation
+and the reward).  ``MuffinSearchResult`` aggregates the full history and
+knows how to pick the named models the paper reports — the best-reward
+"Muffin-Net", the per-attribute specialists "Muffin-Age" / "Muffin-Sites"
+and the balanced trade-off "Muffin-Balance" — and how to rebuild a
+:class:`~repro.core.fusing.FusedModel` from a record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..fairness.metrics import FairnessEvaluation
+from ..fairness.pareto import ParetoPoint, make_point, pareto_front
+from .fusing import FusedModel, MuffinBody, MuffinHead
+from .search_space import FusingCandidate
+
+
+@dataclass
+class EpisodeRecord:
+    """One evaluated candidate of the search."""
+
+    episode: int
+    candidate: FusingCandidate
+    reward: float
+    evaluation: FairnessEvaluation
+    head_state: Optional[Dict[str, np.ndarray]] = None
+    train_losses: List[float] = field(default_factory=list)
+    num_parameters: int = 0
+    trainable_parameters: int = 0
+
+    def unfairness(self, attribute: str) -> float:
+        return self.evaluation.unfairness[attribute]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "episode": self.episode,
+            "candidate": self.candidate.to_dict(),
+            "reward": self.reward,
+            "evaluation": self.evaluation.to_dict(),
+            "num_parameters": self.num_parameters,
+            "trainable_parameters": self.trainable_parameters,
+        }
+
+
+@dataclass
+class MuffinNet:
+    """A named final model produced by the search (e.g. "Muffin-Age")."""
+
+    name: str
+    fused: FusedModel
+    record: EpisodeRecord
+    test_evaluation: Optional[FairnessEvaluation] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "candidate": self.record.candidate.to_dict(),
+            "search_evaluation": self.record.evaluation.to_dict(),
+            "num_parameters": self.record.num_parameters,
+        }
+        if self.test_evaluation is not None:
+            payload["test_evaluation"] = self.test_evaluation.to_dict()
+        return payload
+
+
+class MuffinSearchResult:
+    """History of one reinforcement-learning search plus selection helpers."""
+
+    def __init__(
+        self,
+        records: Sequence[EpisodeRecord],
+        attributes: Sequence[str],
+        controller_history: Optional[Sequence[Mapping[str, float]]] = None,
+        search_space_description: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        if not records:
+            raise ValueError("a search result needs at least one episode record")
+        self.records: List[EpisodeRecord] = list(records)
+        self.attributes: List[str] = list(attributes)
+        self.controller_history: List[Mapping[str, float]] = list(controller_history or [])
+        self.search_space_description = dict(search_space_description or {})
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def rewards(self) -> np.ndarray:
+        return np.asarray([record.reward for record in self.records])
+
+    def best_record(self, metric: str = "reward") -> EpisodeRecord:
+        """Best record by ``metric``.
+
+        ``metric`` may be ``"reward"``, ``"accuracy"``, ``"multi"`` (lowest
+        multi-dimensional unfairness) or the name of an attribute (lowest
+        unfairness for that attribute).
+        """
+        if metric == "reward":
+            return max(self.records, key=lambda r: r.reward)
+        if metric == "accuracy":
+            return max(self.records, key=lambda r: r.evaluation.accuracy)
+        if metric == "multi":
+            return min(self.records, key=lambda r: r.evaluation.multi_dimensional_unfairness)
+        if metric in self.attributes:
+            return min(self.records, key=lambda r: r.evaluation.unfairness[metric])
+        raise KeyError(
+            f"unknown metric '{metric}'; expected 'reward', 'accuracy', 'multi' or one of "
+            f"{self.attributes}"
+        )
+
+    def best_dominating_record(
+        self, reference: FairnessEvaluation, metric: str = "reward"
+    ) -> EpisodeRecord:
+        """Best record among those that dominate a reference evaluation.
+
+        A record dominates the reference when it has lower unfairness on
+        *every* searched attribute and at least the reference accuracy.  This
+        is the selection behind Table I, where the reported Muffin-Net
+        improves both attributes and the accuracy of the vanilla base model.
+        Falls back to :meth:`best_record` when no candidate dominates.
+        """
+        dominating = [
+            record
+            for record in self.records
+            if record.evaluation.accuracy >= reference.accuracy
+            and all(
+                record.evaluation.unfairness[attribute] < reference.unfairness[attribute]
+                for attribute in self.attributes
+            )
+        ]
+        if not dominating:
+            # Fall back to the accuracy-preserving candidate with the best
+            # *worst-case* relative improvement across attributes, so one
+            # attribute is never sacrificed for the other; if nothing
+            # preserves accuracy either, fall back to the plain metric.
+            accuracy_preserving = [
+                record
+                for record in self.records
+                if record.evaluation.accuracy >= reference.accuracy
+            ]
+            if accuracy_preserving:
+                def worst_improvement(record: EpisodeRecord) -> float:
+                    return min(
+                        (reference.unfairness[a] - record.evaluation.unfairness[a])
+                        / max(reference.unfairness[a], 1e-9)
+                        for a in self.attributes
+                    )
+
+                return max(accuracy_preserving, key=worst_improvement)
+            return self.best_record(metric)
+        if metric == "reward":
+            return max(dominating, key=lambda r: r.reward)
+        if metric == "accuracy":
+            return max(dominating, key=lambda r: r.evaluation.accuracy)
+        if metric == "multi":
+            return min(dominating, key=lambda r: r.evaluation.multi_dimensional_unfairness)
+        if metric in self.attributes:
+            return min(dominating, key=lambda r: r.evaluation.unfairness[metric])
+        raise KeyError(f"unknown metric '{metric}'")
+
+    def best_balanced_record(self, accuracy_slack: float = 0.02) -> EpisodeRecord:
+        """Record minimising the *normalised* sum of attribute unfairness.
+
+        This is the "Muffin-Balance" selection of Section 4.5: among the
+        candidates whose accuracy is within ``accuracy_slack`` of the best
+        accuracy the search found (the paper stresses that Muffin-Balance
+        keeps the overall accuracy unaffected), pick the one with the best
+        equal-weight trade-off across attributes.
+        """
+        best_accuracy = max(r.evaluation.accuracy for r in self.records)
+        eligible = [
+            record
+            for record in self.records
+            if record.evaluation.accuracy >= best_accuracy - accuracy_slack
+        ]
+        if not eligible:
+            eligible = list(self.records)
+        scale = {
+            attribute: max(max(r.evaluation.unfairness[attribute] for r in self.records), 1e-9)
+            for attribute in self.attributes
+        }
+
+        def balanced_score(record: EpisodeRecord) -> float:
+            return sum(
+                record.evaluation.unfairness[attribute] / scale[attribute]
+                for attribute in self.attributes
+            )
+
+        return min(eligible, key=balanced_score)
+
+    # ------------------------------------------------------------------
+    def pareto_points(self, include_accuracy: bool = False) -> List[ParetoPoint]:
+        """Every record as a Pareto point in unfairness(-and-accuracy) space."""
+        points = []
+        for record in self.records:
+            objectives: Dict[str, float] = {
+                f"U({attribute})": record.evaluation.unfairness[attribute]
+                for attribute in self.attributes
+            }
+            maximize: List[str] = []
+            if include_accuracy:
+                objectives["accuracy"] = record.evaluation.accuracy
+                maximize.append("accuracy")
+            points.append(
+                make_point(f"episode_{record.episode}", objectives, maximize=maximize)
+            )
+        return points
+
+    def pareto_records(self) -> List[EpisodeRecord]:
+        """Records on the Pareto frontier of per-attribute unfairness."""
+        keys = [f"U({attribute})" for attribute in self.attributes]
+        points = self.pareto_points()
+        front_names = {point.name for point in pareto_front(points, keys)}
+        return [
+            record
+            for record, point in zip(self.records, points)
+            if point.name in front_names
+        ]
+
+    # ------------------------------------------------------------------
+    def reward_curve(self, window: int = 10) -> List[float]:
+        """Moving average of the episode rewards (search convergence curve)."""
+        rewards = self.rewards()
+        if window <= 1:
+            return rewards.tolist()
+        smoothed = []
+        for index in range(len(rewards)):
+            start = max(0, index - window + 1)
+            smoothed.append(float(rewards[start : index + 1].mean()))
+        return smoothed
+
+    def summary(self) -> Dict[str, object]:
+        best = self.best_record()
+        return {
+            "episodes": len(self.records),
+            "best_reward": best.reward,
+            "best_candidate": best.candidate.to_dict(),
+            "best_accuracy": best.evaluation.accuracy,
+            "best_unfairness": dict(best.evaluation.unfairness),
+            "attributes": list(self.attributes),
+            "search_space": dict(self.search_space_description),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "summary": self.summary(),
+            "records": [record.to_dict() for record in self.records],
+            "controller_history": [dict(h) for h in self.controller_history],
+        }
+
+
+def rebuild_fused_model(
+    record: EpisodeRecord,
+    models: Sequence,
+    name: Optional[str] = None,
+    seed: int = 0,
+) -> FusedModel:
+    """Reconstruct the fused model of ``record`` (body models + stored head)."""
+    body = MuffinBody(models)
+    head = MuffinHead(
+        body_output_dim=body.output_dim,
+        num_classes=body.num_classes,
+        hidden_sizes=record.candidate.hidden_sizes,
+        activation=record.candidate.activation,
+        seed=seed,
+    )
+    fused = FusedModel(body, head, name=name or f"Muffin[{record.candidate.describe()}]")
+    if record.head_state is not None:
+        fused.head.load_state_dict(record.head_state)
+    return fused

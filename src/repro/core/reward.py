@@ -1,0 +1,81 @@
+"""Multi-fairness reward (Figure 4 component ③, Equation 3).
+
+After the head of a candidate fusing structure is trained, the structure is
+evaluated on the original (full) dataset and the controller receives
+
+``Reward = sum_k A(f', D) / U(f', D)_{a_k}``
+
+over the K unfair attributes: high accuracy and low unfairness on *every*
+attribute are both required for a large reward.  The reward object also
+supports an optional accuracy floor ("meanwhile overall accuracy meets the
+requirement" in the problem formulation) implemented as a multiplicative
+penalty below the floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..fairness.metrics import FairnessEvaluation
+
+
+@dataclass
+class RewardConfig:
+    """Parameters of the multi-fairness reward."""
+
+    #: attributes entering the sum of Equation 3
+    attributes: Sequence[str] = ()
+    #: guard against division by a zero unfairness score
+    epsilon: float = 1e-3
+    #: optional accuracy requirement; candidates below it are penalised
+    min_accuracy: Optional[float] = None
+    #: multiplicative penalty applied per point of accuracy shortfall
+    accuracy_penalty: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if self.accuracy_penalty < 0:
+            raise ValueError("accuracy_penalty must be non-negative")
+        if self.min_accuracy is not None and not 0.0 <= self.min_accuracy <= 1.0:
+            raise ValueError("min_accuracy must be in [0, 1]")
+
+
+class MultiFairnessReward:
+    """Callable computing Equation 3 from a fairness evaluation."""
+
+    def __init__(self, config: RewardConfig) -> None:
+        if not config.attributes:
+            raise ValueError("the reward needs at least one unfair attribute")
+        self.config = config
+
+    @property
+    def attributes(self) -> Sequence[str]:
+        return self.config.attributes
+
+    def __call__(self, evaluation: FairnessEvaluation) -> float:
+        return self.compute(evaluation)
+
+    def compute(self, evaluation: FairnessEvaluation) -> float:
+        """Reward of one evaluated candidate."""
+        reward = 0.0
+        for attribute in self.config.attributes:
+            if attribute not in evaluation.unfairness:
+                raise KeyError(f"evaluation lacks unfairness score for '{attribute}'")
+            unfairness = max(evaluation.unfairness[attribute], self.config.epsilon)
+            reward += evaluation.accuracy / unfairness
+        if self.config.min_accuracy is not None and evaluation.accuracy < self.config.min_accuracy:
+            shortfall = self.config.min_accuracy - evaluation.accuracy
+            reward /= 1.0 + self.config.accuracy_penalty * shortfall
+        return float(reward)
+
+    def breakdown(self, evaluation: FairnessEvaluation) -> Dict[str, float]:
+        """Per-attribute contribution to the reward (for logging)."""
+        contributions = {
+            attribute: evaluation.accuracy
+            / max(evaluation.unfairness[attribute], self.config.epsilon)
+            for attribute in self.config.attributes
+        }
+        contributions["total"] = self.compute(evaluation)
+        return contributions

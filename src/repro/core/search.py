@@ -1,0 +1,309 @@
+"""The Muffin search loop tying all four framework components together.
+
+For every reinforcement-learning episode (Figure 4):
+
+1. the RNN controller samples a fusing structure from the search space
+   (component ① / ④);
+2. the muffin head of that structure is trained on the fairness proxy
+   dataset with the weighted loss (component ②);
+3. the trained structure is evaluated on the held-out partition and the
+   multi-fairness reward of Equation 3 is computed (component ③);
+4. after every ``episode_batch`` episodes the controller parameters are
+   updated with the REINFORCE gradient of Equation 4.
+
+Because the body models are frozen, their class probabilities on the proxy
+and evaluation partitions are computed once per model and cached, which
+makes each episode cost only one small-MLP training run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import FairnessDataset
+from ..fairness.metrics import FairnessEvaluation, evaluate_predictions
+from ..utils.logging import RunLogger
+from ..utils.rng import get_rng
+from ..zoo.pool import ModelPool
+from .controller import ControllerConfig, Episode, RandomController, RNNController
+from .fusing import FusedModel, MuffinBody, MuffinHead
+from .proxy import ProxyDataset, build_proxy_dataset, uniform_proxy_dataset
+from .results import EpisodeRecord, MuffinNet, MuffinSearchResult, rebuild_fused_model
+from .reward import MultiFairnessReward, RewardConfig
+from .search_space import FusingCandidate, SearchSpace
+from .trainer import HeadTrainConfig, train_head
+
+
+@dataclass
+class SearchConfig:
+    """Top-level knobs of the Muffin search."""
+
+    #: number of reinforcement-learning episodes (the paper uses 500)
+    episodes: int = 100
+    #: controller update batch size m of Equation 4
+    episode_batch: int = 5
+    #: partition used for the reward evaluation ('val' keeps the test set untouched)
+    eval_partition: str = "val"
+    #: 'rnn' is the paper's controller; 'random' is the search ablation
+    controller: str = "rnn"
+    #: train the head on the weighted proxy dataset (False = Fig 9a ablation arm)
+    use_weighted_proxy: bool = True
+    store_heads: bool = True
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.episodes <= 0:
+            raise ValueError("episodes must be positive")
+        if self.episode_batch <= 0:
+            raise ValueError("episode_batch must be positive")
+        if self.controller not in {"rnn", "random"}:
+            raise ValueError("controller must be 'rnn' or 'random'")
+
+
+class BodyOutputCache:
+    """Caches each pool model's class probabilities on fixed index sets."""
+
+    def __init__(self, pool: ModelPool) -> None:
+        self.pool = pool
+        self._cache: Dict[str, Dict[str, np.ndarray]] = {}
+
+    def probabilities(
+        self, model_name: str, dataset: FairnessDataset, indices: Optional[np.ndarray], tag: str
+    ) -> np.ndarray:
+        per_model = self._cache.setdefault(model_name, {})
+        if tag not in per_model:
+            model = self.pool.get(model_name)
+            per_model[tag] = model.predict_proba(dataset, indices)
+        return per_model[tag]
+
+    def concatenated(
+        self,
+        model_names: Sequence[str],
+        dataset: FairnessDataset,
+        indices: Optional[np.ndarray],
+        tag: str,
+    ) -> np.ndarray:
+        return np.concatenate(
+            [self.probabilities(name, dataset, indices, tag) for name in model_names], axis=1
+        )
+
+
+class MuffinSearch:
+    """Drives the reinforcement-learning search over fusing structures."""
+
+    def __init__(
+        self,
+        pool: ModelPool,
+        attributes: Sequence[str],
+        search_space: Optional[SearchSpace] = None,
+        base_model: Optional[str] = None,
+        num_paired: int = 1,
+        search_config: Optional[SearchConfig] = None,
+        reward_config: Optional[RewardConfig] = None,
+        head_config: Optional[HeadTrainConfig] = None,
+        controller_config: Optional[ControllerConfig] = None,
+    ) -> None:
+        if not attributes:
+            raise ValueError("the search needs at least one unfair attribute")
+        self.pool = pool
+        self.attributes = list(attributes)
+        self.search_config = search_config or SearchConfig()
+        self.head_config = head_config or HeadTrainConfig()
+        self.reward = MultiFairnessReward(
+            reward_config or RewardConfig(attributes=self.attributes)
+        )
+        self.search_space = search_space or SearchSpace(
+            pool_names=pool.names, base_model=base_model, num_paired=num_paired
+        )
+        controller_config = controller_config or ControllerConfig(seed=self.search_config.seed)
+        if self.search_config.controller == "rnn":
+            self.controller = RNNController(self.search_space, controller_config)
+        else:
+            self.controller = RandomController(self.search_space, seed=self.search_config.seed)
+
+        # Proxy dataset over the training partition (component ②).
+        train_set = pool.split.train
+        if self.search_config.use_weighted_proxy:
+            self.proxy: ProxyDataset = build_proxy_dataset(train_set, self.attributes)
+        else:
+            self.proxy = uniform_proxy_dataset(train_set, self.attributes)
+
+        self.eval_dataset = pool.partition(self.search_config.eval_partition)
+        self._cache = BodyOutputCache(pool)
+        self._rng = get_rng(self.search_config.seed)
+        self.logger = RunLogger(name="muffin-search", verbose=self.search_config.verbose)
+
+    # ------------------------------------------------------------------
+    # Candidate evaluation
+    # ------------------------------------------------------------------
+    def _build_fused(self, candidate: FusingCandidate, seed: int) -> FusedModel:
+        models = self.pool.models(candidate.model_names)
+        body = MuffinBody(models)
+        head = MuffinHead(
+            body_output_dim=body.output_dim,
+            num_classes=body.num_classes,
+            hidden_sizes=candidate.hidden_sizes,
+            activation=candidate.activation,
+            seed=seed,
+        )
+        return FusedModel(body, head, name=f"Muffin[{candidate.describe()}]")
+
+    def _evaluate_fused(self, fused: FusedModel, candidate: FusingCandidate) -> FairnessEvaluation:
+        """Evaluate a trained fused model on the reward partition (cached bodies)."""
+        eval_probs = self._cache.concatenated(
+            candidate.model_names, self.eval_dataset, None, tag=self.search_config.eval_partition
+        )
+        num_models = len(candidate.model_names)
+        num_classes = fused.num_classes
+        member_predictions = np.stack(
+            [
+                eval_probs[:, i * num_classes : (i + 1) * num_classes].argmax(axis=-1)
+                for i in range(num_models)
+            ],
+            axis=0,
+        )
+        agree = np.all(member_predictions == member_predictions[0], axis=0)
+        from .. import nn
+
+        head_predictions = fused.head(nn.Tensor(eval_probs)).data.argmax(axis=-1)
+        predictions = np.where(agree, member_predictions[0], head_predictions)
+        return evaluate_predictions(predictions, self.eval_dataset, self.attributes)
+
+    def evaluate_candidate(
+        self, candidate: FusingCandidate, episode: int = -1, seed: Optional[int] = None
+    ) -> EpisodeRecord:
+        """Train and evaluate one candidate; returns its episode record."""
+        seed = seed if seed is not None else int(self._rng.integers(0, 2**31))
+        fused = self._build_fused(candidate, seed)
+        proxy_outputs = self._cache.concatenated(
+            candidate.model_names, self.proxy.dataset, self.proxy.indices, tag="proxy"
+        )
+        head_result = train_head(fused, self.proxy, self.head_config, body_outputs=proxy_outputs)
+        evaluation = self._evaluate_fused(fused, candidate)
+        reward_value = self.reward(evaluation)
+        return EpisodeRecord(
+            episode=episode,
+            candidate=candidate,
+            reward=reward_value,
+            evaluation=evaluation,
+            head_state=fused.head.state_dict() if self.search_config.store_heads else None,
+            train_losses=head_result.losses,
+            num_parameters=fused.num_parameters,
+            trainable_parameters=fused.trainable_parameters,
+        )
+
+    # ------------------------------------------------------------------
+    # The search loop
+    # ------------------------------------------------------------------
+    def run(self, episodes: Optional[int] = None) -> MuffinSearchResult:
+        """Run the reinforcement-learning search and return its history."""
+        total_episodes = episodes if episodes is not None else self.search_config.episodes
+        records: List[EpisodeRecord] = []
+        pending: List[Episode] = []
+        for episode_index in range(total_episodes):
+            episode = self.controller.sample(self._rng)
+            candidate = self.search_space.decode(episode.actions)
+            record = self.evaluate_candidate(candidate, episode=episode_index)
+            episode.reward = record.reward
+            records.append(record)
+            pending.append(episode)
+
+            self.logger.log(
+                episode=episode_index,
+                reward=record.reward,
+                accuracy=record.evaluation.accuracy,
+                **{f"U({a})": record.evaluation.unfairness[a] for a in self.attributes},
+                candidate=candidate.describe(),
+            )
+
+            if len(pending) >= self.search_config.episode_batch:
+                self.controller.update(pending)
+                pending = []
+        if pending:
+            self.controller.update(pending)
+
+        return MuffinSearchResult(
+            records=records,
+            attributes=self.attributes,
+            controller_history=self.controller.update_history,
+            search_space_description=self.search_space.describe(),
+        )
+
+    # ------------------------------------------------------------------
+    # Final model extraction
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        result: MuffinSearchResult,
+        metric: str = "reward",
+        name: Optional[str] = None,
+        evaluate_on_test: bool = True,
+        reference_model: Optional[str] = None,
+    ) -> MuffinNet:
+        """Materialise a named Muffin-Net from a search result.
+
+        The record selected by ``metric`` is rebuilt with its stored head
+        weights and (optionally) evaluated on the untouched test partition —
+        the numbers the paper's Table I and figures report.
+
+        When ``reference_model`` names a pool model (typically the vanilla
+        base model), the selection is restricted to candidates that dominate
+        it on the search's evaluation partition — lower unfairness on every
+        attribute and at least its accuracy — mirroring the Table I claim
+        that Muffin improves both attributes without losing accuracy.  If no
+        candidate dominates, the plain ``metric`` selection is used.
+        """
+        if reference_model is not None:
+            reference = evaluate_predictions(
+                self.pool.predict(reference_model, self.search_config.eval_partition),
+                self.eval_dataset,
+                self.attributes,
+            )
+            record = result.best_dominating_record(reference, metric=metric)
+        elif metric == "balance":
+            record = result.best_balanced_record()
+        else:
+            record = result.best_record(metric)
+        return self.materialize_record(
+            record, name=name or f"Muffin-{metric}", evaluate_on_test=evaluate_on_test
+        )
+
+    def materialize_record(
+        self,
+        record: EpisodeRecord,
+        name: str,
+        evaluate_on_test: bool = True,
+    ) -> MuffinNet:
+        """Rebuild one episode record as a named, test-evaluated Muffin-Net."""
+        models = self.pool.models(record.candidate.model_names)
+        fused = rebuild_fused_model(record, models, name=name)
+        if record.head_state is None:
+            # Heads were not stored during the search: retrain this one head.
+            proxy_outputs = self._cache.concatenated(
+                record.candidate.model_names, self.proxy.dataset, self.proxy.indices, tag="proxy"
+            )
+            train_head(fused, self.proxy, self.head_config, body_outputs=proxy_outputs)
+        test_evaluation = (
+            fused.evaluate(self.pool.split.test, self.attributes) if evaluate_on_test else None
+        )
+        return MuffinNet(
+            name=name,
+            fused=fused,
+            record=record,
+            test_evaluation=test_evaluation,
+        )
+
+    def named_muffin_nets(self, result: MuffinSearchResult) -> Dict[str, MuffinNet]:
+        """The named models the paper reports: Muffin, Muffin-<attr>, Muffin-Balance."""
+        nets: Dict[str, MuffinNet] = {"Muffin": self.finalize(result, "reward", name="Muffin")}
+        for attribute in self.attributes:
+            pretty = attribute.replace("_", " ").title().replace(" ", "")
+            nets[f"Muffin-{pretty}"] = self.finalize(
+                result, attribute, name=f"Muffin-{pretty}"
+            )
+        nets["Muffin-Balance"] = self.finalize(result, "balance", name="Muffin-Balance")
+        return nets

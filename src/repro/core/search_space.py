@@ -1,0 +1,203 @@
+"""Search space of the Muffin controller.
+
+The controller makes a fixed-length sequence of categorical decisions
+(Figure 4, component ①):
+
+1. which off-the-shelf models join the muffin body — either as the partners
+   of a fixed *base* model (the Table I setting, where e.g.
+   ShuffleNet_V2_X1_0 is paired with one model chosen from the pool) or as a
+   free selection from the pool;
+2. the muffin-head MLP hyper-parameters: number of layers, the width of each
+   layer and the activation function.
+
+``SearchSpace`` enumerates the choices of every decision step and decodes a
+vector of choice indices into a :class:`FusingCandidate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.rng import get_rng
+
+#: Hidden-layer widths seen in the paper's Table I ([16,18,12,8], [16,10,10,8]...).
+DEFAULT_WIDTH_CHOICES: Tuple[int, ...] = (8, 10, 12, 16, 18, 24, 32)
+DEFAULT_DEPTH_CHOICES: Tuple[int, ...] = (1, 2, 3)
+DEFAULT_ACTIVATIONS: Tuple[str, ...] = ("relu", "tanh", "leaky_relu", "sigmoid")
+
+
+@dataclass(frozen=True)
+class FusingCandidate:
+    """One point of the search space: body members + head architecture."""
+
+    model_names: Tuple[str, ...]
+    hidden_sizes: Tuple[int, ...]
+    activation: str
+
+    def describe(self) -> str:
+        models = " + ".join(self.model_names)
+        widths = ",".join(str(w) for w in self.hidden_sizes)
+        return f"[{models}] -> MLP[{widths}] ({self.activation})"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model_names": list(self.model_names),
+            "hidden_sizes": list(self.hidden_sizes),
+            "activation": self.activation,
+        }
+
+
+@dataclass(frozen=True)
+class DecisionStep:
+    """One categorical decision of the controller."""
+
+    name: str
+    choices: Tuple[object, ...]
+
+    @property
+    def num_choices(self) -> int:
+        return len(self.choices)
+
+
+class SearchSpace:
+    """Enumerates controller decisions and decodes choice vectors."""
+
+    def __init__(
+        self,
+        pool_names: Sequence[str],
+        base_model: Optional[str] = None,
+        num_paired: int = 1,
+        width_choices: Sequence[int] = DEFAULT_WIDTH_CHOICES,
+        depth_choices: Sequence[int] = DEFAULT_DEPTH_CHOICES,
+        activation_choices: Sequence[str] = DEFAULT_ACTIVATIONS,
+    ) -> None:
+        pool_names = list(pool_names)
+        if len(pool_names) < 1:
+            raise ValueError("the search space needs a non-empty model pool")
+        if base_model is not None and base_model not in pool_names:
+            raise ValueError(f"base model '{base_model}' must be part of the pool")
+        if num_paired < 1:
+            raise ValueError("num_paired must be at least 1")
+        candidates = [name for name in pool_names if name != base_model]
+        if num_paired > len(candidates):
+            raise ValueError(
+                f"cannot pair {num_paired} models from a pool of {len(candidates)} candidates"
+            )
+        if not width_choices or not depth_choices or not activation_choices:
+            raise ValueError("width, depth and activation choices must be non-empty")
+        if max(depth_choices) < 1:
+            raise ValueError("depth choices must be positive")
+
+        self.pool_names = pool_names
+        self.base_model = base_model
+        self.num_paired = num_paired
+        self.width_choices = tuple(int(w) for w in width_choices)
+        self.depth_choices = tuple(int(d) for d in depth_choices)
+        self.activation_choices = tuple(activation_choices)
+        self.partner_choices = tuple(candidates)
+        self.max_depth = max(self.depth_choices)
+
+        steps: List[DecisionStep] = []
+        for index in range(num_paired):
+            steps.append(DecisionStep(name=f"paired_model_{index + 1}", choices=self.partner_choices))
+        steps.append(DecisionStep(name="depth", choices=self.depth_choices))
+        for index in range(self.max_depth):
+            steps.append(DecisionStep(name=f"width_{index + 1}", choices=self.width_choices))
+        steps.append(DecisionStep(name="activation", choices=self.activation_choices))
+        self.steps: Tuple[DecisionStep, ...] = tuple(steps)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    def num_choices(self) -> List[int]:
+        """Number of options at each decision step (the controller's FC sizes)."""
+        return [step.num_choices for step in self.steps]
+
+    def size(self) -> int:
+        """Total number of distinct candidates (ignoring unused width slots)."""
+        partners = 1
+        available = len(self.partner_choices)
+        for index in range(self.num_paired):
+            partners *= max(1, available - index)
+        total = 0
+        for depth in self.depth_choices:
+            total += len(self.width_choices) ** depth
+        return partners * total * len(self.activation_choices)
+
+    # ------------------------------------------------------------------
+    def decode(self, actions: Sequence[int]) -> FusingCandidate:
+        """Convert a vector of choice indices into a :class:`FusingCandidate`.
+
+        Duplicate partner selections are resolved deterministically by moving
+        to the next unused pool model, so every action vector decodes to a
+        valid candidate (important for the REINFORCE controller, which must
+        receive a reward for every sampled sequence).
+        """
+        actions = list(actions)
+        if len(actions) != self.num_steps:
+            raise ValueError(f"expected {self.num_steps} actions, got {len(actions)}")
+        for index, (action, step) in enumerate(zip(actions, self.steps)):
+            if not 0 <= int(action) < step.num_choices:
+                raise ValueError(
+                    f"action {action} out of range for step '{step.name}' "
+                    f"({step.num_choices} choices)"
+                )
+
+        cursor = 0
+        partners: List[str] = []
+        for _ in range(self.num_paired):
+            choice = self.partner_choices[int(actions[cursor])]
+            if choice in partners or choice == self.base_model:
+                for alternative in self.partner_choices:
+                    if alternative not in partners and alternative != self.base_model:
+                        choice = alternative
+                        break
+            partners.append(choice)
+            cursor += 1
+
+        depth = int(self.depth_choices[int(actions[cursor])])
+        cursor += 1
+        widths: List[int] = []
+        for index in range(self.max_depth):
+            if index < depth:
+                widths.append(int(self.width_choices[int(actions[cursor])]))
+            cursor += 1
+        activation = self.activation_choices[int(actions[cursor])]
+
+        model_names: Tuple[str, ...]
+        if self.base_model is not None:
+            model_names = (self.base_model, *partners)
+        else:
+            model_names = tuple(partners)
+        return FusingCandidate(
+            model_names=model_names,
+            hidden_sizes=tuple(widths),
+            activation=activation,
+        )
+
+    def random_actions(self, rng: Optional[np.random.Generator] = None) -> List[int]:
+        """Uniformly random action vector (used by the random-search ablation)."""
+        rng = get_rng(rng)
+        return [int(rng.integers(0, step.num_choices)) for step in self.steps]
+
+    def random_candidate(self, rng: Optional[np.random.Generator] = None) -> FusingCandidate:
+        """Uniformly random candidate."""
+        return self.decode(self.random_actions(rng))
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly description (recorded in experiment metadata)."""
+        return {
+            "base_model": self.base_model,
+            "num_paired": self.num_paired,
+            "partner_choices": list(self.partner_choices),
+            "depth_choices": list(self.depth_choices),
+            "width_choices": list(self.width_choices),
+            "activation_choices": list(self.activation_choices),
+            "num_steps": self.num_steps,
+            "size": self.size(),
+        }

@@ -1,0 +1,53 @@
+"""Data substrate: sensitive-attribute taxonomy, synthetic dermatology
+datasets, splitting and augmentation utilities."""
+
+from .attributes import (
+    AttributeSet,
+    AttributeSpec,
+    fitzpatrick_attribute_set,
+    fitzpatrick_skin_tone_spec,
+    fitzpatrick_type_spec,
+    isic_age_spec,
+    isic_attribute_set,
+    isic_gender_spec,
+    isic_site_spec,
+)
+from .dataset import Batch, FairnessDataset, distortion_key
+from .fitzpatrick import FITZPATRICK_CLASS_NAMES, SyntheticFitzpatrick17K, load_fitzpatrick17k
+from .isic import ISIC_CLASS_NAMES, SyntheticISIC2019, load_isic2019
+from .splits import PAPER_SPLIT, DataSplit, split_dataset, stratified_split_indices
+from .synthetic import SyntheticBlueprint, SyntheticConfig, build_blueprint, describe_difficulty, sample_dataset
+from .transforms import AugmentationConfig, augment_subset, concatenate_datasets
+
+__all__ = [
+    "AttributeSpec",
+    "AttributeSet",
+    "isic_age_spec",
+    "isic_site_spec",
+    "isic_gender_spec",
+    "isic_attribute_set",
+    "fitzpatrick_skin_tone_spec",
+    "fitzpatrick_type_spec",
+    "fitzpatrick_attribute_set",
+    "FairnessDataset",
+    "Batch",
+    "distortion_key",
+    "SyntheticConfig",
+    "SyntheticBlueprint",
+    "build_blueprint",
+    "sample_dataset",
+    "describe_difficulty",
+    "SyntheticISIC2019",
+    "load_isic2019",
+    "ISIC_CLASS_NAMES",
+    "SyntheticFitzpatrick17K",
+    "load_fitzpatrick17k",
+    "FITZPATRICK_CLASS_NAMES",
+    "DataSplit",
+    "PAPER_SPLIT",
+    "split_dataset",
+    "stratified_split_indices",
+    "AugmentationConfig",
+    "augment_subset",
+    "concatenate_datasets",
+]

@@ -1,0 +1,291 @@
+"""Sensitive-attribute and group taxonomy.
+
+The paper studies datasets with several *sensitive attributes* (age, gender,
+disease site, skin tone, lesion type); each attribute partitions the dataset
+into *groups*, and some of those groups are *unprivileged* — the model
+systematically under-performs on them.  This module defines the small value
+objects that describe that structure and that every other subsystem (metrics,
+baselines, proxy-dataset builder, experiments) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Description of one sensitive attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute identifier, e.g. ``"age"`` or ``"site"``.
+    groups:
+        Ordered group names; a sample's group id indexes into this list.
+    unprivileged:
+        Names of the groups the paper treats as unprivileged (harder /
+        under-represented).  The remaining groups are privileged.
+    difficulty:
+        Per-group difficulty in ``[0, 1]`` used by the synthetic generator:
+        0 means the group's images are as easy as the privileged baseline,
+        1 means maximally distorted.  Groups absent from the mapping default
+        to 0.
+    proportions:
+        Optional per-group sampling proportions (normalised internally).
+        Defaults to uniform.
+    """
+
+    name: str
+    groups: Tuple[str, ...]
+    unprivileged: Tuple[str, ...] = ()
+    difficulty: Mapping[str, float] = field(default_factory=dict)
+    proportions: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.groups) < 2:
+            raise ValueError(f"attribute '{self.name}' needs at least two groups")
+        if len(set(self.groups)) != len(self.groups):
+            raise ValueError(f"attribute '{self.name}' has duplicate group names")
+        unknown_unpriv = set(self.unprivileged) - set(self.groups)
+        if unknown_unpriv:
+            raise ValueError(
+                f"unprivileged groups {sorted(unknown_unpriv)} are not groups of '{self.name}'"
+            )
+        unknown_diff = set(self.difficulty) - set(self.groups)
+        if unknown_diff:
+            raise ValueError(
+                f"difficulty given for unknown groups {sorted(unknown_diff)} of '{self.name}'"
+            )
+        for group, value in self.difficulty.items():
+            if not 0.0 <= float(value) <= 1.0:
+                raise ValueError(f"difficulty of group '{group}' must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def privileged(self) -> Tuple[str, ...]:
+        return tuple(g for g in self.groups if g not in self.unprivileged)
+
+    def group_index(self, group: str) -> int:
+        """Return the integer id of ``group``."""
+        try:
+            return self.groups.index(group)
+        except ValueError as exc:
+            raise KeyError(f"'{group}' is not a group of attribute '{self.name}'") from exc
+
+    def group_name(self, index: int) -> str:
+        """Return the name of the group with integer id ``index``."""
+        return self.groups[index]
+
+    def is_unprivileged(self, group: str) -> bool:
+        return group in self.unprivileged
+
+    def unprivileged_indices(self) -> Tuple[int, ...]:
+        """Integer ids of the unprivileged groups."""
+        return tuple(self.group_index(g) for g in self.unprivileged)
+
+    def privileged_indices(self) -> Tuple[int, ...]:
+        """Integer ids of the privileged groups."""
+        return tuple(self.group_index(g) for g in self.privileged)
+
+    def difficulty_vector(self) -> np.ndarray:
+        """Per-group difficulty as an array aligned with ``groups``."""
+        return np.asarray([float(self.difficulty.get(g, 0.0)) for g in self.groups])
+
+    def proportion_vector(self) -> np.ndarray:
+        """Normalised per-group sampling proportions aligned with ``groups``."""
+        raw = np.asarray([float(self.proportions.get(g, 1.0)) for g in self.groups])
+        if (raw <= 0).any():
+            raise ValueError(f"proportions of '{self.name}' must be positive")
+        return raw / raw.sum()
+
+
+class AttributeSet:
+    """Ordered collection of the sensitive attributes of one dataset."""
+
+    def __init__(self, specs: Sequence[AttributeSpec]) -> None:
+        if not specs:
+            raise ValueError("AttributeSet needs at least one attribute")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("attribute names must be unique")
+        self._specs: Dict[str, AttributeSpec] = {spec.name: spec for spec in specs}
+        self._order: List[str] = names
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._order)
+
+    def __iter__(self):
+        return (self._specs[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __getitem__(self, name: str) -> AttributeSpec:
+        try:
+            return self._specs[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown attribute '{name}'; available: {sorted(self._specs)}"
+            ) from exc
+
+    def subset(self, names: Sequence[str]) -> "AttributeSet":
+        """Return a new :class:`AttributeSet` restricted to ``names`` (in order)."""
+        return AttributeSet([self[name] for name in names])
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-friendly summary used by the experiment reports."""
+        return {
+            spec.name: {
+                "groups": list(spec.groups),
+                "unprivileged": list(spec.unprivileged),
+                "difficulty": {g: float(spec.difficulty.get(g, 0.0)) for g in spec.groups},
+            }
+            for spec in self
+        }
+
+
+# ---------------------------------------------------------------------------
+# The taxonomies of the two datasets used in the paper.
+# ---------------------------------------------------------------------------
+ISIC_AGE_GROUPS = ("0-20", "20-40", "40-60", "60-80", "80+", "unknown")
+ISIC_SITE_GROUPS = (
+    "anterior torso",
+    "head/neck",
+    "lateral torso",
+    "lower extremity",
+    "oral/genital",
+    "palms/soles",
+    "posterior torso",
+    "unknown",
+    "upper extremity",
+)
+ISIC_GENDER_GROUPS = ("male", "female")
+
+FITZPATRICK_SKIN_TONE_GROUPS = ("light", "white", "medium", "olive", "brown", "black")
+FITZPATRICK_TYPE_GROUPS = ("benign", "malignant", "non-neoplastic")
+
+
+def isic_age_spec() -> AttributeSpec:
+    """Age attribute of ISIC2019: 6 groups, elderly / unknown unprivileged."""
+    return AttributeSpec(
+        name="age",
+        groups=ISIC_AGE_GROUPS,
+        unprivileged=("60-80", "80+", "unknown"),
+        difficulty={
+            "0-20": 0.08,
+            "20-40": 0.02,
+            "40-60": 0.05,
+            "60-80": 0.42,
+            "80+": 0.62,
+            "unknown": 0.50,
+        },
+        proportions={
+            "0-20": 0.06,
+            "20-40": 0.22,
+            "40-60": 0.34,
+            "60-80": 0.24,
+            "80+": 0.06,
+            "unknown": 0.08,
+        },
+    )
+
+
+def isic_site_spec() -> AttributeSpec:
+    """Disease-site attribute of ISIC2019: 9 groups, rare sites unprivileged."""
+    return AttributeSpec(
+        name="site",
+        groups=ISIC_SITE_GROUPS,
+        unprivileged=("head/neck", "lateral torso", "oral/genital", "palms/soles", "unknown"),
+        difficulty={
+            "anterior torso": 0.03,
+            "head/neck": 0.40,
+            "lateral torso": 0.68,
+            "lower extremity": 0.06,
+            "oral/genital": 0.74,
+            "palms/soles": 0.58,
+            "posterior torso": 0.04,
+            "unknown": 0.46,
+            "upper extremity": 0.08,
+        },
+        proportions={
+            "anterior torso": 0.19,
+            "head/neck": 0.13,
+            "lateral torso": 0.05,
+            "lower extremity": 0.17,
+            "oral/genital": 0.04,
+            "palms/soles": 0.05,
+            "posterior torso": 0.19,
+            "unknown": 0.06,
+            "upper extremity": 0.12,
+        },
+    )
+
+
+def isic_gender_spec() -> AttributeSpec:
+    """Gender attribute of ISIC2019: two near-balanced, near-equal groups."""
+    return AttributeSpec(
+        name="gender",
+        groups=ISIC_GENDER_GROUPS,
+        unprivileged=("female",),
+        difficulty={"male": 0.02, "female": 0.05},
+        proportions={"male": 0.52, "female": 0.48},
+    )
+
+
+def fitzpatrick_skin_tone_spec() -> AttributeSpec:
+    """Fitzpatrick-scale skin-tone attribute: 6 groups, darker tones unprivileged."""
+    return AttributeSpec(
+        name="skin_tone",
+        groups=FITZPATRICK_SKIN_TONE_GROUPS,
+        unprivileged=("olive", "brown", "black"),
+        difficulty={
+            "light": 0.04,
+            "white": 0.08,
+            "medium": 0.16,
+            "olive": 0.36,
+            "brown": 0.52,
+            "black": 0.66,
+        },
+        proportions={
+            "light": 0.18,
+            "white": 0.28,
+            "medium": 0.22,
+            "olive": 0.14,
+            "brown": 0.12,
+            "black": 0.06,
+        },
+    )
+
+
+def fitzpatrick_type_spec() -> AttributeSpec:
+    """Lesion-type attribute of Fitzpatrick17K: 3 groups, malignant unprivileged."""
+    return AttributeSpec(
+        name="type",
+        groups=FITZPATRICK_TYPE_GROUPS,
+        unprivileged=("malignant",),
+        difficulty={"benign": 0.06, "malignant": 0.68, "non-neoplastic": 0.30},
+        proportions={"benign": 0.46, "malignant": 0.22, "non-neoplastic": 0.32},
+    )
+
+
+def isic_attribute_set() -> AttributeSet:
+    """The three sensitive attributes of ISIC2019 (age, site, gender)."""
+    return AttributeSet([isic_age_spec(), isic_site_spec(), isic_gender_spec()])
+
+
+def fitzpatrick_attribute_set() -> AttributeSet:
+    """The two sensitive attributes of Fitzpatrick17K (skin tone, type)."""
+    return AttributeSet([fitzpatrick_skin_tone_spec(), fitzpatrick_type_spec()])

@@ -1,0 +1,274 @@
+"""Dataset containers for multi-attribute fairness experiments.
+
+A :class:`FairnessDataset` stores, for every sample:
+
+* the class label;
+* one group id per sensitive attribute;
+* the *decomposed* latent feature components produced by the synthetic
+  generator (class signal, idiosyncratic noise, and one distortion component
+  per attribute).
+
+Keeping the components separate — instead of a single feature matrix — is
+what lets the model zoo simulate architecture-specific robustness: each
+simulated backbone mixes the components with its own sensitivity profile
+(see :mod:`repro.zoo.backbone`), so different architectures are unfair on
+different attributes exactly as observed in Figure 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.rng import get_rng
+from .attributes import AttributeSet
+
+
+def distortion_key(attribute: str) -> str:
+    """Key under which the distortion component of ``attribute`` is stored."""
+    return f"distortion:{attribute}"
+
+
+@dataclass
+class Batch:
+    """A mini-batch of composed features and labels."""
+
+    features: np.ndarray
+    labels: np.ndarray
+    indices: np.ndarray
+
+
+class FairnessDataset:
+    """In-memory dataset with class labels, group labels and feature components."""
+
+    def __init__(
+        self,
+        name: str,
+        num_classes: int,
+        labels: np.ndarray,
+        attribute_groups: Mapping[str, np.ndarray],
+        attributes: AttributeSet,
+        components: Mapping[str, np.ndarray],
+        class_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.ndim != 1:
+            raise ValueError("labels must be a 1-D array")
+        n = labels.shape[0]
+        if num_classes <= 1:
+            raise ValueError("num_classes must be at least 2")
+        if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+            raise ValueError("labels out of range for num_classes")
+
+        self.name = name
+        self.num_classes = num_classes
+        self.labels = labels
+        self.attributes = attributes
+        self.class_names = (
+            tuple(class_names)
+            if class_names is not None
+            else tuple(f"class_{i}" for i in range(num_classes))
+        )
+        if len(self.class_names) != num_classes:
+            raise ValueError("class_names length must equal num_classes")
+
+        self.attribute_groups: Dict[str, np.ndarray] = {}
+        for attr in attributes:
+            if attr.name not in attribute_groups:
+                raise KeyError(f"missing group ids for attribute '{attr.name}'")
+            groups = np.asarray(attribute_groups[attr.name], dtype=np.int64)
+            if groups.shape != (n,):
+                raise ValueError(f"group ids of '{attr.name}' must have shape ({n},)")
+            if groups.size and (groups.min() < 0 or groups.max() >= attr.num_groups):
+                raise ValueError(f"group ids of '{attr.name}' out of range")
+            self.attribute_groups[attr.name] = groups
+
+        self.components: Dict[str, np.ndarray] = {}
+        feature_dim: Optional[int] = None
+        for key, values in components.items():
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape[0] != n or values.ndim != 2:
+                raise ValueError(f"component '{key}' must have shape ({n}, d)")
+            if feature_dim is None:
+                feature_dim = values.shape[1]
+            elif values.shape[1] != feature_dim:
+                raise ValueError("all components must share the same feature dimension")
+            self.components[key] = values
+        if feature_dim is None:
+            raise ValueError("at least one feature component is required")
+        self.feature_dim = feature_dim
+        if "signal" not in self.components:
+            raise KeyError("components must include a 'signal' entry")
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.labels.shape[0]
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(self.attributes.names)
+        return (
+            f"FairnessDataset(name='{self.name}', n={len(self)}, "
+            f"classes={self.num_classes}, attributes=[{attrs}])"
+        )
+
+    # ------------------------------------------------------------------
+    # Feature composition
+    # ------------------------------------------------------------------
+    def compose_features(
+        self,
+        sensitivity: Optional[Mapping[str, float]] = None,
+        signal_gain: float = 1.0,
+        noise_gain: float = 1.0,
+        indices: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Mix the stored components into a feature matrix.
+
+        ``sensitivity`` maps attribute name to how strongly that attribute's
+        distortion component leaks into the features (1.0 = fully exposed,
+        0.0 = perfectly robust).  The default exposes every distortion fully,
+        which corresponds to an "ideal sensor" view of the raw data.
+        """
+        if indices is None:
+            indices = np.arange(len(self))
+        indices = np.asarray(indices, dtype=np.int64)
+        features = signal_gain * self.components["signal"][indices]
+        if "noise" in self.components:
+            features = features + noise_gain * self.components["noise"][indices]
+        for attr in self.attributes.names:
+            key = distortion_key(attr)
+            if key not in self.components:
+                continue
+            weight = 1.0 if sensitivity is None else float(sensitivity.get(attr, 1.0))
+            if weight != 0.0:
+                features = features + weight * self.components[key][indices]
+        return features
+
+    # ------------------------------------------------------------------
+    # Group bookkeeping
+    # ------------------------------------------------------------------
+    def group_ids(self, attribute: str) -> np.ndarray:
+        """Integer group ids of every sample for ``attribute``."""
+        try:
+            return self.attribute_groups[attribute]
+        except KeyError as exc:
+            raise KeyError(
+                f"dataset '{self.name}' has no attribute '{attribute}'; "
+                f"available: {list(self.attributes.names)}"
+            ) from exc
+
+    def group_mask(self, attribute: str, group: str) -> np.ndarray:
+        """Boolean mask of samples in ``group`` of ``attribute``."""
+        spec = self.attributes[attribute]
+        return self.group_ids(attribute) == spec.group_index(group)
+
+    def group_indices(self, attribute: str, group: str) -> np.ndarray:
+        """Sample indices of ``group`` of ``attribute``."""
+        return np.where(self.group_mask(attribute, group))[0]
+
+    def unprivileged_mask(self, attribute: Optional[str] = None) -> np.ndarray:
+        """Mask of samples in any unprivileged group of ``attribute``.
+
+        With ``attribute=None`` the mask covers samples unprivileged under
+        *any* of the dataset's attributes — this is the population the muffin
+        proxy dataset is built from.
+        """
+        if attribute is not None:
+            spec = self.attributes[attribute]
+            ids = self.group_ids(attribute)
+            return np.isin(ids, spec.unprivileged_indices())
+        mask = np.zeros(len(self), dtype=bool)
+        for name in self.attributes.names:
+            mask |= self.unprivileged_mask(name)
+        return mask
+
+    def privileged_mask(self, attribute: Optional[str] = None) -> np.ndarray:
+        """Complement of :meth:`unprivileged_mask`."""
+        return ~self.unprivileged_mask(attribute)
+
+    def group_sizes(self, attribute: str) -> Dict[str, int]:
+        """Number of samples per group of ``attribute``."""
+        spec = self.attributes[attribute]
+        ids = self.group_ids(attribute)
+        return {g: int((ids == spec.group_index(g)).sum()) for g in spec.groups}
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    # ------------------------------------------------------------------
+    # Subsetting / resampling
+    # ------------------------------------------------------------------
+    def subset(self, indices: np.ndarray, name: Optional[str] = None) -> "FairnessDataset":
+        """Return a new dataset restricted to ``indices`` (copies arrays)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return FairnessDataset(
+            name=name or f"{self.name}[subset:{len(indices)}]",
+            num_classes=self.num_classes,
+            labels=self.labels[indices],
+            attribute_groups={k: v[indices] for k, v in self.attribute_groups.items()},
+            attributes=self.attributes,
+            components={k: v[indices] for k, v in self.components.items()},
+            class_names=self.class_names,
+        )
+
+    def with_components(self, components: Mapping[str, np.ndarray], name: Optional[str] = None) -> "FairnessDataset":
+        """Return a copy of this dataset with replaced feature components."""
+        return FairnessDataset(
+            name=name or self.name,
+            num_classes=self.num_classes,
+            labels=self.labels.copy(),
+            attribute_groups={k: v.copy() for k, v in self.attribute_groups.items()},
+            attributes=self.attributes,
+            components=components,
+            class_names=self.class_names,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch iteration
+    # ------------------------------------------------------------------
+    def iter_batches(
+        self,
+        batch_size: int,
+        features: np.ndarray,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> Iterator[Tuple[Batch, Optional[np.ndarray]]]:
+        """Yield mini-batches over a pre-composed feature matrix.
+
+        The caller composes features once (per backbone) and iterates
+        batches here; ``sample_weights`` (if given) are sliced in parallel,
+        which is how the fairness-aware trainer feeds Equation 2.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        n = len(self)
+        if features.shape[0] != n:
+            raise ValueError("features must have one row per sample")
+        order = np.arange(n)
+        if shuffle:
+            order = get_rng(rng).permutation(n)
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            batch = Batch(features=features[idx], labels=self.labels[idx], indices=idx)
+            weights = sample_weights[idx] if sample_weights is not None else None
+            yield batch, weights
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Structured description used in experiment reports."""
+        return {
+            "name": self.name,
+            "num_samples": len(self),
+            "num_classes": self.num_classes,
+            "feature_dim": self.feature_dim,
+            "attributes": self.attributes.to_dict(),
+            "group_sizes": {attr: self.group_sizes(attr) for attr in self.attributes.names},
+            "class_counts": self.class_counts().tolist(),
+        }

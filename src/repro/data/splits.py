@@ -1,0 +1,88 @@
+"""Dataset splitting utilities.
+
+The paper splits every dataset into 64% training, 16% validation and 20%
+test data.  Splits here are stratified by class label so small classes are
+represented in every partition, and the random assignment is reproducible
+from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..utils.rng import get_rng
+from .dataset import FairnessDataset
+
+#: The split fractions used throughout the paper's experiments.
+PAPER_SPLIT = (0.64, 0.16, 0.20)
+
+
+@dataclass
+class DataSplit:
+    """Train / validation / test partitions of one dataset."""
+
+    train: FairnessDataset
+    val: FairnessDataset
+    test: FairnessDataset
+    train_indices: np.ndarray
+    val_indices: np.ndarray
+    test_indices: np.ndarray
+
+    def sizes(self) -> Dict[str, int]:
+        return {"train": len(self.train), "val": len(self.val), "test": len(self.test)}
+
+
+def stratified_split_indices(
+    labels: np.ndarray,
+    fractions: Tuple[float, float, float] = PAPER_SPLIT,
+    seed: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (train, val, test) index arrays stratified by ``labels``."""
+    train_frac, val_frac, test_frac = fractions
+    total = train_frac + val_frac + test_frac
+    if not np.isclose(total, 1.0):
+        raise ValueError(f"split fractions must sum to 1, got {total}")
+    if min(fractions) <= 0:
+        raise ValueError("all split fractions must be positive")
+
+    labels = np.asarray(labels, dtype=np.int64)
+    rng = get_rng(seed)
+    train_idx, val_idx, test_idx = [], [], []
+    for cls in np.unique(labels):
+        members = np.where(labels == cls)[0]
+        members = rng.permutation(members)
+        n = len(members)
+        n_train = int(round(train_frac * n))
+        n_val = int(round(val_frac * n))
+        # Guarantee at least one sample per partition when the class allows it.
+        if n >= 3:
+            n_train = max(1, min(n_train, n - 2))
+            n_val = max(1, min(n_val, n - n_train - 1))
+        train_idx.append(members[:n_train])
+        val_idx.append(members[n_train : n_train + n_val])
+        test_idx.append(members[n_train + n_val :])
+
+    train = np.sort(np.concatenate(train_idx))
+    val = np.sort(np.concatenate(val_idx))
+    test = np.sort(np.concatenate(test_idx))
+    return train, val, test
+
+
+def split_dataset(
+    dataset: FairnessDataset,
+    fractions: Tuple[float, float, float] = PAPER_SPLIT,
+    seed: Optional[int] = None,
+) -> DataSplit:
+    """Split ``dataset`` into stratified train/val/test partitions."""
+    train_idx, val_idx, test_idx = stratified_split_indices(dataset.labels, fractions, seed)
+    return DataSplit(
+        train=dataset.subset(train_idx, name=f"{dataset.name}[train]"),
+        val=dataset.subset(val_idx, name=f"{dataset.name}[val]"),
+        test=dataset.subset(test_idx, name=f"{dataset.name}[test]"),
+        train_indices=train_idx,
+        val_indices=val_idx,
+        test_indices=test_idx,
+    )

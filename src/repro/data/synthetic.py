@@ -1,0 +1,195 @@
+"""Synthetic latent-feature generator standing in for dermatology images.
+
+The original paper trains CNNs on ISIC2019 / Fitzpatrick17K images.  Those
+images (and the GPU cluster used to train on them) are not available here,
+so this module produces a *behaviourally equivalent* synthetic substrate:
+
+* every class has a latent prototype; a sample's ``signal`` component is its
+  class prototype plus within-class variation, so any reasonable classifier
+  can learn the task;
+* every sensitive-attribute group has a *systematic* latent shift plus
+  per-sample distortion noise, both scaled by the group's difficulty.  These
+  are stored as separate ``distortion:<attribute>`` components;
+* group membership is sampled from the per-group proportions of the
+  attribute specs, reproducing the data imbalance of the real datasets.
+
+What matters for reproducing the paper is preserved by construction:
+
+1. groups with higher difficulty have systematically lower accuracy for any
+   model whose features expose the distortion (unfairness exists, Obs. 1);
+2. re-weighting / re-sampling a group lets a classifier adapt its boundary
+   to that group's shift, improving its accuracy at the expense of groups
+   shifted in other directions (the see-saw of Obs. 2);
+3. two models that expose *different mixtures* of the distortion components
+   make different mistakes on unprivileged data (the complementarity of
+   Obs. 3 that Muffin exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..utils.rng import get_rng
+from .attributes import AttributeSet
+from .dataset import FairnessDataset, distortion_key
+
+
+@dataclass
+class SyntheticConfig:
+    """Tunable knobs of the synthetic generator.
+
+    The defaults are calibrated (see ``tests/test_calibration.py``) so that
+    the model zoo reproduces the unfairness landscape of Figure 1: gender
+    nearly fair, age and site strongly unfair with architecture-dependent
+    trade-offs.
+    """
+
+    num_samples: int = 6000
+    feature_dim: int = 48
+    class_separation: float = 2.9
+    within_class_std: float = 0.85
+    noise_std: float = 0.5
+    #: magnitude of the systematic per-group latent shift at difficulty 1.0
+    group_shift_scale: float = 3.2
+    #: magnitude of the per-sample distortion noise at difficulty 1.0
+    group_noise_scale: float = 1.7
+    #: dirichlet concentration controlling class imbalance (larger = more uniform)
+    class_balance_concentration: float = 6.0
+    #: optional explicit class proportions (overrides the dirichlet draw)
+    class_proportions: Optional[Sequence[float]] = None
+
+
+@dataclass
+class SyntheticBlueprint:
+    """Frozen latent geometry shared by every sample of a dataset.
+
+    Keeping the blueprint separate from the sampled dataset means train /
+    validation / test splits and augmented copies all live in the *same*
+    latent space, exactly like crops of the same underlying image corpus.
+    """
+
+    class_prototypes: np.ndarray
+    group_shifts: Dict[str, np.ndarray] = field(default_factory=dict)
+    class_proportions: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+
+def _sample_class_proportions(
+    num_classes: int, config: SyntheticConfig, rng: np.random.Generator
+) -> np.ndarray:
+    if config.class_proportions is not None:
+        props = np.asarray(config.class_proportions, dtype=np.float64)
+        if props.shape != (num_classes,):
+            raise ValueError("class_proportions must have one entry per class")
+        if (props <= 0).any():
+            raise ValueError("class_proportions must be positive")
+        return props / props.sum()
+    concentration = np.full(num_classes, config.class_balance_concentration)
+    # Mimic the long-tailed class distribution of dermatology datasets by
+    # tilting the concentration towards the first few classes.
+    concentration[: max(1, num_classes // 3)] *= 2.0
+    return rng.dirichlet(concentration)
+
+
+def build_blueprint(
+    num_classes: int,
+    attributes: AttributeSet,
+    config: SyntheticConfig,
+    rng: np.random.Generator,
+) -> SyntheticBlueprint:
+    """Draw the latent geometry: class prototypes and per-group shifts."""
+    d = config.feature_dim
+    prototypes = rng.normal(0.0, 1.0, size=(num_classes, d))
+    # Normalise and scale so classes are separated by ``class_separation``.
+    prototypes /= np.linalg.norm(prototypes, axis=1, keepdims=True)
+    prototypes *= config.class_separation
+
+    group_shifts: Dict[str, np.ndarray] = {}
+    for spec in attributes:
+        shifts = rng.normal(0.0, 1.0, size=(spec.num_groups, d))
+        shifts /= np.linalg.norm(shifts, axis=1, keepdims=True)
+        difficulty = spec.difficulty_vector()[:, None]
+        group_shifts[spec.name] = shifts * difficulty * config.group_shift_scale
+
+    proportions = _sample_class_proportions(num_classes, config, rng)
+    return SyntheticBlueprint(
+        class_prototypes=prototypes,
+        group_shifts=group_shifts,
+        class_proportions=proportions,
+    )
+
+
+def sample_dataset(
+    name: str,
+    num_classes: int,
+    attributes: AttributeSet,
+    config: Optional[SyntheticConfig] = None,
+    seed: Optional[int] = None,
+    class_names: Optional[Sequence[str]] = None,
+    blueprint: Optional[SyntheticBlueprint] = None,
+) -> FairnessDataset:
+    """Generate a full :class:`FairnessDataset` from the synthetic model."""
+    config = config or SyntheticConfig()
+    rng = get_rng(seed)
+    if blueprint is None:
+        blueprint = build_blueprint(num_classes, attributes, config, rng)
+
+    n, d = config.num_samples, config.feature_dim
+    if n <= 0:
+        raise ValueError("num_samples must be positive")
+
+    labels = rng.choice(num_classes, size=n, p=blueprint.class_proportions)
+
+    attribute_groups: Dict[str, np.ndarray] = {}
+    for spec in attributes:
+        attribute_groups[spec.name] = rng.choice(
+            spec.num_groups, size=n, p=spec.proportion_vector()
+        )
+
+    signal = blueprint.class_prototypes[labels] + rng.normal(
+        0.0, config.within_class_std, size=(n, d)
+    )
+    noise = rng.normal(0.0, config.noise_std, size=(n, d))
+
+    components: Dict[str, np.ndarray] = {"signal": signal, "noise": noise}
+    for spec in attributes:
+        groups = attribute_groups[spec.name]
+        difficulty = spec.difficulty_vector()[groups][:, None]
+        systematic = blueprint.group_shifts[spec.name][groups]
+        idiosyncratic = rng.normal(0.0, 1.0, size=(n, d)) * difficulty * config.group_noise_scale
+        components[distortion_key(spec.name)] = systematic + idiosyncratic
+
+    return FairnessDataset(
+        name=name,
+        num_classes=num_classes,
+        labels=labels,
+        attribute_groups=attribute_groups,
+        attributes=attributes,
+        components=components,
+        class_names=class_names,
+    )
+
+
+def describe_difficulty(dataset: FairnessDataset) -> Dict[str, Dict[str, float]]:
+    """Empirical distortion magnitude per group (diagnostic helper).
+
+    Returns, per attribute and group, the mean L2 norm of the distortion
+    component — a quick check that the generator honoured the difficulty
+    profile of the attribute specs.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for spec in dataset.attributes:
+        key = distortion_key(spec.name)
+        if key not in dataset.components:
+            continue
+        magnitudes = np.linalg.norm(dataset.components[key], axis=1)
+        ids = dataset.group_ids(spec.name)
+        out[spec.name] = {
+            group: float(magnitudes[ids == spec.group_index(group)].mean())
+            if (ids == spec.group_index(group)).any()
+            else 0.0
+            for group in spec.groups
+        }
+    return out

@@ -1,0 +1,154 @@
+"""Feature-space data augmentation.
+
+The data-balancing baseline of the paper ("Method D", after Weiss et al.)
+augments the unprivileged groups with flipped / rotated / scaled copies of
+their images.  On the latent-feature substrate the equivalent operations are
+small perturbations of the signal component:
+
+* ``jitter``   — add isotropic Gaussian noise (analogue of photometric noise);
+* ``scale``    — multiply the signal by a random factor near 1 (zoom);
+* ``rotate``   — apply a small random rotation in a random 2-D latent plane
+  (analogue of spatial rotation: norm-preserving, label-preserving);
+* ``mixup``    — interpolate towards another sample of the same class and
+  group (a stronger augmentation used when a group is extremely small).
+
+All transforms are label- and group-preserving, which is the property the
+baseline relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..utils.rng import get_rng
+from .dataset import FairnessDataset
+
+
+@dataclass
+class AugmentationConfig:
+    """Strength parameters of the feature-space augmentations."""
+
+    jitter_std: float = 0.25
+    scale_range: float = 0.15
+    rotation_angle: float = 0.35
+    mixup_alpha: float = 0.3
+
+
+def jitter(features: np.ndarray, std: float, rng: np.random.Generator) -> np.ndarray:
+    """Add isotropic Gaussian noise."""
+    if std < 0:
+        raise ValueError("jitter std must be non-negative")
+    return features + rng.normal(0.0, std, size=features.shape)
+
+
+def scale(features: np.ndarray, scale_range: float, rng: np.random.Generator) -> np.ndarray:
+    """Multiply each sample by a random factor in ``[1 - r, 1 + r]``."""
+    if not 0 <= scale_range < 1:
+        raise ValueError("scale_range must be in [0, 1)")
+    factors = rng.uniform(1.0 - scale_range, 1.0 + scale_range, size=(features.shape[0], 1))
+    return features * factors
+
+
+def rotate(features: np.ndarray, angle: float, rng: np.random.Generator) -> np.ndarray:
+    """Rotate each sample by ``angle`` radians in a random 2-D latent plane."""
+    n, d = features.shape
+    if d < 2:
+        raise ValueError("rotation needs at least two feature dimensions")
+    i, j = rng.choice(d, size=2, replace=False)
+    rotated = features.copy()
+    cos_a, sin_a = np.cos(angle), np.sin(angle)
+    xi, xj = features[:, i].copy(), features[:, j].copy()
+    rotated[:, i] = cos_a * xi - sin_a * xj
+    rotated[:, j] = sin_a * xi + cos_a * xj
+    return rotated
+
+
+def mixup_within_group(
+    features: np.ndarray,
+    labels: np.ndarray,
+    group_ids: np.ndarray,
+    alpha: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Interpolate each sample towards another sample with the same label and group."""
+    if not 0 <= alpha <= 1:
+        raise ValueError("mixup alpha must be in [0, 1]")
+    mixed = features.copy()
+    for label in np.unique(labels):
+        for group in np.unique(group_ids):
+            members = np.where((labels == label) & (group_ids == group))[0]
+            if len(members) < 2:
+                continue
+            partners = rng.permutation(members)
+            lam = rng.uniform(1.0 - alpha, 1.0, size=(len(members), 1))
+            mixed[members] = lam * features[members] + (1.0 - lam) * features[partners]
+    return mixed
+
+
+def augment_subset(
+    dataset: FairnessDataset,
+    indices: np.ndarray,
+    config: Optional[AugmentationConfig] = None,
+    seed: Optional[int] = None,
+    attribute: Optional[str] = None,
+) -> FairnessDataset:
+    """Create augmented copies of ``dataset`` rows given by ``indices``.
+
+    Only the ``signal`` component is perturbed; distortion components are
+    copied unchanged so the augmented samples remain members of their
+    original unprivileged groups — exactly like flipping a photograph does
+    not change the patient's age.
+    """
+    config = config or AugmentationConfig()
+    rng = get_rng(seed)
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size == 0:
+        raise ValueError("augment_subset received an empty index list")
+
+    copy = dataset.subset(indices, name=f"{dataset.name}[augmented:{len(indices)}]")
+    signal = copy.components["signal"]
+    signal = jitter(signal, config.jitter_std, rng)
+    signal = scale(signal, config.scale_range, rng)
+    signal = rotate(signal, rng.uniform(-config.rotation_angle, config.rotation_angle), rng)
+    if attribute is not None and config.mixup_alpha > 0:
+        signal = mixup_within_group(
+            signal, copy.labels, copy.group_ids(attribute), config.mixup_alpha, rng
+        )
+    components = dict(copy.components)
+    components["signal"] = signal
+    return copy.with_components(components, name=copy.name)
+
+
+def concatenate_datasets(datasets: Sequence[FairnessDataset], name: Optional[str] = None) -> FairnessDataset:
+    """Concatenate datasets that share the same schema (attributes, classes)."""
+    if not datasets:
+        raise ValueError("need at least one dataset to concatenate")
+    first = datasets[0]
+    for other in datasets[1:]:
+        if other.num_classes != first.num_classes:
+            raise ValueError("datasets must share num_classes")
+        if other.attributes.names != first.attributes.names:
+            raise ValueError("datasets must share the same attributes")
+        if set(other.components) != set(first.components):
+            raise ValueError("datasets must share the same feature components")
+
+    labels = np.concatenate([d.labels for d in datasets])
+    attribute_groups: Dict[str, np.ndarray] = {
+        attr: np.concatenate([d.attribute_groups[attr] for d in datasets])
+        for attr in first.attributes.names
+    }
+    components: Dict[str, np.ndarray] = {
+        key: np.concatenate([d.components[key] for d in datasets]) for key in first.components
+    }
+    return FairnessDataset(
+        name=name or f"{first.name}[+{len(datasets) - 1}]",
+        num_classes=first.num_classes,
+        labels=labels,
+        attribute_groups=attribute_groups,
+        attributes=first.attributes,
+        components=components,
+        class_names=first.class_names,
+    )

@@ -1,0 +1,58 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .config import (
+    ExperimentConfig,
+    ExperimentContext,
+    fast_config,
+    paper_scale_config,
+    smoke_config,
+)
+from .extensions import render_extensions, run_controller_ablation, run_three_attribute
+from .fig1_unfairness_landscape import render_fig1, run_fig1
+from .fig2_single_attr_entanglement import FIG2_MODELS, render_fig2, run_fig2
+from .fig3_disagreement import render_fig3, run_fig3
+from .fig5_pareto_isic import render_fig5, run_fig5
+from .fig6_muffin_site_detail import render_fig6, run_fig6
+from .fig7_fitzpatrick import render_fig7, run_fig7
+from .fig8_skin_tone_detail import render_fig8, run_fig8
+from .fig9_ablations import render_fig9, run_fig9, run_fig9a, run_fig9b
+from .runner import EXPERIMENTS, experiment_ids, render_experiment, run_all, run_experiment
+from .table1_main_comparison import TABLE1_MODELS, render_table1, run_table1
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "fast_config",
+    "paper_scale_config",
+    "smoke_config",
+    "run_fig1",
+    "render_fig1",
+    "run_fig2",
+    "render_fig2",
+    "FIG2_MODELS",
+    "run_fig3",
+    "render_fig3",
+    "run_table1",
+    "render_table1",
+    "TABLE1_MODELS",
+    "run_fig5",
+    "render_fig5",
+    "run_fig6",
+    "render_fig6",
+    "run_fig7",
+    "render_fig7",
+    "run_fig8",
+    "render_fig8",
+    "run_fig9",
+    "run_fig9a",
+    "run_fig9b",
+    "render_fig9",
+    "run_controller_ablation",
+    "run_three_attribute",
+    "render_extensions",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_experiment",
+    "render_experiment",
+    "run_all",
+]

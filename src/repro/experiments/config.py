@@ -1,0 +1,198 @@
+"""Shared configuration and context for the experiment harness.
+
+Every experiment module needs the same expensive artefacts: the synthetic
+datasets, their splits and a trained model pool.  ``ExperimentContext``
+builds them lazily and caches them, so a benchmark session that regenerates
+several figures only trains each pool once.
+
+``ExperimentScale`` provides two presets:
+
+* ``"paper"`` — the configuration corresponding to the paper's setup
+  (larger datasets, 500 search episodes).  Still laptop-feasible on the
+  numpy substrate, but slow for CI.
+* ``"fast"`` — the default: smaller datasets and fewer episodes, calibrated
+  so every qualitative claim of the paper still reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core import ControllerConfig, HeadTrainConfig, RewardConfig, SearchConfig
+from ..data import (
+    SyntheticFitzpatrick17K,
+    SyntheticISIC2019,
+    DataSplit,
+    split_dataset,
+)
+from ..zoo import ModelPool, TrainConfig, default_pool_names, fitzpatrick_pool_names
+
+
+@dataclass
+class ExperimentConfig:
+    """All tunables of the experiment harness."""
+
+    # Dataset sizes
+    isic_samples: int = 6000
+    fitzpatrick_samples: int = 5000
+    isic_seed: int = 2019
+    fitzpatrick_seed: int = 1717
+    split_seed: int = 1
+
+    # Zoo training
+    zoo_epochs: int = 40
+    zoo_batch_size: int = 256
+    zoo_lr: float = 0.1
+    pool_seed: int = 0
+
+    # Baseline training reuses the zoo recipe unless overridden
+    baseline_epochs: Optional[int] = None
+
+    # Muffin search
+    search_episodes: int = 60
+    episode_batch: int = 5
+    head_epochs: int = 25
+    head_batch_size: int = 128
+    search_seed: int = 0
+
+    # Attributes under optimisation
+    isic_attributes: Tuple[str, ...] = ("age", "site")
+    fitzpatrick_attributes: Tuple[str, ...] = ("skin_tone", "type")
+
+    scale: str = "fast"
+
+    def zoo_train_config(self) -> TrainConfig:
+        return TrainConfig(
+            epochs=self.zoo_epochs,
+            batch_size=self.zoo_batch_size,
+            lr=self.zoo_lr,
+            seed=self.pool_seed,
+        )
+
+    def baseline_train_config(self) -> TrainConfig:
+        config = self.zoo_train_config()
+        if self.baseline_epochs is not None:
+            config.epochs = self.baseline_epochs
+        return config
+
+    def search_config(self, seed_offset: int = 0) -> SearchConfig:
+        return SearchConfig(
+            episodes=self.search_episodes,
+            episode_batch=self.episode_batch,
+            seed=self.search_seed + seed_offset,
+        )
+
+    def head_config(self) -> HeadTrainConfig:
+        return HeadTrainConfig(epochs=self.head_epochs, batch_size=self.head_batch_size)
+
+
+def paper_scale_config() -> ExperimentConfig:
+    """The configuration matching the paper's experimental setup."""
+    return ExperimentConfig(
+        isic_samples=20_000,
+        fitzpatrick_samples=15_000,
+        zoo_epochs=120,
+        search_episodes=500,
+        head_epochs=60,
+        scale="paper",
+    )
+
+
+def fast_config(**overrides) -> ExperimentConfig:
+    """The CI-friendly configuration (default)."""
+    return replace(ExperimentConfig(), **overrides) if overrides else ExperimentConfig()
+
+
+def smoke_config() -> ExperimentConfig:
+    """A tiny configuration for unit tests of the harness plumbing."""
+    return ExperimentConfig(
+        isic_samples=2500,
+        fitzpatrick_samples=2200,
+        zoo_epochs=25,
+        search_episodes=12,
+        episode_batch=4,
+        head_epochs=12,
+        scale="smoke",
+    )
+
+
+class ExperimentContext:
+    """Lazily built, cached datasets / splits / model pools."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._isic: Optional[SyntheticISIC2019] = None
+        self._fitzpatrick: Optional[SyntheticFitzpatrick17K] = None
+        self._isic_split: Optional[DataSplit] = None
+        self._fitzpatrick_split: Optional[DataSplit] = None
+        self._isic_pool: Optional[ModelPool] = None
+        self._fitzpatrick_pool: Optional[ModelPool] = None
+        self._cache: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def isic(self) -> SyntheticISIC2019:
+        if self._isic is None:
+            self._isic = SyntheticISIC2019(
+                num_samples=self.config.isic_samples, seed=self.config.isic_seed
+            )
+        return self._isic
+
+    @property
+    def fitzpatrick(self) -> SyntheticFitzpatrick17K:
+        if self._fitzpatrick is None:
+            self._fitzpatrick = SyntheticFitzpatrick17K(
+                num_samples=self.config.fitzpatrick_samples, seed=self.config.fitzpatrick_seed
+            )
+        return self._fitzpatrick
+
+    @property
+    def isic_split(self) -> DataSplit:
+        if self._isic_split is None:
+            self._isic_split = split_dataset(self.isic, seed=self.config.split_seed)
+        return self._isic_split
+
+    @property
+    def fitzpatrick_split(self) -> DataSplit:
+        if self._fitzpatrick_split is None:
+            self._fitzpatrick_split = split_dataset(
+                self.fitzpatrick, seed=self.config.split_seed + 1
+            )
+        return self._fitzpatrick_split
+
+    @property
+    def isic_pool(self) -> ModelPool:
+        if self._isic_pool is None:
+            self._isic_pool = ModelPool(
+                self.isic_split,
+                architecture_names=default_pool_names(),
+                train_config=self.config.zoo_train_config(),
+                seed=self.config.pool_seed,
+            ).build()
+        return self._isic_pool
+
+    @property
+    def fitzpatrick_pool(self) -> ModelPool:
+        if self._fitzpatrick_pool is None:
+            self._fitzpatrick_pool = ModelPool(
+                self.fitzpatrick_split,
+                architecture_names=fitzpatrick_pool_names(),
+                train_config=self.config.zoo_train_config(),
+                seed=self.config.pool_seed + 1,
+            ).build()
+        return self._fitzpatrick_pool
+
+    # ------------------------------------------------------------------
+    def cached(self, key: str, factory):
+        """Memoise arbitrary expensive computations under a string key."""
+        if key not in self._cache:
+            self._cache[key] = factory()
+        return self._cache[key]
+
+    def reset(self) -> None:
+        """Drop every cached artefact (used by tests)."""
+        self._isic = self._fitzpatrick = None
+        self._isic_split = self._fitzpatrick_split = None
+        self._isic_pool = self._fitzpatrick_pool = None
+        self._cache.clear()

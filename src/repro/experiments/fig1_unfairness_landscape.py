@@ -1,0 +1,99 @@
+"""Figure 1 — unfairness landscape of existing architectures.
+
+The paper's first observation: training ten standard CNNs on ISIC2019 and
+measuring per-attribute unfairness shows that
+
+* (a, b) gender is nearly fair — every model's gender unfairness score is
+  below ~0.12, i.e. a ~3% accuracy gap between males and females;
+* (c) age and site are both strongly unfair (scores above ~0.4 in the paper)
+  and the two scores are *not* positively correlated across architectures:
+  DenseNet121 is best on site while ResNet-18 is best on age, so no single
+  architecture dominates both.
+
+``run_fig1`` evaluates the full model pool and returns one row per model
+plus the derived claims; the benchmark harness prints the rows as the data
+series behind the three scatter plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..fairness.pareto import make_point, pareto_front
+from ..utils.logging import format_table
+from .config import ExperimentContext
+
+
+def run_fig1(context: ExperimentContext) -> Dict[str, object]:
+    """Evaluate every pool model on age / site / gender unfairness."""
+    pool = context.isic_pool
+    evaluations = pool.evaluate_all(partition="test")
+
+    rows: List[Dict[str, object]] = []
+    for name, evaluation in evaluations.items():
+        rows.append(
+            {
+                "model": name,
+                "accuracy": evaluation.accuracy,
+                "U(age)": evaluation.unfairness["age"],
+                "U(site)": evaluation.unfairness["site"],
+                "U(gender)": evaluation.unfairness["gender"],
+                "gap(age)": evaluation.gaps["age"],
+                "gap(site)": evaluation.gaps["site"],
+                "gap(gender)": evaluation.gaps["gender"],
+            }
+        )
+
+    max_gender = max(row["U(gender)"] for row in rows)
+    mean_age = float(np.mean([row["U(age)"] for row in rows]))
+    mean_site = float(np.mean([row["U(site)"] for row in rows]))
+    best_on_age = min(rows, key=lambda r: r["U(age)"])["model"]
+    best_on_site = min(rows, key=lambda r: r["U(site)"])["model"]
+
+    age_scores = np.asarray([row["U(age)"] for row in rows])
+    site_scores = np.asarray([row["U(site)"] for row in rows])
+    correlation = float(np.corrcoef(age_scores, site_scores)[0, 1])
+
+    # Pareto frontier of the age/site plane (the black frontier of Fig 1c).
+    points = [
+        make_point(row["model"], {"U(age)": row["U(age)"], "U(site)": row["U(site)"]})
+        for row in rows
+    ]
+    frontier = [point.name for point in pareto_front(points, ["U(age)", "U(site)"])]
+
+    claims = {
+        "gender_is_nearly_fair": bool(max_gender < 0.15),
+        "age_site_much_more_unfair_than_gender": bool(
+            mean_age > 2 * max_gender and mean_site > 2 * max_gender
+        ),
+        "no_single_model_wins_both": best_on_age != best_on_site,
+        "age_site_rank_correlation": correlation,
+        "best_on_age": best_on_age,
+        "best_on_site": best_on_site,
+        "pareto_frontier_age_site": frontier,
+        "max_gender_unfairness": float(max_gender),
+        "mean_age_unfairness": mean_age,
+        "mean_site_unfairness": mean_site,
+    }
+    return {"rows": rows, "claims": claims}
+
+
+def render_fig1(results: Dict[str, object]) -> str:
+    """Aligned text rendering of the Figure 1 data series."""
+    table = format_table(
+        results["rows"],
+        columns=["model", "accuracy", "U(age)", "U(site)", "U(gender)"],
+        title="Figure 1 — unfairness of existing architectures (ISIC2019 stand-in)",
+    )
+    claims = results["claims"]
+    lines = [
+        table,
+        "",
+        f"max U(gender) = {claims['max_gender_unfairness']:.3f} (paper: < 0.12)",
+        f"best on age: {claims['best_on_age']}; best on site: {claims['best_on_site']} "
+        "(paper: ResNet-18 vs DenseNet121 — no model wins both)",
+        f"Pareto frontier (age vs site): {', '.join(claims['pareto_frontier_age_site'])}",
+    ]
+    return "\n".join(lines)

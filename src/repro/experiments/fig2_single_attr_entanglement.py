@@ -1,0 +1,124 @@
+"""Figure 2 — single-attribute optimization cannot fix both attributes.
+
+The paper applies the two existing fairness techniques (D = data balancing,
+L = fair loss) to three architectures (MobileNet_V2, DenseNet121, ResNet-18)
+once for the age attribute and once for the site attribute, and observes:
+
+* a see-saw: optimizing one attribute increases the unfairness score of the
+  other one (Fig 2a);
+* a bottleneck: a model that is already fair on one attribute (DenseNet121
+  on site, ResNet-18 on age) cannot be pushed further on that attribute by
+  either method (Fig 2b, 2c).
+
+``run_fig2`` reproduces the 3 × 2 × 2 grid and derives both claims.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines import SingleAttributeOptimizer
+from ..utils.logging import format_table
+from .config import ExperimentContext
+
+#: The three architectures of Figure 2 (panel a, b, c respectively).
+FIG2_MODELS: Sequence[str] = ("MobileNet_V2", "DenseNet121", "ResNet-18")
+
+
+def run_fig2(
+    context: ExperimentContext, models: Optional[Sequence[str]] = None
+) -> Dict[str, object]:
+    """Run methods D and L per attribute on the Figure 2 architectures."""
+    config = context.config
+    models = list(models or FIG2_MODELS)
+    attributes = list(config.isic_attributes)
+    pool = context.isic_pool
+
+    optimizer = SingleAttributeOptimizer(
+        split=context.isic_split, train_config=config.baseline_train_config()
+    )
+
+    panels: Dict[str, object] = {}
+    rows: List[Dict[str, object]] = []
+    seesaw_events = 0
+    total_cells = 0
+    for model_name in models:
+        study = context.cached(
+            f"fig2:{model_name}",
+            lambda model_name=model_name: optimizer.run(pool.get(model_name), attributes),
+        )
+        panel_rows = []
+        panel_rows.append(
+            {
+                "configuration": "vanilla",
+                **{f"U({a})": study.vanilla.unfairness[a] for a in attributes},
+                "accuracy": study.vanilla.accuracy,
+            }
+        )
+        for cell in study.cells:
+            panel_rows.append(
+                {
+                    "configuration": cell.label,
+                    **{f"U({a})": cell.evaluation.unfairness[a] for a in attributes},
+                    "accuracy": cell.evaluation.accuracy,
+                }
+            )
+        panels[model_name] = panel_rows
+
+        for delta_row in study.seesaw_pairs(attributes):
+            optimized = delta_row["optimized_attribute"]
+            others = [a for a in attributes if a != optimized]
+            improved_target = delta_row[f"delta_U({optimized})"] < 0
+            hurt_other = any(delta_row[f"delta_U({other})"] > 0 for other in others)
+            total_cells += 1
+            if improved_target and hurt_other:
+                seesaw_events += 1
+            rows.append({"model": model_name, **delta_row, "seesaw": improved_target and hurt_other})
+
+    # Bottleneck claim: the model that is already best on an attribute gains
+    # little from re-optimizing that same attribute.
+    bottleneck: Dict[str, object] = {}
+    for model_name, attribute in (("DenseNet121", "site"), ("ResNet-18", "age")):
+        if model_name not in models:
+            continue
+        study = context.cached(f"fig2:{model_name}", lambda: None)
+        if study is None:
+            continue
+        vanilla_u = study.vanilla.unfairness[attribute]
+        best_after = min(
+            cell.evaluation.unfairness[attribute]
+            for cell in study.cells
+            if cell.attribute == attribute
+        )
+        bottleneck[f"{model_name}:{attribute}"] = {
+            "vanilla": vanilla_u,
+            "best_after_optimization": best_after,
+            "relative_change": (vanilla_u - best_after) / max(vanilla_u, 1e-9),
+        }
+
+    claims = {
+        "seesaw_events": seesaw_events,
+        "total_cells": total_cells,
+        "seesaw_fraction": seesaw_events / max(total_cells, 1),
+        "no_method_improves_both": seesaw_events > 0,
+        "bottleneck": bottleneck,
+    }
+    return {"panels": panels, "delta_rows": rows, "claims": claims}
+
+
+def render_fig2(results: Dict[str, object]) -> str:
+    """Aligned text rendering of the Figure 2 panels."""
+    sections = []
+    for model_name, panel_rows in results["panels"].items():
+        sections.append(
+            format_table(
+                panel_rows,
+                title=f"Figure 2 — single-attribute optimization of {model_name}",
+            )
+        )
+    claims = results["claims"]
+    sections.append(
+        f"see-saw observed in {claims['seesaw_events']}/{claims['total_cells']} "
+        "optimization cells (paper: optimizing one attribute makes the other unfairer)"
+    )
+    return "\n\n".join(sections)

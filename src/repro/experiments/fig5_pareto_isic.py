@@ -1,0 +1,143 @@
+"""Figure 5 — Muffin pushes the ISIC2019 Pareto frontiers.
+
+Two objective planes are examined:
+
+* (a) unfairness of age vs unfairness of site: the Muffin-Nets discovered by
+  the search (in particular the per-attribute specialists Muffin-Age and
+  Muffin-Sites) dominate the frontier of the existing architectures;
+* (b) overall unfairness (age + site) vs accuracy: Muffin is the only
+  architecture family exceeding the accuracy of every existing model while
+  lowering the combined unfairness.
+
+``run_fig5`` runs one free search over the pool (no fixed base model) and
+compares the discovered candidates against the existing pool models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import MuffinSearch
+from ..fairness.pareto import front_advancement, make_point, pareto_front
+from ..utils.logging import format_table
+from .config import ExperimentContext
+
+
+def _free_search(context: ExperimentContext):
+    """Run (and cache) the pool-wide Muffin search used by Figures 5 and 6."""
+    config = context.config
+
+    def factory():
+        pool = context.isic_pool
+        search = MuffinSearch(
+            pool,
+            attributes=list(config.isic_attributes),
+            base_model=None,
+            num_paired=2,
+            search_config=config.search_config(seed_offset=50),
+            head_config=config.head_config(),
+        )
+        result = search.run()
+        nets = search.named_muffin_nets(result)
+        # The paper plots several discovered Muffin-Nets, not just the named
+        # specialists: add the search's Pareto-optimal candidates as well.
+        named_episodes = {net.record.episode for net in nets.values()}
+        for record in result.pareto_records():
+            if record.episode in named_episodes:
+                continue
+            nets[f"Muffin-ep{record.episode}"] = search.materialize_record(
+                record, name=f"Muffin-ep{record.episode}"
+            )
+        return search, result, nets
+
+    return context.cached("fig5:free_search", factory)
+
+
+def run_fig5(context: ExperimentContext) -> Dict[str, object]:
+    """Pareto comparison between existing models and Muffin-Nets."""
+    config = context.config
+    attributes = list(config.isic_attributes)
+    pool = context.isic_pool
+    _search, result, nets = _free_search(context)
+
+    existing_rows: List[Dict[str, object]] = []
+    existing_points = []
+    for name, evaluation in pool.evaluate_all(partition="test", attributes=attributes).items():
+        row = {
+            "model": name,
+            "U(age)": evaluation.unfairness["age"],
+            "U(site)": evaluation.unfairness["site"],
+            "overall_U": evaluation.multi_dimensional_unfairness,
+            "accuracy": evaluation.accuracy,
+        }
+        existing_rows.append(row)
+        existing_points.append(
+            make_point(name, {"U(age)": row["U(age)"], "U(site)": row["U(site)"]})
+        )
+
+    muffin_rows: List[Dict[str, object]] = []
+    muffin_points = []
+    for name, net in nets.items():
+        evaluation = net.test_evaluation
+        row = {
+            "model": name,
+            "paired": "+".join(net.record.candidate.model_names),
+            "U(age)": evaluation.unfairness["age"],
+            "U(site)": evaluation.unfairness["site"],
+            "overall_U": evaluation.multi_dimensional_unfairness,
+            "accuracy": evaluation.accuracy,
+        }
+        muffin_rows.append(row)
+        muffin_points.append(
+            make_point(name, {"U(age)": row["U(age)"], "U(site)": row["U(site)"]})
+        )
+
+    advancement = front_advancement(existing_points, muffin_points, ["U(age)", "U(site)"])
+
+    best_existing_accuracy = max(row["accuracy"] for row in existing_rows)
+    best_muffin_accuracy = max(row["accuracy"] for row in muffin_rows)
+    best_existing_age = min(row["U(age)"] for row in existing_rows)
+    best_muffin_age = min(row["U(age)"] for row in muffin_rows)
+    best_existing_site = min(row["U(site)"] for row in existing_rows)
+    best_muffin_site = min(row["U(site)"] for row in muffin_rows)
+
+    claims = {
+        "muffin_advances_age_site_frontier": advancement["challenger_advances"],
+        "muffin_best_age_beats_existing": bool(best_muffin_age <= best_existing_age),
+        "muffin_best_site_beats_existing": bool(best_muffin_site <= best_existing_site),
+        "muffin_reaches_highest_accuracy": bool(best_muffin_accuracy >= best_existing_accuracy),
+        "front_advancement": advancement,
+        "best_existing_accuracy": best_existing_accuracy,
+        "best_muffin_accuracy": best_muffin_accuracy,
+    }
+    return {
+        "existing_rows": existing_rows,
+        "muffin_rows": muffin_rows,
+        "claims": claims,
+        "search_summary": result.summary(),
+    }
+
+
+def render_fig5(results: Dict[str, object]) -> str:
+    """Aligned text rendering of the two Figure 5 panels."""
+    columns = ["model", "U(age)", "U(site)", "overall_U", "accuracy"]
+    blocks = [
+        format_table(
+            results["existing_rows"],
+            columns=columns,
+            title="Figure 5 — existing architectures",
+        ),
+        format_table(
+            results["muffin_rows"],
+            columns=["model", "paired"] + columns[1:],
+            title="Figure 5 — Muffin-Nets",
+        ),
+    ]
+    claims = results["claims"]
+    blocks.append(
+        "Muffin advances the (age, site) Pareto frontier: "
+        f"{claims['muffin_advances_age_site_frontier']}; "
+        f"highest accuracy {claims['best_muffin_accuracy']:.3f} vs existing "
+        f"{claims['best_existing_accuracy']:.3f}"
+    )
+    return "\n\n".join(blocks)

@@ -1,0 +1,116 @@
+"""Figure 7 — validation of Muffin on Fitzpatrick17K.
+
+Section 4.5 repeats the Pareto study on a second dataset with two different
+unfair attributes (Fitzpatrick skin tone and lesion type) and a smaller pool
+(ResNet, ShuffleNet and MobileNet families).  Muffin again pushes both
+frontiers: (a) unfairness of type vs unfairness of skin tone, and (b)
+overall unfairness vs accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import MuffinSearch
+from ..fairness.pareto import front_advancement, make_point
+from ..utils.logging import format_table
+from .config import ExperimentContext
+
+
+def _fitzpatrick_search(context: ExperimentContext):
+    """Run (and cache) the Fitzpatrick17K search used by Figures 7 and 8."""
+    config = context.config
+
+    def factory():
+        pool = context.fitzpatrick_pool
+        search = MuffinSearch(
+            pool,
+            attributes=list(config.fitzpatrick_attributes),
+            base_model=None,
+            num_paired=2,
+            search_config=config.search_config(seed_offset=70),
+            head_config=config.head_config(),
+        )
+        result = search.run()
+        nets = search.named_muffin_nets(result)
+        # As in Figure 5, plot the search's Pareto-optimal candidates too.
+        named_episodes = {net.record.episode for net in nets.values()}
+        for record in result.pareto_records():
+            if record.episode in named_episodes:
+                continue
+            nets[f"Muffin-ep{record.episode}"] = search.materialize_record(
+                record, name=f"Muffin-ep{record.episode}"
+            )
+        return search, result, nets
+
+    return context.cached("fig7:search", factory)
+
+
+def run_fig7(context: ExperimentContext) -> Dict[str, object]:
+    """Pareto comparison on the Fitzpatrick17K stand-in."""
+    config = context.config
+    attributes = list(config.fitzpatrick_attributes)
+    pool = context.fitzpatrick_pool
+    _search, result, nets = _fitzpatrick_search(context)
+
+    keys = [f"U({attribute})" for attribute in attributes]
+
+    existing_rows: List[Dict[str, object]] = []
+    existing_points = []
+    for name, evaluation in pool.evaluate_all(partition="test", attributes=attributes).items():
+        row = {
+            "model": name,
+            **{f"U({a})": evaluation.unfairness[a] for a in attributes},
+            "overall_U": evaluation.multi_dimensional_unfairness,
+            "accuracy": evaluation.accuracy,
+        }
+        existing_rows.append(row)
+        existing_points.append(make_point(name, {key: row[key] for key in keys}))
+
+    muffin_rows: List[Dict[str, object]] = []
+    muffin_points = []
+    for name, net in nets.items():
+        evaluation = net.test_evaluation
+        row = {
+            "model": name,
+            "paired": "+".join(net.record.candidate.model_names),
+            **{f"U({a})": evaluation.unfairness[a] for a in attributes},
+            "overall_U": evaluation.multi_dimensional_unfairness,
+            "accuracy": evaluation.accuracy,
+        }
+        muffin_rows.append(row)
+        muffin_points.append(make_point(name, {key: row[key] for key in keys}))
+
+    advancement = front_advancement(existing_points, muffin_points, keys)
+    best_existing_overall = min(row["overall_U"] for row in existing_rows)
+    best_muffin_overall = min(row["overall_U"] for row in muffin_rows)
+    best_existing_accuracy = max(row["accuracy"] for row in existing_rows)
+    best_muffin_accuracy = max(row["accuracy"] for row in muffin_rows)
+
+    claims = {
+        "muffin_advances_frontier": advancement["challenger_advances"],
+        "muffin_lowers_overall_unfairness": bool(best_muffin_overall <= best_existing_overall),
+        "muffin_accuracy_not_compromised": bool(
+            best_muffin_accuracy >= best_existing_accuracy - 0.02
+        ),
+        "front_advancement": advancement,
+    }
+    return {
+        "existing_rows": existing_rows,
+        "muffin_rows": muffin_rows,
+        "claims": claims,
+        "search_summary": result.summary(),
+    }
+
+
+def render_fig7(results: Dict[str, object]) -> str:
+    """Aligned text rendering of the Figure 7 panels."""
+    blocks = [
+        format_table(results["existing_rows"], title="Figure 7 — existing models (Fitzpatrick17K)"),
+        format_table(results["muffin_rows"], title="Figure 7 — Muffin-Nets (Fitzpatrick17K)"),
+    ]
+    claims = results["claims"]
+    blocks.append(
+        f"Muffin advances the (type, skin tone) frontier: {claims['muffin_advances_frontier']}"
+    )
+    return "\n\n".join(blocks)

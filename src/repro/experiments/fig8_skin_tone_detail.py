@@ -1,0 +1,92 @@
+"""Figure 8 — per-skin-tone accuracy of Muffin-Balance on Fitzpatrick17K.
+
+The paper compares the per-skin-tone accuracy of the Pareto-frontier model
+Muffin-Balance against ResNet-18 (itself on the existing-model frontier):
+the fused model gains accuracy on some groups, loses a little on others
+(e.g. black), and in this complementary way the overall accuracy stays put
+while the model becomes much fairer across the Fitzpatrick scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..fairness.metrics import group_accuracies, overall_accuracy
+from ..utils.logging import format_table
+from .config import ExperimentContext
+from .fig7_fitzpatrick import _fitzpatrick_search
+
+#: The reference existing model of Figure 8.
+FIG8_REFERENCE = "ResNet-18"
+
+
+def run_fig8(context: ExperimentContext, reference: str = FIG8_REFERENCE) -> Dict[str, object]:
+    """Per-skin-tone accuracy of Muffin-Balance vs the reference model."""
+    pool = context.fitzpatrick_pool
+    test = context.fitzpatrick_split.test
+    _search, _result, nets = _fitzpatrick_search(context)
+    balance = nets["Muffin-Balance"]
+
+    spec = test.attributes["skin_tone"]
+    ids = test.group_ids("skin_tone")
+    reference_predictions = pool.get(reference).predict(test)
+    muffin_predictions = balance.fused.predict(test)
+
+    reference_groups = group_accuracies(reference_predictions, test.labels, ids, spec)
+    muffin_groups = group_accuracies(muffin_predictions, test.labels, ids, spec)
+
+    rows: List[Dict[str, object]] = []
+    for group in spec.groups:
+        rows.append(
+            {
+                "skin_tone": group,
+                reference: reference_groups[group],
+                "Muffin-Balance": muffin_groups[group],
+                "delta": muffin_groups[group] - reference_groups[group],
+            }
+        )
+
+    reference_spread = max(reference_groups.values()) - min(reference_groups.values())
+    muffin_spread = max(muffin_groups.values()) - min(muffin_groups.values())
+    reference_accuracy = overall_accuracy(reference_predictions, test.labels)
+    muffin_accuracy = overall_accuracy(muffin_predictions, test.labels)
+
+    # The quantity Muffin actually optimises is the skin-tone unfairness
+    # score; the per-group spread is a coarser proxy of the same thing.
+    from ..fairness.metrics import unfairness_score
+
+    reference_unfairness = unfairness_score(reference_predictions, test.labels, ids, spec)
+    muffin_unfairness = unfairness_score(muffin_predictions, test.labels, ids, spec)
+
+    claims = {
+        "groups_improved": int(sum(1 for row in rows if row["delta"] > 0)),
+        "groups_total": len(rows),
+        "muffin_fairer_on_skin_tone": bool(muffin_unfairness <= reference_unfairness + 0.02),
+        "muffin_narrows_skin_tone_spread": bool(muffin_spread <= reference_spread + 0.05),
+        "overall_accuracy_unaffected": bool(muffin_accuracy >= reference_accuracy - 0.03),
+        "reference_accuracy": reference_accuracy,
+        "muffin_accuracy": muffin_accuracy,
+        "reference_unfairness": float(reference_unfairness),
+        "muffin_unfairness": float(muffin_unfairness),
+        "reference_spread": float(reference_spread),
+        "muffin_spread": float(muffin_spread),
+        "muffin_balance_members": list(balance.record.candidate.model_names),
+    }
+    return {"rows": rows, "claims": claims, "reference": reference}
+
+
+def render_fig8(results: Dict[str, object]) -> str:
+    """Aligned text rendering of the Figure 8 bars."""
+    table = format_table(
+        results["rows"],
+        title="Figure 8 — per-skin-tone accuracy (Muffin-Balance vs ResNet-18)",
+    )
+    claims = results["claims"]
+    note = (
+        f"skin-tone accuracy spread: {claims['reference_spread']:.3f} ({results['reference']}) "
+        f"vs {claims['muffin_spread']:.3f} (Muffin-Balance); overall accuracy "
+        f"{claims['reference_accuracy']:.3f} vs {claims['muffin_accuracy']:.3f}"
+    )
+    return "\n\n".join([table, note])

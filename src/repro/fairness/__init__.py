@@ -1,0 +1,49 @@
+"""Fairness metrics, Pareto-frontier tools and report objects."""
+
+from .metrics import (
+    FairnessEvaluation,
+    accuracy_gap,
+    disagreement_breakdown,
+    evaluate_predictions,
+    group_accuracies,
+    multi_dimensional_unfairness,
+    overall_accuracy,
+    unfairness_score,
+)
+from .pareto import (
+    ParetoPoint,
+    dominates,
+    front_advancement,
+    hypervolume_2d,
+    ideal_distance,
+    make_point,
+    pareto_front,
+)
+from .report import (
+    ComparisonReport,
+    ModelFairnessReport,
+    accuracy_improvement,
+    relative_improvement,
+)
+
+__all__ = [
+    "FairnessEvaluation",
+    "overall_accuracy",
+    "group_accuracies",
+    "unfairness_score",
+    "accuracy_gap",
+    "evaluate_predictions",
+    "multi_dimensional_unfairness",
+    "disagreement_breakdown",
+    "ParetoPoint",
+    "make_point",
+    "dominates",
+    "pareto_front",
+    "front_advancement",
+    "hypervolume_2d",
+    "ideal_distance",
+    "ModelFairnessReport",
+    "ComparisonReport",
+    "relative_improvement",
+    "accuracy_improvement",
+]

@@ -1,0 +1,219 @@
+"""Fairness metrics used throughout the paper.
+
+The paper's unfairness score for a model ``f'`` on dataset ``D`` and
+attribute ``a_k`` is the L1 norm of the per-group accuracy deviations from
+the overall accuracy:
+
+``U(f', D)_{a_k} = sum_g | A(f', D_g)_{a_k} - A(f', D)_{a_k} |``
+
+and the multi-dimensional unfairness score is the sum of the per-attribute
+scores (Equation 1).  All functions below operate on *predictions* (or
+logits), labels and the dataset's group ids, so they are agnostic to how the
+model was produced (a single zoo model, a baseline-optimized model or a
+fused Muffin-Net).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..data.attributes import AttributeSpec
+from ..data.dataset import FairnessDataset
+
+
+def _as_predictions(predictions_or_logits: np.ndarray) -> np.ndarray:
+    """Accept either hard predictions ``(N,)`` or logits ``(N, C)``."""
+    array = np.asarray(predictions_or_logits)
+    if array.ndim == 2:
+        return array.argmax(axis=-1)
+    if array.ndim == 1:
+        return array.astype(np.int64)
+    raise ValueError("expected predictions of shape (N,) or logits of shape (N, C)")
+
+
+def overall_accuracy(predictions_or_logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correctly classified samples."""
+    predictions = _as_predictions(predictions_or_logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same length")
+    if labels.size == 0:
+        return 0.0
+    return float((predictions == labels).mean())
+
+
+def group_accuracies(
+    predictions_or_logits: np.ndarray,
+    labels: np.ndarray,
+    group_ids: np.ndarray,
+    spec: AttributeSpec,
+) -> Dict[str, float]:
+    """Per-group accuracy for one sensitive attribute.
+
+    Empty groups are reported with the overall accuracy so they neither
+    reward nor penalise the unfairness score (they contribute 0 deviation),
+    matching how a group absent from a test split should be treated.
+    """
+    predictions = _as_predictions(predictions_or_logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    if not (predictions.shape == labels.shape == group_ids.shape):
+        raise ValueError("predictions, labels and group_ids must share their shape")
+
+    overall = overall_accuracy(predictions, labels)
+    accuracies: Dict[str, float] = {}
+    for index, group in enumerate(spec.groups):
+        mask = group_ids == index
+        if mask.any():
+            accuracies[group] = float((predictions[mask] == labels[mask]).mean())
+        else:
+            accuracies[group] = overall
+    return accuracies
+
+
+def unfairness_score(
+    predictions_or_logits: np.ndarray,
+    labels: np.ndarray,
+    group_ids: np.ndarray,
+    spec: AttributeSpec,
+) -> float:
+    """The paper's L1 unfairness score for a single attribute."""
+    overall = overall_accuracy(predictions_or_logits, labels)
+    per_group = group_accuracies(predictions_or_logits, labels, group_ids, spec)
+    return float(sum(abs(acc - overall) for acc in per_group.values()))
+
+
+def accuracy_gap(
+    predictions_or_logits: np.ndarray,
+    labels: np.ndarray,
+    group_ids: np.ndarray,
+    spec: AttributeSpec,
+) -> float:
+    """Max-minus-min per-group accuracy (the "accuracy gap" quoted in Obs. 1)."""
+    per_group = group_accuracies(predictions_or_logits, labels, group_ids, spec)
+    values = list(per_group.values())
+    return float(max(values) - min(values))
+
+
+@dataclass
+class FairnessEvaluation:
+    """Complete fairness evaluation of one model on one dataset.
+
+    Attributes
+    ----------
+    accuracy:
+        Overall test accuracy ``A(f', D)``.
+    unfairness:
+        Per-attribute unfairness score ``U(f', D)_{a_k}``.
+    group_accuracy:
+        Per-attribute, per-group accuracy (drives Figures 6 and 8).
+    gaps:
+        Per-attribute max-min accuracy gap.
+    """
+
+    accuracy: float
+    unfairness: Dict[str, float] = field(default_factory=dict)
+    group_accuracy: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    gaps: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def multi_dimensional_unfairness(self) -> float:
+        """Equation 1: the sum of per-attribute unfairness scores."""
+        return float(sum(self.unfairness.values()))
+
+    def reward(self, attributes: Optional[Sequence[str]] = None, epsilon: float = 1e-6) -> float:
+        """Equation 3: ``sum_k A / U_{a_k}`` over the selected attributes."""
+        names = list(attributes) if attributes is not None else list(self.unfairness)
+        return float(
+            sum(self.accuracy / max(self.unfairness[name], epsilon) for name in names)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "accuracy": self.accuracy,
+            "unfairness": dict(self.unfairness),
+            "multi_dimensional_unfairness": self.multi_dimensional_unfairness,
+            "group_accuracy": {k: dict(v) for k, v in self.group_accuracy.items()},
+            "gaps": dict(self.gaps),
+        }
+
+
+def evaluate_predictions(
+    predictions_or_logits: np.ndarray,
+    dataset: FairnessDataset,
+    attributes: Optional[Sequence[str]] = None,
+) -> FairnessEvaluation:
+    """Evaluate predictions on every (or the selected) sensitive attribute."""
+    names = list(attributes) if attributes is not None else list(dataset.attributes.names)
+    predictions = _as_predictions(predictions_or_logits)
+    accuracy = overall_accuracy(predictions, dataset.labels)
+    unfairness: Dict[str, float] = {}
+    per_group: Dict[str, Dict[str, float]] = {}
+    gaps: Dict[str, float] = {}
+    for name in names:
+        spec = dataset.attributes[name]
+        ids = dataset.group_ids(name)
+        per_group[name] = group_accuracies(predictions, dataset.labels, ids, spec)
+        unfairness[name] = float(
+            sum(abs(acc - accuracy) for acc in per_group[name].values())
+        )
+        values = list(per_group[name].values())
+        gaps[name] = float(max(values) - min(values))
+    return FairnessEvaluation(
+        accuracy=accuracy,
+        unfairness=unfairness,
+        group_accuracy=per_group,
+        gaps=gaps,
+    )
+
+
+def multi_dimensional_unfairness(evaluation: FairnessEvaluation) -> float:
+    """Convenience alias for Equation 1 on an existing evaluation."""
+    return evaluation.multi_dimensional_unfairness
+
+
+def disagreement_breakdown(
+    predictions_a: np.ndarray,
+    predictions_b: np.ndarray,
+    labels: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> Dict[str, float]:
+    """Figure 3's 00/01/10/11 decomposition for a pair of models.
+
+    Returns the fraction of samples (within ``mask`` if given) where:
+
+    * ``"00"`` — both models are wrong;
+    * ``"01"`` — model A is correct, model B is wrong;
+    * ``"10"`` — model B is correct, model A is wrong;
+    * ``"11"`` — both models are correct.
+
+    Also reports ``"disagreement"`` (01 + 10) and ``"oracle"`` (01 + 10 + 11),
+    the accuracy an ideal arbiter could reach by always picking a correct
+    model when one exists.
+    """
+    pred_a = _as_predictions(predictions_a)
+    pred_b = _as_predictions(predictions_b)
+    labels = np.asarray(labels, dtype=np.int64)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        pred_a, pred_b, labels = pred_a[mask], pred_b[mask], labels[mask]
+    if labels.size == 0:
+        return {"00": 0.0, "01": 0.0, "10": 0.0, "11": 0.0, "disagreement": 0.0, "oracle": 0.0}
+
+    correct_a = pred_a == labels
+    correct_b = pred_b == labels
+    both_wrong = float((~correct_a & ~correct_b).mean())
+    only_a = float((correct_a & ~correct_b).mean())
+    only_b = float((~correct_a & correct_b).mean())
+    both_right = float((correct_a & correct_b).mean())
+    return {
+        "00": both_wrong,
+        "01": only_a,
+        "10": only_b,
+        "11": both_right,
+        "disagreement": only_a + only_b,
+        "oracle": only_a + only_b + both_right,
+    }

@@ -1,0 +1,152 @@
+"""Pareto-frontier utilities.
+
+Figures 5 and 7 of the paper plot models in two objective planes —
+(unfairness of attribute 1, unfairness of attribute 2) and
+(overall unfairness, accuracy) — and compare the Pareto frontier of
+Muffin-Nets against the frontier of the existing architectures.  These
+helpers compute frontiers, dominance relations and hypervolume-style
+summaries for arbitrary labelled points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """A named point in objective space.
+
+    ``objectives`` maps objective name to value; ``minimize`` records, per
+    objective, whether smaller is better (True for unfairness, False for
+    accuracy).
+    """
+
+    name: str
+    objectives: Mapping[str, float]
+    minimize: Mapping[str, bool]
+
+    def canonical(self, keys: Sequence[str]) -> Tuple[float, ...]:
+        """Return objective values converted so that *smaller is better*."""
+        values = []
+        for key in keys:
+            value = float(self.objectives[key])
+            values.append(value if self.minimize.get(key, True) else -value)
+        return tuple(values)
+
+
+def make_point(
+    name: str,
+    objectives: Mapping[str, float],
+    maximize: Sequence[str] = (),
+) -> ParetoPoint:
+    """Build a :class:`ParetoPoint`; objectives in ``maximize`` are maximised."""
+    minimize = {key: key not in set(maximize) for key in objectives}
+    return ParetoPoint(name=name, objectives=dict(objectives), minimize=minimize)
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint, keys: Optional[Sequence[str]] = None) -> bool:
+    """True if ``a`` weakly dominates ``b`` and strictly improves one objective."""
+    if keys is None:
+        keys = sorted(a.objectives)
+    if set(keys) - set(a.objectives) or set(keys) - set(b.objectives):
+        raise KeyError("both points must define every compared objective")
+    va, vb = a.canonical(keys), b.canonical(keys)
+    not_worse = all(x <= y for x, y in zip(va, vb))
+    strictly_better = any(x < y for x, y in zip(va, vb))
+    return not_worse and strictly_better
+
+
+def pareto_front(
+    points: Sequence[ParetoPoint], keys: Optional[Sequence[str]] = None
+) -> List[ParetoPoint]:
+    """Return the non-dominated subset of ``points`` (stable order)."""
+    if not points:
+        return []
+    if keys is None:
+        keys = sorted(points[0].objectives)
+    front: List[ParetoPoint] = []
+    for candidate in points:
+        if any(dominates(other, candidate, keys) for other in points if other is not candidate):
+            continue
+        front.append(candidate)
+    return front
+
+
+def front_advancement(
+    baseline: Sequence[ParetoPoint],
+    challenger: Sequence[ParetoPoint],
+    keys: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Quantify how far ``challenger`` pushes the frontier beyond ``baseline``.
+
+    Reports how many challenger points are non-dominated by every baseline
+    point, and how many baseline-front points are dominated by some
+    challenger point — the two facts Figures 5 and 7 illustrate.
+    """
+    if keys is None and baseline:
+        keys = sorted(baseline[0].objectives)
+    baseline_front = pareto_front(list(baseline), keys)
+    challenger_front = pareto_front(list(challenger), keys)
+
+    undominated_challengers = [
+        point
+        for point in challenger_front
+        if not any(dominates(base, point, keys) for base in baseline)
+    ]
+    dominated_baseline = [
+        base
+        for base in baseline_front
+        if any(dominates(point, base, keys) for point in challenger)
+    ]
+    return {
+        "baseline_front": [p.name for p in baseline_front],
+        "challenger_front": [p.name for p in challenger_front],
+        "undominated_challengers": [p.name for p in undominated_challengers],
+        "dominated_baseline": [p.name for p in dominated_baseline],
+        "challenger_advances": len(undominated_challengers) > 0,
+    }
+
+
+def hypervolume_2d(
+    points: Sequence[ParetoPoint],
+    keys: Sequence[str],
+    reference: Tuple[float, float],
+) -> float:
+    """Dominated hypervolume (area) of a 2-objective front w.r.t. ``reference``.
+
+    Both objectives are converted to minimisation; the reference point must
+    be given in the same converted space and be worse than every point.
+    A larger hypervolume means a better front.
+    """
+    if len(keys) != 2:
+        raise ValueError("hypervolume_2d needs exactly two objective keys")
+    if not points:
+        return 0.0
+    front = pareto_front(list(points), keys)
+    converted = sorted(p.canonical(keys) for p in front)
+    ref_x, ref_y = reference
+    area = 0.0
+    previous_y = ref_y
+    for x, y in converted:
+        if x > ref_x or y > ref_y:
+            raise ValueError("reference point must be worse than every front point")
+        width = ref_x - x
+        height = previous_y - y
+        if height > 0:
+            area += width * height
+            previous_y = y
+    return float(area)
+
+
+def ideal_distance(point: ParetoPoint, keys: Sequence[str], ideal: Mapping[str, float]) -> float:
+    """Euclidean distance from ``point`` to the 'ideal solution' marker."""
+    deltas = []
+    for key in keys:
+        value = float(point.objectives[key])
+        target = float(ideal[key])
+        deltas.append(value - target)
+    return float(np.sqrt(np.sum(np.square(deltas))))

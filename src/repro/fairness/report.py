@@ -1,0 +1,119 @@
+"""Human-readable fairness reports.
+
+Wraps :class:`~repro.fairness.metrics.FairnessEvaluation` objects with the
+comparison logic the paper's tables use: relative fairness improvement
+against a vanilla model (the "Age vs. Vil" / "Site vs. Vil." columns of
+Table I) and accuracy improvement, plus text rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..utils.logging import format_table
+from .metrics import FairnessEvaluation
+
+
+def relative_improvement(baseline: float, optimized: float) -> float:
+    """Relative reduction of an unfairness score (positive = improvement).
+
+    The paper quotes fairness improvements such as "26.32%" which correspond
+    to ``(U_vanilla - U_muffin) / U_vanilla``.
+    """
+    if baseline <= 0:
+        return 0.0
+    return (baseline - optimized) / baseline
+
+
+def accuracy_improvement(baseline: float, optimized: float) -> float:
+    """Absolute accuracy gain in percentage points / fraction (paper's Acc.Imp.)."""
+    return optimized - baseline
+
+
+@dataclass
+class ModelFairnessReport:
+    """Evaluation of one model, optionally compared against a vanilla baseline."""
+
+    model_name: str
+    evaluation: FairnessEvaluation
+    baseline: Optional[FairnessEvaluation] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def improvement(self, attribute: str) -> Optional[float]:
+        """Relative unfairness improvement on ``attribute`` vs the baseline."""
+        if self.baseline is None:
+            return None
+        return relative_improvement(
+            self.baseline.unfairness[attribute], self.evaluation.unfairness[attribute]
+        )
+
+    def accuracy_gain(self) -> Optional[float]:
+        """Absolute accuracy improvement vs the baseline."""
+        if self.baseline is None:
+            return None
+        return accuracy_improvement(self.baseline.accuracy, self.evaluation.accuracy)
+
+    def row(self) -> Dict[str, object]:
+        """Flatten into a table row (used by Table I and EXPERIMENTS.md)."""
+        row: Dict[str, object] = {"model": self.model_name, "accuracy": self.evaluation.accuracy}
+        for attribute, score in self.evaluation.unfairness.items():
+            row[f"U({attribute})"] = score
+        row["U(multi)"] = self.evaluation.multi_dimensional_unfairness
+        if self.baseline is not None:
+            for attribute in self.evaluation.unfairness:
+                improvement = self.improvement(attribute)
+                row[f"imp({attribute})"] = improvement if improvement is not None else ""
+            row["acc_imp"] = self.accuracy_gain()
+        row.update(self.metadata)
+        return row
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "model": self.model_name,
+            "evaluation": self.evaluation.to_dict(),
+            "metadata": dict(self.metadata),
+        }
+        if self.baseline is not None:
+            payload["baseline"] = self.baseline.to_dict()
+            payload["improvements"] = {
+                attribute: self.improvement(attribute)
+                for attribute in self.evaluation.unfairness
+            }
+            payload["accuracy_gain"] = self.accuracy_gain()
+        return payload
+
+
+@dataclass
+class ComparisonReport:
+    """A collection of model reports rendered as one comparison table."""
+
+    title: str
+    reports: List[ModelFairnessReport] = field(default_factory=list)
+
+    def add(self, report: ModelFairnessReport) -> None:
+        self.reports.append(report)
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [report.row() for report in self.reports]
+
+    def render(self, columns: Optional[Sequence[str]] = None) -> str:
+        """Render the comparison as an aligned text table."""
+        return format_table(self.rows(), columns=columns, title=self.title)
+
+    def best_by(self, key: str, maximize: bool = True) -> ModelFairnessReport:
+        """Return the report whose flattened row maximises/minimises ``key``."""
+        if not self.reports:
+            raise ValueError("comparison report is empty")
+        rows = self.rows()
+        values = [row.get(key) for row in rows]
+        numeric = [(i, v) for i, v in enumerate(values) if isinstance(v, (int, float))]
+        if not numeric:
+            raise KeyError(f"no report defines numeric column '{key}'")
+        index, _ = max(numeric, key=lambda iv: iv[1]) if maximize else min(
+            numeric, key=lambda iv: iv[1]
+        )
+        return self.reports[index]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"title": self.title, "reports": [r.to_dict() for r in self.reports]}

@@ -1,0 +1,67 @@
+"""Numpy-based neural-network substrate for the Muffin reproduction.
+
+This package replaces the PyTorch stack used by the original paper with a
+compact, fully self-contained implementation:
+
+* :mod:`repro.nn.tensor` — reverse-mode autograd tensor;
+* :mod:`repro.nn.functional` — activations, softmax, losses;
+* :mod:`repro.nn.modules` — ``Module``/``Linear``/``MLP`` layer system;
+* :mod:`repro.nn.losses` — cross-entropy, fair loss (Method L), weighted MSE
+  (Equation 2);
+* :mod:`repro.nn.optim` — SGD/Adam, learning-rate schedule, gradient clipping;
+* :mod:`repro.nn.rnn` — recurrent cells for the RNN controller.
+"""
+
+from . import functional
+from .losses import CrossEntropyLoss, FairRegularizedLoss, WeightedMSELoss
+from .modules import (
+    ACTIVATIONS,
+    MLP,
+    Dropout,
+    LeakyReLU,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    SoftmaxClassifier,
+    Tanh,
+    make_activation,
+)
+from .optim import SGD, Adam, Optimizer, StepLR, clip_grad_norm
+from .rnn import GRUCell, RNN, RNNCell
+from .tensor import Tensor, ones, stack_tensors, tensor, zeros
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "stack_tensors",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Sequential",
+    "MLP",
+    "SoftmaxClassifier",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "ACTIVATIONS",
+    "make_activation",
+    "CrossEntropyLoss",
+    "WeightedMSELoss",
+    "FairRegularizedLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "clip_grad_norm",
+    "RNNCell",
+    "GRUCell",
+    "RNN",
+]

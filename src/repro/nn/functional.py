@@ -1,0 +1,158 @@
+"""Functional operations on :class:`~repro.nn.tensor.Tensor` objects.
+
+These free functions mirror the subset of ``torch.nn.functional`` that the
+Muffin reproduction needs: activations, (log-)softmax, the classification and
+regression losses, and one-hot encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+ArrayOrTensor = Union[np.ndarray, Tensor]
+
+
+def _to_tensor(value: ArrayOrTensor) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with configurable negative slope."""
+    return x.leaky_relu(negative_slope)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+# ---------------------------------------------------------------------------
+# Encoding helpers
+# ---------------------------------------------------------------------------
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer ``labels`` into ``(N, num_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError("one_hot expects a 1-D label array")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}); got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    label_smoothing: float = 0.0,
+) -> Tensor:
+    """Mean (optionally per-sample weighted) cross-entropy from raw logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, C)`` tensor of unnormalised scores.
+    targets:
+        ``(N,)`` integer class labels.
+    weights:
+        Optional ``(N,)`` per-sample weights (e.g. the fairness proxy
+        weights of Algorithm 1).  Weights are normalised by their sum so the
+        loss stays on the same scale as the unweighted mean.
+    label_smoothing:
+        Standard label-smoothing factor in ``[0, 1)``.
+    """
+    num_classes = logits.shape[-1]
+    targets = np.asarray(targets, dtype=np.int64)
+    target_dist = one_hot(targets, num_classes)
+    if label_smoothing:
+        target_dist = (1.0 - label_smoothing) * target_dist + label_smoothing / num_classes
+
+    log_probs = log_softmax(logits, axis=-1)
+    per_sample = -(Tensor(target_dist) * log_probs).sum(axis=-1)
+
+    if weights is None:
+        return per_sample.mean()
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (logits.shape[0],):
+        raise ValueError("weights must have shape (N,) matching the batch")
+    norm = weights.sum()
+    if norm <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return (per_sample * Tensor(weights / norm)).sum()
+
+
+def mse(predictions: Tensor, targets: ArrayOrTensor) -> Tensor:
+    """Mean squared error."""
+    targets = _to_tensor(targets)
+    diff = predictions - targets
+    return (diff * diff).mean()
+
+
+def weighted_mse(
+    predictions: Tensor,
+    targets: ArrayOrTensor,
+    sample_weights: np.ndarray,
+) -> Tensor:
+    """Per-sample weighted mean squared error (Equation 2 of the paper).
+
+    The paper's fairness-aware training loss is
+    ``L = w[g] * sum_i (f'(x_i) - y_i)^2 / N`` where ``w[g]`` is the weight
+    of the unprivileged group the sample belongs to.  Here the weight is
+    applied per sample, which generalises the per-group formulation (samples
+    of the same group share a weight).
+    """
+    targets = _to_tensor(targets)
+    sample_weights = np.asarray(sample_weights, dtype=np.float64)
+    if sample_weights.ndim != 1 or sample_weights.shape[0] != predictions.shape[0]:
+        raise ValueError("sample_weights must be 1-D with one weight per sample")
+    diff = predictions - targets
+    per_sample = (diff * diff).mean(axis=-1) if diff.ndim > 1 else diff * diff
+    weight_tensor = Tensor(sample_weights / max(sample_weights.mean(), 1e-12))
+    return (per_sample * weight_tensor).mean()
+
+
+def accuracy(logits: ArrayOrTensor, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy of ``logits`` against ``targets``."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if scores.shape[0] == 0:
+        return 0.0
+    predictions = scores.argmax(axis=-1)
+    return float((predictions == targets).mean())

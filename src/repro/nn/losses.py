@@ -1,0 +1,123 @@
+"""Loss modules used across the Muffin reproduction.
+
+Three families of losses appear in the paper:
+
+* plain cross-entropy, used to train the off-the-shelf model heads;
+* the *fair loss* (Method L), which augments cross-entropy with a penalty on
+  per-group accuracy deviation for one sensitive attribute;
+* the fairness-aware weighted MSE of Equation 2, used to train the muffin
+  head on the proxy dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from . import functional as F
+from .modules import Module
+from .tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy over a batch (optionally label-smoothed / weighted)."""
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        super().__init__()
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+
+    def forward(
+        self,
+        logits: Tensor,
+        targets: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        return F.cross_entropy(
+            logits,
+            targets,
+            weights=sample_weights,
+            label_smoothing=self.label_smoothing,
+        )
+
+
+class WeightedMSELoss(Module):
+    """Fairness-aware weighted MSE loss (Equation 2 of the paper).
+
+    The targets are one-hot class vectors; each sample carries the weight of
+    the unprivileged group(s) it belongs to, produced by
+    :func:`repro.core.proxy.compute_group_weights`.
+    """
+
+    def __init__(self, num_classes: int) -> None:
+        super().__init__()
+        if num_classes <= 0:
+            raise ValueError("num_classes must be positive")
+        self.num_classes = num_classes
+
+    def forward(
+        self,
+        logits: Tensor,
+        targets: np.ndarray,
+        sample_weights: np.ndarray,
+    ) -> Tensor:
+        probs = F.softmax(logits, axis=-1)
+        target_dist = F.one_hot(np.asarray(targets, dtype=np.int64), self.num_classes)
+        return F.weighted_mse(probs, target_dist, sample_weights)
+
+
+class FairRegularizedLoss(Module):
+    """Cross-entropy plus a group-disparity regulariser (Method L).
+
+    The regulariser penalises the spread of per-group mean losses for a
+    single sensitive attribute, which is the loss-function-based fairness
+    baseline ("L") the paper compares against:
+
+    ``L = CE + lambda * sum_g | mean_CE(group g) - mean_CE(all) |``
+    """
+
+    def __init__(self, fairness_weight: float = 1.0) -> None:
+        super().__init__()
+        if fairness_weight < 0:
+            raise ValueError("fairness_weight must be non-negative")
+        self.fairness_weight = fairness_weight
+
+    def forward(
+        self,
+        logits: Tensor,
+        targets: np.ndarray,
+        group_ids: np.ndarray,
+    ) -> Tensor:
+        targets = np.asarray(targets, dtype=np.int64)
+        group_ids = np.asarray(group_ids)
+        num_classes = logits.shape[-1]
+        target_dist = Tensor(F.one_hot(targets, num_classes))
+        log_probs = F.log_softmax(logits, axis=-1)
+        per_sample = -(target_dist * log_probs).sum(axis=-1)
+        total = per_sample.mean()
+
+        penalty: Optional[Tensor] = None
+        for group in np.unique(group_ids):
+            mask = group_ids == group
+            if not mask.any():
+                continue
+            group_mean = per_sample[np.where(mask)[0]].mean()
+            deviation = (group_mean - total).abs()
+            penalty = deviation if penalty is None else penalty + deviation
+
+        if penalty is None or self.fairness_weight == 0.0:
+            return total
+        return total + penalty * self.fairness_weight
+
+    def group_losses(self, logits: Tensor, targets: np.ndarray, group_ids: np.ndarray) -> Dict[int, float]:
+        """Return the detached per-group mean cross-entropy (for diagnostics)."""
+        targets = np.asarray(targets, dtype=np.int64)
+        group_ids = np.asarray(group_ids)
+        log_probs = F.log_softmax(Tensor(logits.data), axis=-1).data
+        per_sample = -log_probs[np.arange(len(targets)), targets]
+        return {
+            int(group): float(per_sample[group_ids == group].mean())
+            for group in np.unique(group_ids)
+        }

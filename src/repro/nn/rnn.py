@@ -1,0 +1,132 @@
+"""Recurrent cells used by the Muffin RNN controller.
+
+The paper's controller is "a recurrent neural network where, in each step, a
+fully connected layer generates one hyper-parameter".  This module provides
+the Elman-style :class:`RNNCell` (and a gated :class:`GRUCell` alternative)
+that the controller in :mod:`repro.core.controller` builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .init import xavier_uniform, zeros as zeros_init
+from .modules import Module, Parameter
+from .tensor import Tensor
+
+
+class RNNCell(Module):
+    """Elman RNN cell: ``h' = tanh(x W_ih + h W_hh + b)``."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("RNNCell sizes must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(xavier_uniform((input_size, hidden_size), rng), name="weight_ih")
+        self.weight_hh = Parameter(xavier_uniform((hidden_size, hidden_size), rng), name="weight_hh")
+        self.bias = Parameter(zeros_init((hidden_size,)), name="bias")
+
+    def forward(self, x: Tensor, hidden: Optional[Tensor] = None) -> Tensor:
+        if hidden is None:
+            hidden = self.init_hidden(batch_size=x.shape[0] if x.ndim == 2 else 1)
+        pre = x.matmul(self.weight_ih) + hidden.matmul(self.weight_hh) + self.bias
+        return F.tanh(pre)
+
+    def init_hidden(self, batch_size: int = 1) -> Tensor:
+        """Return an all-zero hidden state."""
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+    def __repr__(self) -> str:
+        return f"RNNCell(input={self.input_size}, hidden={self.hidden_size})"
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell, a drop-in alternative controller backbone."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("GRUCell sizes must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Update gate, reset gate and candidate weights.
+        self.weight_iz = Parameter(xavier_uniform((input_size, hidden_size), rng), name="weight_iz")
+        self.weight_hz = Parameter(xavier_uniform((hidden_size, hidden_size), rng), name="weight_hz")
+        self.weight_ir = Parameter(xavier_uniform((input_size, hidden_size), rng), name="weight_ir")
+        self.weight_hr = Parameter(xavier_uniform((hidden_size, hidden_size), rng), name="weight_hr")
+        self.weight_in = Parameter(xavier_uniform((input_size, hidden_size), rng), name="weight_in")
+        self.weight_hn = Parameter(xavier_uniform((hidden_size, hidden_size), rng), name="weight_hn")
+        self.bias_z = Parameter(zeros_init((hidden_size,)), name="bias_z")
+        self.bias_r = Parameter(zeros_init((hidden_size,)), name="bias_r")
+        self.bias_n = Parameter(zeros_init((hidden_size,)), name="bias_n")
+
+    def forward(self, x: Tensor, hidden: Optional[Tensor] = None) -> Tensor:
+        if hidden is None:
+            hidden = self.init_hidden(batch_size=x.shape[0] if x.ndim == 2 else 1)
+        z = F.sigmoid(x.matmul(self.weight_iz) + hidden.matmul(self.weight_hz) + self.bias_z)
+        r = F.sigmoid(x.matmul(self.weight_ir) + hidden.matmul(self.weight_hr) + self.bias_r)
+        n = F.tanh(x.matmul(self.weight_in) + (r * hidden).matmul(self.weight_hn) + self.bias_n)
+        one = Tensor(np.ones_like(z.data))
+        return (one - z) * n + z * hidden
+
+    def init_hidden(self, batch_size: int = 1) -> Tensor:
+        """Return an all-zero hidden state."""
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+    def __repr__(self) -> str:
+        return f"GRUCell(input={self.input_size}, hidden={self.hidden_size})"
+
+
+class RNN(Module):
+    """Unrolled single-layer RNN over a sequence of inputs."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        cell: str = "rnn",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if cell == "rnn":
+            self.cell: Module = RNNCell(input_size, hidden_size, rng=rng)
+        elif cell == "gru":
+            self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        else:
+            raise ValueError(f"unknown cell type '{cell}'; expected 'rnn' or 'gru'")
+        self.hidden_size = hidden_size
+
+    def forward(self, inputs: Tensor, hidden: Optional[Tensor] = None) -> Tuple[Tensor, Tensor]:
+        """Run the cell over ``inputs`` of shape ``(T, B, input_size)``.
+
+        Returns ``(outputs, final_hidden)`` where outputs stacks the hidden
+        state after each step (detached along the time axis for storage).
+        """
+        if inputs.ndim != 3:
+            raise ValueError("RNN expects inputs of shape (T, B, input_size)")
+        steps, batch, _ = inputs.shape
+        if hidden is None:
+            hidden = self.cell.init_hidden(batch_size=batch)
+        collected = []
+        for t in range(steps):
+            hidden = self.cell(inputs[t], hidden)
+            collected.append(hidden)
+        outputs = Tensor(np.stack([h.data for h in collected], axis=0))
+        return outputs, hidden

@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG management, logging, serialisation."""
+
+from .logging import RunLogger, format_table
+from .rng import DEFAULT_SEED, derive_seeds, get_rng, seed_everything, spawn_rng
+from .serialization import load_json, load_state_dict, save_json, save_state_dict, to_jsonable
+
+__all__ = [
+    "RunLogger",
+    "format_table",
+    "DEFAULT_SEED",
+    "get_rng",
+    "spawn_rng",
+    "seed_everything",
+    "derive_seeds",
+    "save_json",
+    "load_json",
+    "save_state_dict",
+    "load_state_dict",
+    "to_jsonable",
+]

@@ -1,0 +1,116 @@
+"""Lightweight experiment logging.
+
+The search loop of Muffin runs hundreds of episodes; the harness needs a
+structured way to record per-episode metrics (reward, accuracy, unfairness
+scores) without dragging in heavy dependencies.  ``RunLogger`` collects rows
+and can render them as aligned text tables or export them as CSV, which the
+benchmark harness uses to print the paper's tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import sys
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+class RunLogger:
+    """Collects dictionaries of metrics and renders/export them."""
+
+    def __init__(self, name: str = "run", stream=None, verbose: bool = False) -> None:
+        self.name = name
+        self.rows: List[Dict[str, object]] = []
+        self.stream = stream if stream is not None else sys.stdout
+        self.verbose = verbose
+        self._start = time.time()
+
+    def log(self, **metrics: object) -> Dict[str, object]:
+        """Record one row of metrics (adds an ``elapsed_s`` column)."""
+        row = dict(metrics)
+        row.setdefault("elapsed_s", round(time.time() - self._start, 3))
+        self.rows.append(row)
+        if self.verbose:
+            printable = ", ".join(f"{k}={_format_value(v)}" for k, v in metrics.items())
+            print(f"[{self.name}] {printable}", file=self.stream)
+        return row
+
+    def column(self, key: str) -> List[object]:
+        """Return the values of ``key`` across all rows that define it."""
+        return [row[key] for row in self.rows if key in row]
+
+    def best(self, key: str, maximize: bool = True) -> Dict[str, object]:
+        """Return the row with the best value of ``key``."""
+        candidates = [row for row in self.rows if key in row]
+        if not candidates:
+            raise KeyError(f"no logged row contains '{key}'")
+        return max(candidates, key=lambda r: r[key]) if maximize else min(
+            candidates, key=lambda r: r[key]
+        )
+
+    def to_csv(self) -> str:
+        """Serialise all rows to a CSV string."""
+        if not self.rows:
+            return ""
+        keys: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in keys:
+                    keys.append(key)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=keys)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    floatfmt: str = ".4f",
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table.
+
+    Used by the benchmark harness to print the reproduction of the paper's
+    Table I and the per-figure data series.
+    """
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max((len(cell[i]) for cell in rendered), default=0))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append(" | ".join(cells[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Serialisation helpers for experiment artefacts.
+
+Results (model state dicts, search histories, per-figure data series) are
+stored as JSON with numpy arrays converted to nested lists, so that the
+benchmark harness and the EXPERIMENTS.md generator can reload them without a
+pickle dependency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serialisable primitives."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {field.name: to_jsonable(getattr(obj, field.name)) for field in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(item) for item in obj]
+    if hasattr(obj, "to_dict"):
+        return to_jsonable(obj.to_dict())
+    raise TypeError(f"cannot serialise object of type {type(obj)!r}")
+
+
+def save_json(obj: Any, path: PathLike, indent: int = 2) -> Path:
+    """Serialise ``obj`` to a JSON file, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=False))
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Load a JSON file previously written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: PathLike) -> Path:
+    """Save a module state dict (arrays become lists, shapes are preserved)."""
+    payload = {
+        name: {"shape": list(array.shape), "values": array.reshape(-1).tolist()}
+        for name, array in state.items()
+    }
+    return save_json(payload, path)
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a module state dict written by :func:`save_state_dict`."""
+    payload = load_json(path)
+    return {
+        name: np.asarray(entry["values"], dtype=np.float64).reshape(entry["shape"])
+        for name, entry in payload.items()
+    }

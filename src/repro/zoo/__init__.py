@@ -1,0 +1,40 @@
+"""Model zoo: simulated off-the-shelf architectures, training and pooling."""
+
+from .architectures import (
+    ALIASES,
+    ARCHITECTURES,
+    ArchitectureSpec,
+    architecture_names,
+    architectures_by_family,
+    default_pool_names,
+    fitzpatrick_pool_names,
+    get_architecture,
+    register_architecture,
+)
+from .backbone import SimulatedBackbone
+from .model import ZooModel
+from .persistence import load_model, load_pool, save_model, save_pool
+from .pool import ModelPool
+from .training import TrainConfig, TrainResult, train_model
+
+__all__ = [
+    "ArchitectureSpec",
+    "ARCHITECTURES",
+    "ALIASES",
+    "architecture_names",
+    "architectures_by_family",
+    "get_architecture",
+    "register_architecture",
+    "default_pool_names",
+    "fitzpatrick_pool_names",
+    "SimulatedBackbone",
+    "ZooModel",
+    "ModelPool",
+    "save_model",
+    "load_model",
+    "save_pool",
+    "load_pool",
+    "TrainConfig",
+    "TrainResult",
+    "train_model",
+]

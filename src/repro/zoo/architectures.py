@@ -1,0 +1,178 @@
+"""Registry of the off-the-shelf architectures used by the paper.
+
+The paper's model pool contains ten ImageNet-style CNNs (Figure 1 / Figure 4):
+two ShuffleNetV2 variants, three MobileNet variants, two DenseNets and three
+ResNets.  Each entry here records:
+
+* ``num_parameters`` — the parameter count the paper reasons about (Table I
+  quotes ShuffleNet_V2_X1_0 = 1,261,804 and MobileNet_V3_Small = 1,526,056;
+  the remaining counts follow the standard torchvision models with an
+  8-class head);
+* ``capacity`` — the width of the simulated backbone's random feature layer;
+  larger capacity yields higher accuracy, mirroring the accuracy ordering of
+  small vs. large models in Table I;
+* ``sensitivity`` — per-attribute robustness profile in ``[0, 1]``:
+  how much of an attribute's distortion component leaks into the backbone's
+  features.  Architectures with different profiles end up unfair on
+  different attributes, which reproduces the rank disagreement of Figure 1(c)
+  (DenseNet121 best on site, ResNet-18 best on age) and gives the model
+  diversity Muffin exploits.
+
+The profiles are *calibrated inputs to the simulation*, not claims about the
+real CNNs; see DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """Static description of one off-the-shelf architecture."""
+
+    name: str
+    family: str
+    num_parameters: int
+    capacity: int
+    sensitivity: Mapping[str, float] = field(default_factory=dict)
+    #: relative gain applied to the class-signal component (models with
+    #: better features extract the diagnostic signal more cleanly)
+    signal_gain: float = 1.0
+    #: default sensitivity for attributes not listed explicitly
+    default_sensitivity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_parameters <= 0:
+            raise ValueError("num_parameters must be positive")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        for attribute, value in self.sensitivity.items():
+            if not 0.0 <= float(value) <= 1.5:
+                raise ValueError(
+                    f"sensitivity of '{attribute}' for {self.name} must be in [0, 1.5]"
+                )
+
+    def sensitivity_for(self, attribute: str) -> float:
+        """Sensitivity of this architecture to one attribute's distortion."""
+        return float(self.sensitivity.get(attribute, self.default_sensitivity))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "family": self.family,
+            "num_parameters": self.num_parameters,
+            "capacity": self.capacity,
+            "signal_gain": self.signal_gain,
+            "sensitivity": dict(self.sensitivity),
+        }
+
+
+def _spec(
+    name: str,
+    family: str,
+    params: int,
+    capacity: int,
+    signal_gain: float,
+    age: float,
+    site: float,
+    gender: float,
+    skin_tone: float,
+    type_: float,
+) -> ArchitectureSpec:
+    return ArchitectureSpec(
+        name=name,
+        family=family,
+        num_parameters=params,
+        capacity=capacity,
+        signal_gain=signal_gain,
+        sensitivity={
+            "age": age,
+            "site": site,
+            "gender": gender,
+            "skin_tone": skin_tone,
+            "type": type_,
+        },
+    )
+
+
+#: The ten architectures of the paper's ISIC2019 model pool (Figure 1).
+#: Short display aliases follow the paper: S_V2_X0_5, M_V3_Small, D121, R-18...
+ARCHITECTURES: Tuple[ArchitectureSpec, ...] = (
+    _spec("ShuffleNet_V2_X0_5", "ShuffleNet", 827_052, 36, 0.95, 0.82, 0.80, 0.55, 0.90, 0.80),
+    _spec("ShuffleNet_V2_X1_0", "ShuffleNet", 1_261_804, 40, 0.96, 0.70, 0.78, 0.50, 0.84, 0.74),
+    _spec("MobileNet_V3_Small", "MobileNet", 1_526_056, 40, 0.96, 0.78, 0.72, 0.52, 0.86, 0.70),
+    _spec("MobileNet_V2", "MobileNet", 2_236_682, 44, 0.98, 0.68, 0.68, 0.48, 0.78, 0.66),
+    _spec("MobileNet_V3_Large", "MobileNet", 4_214_842, 48, 1.00, 0.58, 0.62, 0.46, 0.60, 0.72),
+    _spec("DenseNet121", "DenseNet", 6_961_928, 52, 1.02, 0.80, 0.34, 0.42, 0.70, 0.56),
+    _spec("ResNet-18", "ResNet", 11_181_642, 52, 1.02, 0.48, 0.80, 0.44, 0.56, 0.78),
+    _spec("DenseNet201", "DenseNet", 18_104_136, 56, 1.03, 0.74, 0.40, 0.40, 0.64, 0.52),
+    _spec("ResNet-34", "ResNet", 21_289_802, 56, 1.03, 0.45, 0.70, 0.42, 0.52, 0.64),
+    _spec("ResNet-50", "ResNet", 23_528_522, 60, 1.04, 0.52, 0.60, 0.40, 0.48, 0.58),
+)
+
+#: Mapping of the short aliases used in the paper's figures to registry names.
+ALIASES: Dict[str, str] = {
+    "S_V2_X0_5": "ShuffleNet_V2_X0_5",
+    "S_V2_X1_0": "ShuffleNet_V2_X1_0",
+    "M_V3_Small": "MobileNet_V3_Small",
+    "M_V2": "MobileNet_V2",
+    "M_V3_Large": "MobileNet_V3_Large",
+    "D121": "DenseNet121",
+    "R-18": "ResNet-18",
+    "R18": "ResNet-18",
+    "D201": "DenseNet201",
+    "R-34": "ResNet-34",
+    "R34": "ResNet-34",
+    "R-50": "ResNet-50",
+    "R50": "ResNet-50",
+}
+
+_REGISTRY: Dict[str, ArchitectureSpec] = {spec.name: spec for spec in ARCHITECTURES}
+
+
+def architecture_names() -> List[str]:
+    """Names of every registered architecture, in registry (size) order."""
+    return [spec.name for spec in ARCHITECTURES]
+
+
+def get_architecture(name: str) -> ArchitectureSpec:
+    """Look up an architecture by canonical name or paper alias."""
+    canonical = ALIASES.get(name, name)
+    try:
+        return _REGISTRY[canonical]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown architecture '{name}'; available: {architecture_names()}"
+        ) from exc
+
+
+def architectures_by_family(family: str) -> List[ArchitectureSpec]:
+    """All registered architectures of one family (ResNet, DenseNet, ...)."""
+    members = [spec for spec in ARCHITECTURES if spec.family.lower() == family.lower()]
+    if not members:
+        families = sorted({spec.family for spec in ARCHITECTURES})
+        raise KeyError(f"unknown family '{family}'; available: {families}")
+    return members
+
+
+def default_pool_names() -> List[str]:
+    """The full ten-architecture ISIC2019 pool of Figure 4."""
+    return architecture_names()
+
+
+def fitzpatrick_pool_names() -> List[str]:
+    """The Fitzpatrick17K pool (Section 4.5: ResNet, ShuffleNet and MobileNet)."""
+    return [
+        spec.name
+        for spec in ARCHITECTURES
+        if spec.family in {"ResNet", "ShuffleNet", "MobileNet"}
+    ]
+
+
+def register_architecture(spec: ArchitectureSpec, overwrite: bool = False) -> None:
+    """Register a custom architecture (used by the extensibility example)."""
+    if spec.name in _REGISTRY and not overwrite:
+        raise ValueError(f"architecture '{spec.name}' is already registered")
+    _REGISTRY[spec.name] = spec

@@ -1,0 +1,96 @@
+"""Simulated CNN backbones.
+
+A real off-the-shelf CNN maps an image to a feature vector; how faithfully
+group-specific artefacts (lighting on dark skin, rare anatomical sites,
+elderly skin texture) survive into that feature vector depends on the
+architecture.  The simulated backbone reproduces exactly that interface:
+
+* it composes the dataset's latent components using the architecture's
+  per-attribute sensitivity profile (robust architectures attenuate a
+  group's distortion, fragile ones pass it through);
+* it then applies a fixed random non-linear projection whose width is the
+  architecture's ``capacity``.  The projection is frozen — exactly like the
+  pre-trained, frozen feature extractor of the paper — and is different for
+  every architecture, which is the source of cross-model disagreement.
+
+Only the classifier head on top of these features is ever trained.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.dataset import FairnessDataset
+from ..utils.rng import get_rng
+from .architectures import ArchitectureSpec
+
+
+class SimulatedBackbone:
+    """Frozen feature extractor simulating one pre-trained CNN."""
+
+    def __init__(
+        self,
+        spec: ArchitectureSpec,
+        feature_dim: int,
+        seed: Optional[int] = None,
+        noise_gain: float = 1.0,
+    ) -> None:
+        if feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+        self.spec = spec
+        self.feature_dim = feature_dim
+        self.output_dim = spec.capacity
+        self.noise_gain = noise_gain
+        # Seed the projection from the architecture name so two pools built
+        # for the same architecture produce identical frozen weights.  A CRC
+        # digest (not ``hash``) keeps the fallback stable across processes.
+        base_seed = seed if seed is not None else zlib.crc32(spec.name.encode("utf-8"))
+        self.seed = int(base_seed)
+        rng = get_rng(base_seed)
+        # Scale keeps the tanh pre-activations in their linear-ish regime so
+        # the frozen projection preserves (rather than saturates away) the
+        # class signal; capacity then governs how much of it survives.
+        scale = 0.6 / np.sqrt(feature_dim)
+        self._projection = rng.normal(0.0, scale, size=(feature_dim, spec.capacity))
+        self._bias = rng.normal(0.0, 0.1, size=(spec.capacity,))
+
+    # ------------------------------------------------------------------
+    def sensitivity_profile(self, dataset: FairnessDataset) -> Dict[str, float]:
+        """Sensitivity of this backbone to each attribute of ``dataset``."""
+        return {
+            attribute: self.spec.sensitivity_for(attribute)
+            for attribute in dataset.attributes.names
+        }
+
+    def perceive(self, dataset: FairnessDataset, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Compose the dataset components as this architecture perceives them."""
+        return dataset.compose_features(
+            sensitivity=self.sensitivity_profile(dataset),
+            signal_gain=self.spec.signal_gain,
+            noise_gain=self.noise_gain,
+            indices=indices,
+        )
+
+    def extract(self, dataset: FairnessDataset, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Return the frozen backbone features for ``dataset`` (or a subset)."""
+        perceived = self.perceive(dataset, indices)
+        return self.transform(perceived)
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the frozen non-linear projection to already-composed features."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.feature_dim:
+            raise ValueError(
+                f"expected features of shape (N, {self.feature_dim}), got {features.shape}"
+            )
+        hidden = features @ self._projection + self._bias
+        return np.tanh(hidden)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedBackbone(arch='{self.spec.name}', in={self.feature_dim}, "
+            f"out={self.output_dim})"
+        )

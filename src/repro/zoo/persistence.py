@@ -1,0 +1,116 @@
+"""Saving and restoring trained model pools and fused models.
+
+A real deployment of Muffin keeps a library of trained off-the-shelf models
+and reuses them across searches; these helpers persist the trainable state
+(classifier heads, muffin heads) plus enough metadata to rebuild the frozen
+parts deterministically (architecture names, seeds, dataset schema).
+Everything is stored as JSON via :mod:`repro.utils.serialization`, so the
+artefacts are diffable and contain no pickled code.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..data.splits import DataSplit
+from ..utils.serialization import load_json, save_json
+from .architectures import get_architecture
+from .model import ZooModel
+from .pool import ModelPool
+from .training import TrainConfig
+
+PathLike = Union[str, Path]
+
+_POOL_MANIFEST = "pool.json"
+
+
+def save_model(model: ZooModel, path: PathLike) -> Path:
+    """Persist one trained zoo model (architecture metadata + head weights)."""
+    if not model.is_trained:
+        raise ValueError("refusing to save an untrained model")
+    payload = {
+        "architecture": model.spec.name,
+        "label": model.label,
+        "seed": int(model.seed),
+        "num_classes": model.num_classes,
+        "feature_dim": model.backbone.feature_dim,
+        "backbone_output_dim": model.backbone.output_dim,
+        "head_state": {
+            name: {"shape": list(values.shape), "values": values.reshape(-1).tolist()}
+            for name, values in model.head_state().items()
+        },
+    }
+    return save_json(payload, path)
+
+
+def load_model(path: PathLike) -> ZooModel:
+    """Rebuild a zoo model saved by :func:`save_model`."""
+    import numpy as np
+
+    payload = load_json(path)
+    model = ZooModel.from_name(
+        payload["architecture"],
+        feature_dim=int(payload["feature_dim"]),
+        num_classes=int(payload["num_classes"]),
+        seed=payload.get("seed"),
+        label=payload.get("label"),
+    )
+    state = {
+        name: np.asarray(entry["values"], dtype=float).reshape(entry["shape"])
+        for name, entry in payload["head_state"].items()
+    }
+    model.load_head_state(state)
+    return model
+
+
+def save_pool(pool: ModelPool, directory: PathLike) -> Path:
+    """Persist every trained model of a pool plus a manifest."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: Dict[str, object] = {
+        "architectures": pool.architecture_names,
+        "seed": pool.seed,
+        "models": {},
+        "train_config": {
+            "epochs": pool.train_config.epochs,
+            "batch_size": pool.train_config.batch_size,
+            "lr": pool.train_config.lr,
+        },
+    }
+    for model in pool:
+        filename = f"{model.label.replace('/', '_').replace(' ', '_')}.json"
+        save_model(model, directory / filename)
+        manifest["models"][model.label] = filename
+    return save_json(manifest, directory / _POOL_MANIFEST)
+
+
+def load_pool(
+    directory: PathLike,
+    split: DataSplit,
+    train_config: Optional[TrainConfig] = None,
+) -> ModelPool:
+    """Rebuild a :class:`ModelPool` saved by :func:`save_pool`.
+
+    The data split must be the same one the pool was originally built from
+    (the frozen backbones are reconstructed from their architecture seeds,
+    and predictions only make sense on the original feature schema).
+    """
+    directory = Path(directory)
+    manifest = load_json(directory / _POOL_MANIFEST)
+    pool = ModelPool(
+        split,
+        architecture_names=list(manifest["architectures"]),
+        train_config=train_config or TrainConfig(**manifest.get("train_config", {})),
+        seed=int(manifest.get("seed", 0)),
+    )
+    for label, filename in manifest["models"].items():
+        model = load_model(directory / filename)
+        expected_dim = split.train.feature_dim
+        if model.backbone.feature_dim != expected_dim:
+            raise ValueError(
+                f"model '{label}' was trained on feature_dim={model.backbone.feature_dim}, "
+                f"but the provided split has feature_dim={expected_dim}"
+            )
+        pool.add_model(model)
+    return pool

@@ -1,0 +1,89 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (datasets, splits, trained model pools) are built once
+per session at a reduced scale; individual tests treat them as read-only.
+Tests that need to mutate models clone them instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticFitzpatrick17K,
+    SyntheticISIC2019,
+    split_dataset,
+)
+from repro.zoo import ModelPool, TrainConfig
+
+#: Architectures used by the small test pool: both families of the paper's
+#: Figure 2/3 pairs plus two small models, so baseline and fusing tests can
+#: exercise the same pairs the paper discusses.
+TEST_POOL_ARCHS = (
+    "ShuffleNet_V2_X1_0",
+    "MobileNet_V3_Small",
+    "MobileNet_V3_Large",
+    "DenseNet121",
+    "ResNet-18",
+)
+
+FITZ_POOL_ARCHS = ("ShuffleNet_V2_X1_0", "MobileNet_V3_Large", "ResNet-18")
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def isic_dataset() -> SyntheticISIC2019:
+    return SyntheticISIC2019(num_samples=3000, seed=2019)
+
+
+@pytest.fixture(scope="session")
+def isic_split(isic_dataset):
+    return split_dataset(isic_dataset, seed=1)
+
+
+@pytest.fixture(scope="session")
+def train_config() -> TrainConfig:
+    return TrainConfig(epochs=30, batch_size=256, lr=0.1, seed=0)
+
+
+@pytest.fixture(scope="session")
+def pool(isic_split, train_config) -> ModelPool:
+    return ModelPool(
+        isic_split,
+        architecture_names=TEST_POOL_ARCHS,
+        train_config=train_config,
+        seed=0,
+    ).build()
+
+
+@pytest.fixture(scope="session")
+def fitz_dataset() -> SyntheticFitzpatrick17K:
+    return SyntheticFitzpatrick17K(num_samples=2500, seed=1717)
+
+
+@pytest.fixture(scope="session")
+def fitz_split(fitz_dataset):
+    return split_dataset(fitz_dataset, seed=2)
+
+
+@pytest.fixture(scope="session")
+def fitz_pool(fitz_split, train_config) -> ModelPool:
+    return ModelPool(
+        fitz_split,
+        architecture_names=FITZ_POOL_ARCHS,
+        train_config=train_config,
+        seed=1,
+    ).build()
+
+
+@pytest.fixture(scope="session")
+def smoke_context():
+    """A tiny ExperimentContext for harness integration tests."""
+    from repro.experiments import ExperimentContext, smoke_config
+
+    return ExperimentContext(smoke_config())

@@ -1,0 +1,119 @@
+"""Unit tests for the data-balancing baseline (Method D)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DataBalanceConfig,
+    apply_data_balancing,
+    balance_dataset,
+    balancing_weights,
+    group_sampling_plan,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataBalanceConfig(target_ratio=0.0)
+        with pytest.raises(ValueError):
+            DataBalanceConfig(max_duplication=0.5)
+        with pytest.raises(ValueError):
+            DataBalanceConfig(variant="smote")
+
+    def test_default_augmentation_created(self):
+        assert DataBalanceConfig().augmentation is not None
+
+
+class TestSamplingPlan:
+    def test_plan_targets_small_groups(self, isic_dataset):
+        plan = group_sampling_plan(isic_dataset, "site", DataBalanceConfig())
+        sizes = isic_dataset.group_sizes("site")
+        largest = max(sizes, key=sizes.get)
+        assert plan[largest] == 0
+        smallest = min(sizes, key=sizes.get)
+        assert plan[smallest] > 0
+
+    def test_max_duplication_cap(self, isic_dataset):
+        config = DataBalanceConfig(max_duplication=1.5)
+        plan = group_sampling_plan(isic_dataset, "site", config)
+        sizes = isic_dataset.group_sizes("site")
+        for group, extra in plan.items():
+            assert extra <= int(0.5 * sizes[group]) + 1
+
+    def test_plan_never_negative(self, isic_dataset):
+        plan = group_sampling_plan(isic_dataset, "age", DataBalanceConfig(target_ratio=0.5))
+        assert all(extra >= 0 for extra in plan.values())
+
+
+class TestBalanceDataset:
+    def test_balanced_dataset_is_larger(self, isic_split):
+        train = isic_split.train
+        balanced = balance_dataset(train, "site", DataBalanceConfig(seed=0))
+        assert len(balanced) > len(train)
+
+    def test_group_ratios_improve(self, isic_split):
+        train = isic_split.train
+        balanced = balance_dataset(train, "site", DataBalanceConfig(seed=0))
+
+        def ratio(dataset):
+            sizes = dataset.group_sizes("site")
+            return min(sizes.values()) / max(sizes.values())
+
+        assert ratio(balanced) > ratio(train)
+
+    def test_original_rows_preserved(self, isic_split):
+        train = isic_split.train
+        balanced = balance_dataset(train, "age", DataBalanceConfig(seed=1))
+        np.testing.assert_array_equal(balanced.labels[: len(train)], train.labels)
+
+    def test_deterministic_given_seed(self, isic_split):
+        train = isic_split.train
+        a = balance_dataset(train, "site", DataBalanceConfig(seed=3))
+        b = balance_dataset(train, "site", DataBalanceConfig(seed=3))
+        assert len(a) == len(b)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestBalancingWeights:
+    def test_weights_mean_one(self, isic_split):
+        weights = balancing_weights(isic_split.train, "site")
+        assert weights.mean() == pytest.approx(1.0)
+        assert (weights > 0).all()
+
+    def test_rare_groups_get_higher_weight(self, isic_split):
+        train = isic_split.train
+        weights = balancing_weights(train, "site")
+        sizes = train.group_sizes("site")
+        smallest = min(sizes, key=sizes.get)
+        largest = max(sizes, key=sizes.get)
+        small_weight = weights[train.group_mask("site", smallest)].mean()
+        large_weight = weights[train.group_mask("site", largest)].mean()
+        assert small_weight > large_weight
+
+
+class TestApplyDataBalancing:
+    def test_resample_variant_improves_target_attribute(self, pool, isic_split, train_config):
+        base = pool.get("MobileNet_V3_Small")
+        vanilla = base.evaluate(isic_split.test)
+        outcome = apply_data_balancing(base, isic_split, "site", train_config)
+        optimized = outcome.model.evaluate(isic_split.test)
+        assert outcome.method == "D"
+        assert outcome.balanced_size > len(isic_split.train)
+        assert optimized.unfairness["site"] < vanilla.unfairness["site"] + 0.05
+
+    def test_reweight_variant_runs(self, pool, isic_split, train_config):
+        base = pool.get("ShuffleNet_V2_X1_0")
+        outcome = apply_data_balancing(
+            base,
+            isic_split,
+            "age",
+            train_config,
+            DataBalanceConfig(variant="reweight"),
+        )
+        assert outcome.model.is_trained
+        assert outcome.balanced_size == len(isic_split.train)
+
+    def test_outcome_label_mentions_method_and_attribute(self, pool, isic_split, train_config):
+        outcome = apply_data_balancing(pool.get("ResNet-18"), isic_split, "age", train_config)
+        assert "D(age)" in outcome.model.label

@@ -1,0 +1,43 @@
+"""Unit tests for the fair-loss baseline (Method L)."""
+
+import pytest
+
+from repro.baselines import FairLossConfig, apply_fair_loss
+
+
+class TestFairLossConfig:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            FairLossConfig(fairness_weight=-0.5)
+
+    def test_defaults(self):
+        assert FairLossConfig().fairness_weight > 0
+
+
+class TestApplyFairLoss:
+    def test_unknown_attribute_rejected(self, pool, isic_split, train_config):
+        with pytest.raises(KeyError):
+            apply_fair_loss(pool.get("ResNet-18"), isic_split, "income", train_config)
+
+    def test_outcome_structure(self, pool, isic_split, train_config):
+        outcome = apply_fair_loss(pool.get("DenseNet121"), isic_split, "age", train_config)
+        assert outcome.method == "L"
+        assert outcome.attribute == "age"
+        assert outcome.model.is_trained
+        assert "L(age)" in outcome.model.label
+        assert len(outcome.train_result.losses) == train_config.epochs
+
+    def test_improves_or_holds_target_attribute(self, pool, isic_split, train_config):
+        base = pool.get("MobileNet_V3_Large")
+        vanilla = base.evaluate(isic_split.test)
+        outcome = apply_fair_loss(base, isic_split, "site", train_config, FairLossConfig(fairness_weight=3.0))
+        optimized = outcome.model.evaluate(isic_split.test)
+        # The fair loss targets the site attribute; allow small noise.
+        assert optimized.unfairness["site"] < vanilla.unfairness["site"] + 0.08
+
+    def test_does_not_modify_base_model(self, pool, isic_split, train_config):
+        base = pool.get("ResNet-18")
+        before = base.predict(isic_split.test)
+        apply_fair_loss(base, isic_split, "age", train_config)
+        after = base.predict(isic_split.test)
+        assert (before == after).all()

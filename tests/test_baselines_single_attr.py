@@ -1,0 +1,73 @@
+"""Unit tests for the single-attribute optimization study driver."""
+
+import pytest
+
+from repro.baselines import SingleAttributeOptimizer
+from repro.zoo import TrainConfig
+
+
+@pytest.fixture(scope="module")
+def study(pool, isic_split):
+    optimizer = SingleAttributeOptimizer(
+        isic_split, train_config=TrainConfig(epochs=20, batch_size=256)
+    )
+    return optimizer.run(pool.get("MobileNet_V3_Small"), attributes=("age", "site"))
+
+
+class TestSingleAttributeStudy:
+    def test_grid_shape(self, study):
+        # 2 attributes x 2 methods = 4 cells
+        assert len(study.cells) == 4
+        labels = {cell.label for cell in study.cells}
+        assert labels == {"D(age)", "D(site)", "L(age)", "L(site)"}
+
+    def test_cell_lookup(self, study):
+        assert study.cell("D", "age").attribute == "age"
+        with pytest.raises(KeyError):
+            study.cell("D", "gender")
+
+    def test_vanilla_evaluation_present(self, study):
+        assert study.vanilla.accuracy > 0.4
+        assert set(study.vanilla.unfairness) == {"age", "site"}
+
+    def test_seesaw_rows_structure(self, study):
+        rows = study.seesaw_pairs(("age", "site"))
+        assert len(rows) == 4
+        assert {"method", "optimized_attribute", "delta_U(age)", "delta_U(site)", "delta_accuracy"} <= set(
+            rows[0]
+        )
+
+    def test_reports_reference_vanilla(self, study):
+        reports = study.reports()
+        assert len(reports) == 5  # vanilla + 4 cells
+        assert reports[0].baseline is None
+        assert all(report.baseline is not None for report in reports[1:])
+
+    def test_to_dict_roundtrip_fields(self, study):
+        payload = study.to_dict()
+        assert payload["model"] == "MobileNet_V3_Small"
+        assert len(payload["cells"]) == 4
+
+
+class TestOptimizerValidation:
+    def test_untrained_base_rejected(self, pool, isic_split):
+        optimizer = SingleAttributeOptimizer(isic_split, TrainConfig(epochs=1))
+        untrained = pool.get("ResNet-18").clone_untrained(label="untrained")
+        with pytest.raises(ValueError):
+            optimizer.run(untrained, attributes=("age",))
+
+    def test_unknown_method_rejected(self, pool, isic_split):
+        optimizer = SingleAttributeOptimizer(isic_split, TrainConfig(epochs=1))
+        with pytest.raises(ValueError):
+            optimizer.run(pool.get("ResNet-18"), attributes=("age",), methods=("X",))
+
+    def test_eval_attributes_can_differ_from_optimized(self, pool, isic_split):
+        optimizer = SingleAttributeOptimizer(isic_split, TrainConfig(epochs=5))
+        study = optimizer.run(
+            pool.get("ShuffleNet_V2_X1_0"),
+            attributes=("age",),
+            methods=("D",),
+            eval_attributes=("age", "site", "gender"),
+        )
+        assert set(study.vanilla.unfairness) == {"age", "site", "gender"}
+        assert len(study.cells) == 1

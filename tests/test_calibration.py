@@ -1,0 +1,96 @@
+"""Calibration tests: the synthetic substrate reproduces the paper's
+qualitative observations (Section II of DESIGN.md).
+
+These are the load-bearing tests of the reproduction — if they hold, the
+experiment harness regenerates the right *shapes* for Figures 1-3 and the
+Muffin experiments have the structure they rely on (unfairness exists,
+baselines see-saw, models disagree and are complementary).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import oracle_union_predictions
+from repro.fairness import disagreement_breakdown, overall_accuracy
+
+
+class TestObservation1UnfairnessExists:
+    """Figure 1: gender is fair, age and site are not, no model wins both."""
+
+    def test_gender_unfairness_is_small(self, pool):
+        for name, evaluation in pool.evaluate_all().items():
+            assert evaluation.unfairness["gender"] < 0.15, name
+
+    def test_age_and_site_unfairness_substantial(self, pool):
+        evaluations = pool.evaluate_all()
+        mean_age = np.mean([e.unfairness["age"] for e in evaluations.values()])
+        mean_site = np.mean([e.unfairness["site"] for e in evaluations.values()])
+        max_gender = max(e.unfairness["gender"] for e in evaluations.values())
+        assert mean_age > 0.1
+        assert mean_site > 0.2
+        assert mean_age > 1.5 * max_gender
+        assert mean_site > 1.5 * max_gender
+
+    def test_unprivileged_groups_have_lower_accuracy(self, pool):
+        test = pool.split.test
+        evaluation = pool.evaluate("ResNet-18")
+        for attribute in ("age", "site"):
+            spec = test.attributes[attribute]
+            per_group = evaluation.group_accuracy[attribute]
+            unpriv = np.mean([per_group[g] for g in spec.unprivileged])
+            priv = np.mean([per_group[g] for g in spec.privileged])
+            assert unpriv < priv, attribute
+
+    def test_accuracy_in_plausible_range(self, pool):
+        for name, evaluation in pool.evaluate_all().items():
+            assert 0.6 < evaluation.accuracy < 0.95, name
+
+    def test_architecture_tradeoff_between_age_and_site(self, pool):
+        """ResNet-18 is fairer on age, DenseNet121 on site (family pattern of Fig 1c)."""
+        r18 = pool.evaluate("ResNet-18")
+        d121 = pool.evaluate("DenseNet121")
+        assert r18.unfairness["age"] < d121.unfairness["age"]
+        assert d121.unfairness["site"] < r18.unfairness["site"]
+
+
+class TestObservation3Complementarity:
+    """Figure 3: similar-accuracy models disagree on unprivileged data."""
+
+    def test_disagreement_fraction_is_substantial(self, pool):
+        test = pool.split.test
+        a = pool.get("ResNet-18").predict(test)
+        b = pool.get("DenseNet121").predict(test)
+        mask = test.unprivileged_mask("site")
+        breakdown = disagreement_breakdown(a, b, test.labels, mask=mask)
+        assert 0.05 < breakdown["disagreement"] < 0.6
+
+    def test_oracle_union_beats_both_members_on_unprivileged_group(self, pool):
+        test = pool.split.test
+        a = pool.get("ResNet-18").predict(test)
+        b = pool.get("DenseNet121").predict(test)
+        mask = test.unprivileged_mask("site")
+        oracle = oracle_union_predictions(np.stack([a, b]), test.labels)
+        oracle_acc = overall_accuracy(oracle[mask], test.labels[mask])
+        assert oracle_acc > overall_accuracy(a[mask], test.labels[mask]) + 0.03
+        assert oracle_acc > overall_accuracy(b[mask], test.labels[mask]) + 0.03
+
+
+class TestFitzpatrickCalibration:
+    """Section 4.5: the second dataset also exhibits multi-dimensional unfairness."""
+
+    def test_skin_tone_unfairness_exists(self, fitz_pool):
+        evaluations = fitz_pool.evaluate_all()
+        mean_tone = np.mean([e.unfairness["skin_tone"] for e in evaluations.values()])
+        assert mean_tone > 0.08
+
+    def test_darker_tones_are_disadvantaged(self, fitz_pool):
+        test = fitz_pool.split.test
+        evaluation = fitz_pool.evaluate("ResNet-18")
+        per_group = evaluation.group_accuracy["skin_tone"]
+        assert per_group["black"] < per_group["white"]
+
+    def test_accuracy_lower_than_isic(self, pool, fitz_pool):
+        """Fitzpatrick17K is the harder task (paper: ~62% vs ~80%)."""
+        isic_best = max(e.accuracy for e in pool.evaluate_all().values())
+        fitz_best = max(e.accuracy for e in fitz_pool.evaluate_all().values())
+        assert fitz_best < isic_best

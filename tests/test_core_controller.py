@@ -1,0 +1,126 @@
+"""Unit tests for the RNN controller and its REINFORCE update."""
+
+import numpy as np
+import pytest
+
+from repro.core import ControllerConfig, RandomController, RNNController, SearchSpace
+from repro.zoo import default_pool_names
+
+
+@pytest.fixture()
+def space():
+    return SearchSpace(default_pool_names(), base_model="ResNet-18", num_paired=1)
+
+
+@pytest.fixture()
+def controller(space):
+    return RNNController(space, ControllerConfig(seed=0, lr=0.01))
+
+
+class TestControllerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(hidden_size=0)
+        with pytest.raises(ValueError):
+            ControllerConfig(gamma=0.0)
+        with pytest.raises(ValueError):
+            ControllerConfig(baseline_decay=1.0)
+
+
+class TestSampling:
+    def test_episode_structure(self, controller, space):
+        episode = controller.sample(np.random.default_rng(0))
+        assert len(episode.actions) == space.num_steps
+        assert len(episode.log_probs) == space.num_steps
+        assert len(episode.entropies) == space.num_steps
+        for action, step in zip(episode.actions, space.steps):
+            assert 0 <= action < step.num_choices
+
+    def test_log_probs_are_negative(self, controller):
+        episode = controller.sample(np.random.default_rng(1))
+        assert all(lp.item() <= 0 for lp in episode.log_probs)
+
+    def test_sampled_actions_decode(self, controller, space):
+        for seed in range(5):
+            episode = controller.sample(np.random.default_rng(seed))
+            candidate = space.decode(episode.actions)
+            assert candidate.model_names[0] == "ResNet-18"
+
+    def test_greedy_is_deterministic(self, controller):
+        assert controller.greedy_actions() == controller.greedy_actions()
+
+    def test_action_probabilities_are_distributions(self, controller, space):
+        distributions = controller.action_probabilities()
+        assert len(distributions) == space.num_steps
+        for probs, step in zip(distributions, space.steps):
+            assert probs.shape == (step.num_choices,)
+            assert probs.sum() == pytest.approx(1.0)
+
+
+class TestUpdate:
+    def test_update_changes_parameters(self, controller):
+        before = {name: param.data.copy() for name, param in controller.named_parameters()}
+        episodes = []
+        rng = np.random.default_rng(0)
+        for reward in (1.0, 5.0, 0.5):
+            episode = controller.sample(rng)
+            episode.reward = reward
+            episodes.append(episode)
+        stats = controller.update(episodes)
+        assert np.isfinite(stats["loss"])
+        changed = any(
+            not np.allclose(before[name], param.data)
+            for name, param in controller.named_parameters()
+        )
+        assert changed
+
+    def test_baseline_tracks_rewards(self, controller):
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            episodes = []
+            for _ in range(3):
+                episode = controller.sample(rng)
+                episode.reward = 10.0
+                episodes.append(episode)
+            controller.update(episodes)
+        assert controller.baseline == pytest.approx(10.0, rel=0.3)
+
+    def test_update_without_rewards_raises(self, controller):
+        episode = controller.sample(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            controller.update([episode])
+
+    def test_update_history_recorded(self, controller):
+        rng = np.random.default_rng(0)
+        episode = controller.sample(rng)
+        episode.reward = 2.0
+        controller.update([episode])
+        assert len(controller.update_history) == 1
+        assert {"loss", "mean_reward", "baseline", "grad_norm"} <= set(controller.update_history[0])
+
+    def test_policy_learns_to_prefer_rewarded_action(self, space):
+        """Rewarding a fixed first-step action should raise its probability."""
+        controller = RNNController(space, ControllerConfig(seed=1, lr=0.05, entropy_weight=0.0))
+        target_action = 2
+        initial_prob = controller.action_probabilities()[0][target_action]
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            episodes = []
+            for _ in range(4):
+                episode = controller.sample(rng)
+                episode.reward = 5.0 if episode.actions[0] == target_action else 0.1
+                episodes.append(episode)
+            controller.update(episodes)
+        final_prob = controller.action_probabilities()[0][target_action]
+        assert final_prob > initial_prob
+
+
+class TestRandomController:
+    def test_sampling_and_update(self, space):
+        controller = RandomController(space, seed=0)
+        episode = controller.sample()
+        assert len(episode.actions) == space.num_steps
+        episode.reward = 1.0
+        stats = controller.update([episode])
+        assert stats["mean_reward"] == pytest.approx(1.0)
+        assert controller.greedy_actions() is not None

@@ -1,0 +1,138 @@
+"""Unit tests for the model-fusing structure (muffin body + head)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FusedModel,
+    FusingCandidate,
+    MuffinBody,
+    MuffinHead,
+    oracle_union_predictions,
+)
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def body(pool):
+    return MuffinBody(pool.models(["ResNet-18", "DenseNet121"]))
+
+
+class TestMuffinBody:
+    def test_output_dim(self, body, pool):
+        assert body.output_dim == 2 * pool.split.test.num_classes
+        assert len(body) == 2
+        assert body.model_names == ["ResNet-18", "DenseNet121"]
+
+    def test_forward_concatenates_probabilities(self, body, pool):
+        test = pool.split.test
+        output = body.forward(test, indices=np.arange(10))
+        assert output.shape == (10, body.output_dim)
+        # Each member block is a probability distribution.
+        c = test.num_classes
+        np.testing.assert_allclose(output[:, :c].sum(axis=1), np.ones(10), atol=1e-9)
+        np.testing.assert_allclose(output[:, c:].sum(axis=1), np.ones(10), atol=1e-9)
+
+    def test_consensus_mask(self, body, pool):
+        test = pool.split.test
+        consensus = body.consensus(test)
+        assert consensus["member_predictions"].shape == (2, len(test))
+        agree = consensus["agree"]
+        member = consensus["member_predictions"]
+        np.testing.assert_array_equal(agree, member[0] == member[1])
+
+    def test_num_parameters_sums_members(self, body):
+        assert body.num_parameters == 11_181_642 + 6_961_928
+
+    def test_untrained_member_rejected(self, pool):
+        untrained = pool.get("ResNet-18").clone_untrained(label="u")
+        with pytest.raises(ValueError):
+            MuffinBody([untrained])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            MuffinBody([])
+
+
+class TestMuffinHead:
+    def test_forward_shape(self):
+        head = MuffinHead(body_output_dim=16, num_classes=8, hidden_sizes=(16, 12), activation="relu")
+        out = head(Tensor(np.zeros((5, 16))))
+        assert out.shape == (5, 8)
+
+    def test_layer_description_matches_paper_notation(self):
+        head = MuffinHead(16, 8, hidden_sizes=(16, 18, 12))
+        assert head.layer_description(8) == [16, 18, 12, 8]
+
+    def test_parameters_trainable(self):
+        head = MuffinHead(16, 8, hidden_sizes=(10,))
+        assert head.num_parameters() == 16 * 10 + 10 + 10 * 8 + 8
+
+
+class TestFusedModel:
+    @pytest.fixture(scope="class")
+    def fused(self, pool):
+        candidate = FusingCandidate(
+            model_names=("ResNet-18", "DenseNet121"), hidden_sizes=(16, 12), activation="relu"
+        )
+        return FusedModel.from_candidate(candidate, pool.models(candidate.model_names), seed=0)
+
+    def test_from_candidate_structure(self, fused, pool):
+        assert fused.num_classes == pool.split.test.num_classes
+        assert fused.body.output_dim == 2 * fused.num_classes
+        assert fused.trainable_parameters == fused.head.num_parameters()
+        assert fused.num_parameters == fused.body.num_parameters + fused.trainable_parameters
+
+    def test_predict_shapes(self, fused, pool):
+        test = pool.split.test
+        detailed = fused.predict_detailed(test)
+        assert detailed.predictions.shape == (len(test),)
+        assert detailed.consensus_mask.shape == (len(test),)
+        assert 0.0 <= detailed.arbitrated_fraction <= 1.0
+
+    def test_consensus_shortcut_keeps_agreements(self, fused, pool):
+        test = pool.split.test
+        detailed = fused.predict_detailed(test, use_consensus_shortcut=True)
+        agree = detailed.consensus_mask
+        np.testing.assert_array_equal(
+            detailed.predictions[agree], detailed.consensus_predictions[agree]
+        )
+        # Disagreements are decided by the head.
+        np.testing.assert_array_equal(
+            detailed.predictions[~agree], detailed.head_predictions[~agree]
+        )
+
+    def test_without_shortcut_head_decides_everything(self, fused, pool):
+        test = pool.split.test
+        detailed = fused.predict_detailed(test, use_consensus_shortcut=False)
+        np.testing.assert_array_equal(detailed.predictions, detailed.head_predictions)
+
+    def test_evaluate_returns_fairness_evaluation(self, fused, pool):
+        evaluation = fused.evaluate(pool.split.test, attributes=["age", "site"])
+        assert set(evaluation.unfairness) == {"age", "site"}
+        assert 0.0 <= evaluation.accuracy <= 1.0
+
+    def test_repr(self, fused):
+        assert "ResNet-18" in repr(fused)
+
+
+class TestOracleUnion:
+    def test_oracle_picks_correct_member(self):
+        labels = np.array([0, 1, 2, 3])
+        member_a = np.array([0, 9, 2, 9])
+        member_b = np.array([9, 1, 9, 9])
+        oracle = oracle_union_predictions(np.stack([member_a, member_b]), labels)
+        np.testing.assert_array_equal(oracle[:3], labels[:3])
+        assert oracle[3] == member_a[3]  # both wrong -> first member
+
+    def test_oracle_accuracy_upper_bounds_members(self, pool):
+        test = pool.split.test
+        a = pool.get("ResNet-18").predict(test)
+        b = pool.get("DenseNet121").predict(test)
+        oracle = oracle_union_predictions(np.stack([a, b]), test.labels)
+        oracle_acc = (oracle == test.labels).mean()
+        assert oracle_acc >= max((a == test.labels).mean(), (b == test.labels).mean())
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            oracle_union_predictions(np.zeros(5), np.zeros(5, dtype=int))

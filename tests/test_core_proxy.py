@@ -1,0 +1,108 @@
+"""Unit tests for the fairness proxy dataset (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_proxy_dataset,
+    compute_group_weights,
+    compute_image_weights,
+    uniform_proxy_dataset,
+)
+
+
+class TestImageWeights:
+    def test_counts_unprivileged_memberships(self, isic_split):
+        train = isic_split.train
+        weights = compute_image_weights(train, ["age", "site"])
+        assert weights.shape == (len(train),)
+        assert weights.min() >= 0 and weights.max() <= 2
+        # A sample unprivileged under both attributes gets weight 2.
+        both = train.unprivileged_mask("age") & train.unprivileged_mask("site")
+        if both.any():
+            assert (weights[both] == 2).all()
+
+    def test_zero_for_fully_privileged_samples(self, isic_split):
+        train = isic_split.train
+        weights = compute_image_weights(train, ["age", "site"])
+        privileged = ~(train.unprivileged_mask("age") | train.unprivileged_mask("site"))
+        assert (weights[privileged] == 0).all()
+
+    def test_single_attribute_weights_are_binary(self, isic_split):
+        weights = compute_image_weights(isic_split.train, ["age"])
+        assert set(np.unique(weights)) <= {0.0, 1.0}
+
+
+class TestGroupWeights:
+    def test_group_weights_cover_unprivileged_groups(self, isic_split):
+        train = isic_split.train
+        group_weights = compute_group_weights(train, ["age", "site"])
+        assert set(group_weights) == {"age", "site"}
+        assert set(group_weights["age"]) == set(train.attributes["age"].unprivileged)
+
+    def test_group_weight_is_mean_of_member_image_weights(self, isic_split):
+        train = isic_split.train
+        image_weights = compute_image_weights(train, ["age", "site"])
+        group_weights = compute_group_weights(train, ["age", "site"], image_weights)
+        spec = train.attributes["age"]
+        group = spec.unprivileged[0]
+        mask = train.group_ids("age") == spec.group_index(group)
+        assert group_weights["age"][group] == pytest.approx(image_weights[mask].mean())
+
+    def test_group_weights_at_least_one(self, isic_split):
+        """Every member of an unprivileged group counts that group at least once."""
+        group_weights = compute_group_weights(isic_split.train, ["age", "site"])
+        for per_group in group_weights.values():
+            assert all(value >= 1.0 for value in per_group.values() if value > 0)
+
+
+class TestBuildProxyDataset:
+    def test_only_unprivileged_samples_selected(self, isic_split):
+        train = isic_split.train
+        proxy = build_proxy_dataset(train, ["age", "site"])
+        unprivileged = train.unprivileged_mask("age") | train.unprivileged_mask("site")
+        assert len(proxy) == int(unprivileged.sum())
+        assert unprivileged[proxy.indices].all()
+
+    def test_weights_normalised_to_mean_one(self, isic_split):
+        proxy = build_proxy_dataset(isic_split.train, ["age", "site"])
+        assert proxy.sample_weights.mean() == pytest.approx(1.0)
+        assert (proxy.sample_weights > 0).all()
+
+    def test_multi_attribute_members_weighted_higher(self, isic_split):
+        train = isic_split.train
+        proxy = build_proxy_dataset(train, ["age", "site"], normalize=False)
+        both = (train.unprivileged_mask("age") & train.unprivileged_mask("site"))[proxy.indices]
+        single = ~both
+        if both.any() and single.any():
+            assert proxy.sample_weights[both].mean() > proxy.sample_weights[single].mean()
+
+    def test_include_privileged_keeps_everything(self, isic_split):
+        proxy = build_proxy_dataset(isic_split.train, ["age", "site"], include_privileged=True)
+        assert len(proxy) == len(isic_split.train)
+
+    def test_subset_property(self, isic_split):
+        proxy = build_proxy_dataset(isic_split.train, ["age"])
+        subset = proxy.subset
+        assert len(subset) == len(proxy)
+        np.testing.assert_array_equal(subset.labels, isic_split.train.labels[proxy.indices])
+
+    def test_unknown_attribute_rejected(self, isic_split):
+        with pytest.raises(KeyError):
+            build_proxy_dataset(isic_split.train, ["hair_colour"])
+
+    def test_summary_fields(self, isic_split):
+        summary = build_proxy_dataset(isic_split.train, ["age", "site"]).summary()
+        assert {"size", "fraction_of_dataset", "group_weights", "weight_range"} <= set(summary)
+        assert 0 < summary["fraction_of_dataset"] < 1
+
+    def test_default_attributes_are_all(self, isic_split):
+        proxy = build_proxy_dataset(isic_split.train)
+        assert set(proxy.attributes) == {"age", "site", "gender"}
+
+
+class TestUniformProxy:
+    def test_uniform_proxy_covers_full_dataset_with_unit_weights(self, isic_split):
+        proxy = uniform_proxy_dataset(isic_split.train, ["age", "site"])
+        assert len(proxy) == len(isic_split.train)
+        np.testing.assert_allclose(proxy.sample_weights, np.ones(len(isic_split.train)))

@@ -1,0 +1,71 @@
+"""Unit tests for the multi-fairness reward (Equation 3)."""
+
+import pytest
+
+from repro.core import MultiFairnessReward, RewardConfig
+from repro.fairness import FairnessEvaluation
+
+
+def make_eval(acc, **unfairness):
+    return FairnessEvaluation(accuracy=acc, unfairness=dict(unfairness))
+
+
+class TestRewardConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RewardConfig(attributes=("a",), epsilon=0.0)
+        with pytest.raises(ValueError):
+            RewardConfig(attributes=("a",), accuracy_penalty=-1.0)
+        with pytest.raises(ValueError):
+            RewardConfig(attributes=("a",), min_accuracy=1.5)
+
+    def test_reward_requires_attributes(self):
+        with pytest.raises(ValueError):
+            MultiFairnessReward(RewardConfig(attributes=()))
+
+
+class TestMultiFairnessReward:
+    def test_equation_3(self):
+        reward = MultiFairnessReward(RewardConfig(attributes=("age", "site")))
+        value = reward(make_eval(0.8, age=0.4, site=0.2))
+        assert value == pytest.approx(0.8 / 0.4 + 0.8 / 0.2)
+
+    def test_lower_unfairness_gives_higher_reward(self):
+        reward = MultiFairnessReward(RewardConfig(attributes=("age", "site")))
+        fair = reward(make_eval(0.8, age=0.2, site=0.2))
+        unfair = reward(make_eval(0.8, age=0.5, site=0.5))
+        assert fair > unfair
+
+    def test_higher_accuracy_gives_higher_reward(self):
+        reward = MultiFairnessReward(RewardConfig(attributes=("age",)))
+        assert reward(make_eval(0.9, age=0.3)) > reward(make_eval(0.7, age=0.3))
+
+    def test_epsilon_guards_division_by_zero(self):
+        reward = MultiFairnessReward(RewardConfig(attributes=("age",), epsilon=1e-3))
+        value = reward(make_eval(0.8, age=0.0))
+        assert value == pytest.approx(0.8 / 1e-3)
+
+    def test_missing_attribute_raises(self):
+        reward = MultiFairnessReward(RewardConfig(attributes=("age", "site")))
+        with pytest.raises(KeyError):
+            reward(make_eval(0.8, age=0.4))
+
+    def test_accuracy_floor_penalises_shortfall(self):
+        config = RewardConfig(attributes=("age",), min_accuracy=0.8, accuracy_penalty=10.0)
+        reward = MultiFairnessReward(config)
+        above = reward(make_eval(0.85, age=0.3))
+        below = reward(make_eval(0.70, age=0.3))
+        unpenalised_below = 0.70 / 0.3
+        assert above == pytest.approx(0.85 / 0.3)
+        assert below < unpenalised_below
+
+    def test_breakdown_sums_to_total(self):
+        reward = MultiFairnessReward(RewardConfig(attributes=("age", "site")))
+        evaluation = make_eval(0.8, age=0.4, site=0.2)
+        breakdown = reward.breakdown(evaluation)
+        assert breakdown["total"] == pytest.approx(breakdown["age"] + breakdown["site"])
+
+    def test_callable_and_compute_agree(self):
+        reward = MultiFairnessReward(RewardConfig(attributes=("age",)))
+        evaluation = make_eval(0.75, age=0.25)
+        assert reward(evaluation) == pytest.approx(reward.compute(evaluation))

@@ -1,0 +1,149 @@
+"""Unit and integration tests for the Muffin search loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BodyOutputCache,
+    FusingCandidate,
+    HeadTrainConfig,
+    MuffinSearch,
+    SearchConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def search(pool):
+    return MuffinSearch(
+        pool,
+        attributes=["age", "site"],
+        base_model="MobileNet_V3_Small",
+        search_config=SearchConfig(episodes=10, episode_batch=5, seed=0),
+        head_config=HeadTrainConfig(epochs=10, seed=0),
+    )
+
+
+@pytest.fixture(scope="module")
+def result(search):
+    return search.run()
+
+
+class TestSearchConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchConfig(episodes=0)
+        with pytest.raises(ValueError):
+            SearchConfig(episode_batch=0)
+        with pytest.raises(ValueError):
+            SearchConfig(controller="bayes")
+
+
+class TestBodyOutputCache:
+    def test_cache_returns_same_arrays(self, pool):
+        cache = BodyOutputCache(pool)
+        test = pool.split.test
+        first = cache.probabilities("ResNet-18", test, None, tag="test")
+        second = cache.probabilities("ResNet-18", test, None, tag="test")
+        assert first is second
+
+    def test_concatenated_shape(self, pool):
+        cache = BodyOutputCache(pool)
+        test = pool.split.test
+        output = cache.concatenated(["ResNet-18", "DenseNet121"], test, None, tag="test")
+        assert output.shape == (len(test), 2 * test.num_classes)
+
+
+class TestMuffinSearch:
+    def test_requires_attributes(self, pool):
+        with pytest.raises(ValueError):
+            MuffinSearch(pool, attributes=[])
+
+    def test_proxy_built_from_unprivileged_data(self, search, pool):
+        assert len(search.proxy) < len(pool.split.train)
+        assert search.proxy.sample_weights.mean() == pytest.approx(1.0)
+
+    def test_run_produces_one_record_per_episode(self, result):
+        assert len(result) == 10
+        assert all(np.isfinite(record.reward) for record in result.records)
+        assert [record.episode for record in result.records] == list(range(10))
+
+    def test_records_store_heads_and_parameters(self, result):
+        record = result.records[0]
+        assert record.head_state is not None
+        assert record.num_parameters > record.trainable_parameters > 0
+        assert len(record.train_losses) == 10
+
+    def test_candidates_respect_base_model(self, result):
+        for record in result.records:
+            assert record.candidate.model_names[0] == "MobileNet_V3_Small"
+            assert len(record.candidate.model_names) == 2
+
+    def test_controller_was_updated(self, search, result):
+        assert len(search.controller.update_history) == 2  # 10 episodes / batch of 5
+
+    def test_evaluate_candidate_manual(self, search):
+        candidate = FusingCandidate(
+            model_names=("MobileNet_V3_Small", "ResNet-18"),
+            hidden_sizes=(16, 10),
+            activation="relu",
+        )
+        record = search.evaluate_candidate(candidate, episode=-1, seed=0)
+        assert record.reward > 0
+        assert set(record.evaluation.unfairness) == {"age", "site"}
+
+    def test_finalize_best_reward(self, search, result, pool):
+        muffin = search.finalize(result, metric="reward", name="Muffin-test")
+        assert muffin.name == "Muffin-test"
+        assert muffin.test_evaluation is not None
+        best = result.best_record("reward")
+        assert muffin.record is best
+        # The rebuilt fused model reproduces the stored head exactly on the
+        # evaluation partition used during the search.
+        evaluation = search._evaluate_fused(muffin.fused, muffin.record.candidate)
+        assert evaluation.accuracy == pytest.approx(muffin.record.evaluation.accuracy)
+
+    def test_finalize_balance_metric(self, search, result):
+        muffin = search.finalize(result, metric="balance", name="Muffin-Balance")
+        assert muffin.record in result.records
+
+    def test_named_muffin_nets(self, search, result):
+        nets = search.named_muffin_nets(result)
+        assert {"Muffin", "Muffin-Age", "Muffin-Site", "Muffin-Balance"} <= set(nets)
+        for net in nets.values():
+            assert net.test_evaluation is not None
+
+    def test_random_controller_variant(self, pool):
+        search = MuffinSearch(
+            pool,
+            attributes=["age", "site"],
+            base_model="ResNet-18",
+            search_config=SearchConfig(episodes=4, episode_batch=2, seed=1, controller="random"),
+            head_config=HeadTrainConfig(epochs=5),
+        )
+        result = search.run()
+        assert len(result) == 4
+
+    def test_unweighted_proxy_variant(self, pool):
+        search = MuffinSearch(
+            pool,
+            attributes=["age", "site"],
+            base_model="ResNet-18",
+            search_config=SearchConfig(
+                episodes=2, episode_batch=2, seed=2, use_weighted_proxy=False
+            ),
+            head_config=HeadTrainConfig(epochs=5),
+        )
+        assert len(search.proxy) == len(pool.split.train)
+        result = search.run()
+        assert len(result) == 2
+
+    def test_run_with_explicit_episode_count(self, pool):
+        search = MuffinSearch(
+            pool,
+            attributes=["age"],
+            base_model="DenseNet121",
+            search_config=SearchConfig(episodes=50, episode_batch=3, seed=3),
+            head_config=HeadTrainConfig(epochs=4),
+        )
+        result = search.run(episodes=3)
+        assert len(result) == 3

@@ -1,0 +1,110 @@
+"""Unit tests for the Muffin search space."""
+
+import numpy as np
+import pytest
+
+from repro.core import FusingCandidate, SearchSpace
+from repro.zoo import default_pool_names
+
+POOL = default_pool_names()
+
+
+class TestConstruction:
+    def test_step_layout_with_base_model(self):
+        space = SearchSpace(POOL, base_model="ResNet-18", num_paired=1)
+        # 1 partner + depth + max_depth widths + activation
+        assert space.num_steps == 1 + 1 + space.max_depth + 1
+        assert space.steps[0].name == "paired_model_1"
+        assert space.steps[-1].name == "activation"
+
+    def test_partner_choices_exclude_base(self):
+        space = SearchSpace(POOL, base_model="ResNet-18")
+        assert "ResNet-18" not in space.partner_choices
+        assert len(space.partner_choices) == len(POOL) - 1
+
+    def test_num_choices_match_steps(self):
+        space = SearchSpace(POOL, base_model=None, num_paired=2)
+        counts = space.num_choices()
+        assert len(counts) == space.num_steps
+        assert all(count >= 1 for count in counts)
+
+    def test_size_is_positive_and_large(self):
+        space = SearchSpace(POOL, base_model="ResNet-18")
+        assert space.size() > 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchSpace([], base_model=None)
+        with pytest.raises(ValueError):
+            SearchSpace(POOL, base_model="NotInPool")
+        with pytest.raises(ValueError):
+            SearchSpace(POOL, num_paired=0)
+        with pytest.raises(ValueError):
+            SearchSpace(["OnlyOne"], base_model="OnlyOne", num_paired=1)
+        with pytest.raises(ValueError):
+            SearchSpace(POOL, width_choices=[])
+
+    def test_describe(self):
+        description = SearchSpace(POOL, base_model="ResNet-18").describe()
+        assert description["base_model"] == "ResNet-18"
+        assert description["num_steps"] > 0
+
+
+class TestDecode:
+    def test_decode_roundtrip_structure(self):
+        space = SearchSpace(POOL, base_model="ResNet-18", num_paired=1)
+        actions = [0] * space.num_steps
+        candidate = space.decode(actions)
+        assert isinstance(candidate, FusingCandidate)
+        assert candidate.model_names[0] == "ResNet-18"
+        assert len(candidate.model_names) == 2
+        assert len(candidate.hidden_sizes) >= 1
+        assert candidate.activation in space.activation_choices
+
+    def test_depth_controls_width_count(self):
+        space = SearchSpace(POOL, base_model="ResNet-18", depth_choices=(1, 2, 3))
+        actions = [0] * space.num_steps
+        depth_step = space.num_paired  # index of the depth decision
+        actions[depth_step] = 2  # choose depth 3
+        candidate = space.decode(actions)
+        assert len(candidate.hidden_sizes) == 3
+
+    def test_duplicate_partner_resolved(self):
+        space = SearchSpace(POOL, base_model=None, num_paired=2)
+        actions = [0, 0] + [0] * (space.num_steps - 2)
+        candidate = space.decode(actions)
+        assert len(set(candidate.model_names)) == 2
+
+    def test_wrong_length_rejected(self):
+        space = SearchSpace(POOL, base_model="ResNet-18")
+        with pytest.raises(ValueError):
+            space.decode([0])
+
+    def test_out_of_range_action_rejected(self):
+        space = SearchSpace(POOL, base_model="ResNet-18")
+        actions = [0] * space.num_steps
+        actions[-1] = 99
+        with pytest.raises(ValueError):
+            space.decode(actions)
+
+    def test_every_random_candidate_is_valid(self):
+        space = SearchSpace(POOL, base_model="MobileNet_V3_Small", num_paired=2)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            candidate = space.random_candidate(rng)
+            assert candidate.model_names[0] == "MobileNet_V3_Small"
+            assert len(set(candidate.model_names)) == len(candidate.model_names)
+            assert all(width in space.width_choices for width in candidate.hidden_sizes)
+            assert len(candidate.hidden_sizes) in space.depth_choices
+
+    def test_candidate_describe_and_dict(self):
+        space = SearchSpace(POOL, base_model="ResNet-18")
+        candidate = space.random_candidate(np.random.default_rng(1))
+        assert "ResNet-18" in candidate.describe()
+        payload = candidate.to_dict()
+        assert set(payload) == {"model_names", "hidden_sizes", "activation"}
+
+    def test_free_selection_has_no_base(self):
+        space = SearchSpace(POOL, base_model=None, num_paired=3)
+        candidate = space.decode(space.random_actions(np.random.default_rng(2)))
+        assert len(candidate.model_names) == 3

@@ -1,0 +1,92 @@
+"""Unit tests for the muffin-head trainer (Equation 2 training)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FusedModel,
+    FusingCandidate,
+    HeadTrainConfig,
+    build_proxy_dataset,
+    train_head,
+)
+
+
+@pytest.fixture()
+def fused(pool):
+    candidate = FusingCandidate(
+        model_names=("ResNet-18", "DenseNet121"), hidden_sizes=(16, 10), activation="relu"
+    )
+    return FusedModel.from_candidate(candidate, pool.models(candidate.model_names), seed=0)
+
+
+@pytest.fixture(scope="module")
+def proxy(isic_split):
+    return build_proxy_dataset(isic_split.train, ["age", "site"])
+
+
+class TestHeadTrainConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeadTrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            HeadTrainConfig(loss="hinge")
+        with pytest.raises(ValueError):
+            HeadTrainConfig(optimizer="rmsprop")
+
+
+class TestTrainHead:
+    def test_loss_decreases(self, fused, proxy):
+        result = train_head(fused, proxy, HeadTrainConfig(epochs=15, seed=0))
+        assert len(result.losses) == 15
+        assert result.losses[-1] < result.losses[0]
+        assert result.proxy_size == len(proxy)
+
+    def test_trained_head_beats_untrained_on_disagreements(self, pool, proxy, isic_split):
+        candidate = FusingCandidate(
+            model_names=("ResNet-18", "DenseNet121"), hidden_sizes=(16, 10), activation="relu"
+        )
+        models = pool.models(candidate.model_names)
+        untrained = FusedModel.from_candidate(candidate, models, seed=0)
+        trained = FusedModel.from_candidate(candidate, models, seed=0)
+        train_head(trained, proxy, HeadTrainConfig(epochs=25, seed=0))
+        test = isic_split.test
+        untrained_acc = untrained.evaluate(test).accuracy
+        trained_acc = trained.evaluate(test).accuracy
+        assert trained_acc > untrained_acc - 0.02
+        # Head-only predictions (no consensus shortcut) must clearly improve.
+        untrained_head = untrained.evaluate(test, use_consensus_shortcut=False).accuracy
+        trained_head = trained.evaluate(test, use_consensus_shortcut=False).accuracy
+        assert trained_head > untrained_head + 0.2
+
+    def test_precomputed_body_outputs_match(self, pool, proxy):
+        candidate = FusingCandidate(
+            model_names=("ResNet-18", "DenseNet121"), hidden_sizes=(12,), activation="tanh"
+        )
+        models = pool.models(candidate.model_names)
+        a = FusedModel.from_candidate(candidate, models, seed=1)
+        b = FusedModel.from_candidate(candidate, models, seed=1)
+        outputs = a.body.forward(proxy.dataset, proxy.indices)
+        result_a = train_head(a, proxy, HeadTrainConfig(epochs=5, seed=2), body_outputs=outputs)
+        result_b = train_head(b, proxy, HeadTrainConfig(epochs=5, seed=2))
+        np.testing.assert_allclose(result_a.losses, result_b.losses, rtol=1e-8)
+
+    def test_bad_body_output_shape_rejected(self, fused, proxy):
+        with pytest.raises(ValueError):
+            train_head(fused, proxy, HeadTrainConfig(epochs=1), body_outputs=np.zeros((3, 3)))
+
+    def test_weighted_ce_loss_variant(self, fused, proxy):
+        result = train_head(fused, proxy, HeadTrainConfig(epochs=5, loss="weighted_ce", seed=0))
+        assert result.losses[-1] < result.losses[0]
+
+    def test_sgd_optimizer_variant(self, fused, proxy):
+        result = train_head(
+            fused, proxy, HeadTrainConfig(epochs=5, optimizer="sgd", lr=0.05, seed=0)
+        )
+        assert np.isfinite(result.losses).all()
+
+    def test_result_to_dict(self, fused, proxy):
+        result = train_head(fused, proxy, HeadTrainConfig(epochs=2, seed=0))
+        payload = result.to_dict()
+        assert payload["epochs"] == 2
+        assert payload["proxy_size"] == len(proxy)

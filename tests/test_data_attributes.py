@@ -1,0 +1,141 @@
+"""Unit tests for repro.data.attributes."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AttributeSet,
+    AttributeSpec,
+    fitzpatrick_attribute_set,
+    fitzpatrick_skin_tone_spec,
+    fitzpatrick_type_spec,
+    isic_age_spec,
+    isic_attribute_set,
+    isic_gender_spec,
+    isic_site_spec,
+)
+
+
+class TestAttributeSpec:
+    def test_basic_properties(self):
+        spec = AttributeSpec(
+            name="camera",
+            groups=("a", "b", "c"),
+            unprivileged=("c",),
+            difficulty={"c": 0.5},
+            proportions={"a": 2.0, "b": 1.0, "c": 1.0},
+        )
+        assert spec.num_groups == 3
+        assert spec.privileged == ("a", "b")
+        assert spec.group_index("b") == 1
+        assert spec.group_name(2) == "c"
+        assert spec.is_unprivileged("c") and not spec.is_unprivileged("a")
+        assert spec.unprivileged_indices() == (2,)
+        assert spec.privileged_indices() == (0, 1)
+
+    def test_difficulty_vector_defaults_to_zero(self):
+        spec = AttributeSpec(name="x", groups=("p", "q"), difficulty={"q": 0.4})
+        np.testing.assert_allclose(spec.difficulty_vector(), [0.0, 0.4])
+
+    def test_proportion_vector_normalises(self):
+        spec = AttributeSpec(name="x", groups=("p", "q"), proportions={"p": 3.0, "q": 1.0})
+        np.testing.assert_allclose(spec.proportion_vector(), [0.75, 0.25])
+
+    def test_proportion_defaults_to_uniform(self):
+        spec = AttributeSpec(name="x", groups=("p", "q", "r"))
+        np.testing.assert_allclose(spec.proportion_vector(), np.full(3, 1 / 3))
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            AttributeSpec(name="x", groups=("only",))
+        with pytest.raises(ValueError):
+            AttributeSpec(name="x", groups=("a", "a"))
+        with pytest.raises(ValueError):
+            AttributeSpec(name="x", groups=("a", "b"), unprivileged=("z",))
+        with pytest.raises(ValueError):
+            AttributeSpec(name="x", groups=("a", "b"), difficulty={"z": 0.1})
+        with pytest.raises(ValueError):
+            AttributeSpec(name="x", groups=("a", "b"), difficulty={"a": 1.5})
+        with pytest.raises(ValueError):
+            AttributeSpec(name="x", groups=("a", "b"), proportions={"a": 0.0, "b": 1.0}).proportion_vector()
+
+    def test_unknown_group_lookup(self):
+        spec = AttributeSpec(name="x", groups=("a", "b"))
+        with pytest.raises(KeyError):
+            spec.group_index("missing")
+
+
+class TestAttributeSet:
+    def _set(self):
+        return AttributeSet(
+            [
+                AttributeSpec(name="one", groups=("a", "b"), unprivileged=("b",)),
+                AttributeSpec(name="two", groups=("x", "y", "z"), unprivileged=("z",)),
+            ]
+        )
+
+    def test_ordering_and_lookup(self):
+        attrs = self._set()
+        assert attrs.names == ("one", "two")
+        assert len(attrs) == 2
+        assert "one" in attrs and "missing" not in attrs
+        assert attrs["two"].num_groups == 3
+        assert [spec.name for spec in attrs] == ["one", "two"]
+
+    def test_subset_preserves_order(self):
+        attrs = self._set()
+        sub = attrs.subset(["two"])
+        assert sub.names == ("two",)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(KeyError):
+            self._set()["missing"]
+
+    def test_duplicate_names_rejected(self):
+        spec = AttributeSpec(name="dup", groups=("a", "b"))
+        with pytest.raises(ValueError):
+            AttributeSet([spec, spec])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSet([])
+
+    def test_to_dict_structure(self):
+        payload = self._set().to_dict()
+        assert set(payload) == {"one", "two"}
+        assert payload["one"]["unprivileged"] == ["b"]
+
+
+class TestPaperTaxonomies:
+    def test_isic_age_groups(self):
+        spec = isic_age_spec()
+        assert spec.num_groups == 6
+        assert set(spec.unprivileged) <= set(spec.groups)
+
+    def test_isic_site_has_nine_groups(self):
+        assert isic_site_spec().num_groups == 9
+
+    def test_isic_gender_is_nearly_balanced_and_easy(self):
+        spec = isic_gender_spec()
+        assert spec.num_groups == 2
+        assert max(spec.difficulty.values()) < 0.15
+
+    def test_isic_attribute_set_order(self):
+        assert isic_attribute_set().names == ("age", "site", "gender")
+
+    def test_unprivileged_groups_are_harder(self):
+        for spec in (isic_age_spec(), isic_site_spec(), fitzpatrick_skin_tone_spec()):
+            unpriv = [spec.difficulty.get(g, 0.0) for g in spec.unprivileged]
+            priv = [spec.difficulty.get(g, 0.0) for g in spec.privileged]
+            assert min(unpriv) > max(priv)
+
+    def test_fitzpatrick_taxonomy(self):
+        attrs = fitzpatrick_attribute_set()
+        assert attrs.names == ("skin_tone", "type")
+        assert attrs["skin_tone"].num_groups == 6
+        assert fitzpatrick_type_spec().num_groups == 3
+
+    def test_fitzpatrick_darker_tones_are_unprivileged(self):
+        spec = fitzpatrick_skin_tone_spec()
+        assert "black" in spec.unprivileged
+        assert "white" not in spec.unprivileged

@@ -1,0 +1,220 @@
+"""Unit tests for repro.data.dataset (FairnessDataset container)."""
+
+import numpy as np
+import pytest
+
+from repro.data import AttributeSet, AttributeSpec, FairnessDataset, distortion_key
+
+
+def make_dataset(n=40, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    attrs = AttributeSet(
+        [
+            AttributeSpec(name="alpha", groups=("a0", "a1"), unprivileged=("a1",)),
+            AttributeSpec(name="beta", groups=("b0", "b1", "b2"), unprivileged=("b2",)),
+        ]
+    )
+    return FairnessDataset(
+        name="toy",
+        num_classes=3,
+        labels=rng.integers(0, 3, size=n),
+        attribute_groups={
+            "alpha": rng.integers(0, 2, size=n),
+            "beta": rng.integers(0, 3, size=n),
+        },
+        attributes=attrs,
+        components={
+            "signal": rng.normal(size=(n, d)),
+            "noise": rng.normal(size=(n, d)),
+            distortion_key("alpha"): rng.normal(size=(n, d)),
+            distortion_key("beta"): rng.normal(size=(n, d)),
+        },
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        ds = make_dataset()
+        assert len(ds) == 40
+        assert ds.feature_dim == 6
+        assert ds.num_classes == 3
+        assert "toy" in repr(ds)
+        assert len(ds.class_names) == 3
+
+    def test_validation_errors(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError):
+            FairnessDataset(
+                name="bad",
+                num_classes=1,
+                labels=ds.labels,
+                attribute_groups=ds.attribute_groups,
+                attributes=ds.attributes,
+                components=ds.components,
+            )
+        with pytest.raises(KeyError):
+            FairnessDataset(
+                name="bad",
+                num_classes=3,
+                labels=ds.labels,
+                attribute_groups={"alpha": ds.attribute_groups["alpha"]},
+                attributes=ds.attributes,
+                components=ds.components,
+            )
+        with pytest.raises(KeyError):
+            FairnessDataset(
+                name="bad",
+                num_classes=3,
+                labels=ds.labels,
+                attribute_groups=ds.attribute_groups,
+                attributes=ds.attributes,
+                components={"noise": ds.components["noise"]},
+            )
+        with pytest.raises(ValueError):
+            FairnessDataset(
+                name="bad",
+                num_classes=3,
+                labels=np.array([5] * 40),
+                attribute_groups=ds.attribute_groups,
+                attributes=ds.attributes,
+                components=ds.components,
+            )
+
+    def test_mismatched_component_shapes_rejected(self):
+        ds = make_dataset()
+        bad_components = dict(ds.components)
+        bad_components["signal"] = np.zeros((len(ds), 99))
+        bad_components["noise"] = np.zeros((len(ds), 6))
+        with pytest.raises(ValueError):
+            ds.with_components(bad_components)
+
+    def test_class_names_length_checked(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError):
+            FairnessDataset(
+                name="bad",
+                num_classes=3,
+                labels=ds.labels,
+                attribute_groups=ds.attribute_groups,
+                attributes=ds.attributes,
+                components=ds.components,
+                class_names=("only-one",),
+            )
+
+
+class TestGroups:
+    def test_group_masks_partition_dataset(self):
+        ds = make_dataset()
+        spec = ds.attributes["beta"]
+        total = sum(ds.group_mask("beta", g).sum() for g in spec.groups)
+        assert total == len(ds)
+
+    def test_group_indices_consistent_with_mask(self):
+        ds = make_dataset()
+        idx = ds.group_indices("alpha", "a1")
+        mask = ds.group_mask("alpha", "a1")
+        np.testing.assert_array_equal(np.where(mask)[0], idx)
+
+    def test_unprivileged_mask_single_attribute(self):
+        ds = make_dataset()
+        mask = ds.unprivileged_mask("alpha")
+        np.testing.assert_array_equal(mask, ds.group_ids("alpha") == 1)
+
+    def test_unprivileged_mask_any_attribute_is_union(self):
+        ds = make_dataset()
+        union = ds.unprivileged_mask("alpha") | ds.unprivileged_mask("beta")
+        np.testing.assert_array_equal(ds.unprivileged_mask(), union)
+
+    def test_privileged_mask_is_complement(self):
+        ds = make_dataset()
+        np.testing.assert_array_equal(ds.privileged_mask(), ~ds.unprivileged_mask())
+
+    def test_group_sizes_sum_to_n(self):
+        ds = make_dataset()
+        assert sum(ds.group_sizes("beta").values()) == len(ds)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(KeyError):
+            make_dataset().group_ids("missing")
+
+    def test_class_counts(self):
+        ds = make_dataset()
+        assert ds.class_counts().sum() == len(ds)
+
+
+class TestComposeFeatures:
+    def test_default_exposes_everything(self):
+        ds = make_dataset()
+        composed = ds.compose_features()
+        expected = (
+            ds.components["signal"]
+            + ds.components["noise"]
+            + ds.components[distortion_key("alpha")]
+            + ds.components[distortion_key("beta")]
+        )
+        np.testing.assert_allclose(composed, expected)
+
+    def test_zero_sensitivity_removes_distortion(self):
+        ds = make_dataset()
+        composed = ds.compose_features(sensitivity={"alpha": 0.0, "beta": 0.0})
+        np.testing.assert_allclose(composed, ds.components["signal"] + ds.components["noise"])
+
+    def test_gains_scale_components(self):
+        ds = make_dataset()
+        composed = ds.compose_features(
+            sensitivity={"alpha": 0.0, "beta": 0.0}, signal_gain=2.0, noise_gain=0.0
+        )
+        np.testing.assert_allclose(composed, 2.0 * ds.components["signal"])
+
+    def test_indices_subset(self):
+        ds = make_dataset()
+        idx = np.array([0, 5, 7])
+        composed = ds.compose_features(indices=idx)
+        assert composed.shape == (3, ds.feature_dim)
+
+
+class TestSubsetAndBatches:
+    def test_subset_copies_rows(self):
+        ds = make_dataset()
+        idx = np.arange(10)
+        sub = ds.subset(idx)
+        assert len(sub) == 10
+        np.testing.assert_array_equal(sub.labels, ds.labels[:10])
+        sub.components["signal"][0, 0] = 1e9
+        assert ds.components["signal"][0, 0] != 1e9
+
+    def test_with_components_replaces_features(self):
+        ds = make_dataset()
+        comps = {k: np.zeros_like(v) for k, v in ds.components.items()}
+        replaced = ds.with_components(comps)
+        assert replaced.compose_features().sum() == 0.0
+        assert len(replaced) == len(ds)
+
+    def test_iter_batches_covers_everything_once(self):
+        ds = make_dataset()
+        features = ds.compose_features()
+        seen = []
+        for batch, weights in ds.iter_batches(16, features, shuffle=True, rng=np.random.default_rng(0)):
+            assert weights is None
+            seen.extend(batch.indices.tolist())
+        assert sorted(seen) == list(range(len(ds)))
+
+    def test_iter_batches_respects_weights(self):
+        ds = make_dataset()
+        features = ds.compose_features()
+        sample_weights = np.arange(len(ds), dtype=float)
+        for batch, weights in ds.iter_batches(8, features, shuffle=False, sample_weights=sample_weights):
+            np.testing.assert_allclose(weights, sample_weights[batch.indices])
+
+    def test_iter_batches_validation(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError):
+            list(ds.iter_batches(0, ds.compose_features()))
+        with pytest.raises(ValueError):
+            list(ds.iter_batches(4, np.zeros((3, ds.feature_dim))))
+
+    def test_summary_structure(self):
+        summary = make_dataset().summary()
+        assert summary["num_samples"] == 40
+        assert set(summary["group_sizes"]) == {"alpha", "beta"}
+        assert len(summary["class_counts"]) == 3

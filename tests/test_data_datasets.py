@@ -1,0 +1,78 @@
+"""Unit tests for the ISIC2019 / Fitzpatrick17K synthetic stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    FITZPATRICK_CLASS_NAMES,
+    ISIC_CLASS_NAMES,
+    SyntheticFitzpatrick17K,
+    SyntheticISIC2019,
+    load_fitzpatrick17k,
+    load_isic2019,
+)
+
+
+class TestSyntheticISIC2019:
+    def test_schema_matches_paper(self, isic_dataset):
+        assert isic_dataset.num_classes == 8
+        assert isic_dataset.attributes.names == ("age", "site", "gender")
+        assert isic_dataset.attributes["age"].num_groups == 6
+        assert isic_dataset.attributes["site"].num_groups == 9
+        assert isic_dataset.attributes["gender"].num_groups == 2
+        assert len(ISIC_CLASS_NAMES) == 8
+
+    def test_requested_size(self):
+        assert len(SyntheticISIC2019(num_samples=500, seed=0)) == 500
+
+    def test_reproducible_from_seed(self):
+        a = SyntheticISIC2019(num_samples=300, seed=11)
+        b = SyntheticISIC2019(num_samples=300, seed=11)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_allclose(a.components["signal"], b.components["signal"])
+
+    def test_loader_function(self):
+        ds = load_isic2019(num_samples=200, seed=1)
+        assert isinstance(ds, SyntheticISIC2019)
+        assert len(ds) == 200
+
+    def test_every_group_represented(self, isic_dataset):
+        for attr in isic_dataset.attributes.names:
+            sizes = isic_dataset.group_sizes(attr)
+            assert all(size > 0 for size in sizes.values()), f"empty group in {attr}"
+
+    def test_unprivileged_fraction_reasonable(self, isic_dataset):
+        fraction = isic_dataset.unprivileged_mask().mean()
+        assert 0.2 < fraction < 0.8
+
+
+class TestSyntheticFitzpatrick17K:
+    def test_schema_matches_paper(self, fitz_dataset):
+        assert fitz_dataset.num_classes == 9
+        assert fitz_dataset.attributes.names == ("skin_tone", "type")
+        assert fitz_dataset.attributes["skin_tone"].num_groups == 6
+        assert len(FITZPATRICK_CLASS_NAMES) == 9
+
+    def test_loader_function(self):
+        ds = load_fitzpatrick17k(num_samples=150, seed=2)
+        assert isinstance(ds, SyntheticFitzpatrick17K)
+        assert len(ds) == 150
+
+    def test_skin_tone_groups_ordered_light_to_black(self, fitz_dataset):
+        assert fitz_dataset.attributes["skin_tone"].groups == (
+            "light",
+            "white",
+            "medium",
+            "olive",
+            "brown",
+            "black",
+        )
+
+    def test_reproducible_from_seed(self):
+        a = SyntheticFitzpatrick17K(num_samples=200, seed=3)
+        b = SyntheticFitzpatrick17K(num_samples=200, seed=3)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_from_isic(self, isic_dataset, fitz_dataset):
+        assert isic_dataset.num_classes != fitz_dataset.num_classes
+        assert set(isic_dataset.attributes.names) != set(fitz_dataset.attributes.names)

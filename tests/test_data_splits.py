@@ -1,0 +1,82 @@
+"""Unit tests for repro.data.splits."""
+
+import numpy as np
+import pytest
+
+from repro.data import PAPER_SPLIT, split_dataset, stratified_split_indices
+
+
+class TestStratifiedIndices:
+    def test_partitions_are_disjoint_and_complete(self):
+        labels = np.random.default_rng(0).integers(0, 5, size=500)
+        train, val, test = stratified_split_indices(labels, seed=1)
+        combined = np.concatenate([train, val, test])
+        assert len(combined) == 500
+        assert len(np.unique(combined)) == 500
+
+    def test_fractions_respected(self):
+        labels = np.random.default_rng(0).integers(0, 4, size=1000)
+        train, val, test = stratified_split_indices(labels, seed=0)
+        assert len(train) / 1000 == pytest.approx(0.64, abs=0.03)
+        assert len(val) / 1000 == pytest.approx(0.16, abs=0.03)
+        assert len(test) / 1000 == pytest.approx(0.20, abs=0.03)
+
+    def test_every_class_in_every_partition(self):
+        labels = np.repeat(np.arange(6), 30)
+        train, val, test = stratified_split_indices(labels, seed=2)
+        for partition in (train, val, test):
+            assert set(labels[partition]) == set(range(6))
+
+    def test_small_class_still_split(self):
+        labels = np.array([0] * 100 + [1] * 4)
+        train, val, test = stratified_split_indices(labels, seed=0)
+        assert (labels[train] == 1).any()
+        assert (labels[test] == 1).any()
+
+    def test_deterministic_given_seed(self):
+        labels = np.random.default_rng(1).integers(0, 3, size=300)
+        a = stratified_split_indices(labels, seed=42)
+        b = stratified_split_indices(labels, seed=42)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_different_seed_differs(self):
+        labels = np.random.default_rng(1).integers(0, 3, size=300)
+        a = stratified_split_indices(labels, seed=1)[0]
+        b = stratified_split_indices(labels, seed=2)[0]
+        assert not np.array_equal(a, b)
+
+    def test_validation(self):
+        labels = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError):
+            stratified_split_indices(labels, fractions=(0.5, 0.2, 0.2))
+        with pytest.raises(ValueError):
+            stratified_split_indices(labels, fractions=(1.0, 0.0, 0.0))
+
+    def test_paper_split_constant(self):
+        assert sum(PAPER_SPLIT) == pytest.approx(1.0)
+        assert PAPER_SPLIT == (0.64, 0.16, 0.20)
+
+
+class TestSplitDataset:
+    def test_split_sizes(self, isic_dataset):
+        split = split_dataset(isic_dataset, seed=0)
+        sizes = split.sizes()
+        assert sizes["train"] + sizes["val"] + sizes["test"] == len(isic_dataset)
+        assert sizes["train"] > sizes["test"] > 0
+
+    def test_partitions_carry_attributes(self, isic_dataset):
+        split = split_dataset(isic_dataset, seed=0)
+        assert split.train.attributes.names == isic_dataset.attributes.names
+        assert split.test.num_classes == isic_dataset.num_classes
+
+    def test_indices_recorded(self, isic_dataset):
+        split = split_dataset(isic_dataset, seed=0)
+        np.testing.assert_array_equal(
+            split.train.labels, isic_dataset.labels[split.train_indices]
+        )
+
+    def test_no_leakage_between_partitions(self, isic_dataset):
+        split = split_dataset(isic_dataset, seed=3)
+        assert not set(split.train_indices) & set(split.test_indices)
+        assert not set(split.val_indices) & set(split.test_indices)

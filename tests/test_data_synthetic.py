@@ -1,0 +1,142 @@
+"""Unit tests for the synthetic latent-feature generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AttributeSet,
+    AttributeSpec,
+    SyntheticConfig,
+    build_blueprint,
+    describe_difficulty,
+    distortion_key,
+    sample_dataset,
+)
+
+
+def toy_attributes():
+    return AttributeSet(
+        [
+            AttributeSpec(
+                name="easy_hard",
+                groups=("easy", "hard"),
+                unprivileged=("hard",),
+                difficulty={"easy": 0.05, "hard": 0.7},
+                proportions={"easy": 0.7, "hard": 0.3},
+            ),
+            AttributeSpec(
+                name="other",
+                groups=("o1", "o2", "o3"),
+                unprivileged=("o3",),
+                difficulty={"o3": 0.5},
+            ),
+        ]
+    )
+
+
+class TestBlueprint:
+    def test_prototype_shapes_and_separation(self):
+        config = SyntheticConfig(num_samples=10, feature_dim=12, class_separation=2.0)
+        blueprint = build_blueprint(4, toy_attributes(), config, np.random.default_rng(0))
+        assert blueprint.class_prototypes.shape == (4, 12)
+        norms = np.linalg.norm(blueprint.class_prototypes, axis=1)
+        np.testing.assert_allclose(norms, np.full(4, 2.0), rtol=1e-6)
+
+    def test_group_shift_scales_with_difficulty(self):
+        config = SyntheticConfig(num_samples=10, feature_dim=12, group_shift_scale=3.0)
+        blueprint = build_blueprint(3, toy_attributes(), config, np.random.default_rng(0))
+        shifts = blueprint.group_shifts["easy_hard"]
+        assert np.linalg.norm(shifts[1]) > np.linalg.norm(shifts[0])
+        assert np.linalg.norm(shifts[1]) == pytest.approx(0.7 * 3.0, rel=1e-6)
+
+    def test_class_proportions_sum_to_one(self):
+        config = SyntheticConfig(num_samples=10)
+        blueprint = build_blueprint(5, toy_attributes(), config, np.random.default_rng(1))
+        assert blueprint.class_proportions.shape == (5,)
+        assert blueprint.class_proportions.sum() == pytest.approx(1.0)
+
+    def test_explicit_class_proportions(self):
+        config = SyntheticConfig(num_samples=10, class_proportions=[0.5, 0.25, 0.25])
+        blueprint = build_blueprint(3, toy_attributes(), config, np.random.default_rng(1))
+        np.testing.assert_allclose(blueprint.class_proportions, [0.5, 0.25, 0.25])
+
+    def test_bad_class_proportions_rejected(self):
+        with pytest.raises(ValueError):
+            build_blueprint(
+                3,
+                toy_attributes(),
+                SyntheticConfig(num_samples=5, class_proportions=[0.5, 0.5]),
+                np.random.default_rng(0),
+            )
+
+
+class TestSampleDataset:
+    def test_shapes_and_components(self):
+        config = SyntheticConfig(num_samples=200, feature_dim=16)
+        ds = sample_dataset("toy", 4, toy_attributes(), config, seed=0)
+        assert len(ds) == 200
+        assert ds.feature_dim == 16
+        assert set(ds.components) == {
+            "signal",
+            "noise",
+            distortion_key("easy_hard"),
+            distortion_key("other"),
+        }
+
+    def test_determinism_from_seed(self):
+        config = SyntheticConfig(num_samples=100, feature_dim=8)
+        a = sample_dataset("toy", 3, toy_attributes(), config, seed=7)
+        b = sample_dataset("toy", 3, toy_attributes(), config, seed=7)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_allclose(a.components["signal"], b.components["signal"])
+
+    def test_different_seeds_differ(self):
+        config = SyntheticConfig(num_samples=100, feature_dim=8)
+        a = sample_dataset("toy", 3, toy_attributes(), config, seed=1)
+        b = sample_dataset("toy", 3, toy_attributes(), config, seed=2)
+        assert not np.allclose(a.components["signal"], b.components["signal"])
+
+    def test_group_proportions_roughly_respected(self):
+        config = SyntheticConfig(num_samples=4000, feature_dim=8)
+        ds = sample_dataset("toy", 3, toy_attributes(), config, seed=0)
+        sizes = ds.group_sizes("easy_hard")
+        assert sizes["easy"] / len(ds) == pytest.approx(0.7, abs=0.05)
+
+    def test_hard_group_distortion_larger(self):
+        config = SyntheticConfig(num_samples=1500, feature_dim=12)
+        ds = sample_dataset("toy", 3, toy_attributes(), config, seed=0)
+        magnitudes = describe_difficulty(ds)["easy_hard"]
+        assert magnitudes["hard"] > 3 * magnitudes["easy"]
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            sample_dataset("toy", 3, toy_attributes(), SyntheticConfig(num_samples=0), seed=0)
+
+    def test_shared_blueprint_gives_consistent_geometry(self):
+        config = SyntheticConfig(num_samples=50, feature_dim=8)
+        rng = np.random.default_rng(3)
+        blueprint = build_blueprint(3, toy_attributes(), config, rng)
+        a = sample_dataset("a", 3, toy_attributes(), config, seed=10, blueprint=blueprint)
+        b = sample_dataset("b", 3, toy_attributes(), config, seed=11, blueprint=blueprint)
+        # Same latent geometry, different samples.
+        assert not np.allclose(a.components["signal"], b.components["signal"])
+
+    def test_labels_within_range(self):
+        config = SyntheticConfig(num_samples=300, feature_dim=8)
+        ds = sample_dataset("toy", 5, toy_attributes(), config, seed=0)
+        assert ds.labels.min() >= 0 and ds.labels.max() < 5
+
+    def test_signal_carries_class_information(self):
+        """Nearest-prototype classification on the signal should beat chance."""
+        config = SyntheticConfig(num_samples=600, feature_dim=16, class_separation=3.0)
+        attrs = toy_attributes()
+        rng = np.random.default_rng(0)
+        blueprint = build_blueprint(4, attrs, config, rng)
+        ds = sample_dataset("toy", 4, attrs, config, seed=5, blueprint=blueprint)
+        signal = ds.components["signal"]
+        distances = np.linalg.norm(
+            signal[:, None, :] - blueprint.class_prototypes[None, :, :], axis=2
+        )
+        predictions = distances.argmin(axis=1)
+        accuracy = (predictions == ds.labels).mean()
+        assert accuracy > 0.5

@@ -1,0 +1,117 @@
+"""Unit tests for repro.data.transforms (feature-space augmentation)."""
+
+import numpy as np
+import pytest
+
+from repro.data import AugmentationConfig, augment_subset, concatenate_datasets
+from repro.data.transforms import jitter, mixup_within_group, rotate, scale
+
+
+class TestPrimitives:
+    def test_jitter_changes_values_but_keeps_shape(self):
+        rng = np.random.default_rng(0)
+        x = np.zeros((10, 4))
+        out = jitter(x, 0.5, rng)
+        assert out.shape == x.shape
+        assert not np.allclose(out, x)
+
+    def test_jitter_zero_std_identity(self):
+        x = np.ones((3, 3))
+        np.testing.assert_allclose(jitter(x, 0.0, np.random.default_rng(0)), x)
+
+    def test_jitter_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            jitter(np.ones((2, 2)), -0.1, np.random.default_rng(0))
+
+    def test_scale_within_range(self):
+        rng = np.random.default_rng(1)
+        x = np.ones((50, 3))
+        out = scale(x, 0.2, rng)
+        assert (out >= 0.8 - 1e-9).all() and (out <= 1.2 + 1e-9).all()
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            scale(np.ones((2, 2)), 1.5, np.random.default_rng(0))
+
+    def test_rotation_preserves_norm(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(20, 6))
+        out = rotate(x, 0.7, rng)
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=1), np.linalg.norm(x, axis=1), rtol=1e-9
+        )
+
+    def test_rotation_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            rotate(np.ones((3, 1)), 0.5, np.random.default_rng(0))
+
+    def test_mixup_stays_within_group_and_label(self):
+        rng = np.random.default_rng(3)
+        features = np.vstack([np.zeros((5, 2)), np.ones((5, 2)) * 10])
+        labels = np.array([0] * 5 + [1] * 5)
+        groups = np.array([0] * 5 + [1] * 5)
+        mixed = mixup_within_group(features, labels, groups, alpha=0.5, rng=rng)
+        # Group 0 samples (value 0) can only mix with other zeros.
+        assert np.abs(mixed[:5]).max() < 1e-9
+        assert mixed[5:].min() > 5.0
+
+    def test_mixup_alpha_validation(self):
+        with pytest.raises(ValueError):
+            mixup_within_group(np.ones((2, 2)), np.zeros(2, dtype=int), np.zeros(2, dtype=int), 2.0, np.random.default_rng(0))
+
+
+class TestAugmentSubset:
+    def test_labels_and_groups_preserved(self, isic_dataset):
+        indices = np.arange(50)
+        augmented = augment_subset(isic_dataset, indices, seed=0, attribute="site")
+        np.testing.assert_array_equal(augmented.labels, isic_dataset.labels[indices])
+        for attr in isic_dataset.attributes.names:
+            np.testing.assert_array_equal(
+                augmented.group_ids(attr), isic_dataset.group_ids(attr)[indices]
+            )
+
+    def test_signal_changes_but_distortion_kept(self, isic_dataset):
+        from repro.data import distortion_key
+
+        indices = np.arange(30)
+        augmented = augment_subset(isic_dataset, indices, seed=1)
+        assert not np.allclose(
+            augmented.components["signal"], isic_dataset.components["signal"][indices]
+        )
+        np.testing.assert_allclose(
+            augmented.components[distortion_key("age")],
+            isic_dataset.components[distortion_key("age")][indices],
+        )
+
+    def test_empty_indices_rejected(self, isic_dataset):
+        with pytest.raises(ValueError):
+            augment_subset(isic_dataset, np.array([], dtype=int))
+
+    def test_deterministic_given_seed(self, isic_dataset):
+        indices = np.arange(20)
+        a = augment_subset(isic_dataset, indices, seed=5)
+        b = augment_subset(isic_dataset, indices, seed=5)
+        np.testing.assert_allclose(a.components["signal"], b.components["signal"])
+
+
+class TestConcatenate:
+    def test_concatenation_lengths(self, isic_dataset):
+        part_a = isic_dataset.subset(np.arange(100))
+        part_b = isic_dataset.subset(np.arange(100, 250))
+        combined = concatenate_datasets([part_a, part_b])
+        assert len(combined) == 250
+        np.testing.assert_array_equal(combined.labels[:100], part_a.labels)
+
+    def test_single_dataset_ok(self, isic_dataset):
+        part = isic_dataset.subset(np.arange(10))
+        assert len(concatenate_datasets([part])) == 10
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate_datasets([])
+
+    def test_schema_mismatch_rejected(self, isic_dataset, fitz_dataset):
+        with pytest.raises(ValueError):
+            concatenate_datasets(
+                [isic_dataset.subset(np.arange(5)), fitz_dataset.subset(np.arange(5))]
+            )

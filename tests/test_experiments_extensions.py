@@ -1,0 +1,46 @@
+"""Tests for the extension studies (controller ablation, three attributes)."""
+
+import pytest
+
+from repro.experiments import (
+    render_extensions,
+    run_controller_ablation,
+    run_three_attribute,
+)
+
+
+@pytest.mark.slow
+class TestControllerAblation:
+    def test_structure_and_claims(self, smoke_context):
+        results = run_controller_ablation(smoke_context, episodes=8)
+        assert {row["controller"] for row in results["rows"]} == {"rnn", "random"}
+        for row in results["rows"]:
+            assert row["episodes"] == 8
+            assert row["best_reward"] >= row["mean_reward"]
+        assert isinstance(results["claims"]["rnn_matches_or_beats_random_best"], bool)
+
+    def test_results_cached_in_context(self, smoke_context):
+        first = run_controller_ablation(smoke_context, episodes=8)
+        second = run_controller_ablation(smoke_context, episodes=8)
+        assert first["rows"] == second["rows"]
+
+
+@pytest.mark.slow
+class TestThreeAttribute:
+    def test_three_attribute_optimization(self, smoke_context):
+        results = run_three_attribute(smoke_context)
+        assert len(results["rows"]) == 2
+        muffin_row = results["rows"][1]
+        assert {"U(age)", "U(site)", "U(gender)"} <= set(muffin_row)
+        claims = results["claims"]
+        assert claims["gender_stays_fair"]
+        assert claims["accuracy_kept"]
+        assert len(claims["paired_models"]) >= 2
+
+    def test_render(self, smoke_context):
+        results = {
+            "controller": run_controller_ablation(smoke_context, episodes=8),
+            "three_attribute": run_three_attribute(smoke_context),
+        }
+        text = render_extensions(results)
+        assert "RNN controller" in text and "three-attribute" in text

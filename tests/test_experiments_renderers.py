@@ -1,0 +1,67 @@
+"""Smoke tests for the experiment text renderers.
+
+The render functions are pure formatting; these tests feed them the smallest
+valid result structures and check the rendered text mentions the right
+artefacts.  The full structures are exercised by tests/test_experiments.py
+and the benchmark harness.
+"""
+
+from repro.experiments import render_fig1, render_fig3, render_fig9
+from repro.experiments.fig9_ablations import FIG9A_HIDDEN, FIG9A_PAIR
+
+
+class TestRenderFig1:
+    def test_mentions_models_and_claims(self):
+        results = {
+            "rows": [
+                {
+                    "model": "ResNet-18",
+                    "accuracy": 0.82,
+                    "U(age)": 0.2,
+                    "U(site)": 0.4,
+                    "U(gender)": 0.02,
+                }
+            ],
+            "claims": {
+                "max_gender_unfairness": 0.02,
+                "best_on_age": "ResNet-18",
+                "best_on_site": "DenseNet121",
+                "pareto_frontier_age_site": ["ResNet-18"],
+            },
+        }
+        text = render_fig1(results)
+        assert "ResNet-18" in text
+        assert "0.12" in text  # the paper's reference threshold is quoted
+
+
+class TestRenderFig3:
+    def test_mentions_oracle_and_disagreement(self):
+        results = {
+            "attribute": "site",
+            "rows": [{"case": "00 (both wrong)", "fraction": 0.1}],
+            "accuracy_rows": [{"model": "oracle union", "unprivileged": 0.9, "privileged": 0.8}],
+            "claims": {
+                "disagreement_fraction": 0.16,
+                "oracle_unprivileged_accuracy": 0.9,
+            },
+        }
+        text = render_fig3(results)
+        assert "oracle union" in text
+        assert "15.93%" in text  # paper-reported figure quoted for comparison
+
+
+class TestRenderFig9:
+    def test_renders_both_panels(self):
+        results = {
+            "fig9a": {"rows": [{"training_data": "weighted", "U(age)": 0.2}]},
+            "fig9b": {"rows": [{"paired_models": 1, "reward": 5.0}]},
+        }
+        text = render_fig9(results)
+        assert "Figure 9(a)" in text and "Figure 9(b)" in text
+
+
+class TestFig9Constants:
+    def test_fixed_structure_matches_paper(self):
+        # The paper's Figure 9(a) uses MLP [16,16,16,8] on D121 + R18.
+        assert FIG9A_HIDDEN == (16, 16, 16)
+        assert FIG9A_PAIR == ("DenseNet121", "ResNet-18")

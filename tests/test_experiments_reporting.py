@@ -1,0 +1,88 @@
+"""Unit tests for the paper-vs-measured reporting module."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    PAPER_REPORTED,
+    _markdown_table,
+    build_experiments_markdown,
+)
+
+
+class TestMarkdownTable:
+    def test_basic_rendering(self):
+        rows = [{"model": "a", "acc": 0.5}, {"model": "b", "acc": 0.75}]
+        text = _markdown_table(rows)
+        lines = text.splitlines()
+        assert lines[0] == "| model | acc |"
+        assert lines[1] == "|---|---|"
+        assert "| a | 0.5000 |" in lines
+
+    def test_column_selection_and_missing_values(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = _markdown_table(rows, columns=["b"])
+        assert "| b |" in text.splitlines()[0]
+        assert "| 3 |" in text
+
+    def test_empty(self):
+        assert "_(no rows)_" == _markdown_table([])
+
+
+class TestPaperReported:
+    def test_every_experiment_has_paper_claims(self):
+        assert set(PAPER_REPORTED) == {
+            "fig1",
+            "fig2",
+            "fig3",
+            "table1",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+        }
+        assert all(claims for claims in PAPER_REPORTED.values())
+
+
+class TestBuildMarkdown:
+    def _minimal_results(self):
+        return {
+            "fig1": {
+                "rows": [
+                    {
+                        "model": "ResNet-18",
+                        "accuracy": 0.82,
+                        "U(age)": 0.2,
+                        "U(site)": 0.4,
+                        "U(gender)": 0.02,
+                    }
+                ],
+                "claims": {
+                    "best_on_age": "ResNet-18",
+                    "best_on_site": "DenseNet121",
+                    "pareto_frontier_age_site": ["ResNet-18", "DenseNet121"],
+                },
+            },
+            "fig3": {
+                "claims": {
+                    "disagreement_fraction": 0.17,
+                    "oracle_unprivileged_accuracy": 0.9,
+                }
+            },
+        }
+
+    def test_document_contains_sections_and_numbers(self):
+        text = build_experiments_markdown(self._minimal_results(), scale="smoke")
+        assert "# EXPERIMENTS" in text
+        assert "Figure 1" in text and "Figure 3" in text
+        assert "Table I" not in text  # not in the supplied results
+        assert "0.1700" in text
+        assert "--scale smoke" in text
+
+    def test_fig1_table_included(self):
+        text = build_experiments_markdown(self._minimal_results())
+        assert "| model | accuracy | U(age) | U(site) | U(gender) |" in text
+
+    def test_paper_claims_listed(self):
+        text = build_experiments_markdown(self._minimal_results())
+        assert "no model wins both" in text

@@ -1,0 +1,188 @@
+"""Unit tests for repro.fairness.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data import AttributeSpec
+from repro.fairness import (
+    FairnessEvaluation,
+    accuracy_gap,
+    disagreement_breakdown,
+    evaluate_predictions,
+    group_accuracies,
+    overall_accuracy,
+    unfairness_score,
+)
+
+
+@pytest.fixture
+def simple_spec():
+    return AttributeSpec(name="grp", groups=("g0", "g1", "g2"), unprivileged=("g2",))
+
+
+class TestOverallAccuracy:
+    def test_from_hard_predictions(self):
+        assert overall_accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_from_logits(self):
+        logits = np.array([[0.2, 0.8], [0.9, 0.1]])
+        assert overall_accuracy(logits, np.array([1, 0])) == 1.0
+
+    def test_empty(self):
+        assert overall_accuracy(np.array([], dtype=int), np.array([], dtype=int)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            overall_accuracy(np.array([0, 1]), np.array([0]))
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError):
+            overall_accuracy(np.zeros((2, 2, 2)), np.array([0, 1]))
+
+
+class TestGroupAccuracies:
+    def test_per_group_values(self, simple_spec):
+        labels = np.array([0, 0, 1, 1, 1, 0])
+        predictions = np.array([0, 1, 1, 1, 0, 0])  # correctness: 1,0,1,1,0,1
+        groups = np.array([0, 0, 1, 1, 2, 2])
+        accs = group_accuracies(predictions, labels, groups, simple_spec)
+        assert accs["g0"] == pytest.approx(0.5)
+        assert accs["g1"] == pytest.approx(1.0)
+        assert accs["g2"] == pytest.approx(0.5)
+
+    def test_empty_group_gets_overall_accuracy(self, simple_spec):
+        labels = np.array([0, 1])
+        predictions = np.array([0, 1])
+        groups = np.array([0, 0])
+        accs = group_accuracies(predictions, labels, groups, simple_spec)
+        assert accs["g2"] == pytest.approx(1.0)
+
+    def test_shape_validation(self, simple_spec):
+        with pytest.raises(ValueError):
+            group_accuracies(np.array([0]), np.array([0, 1]), np.array([0, 0]), simple_spec)
+
+
+class TestUnfairnessScore:
+    def test_matches_hand_computation(self, simple_spec):
+        labels = np.array([0, 0, 1, 1, 1, 0])
+        predictions = np.array([0, 1, 1, 1, 0, 0])
+        groups = np.array([0, 0, 1, 1, 2, 2])
+        overall = overall_accuracy(predictions, labels)  # 4/6
+        expected = abs(0.5 - overall) + abs(1.0 - overall) + abs(0.5 - overall)
+        assert unfairness_score(predictions, labels, groups, simple_spec) == pytest.approx(expected)
+
+    def test_zero_when_groups_identical(self, simple_spec):
+        labels = np.array([0, 1, 0, 1, 0, 1])
+        predictions = labels.copy()
+        groups = np.array([0, 0, 1, 1, 2, 2])
+        assert unfairness_score(predictions, labels, groups, simple_spec) == pytest.approx(0.0)
+
+    def test_higher_disparity_gives_higher_score(self, simple_spec):
+        labels = np.zeros(30, dtype=int)
+        groups = np.repeat([0, 1, 2], 10)
+        balanced = np.zeros(30, dtype=int)
+        skewed = np.zeros(30, dtype=int)
+        skewed[20:] = 1  # group g2 entirely wrong
+        assert unfairness_score(skewed, labels, groups, simple_spec) > unfairness_score(
+            balanced, labels, groups, simple_spec
+        )
+
+    def test_bounded_by_group_count(self, simple_spec):
+        # Each group deviates by at most 1, so the L1 score <= num_groups.
+        labels = np.zeros(30, dtype=int)
+        predictions = np.ones(30, dtype=int)
+        groups = np.repeat([0, 1, 2], 10)
+        assert unfairness_score(predictions, labels, groups, simple_spec) <= 3.0
+
+
+class TestAccuracyGap:
+    def test_gap(self, simple_spec):
+        labels = np.zeros(30, dtype=int)
+        predictions = np.zeros(30, dtype=int)
+        predictions[20:] = 1  # g2 wrong
+        groups = np.repeat([0, 1, 2], 10)
+        assert accuracy_gap(predictions, labels, groups, simple_spec) == pytest.approx(1.0)
+
+
+class TestEvaluatePredictions:
+    def test_full_evaluation(self, isic_dataset):
+        rng = np.random.default_rng(0)
+        predictions = isic_dataset.labels.copy()
+        flip = rng.random(len(isic_dataset)) < 0.2
+        predictions[flip] = (predictions[flip] + 1) % isic_dataset.num_classes
+        evaluation = evaluate_predictions(predictions, isic_dataset)
+        assert 0.75 < evaluation.accuracy < 0.85
+        assert set(evaluation.unfairness) == {"age", "site", "gender"}
+        assert evaluation.multi_dimensional_unfairness == pytest.approx(
+            sum(evaluation.unfairness.values())
+        )
+        assert set(evaluation.group_accuracy["site"]) == set(
+            isic_dataset.attributes["site"].groups
+        )
+
+    def test_attribute_subset(self, isic_dataset):
+        predictions = isic_dataset.labels
+        evaluation = evaluate_predictions(predictions, isic_dataset, attributes=["age"])
+        assert list(evaluation.unfairness) == ["age"]
+
+    def test_reward_formula(self):
+        evaluation = FairnessEvaluation(
+            accuracy=0.8, unfairness={"a": 0.4, "b": 0.2}, group_accuracy={}, gaps={}
+        )
+        assert evaluation.reward(["a", "b"]) == pytest.approx(0.8 / 0.4 + 0.8 / 0.2)
+
+    def test_reward_epsilon_guards_zero(self):
+        evaluation = FairnessEvaluation(accuracy=0.9, unfairness={"a": 0.0})
+        assert np.isfinite(evaluation.reward(["a"]))
+
+    def test_to_dict_roundtrip_fields(self):
+        evaluation = FairnessEvaluation(accuracy=0.7, unfairness={"a": 0.3}, gaps={"a": 0.2})
+        payload = evaluation.to_dict()
+        assert payload["accuracy"] == 0.7
+        assert payload["multi_dimensional_unfairness"] == pytest.approx(0.3)
+
+
+class TestDisagreementBreakdown:
+    def test_fractions_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, 100)
+        a = rng.integers(0, 3, 100)
+        b = rng.integers(0, 3, 100)
+        breakdown = disagreement_breakdown(a, b, labels)
+        assert breakdown["00"] + breakdown["01"] + breakdown["10"] + breakdown["11"] == pytest.approx(1.0)
+
+    def test_known_case(self):
+        labels = np.array([0, 0, 0, 0])
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        breakdown = disagreement_breakdown(a, b, labels)
+        assert breakdown["11"] == pytest.approx(0.25)
+        assert breakdown["01"] == pytest.approx(0.25)
+        assert breakdown["10"] == pytest.approx(0.25)
+        assert breakdown["00"] == pytest.approx(0.25)
+        assert breakdown["disagreement"] == pytest.approx(0.5)
+        assert breakdown["oracle"] == pytest.approx(0.75)
+
+    def test_mask_restricts_population(self):
+        labels = np.array([0, 0, 1, 1])
+        a = np.array([0, 1, 1, 0])
+        b = np.array([0, 0, 1, 1])
+        full = disagreement_breakdown(a, b, labels)
+        masked = disagreement_breakdown(a, b, labels, mask=np.array([True, False, False, False]))
+        assert masked != full
+        assert masked["11"] == pytest.approx(1.0)
+
+    def test_empty_mask(self):
+        labels = np.array([0, 1])
+        out = disagreement_breakdown(labels, labels, labels, mask=np.array([False, False]))
+        assert out["oracle"] == 0.0
+
+    def test_oracle_is_upper_bound_of_members(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 4, 200)
+        a = np.where(rng.random(200) < 0.7, labels, (labels + 1) % 4)
+        b = np.where(rng.random(200) < 0.7, labels, (labels + 2) % 4)
+        breakdown = disagreement_breakdown(a, b, labels)
+        acc_a = (a == labels).mean()
+        acc_b = (b == labels).mean()
+        assert breakdown["oracle"] >= max(acc_a, acc_b) - 1e-12

@@ -1,0 +1,125 @@
+"""Unit tests for repro.fairness.pareto."""
+
+import pytest
+
+from repro.fairness import (
+    dominates,
+    front_advancement,
+    hypervolume_2d,
+    ideal_distance,
+    make_point,
+    pareto_front,
+)
+
+
+def P(name, a, b, acc=None):
+    objectives = {"A": a, "B": b}
+    maximize = []
+    if acc is not None:
+        objectives["acc"] = acc
+        maximize.append("acc")
+    return make_point(name, objectives, maximize=maximize)
+
+
+class TestDominance:
+    def test_strict_domination(self):
+        assert dominates(P("x", 0.1, 0.1), P("y", 0.2, 0.2), ["A", "B"])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(P("x", 0.1, 0.1), P("y", 0.1, 0.1), ["A", "B"])
+
+    def test_tradeoff_points_do_not_dominate(self):
+        assert not dominates(P("x", 0.1, 0.3), P("y", 0.3, 0.1), ["A", "B"])
+        assert not dominates(P("y", 0.3, 0.1), P("x", 0.1, 0.3), ["A", "B"])
+
+    def test_maximized_objective_flips_direction(self):
+        better_acc = P("x", 0.1, 0.1, acc=0.9)
+        worse_acc = P("y", 0.1, 0.1, acc=0.8)
+        assert dominates(better_acc, worse_acc, ["A", "B", "acc"])
+        assert not dominates(worse_acc, better_acc, ["A", "B", "acc"])
+
+    def test_missing_objective_raises(self):
+        with pytest.raises(KeyError):
+            dominates(P("x", 0.1, 0.2), make_point("y", {"A": 0.1}), ["A", "B"])
+
+
+class TestParetoFront:
+    def test_front_excludes_dominated(self):
+        points = [P("good", 0.1, 0.1), P("bad", 0.5, 0.5), P("trade", 0.05, 0.3)]
+        names = {p.name for p in pareto_front(points, ["A", "B"])}
+        assert names == {"good", "trade"}
+
+    def test_all_nondominated_kept(self):
+        points = [P("a", 0.1, 0.4), P("b", 0.2, 0.3), P("c", 0.3, 0.2)]
+        assert len(pareto_front(points, ["A", "B"])) == 3
+
+    def test_empty_input(self):
+        assert pareto_front([], ["A", "B"]) == []
+
+    def test_duplicate_points_both_kept(self):
+        points = [P("a", 0.1, 0.1), P("b", 0.1, 0.1)]
+        assert len(pareto_front(points, ["A", "B"])) == 2
+
+    def test_default_keys(self):
+        points = [P("a", 0.1, 0.9), P("b", 0.9, 0.1)]
+        assert len(pareto_front(points)) == 2
+
+
+class TestFrontAdvancement:
+    def test_challenger_advances(self):
+        baseline = [P("base1", 0.3, 0.3), P("base2", 0.2, 0.5)]
+        challenger = [P("new", 0.1, 0.1)]
+        result = front_advancement(baseline, challenger, ["A", "B"])
+        assert result["challenger_advances"]
+        assert "new" in result["undominated_challengers"]
+        assert set(result["dominated_baseline"]) == {"base1", "base2"}
+
+    def test_challenger_fails_to_advance(self):
+        baseline = [P("base", 0.05, 0.05)]
+        challenger = [P("new", 0.2, 0.2)]
+        result = front_advancement(baseline, challenger, ["A", "B"])
+        assert not result["challenger_advances"]
+
+    def test_partial_advance(self):
+        baseline = [P("base", 0.2, 0.2)]
+        challenger = [P("better_A", 0.1, 0.3), P("worse", 0.5, 0.5)]
+        result = front_advancement(baseline, challenger, ["A", "B"])
+        assert result["undominated_challengers"] == ["better_A"]
+
+
+class TestHypervolume:
+    def test_single_point_area(self):
+        points = [P("a", 0.2, 0.3)]
+        assert hypervolume_2d(points, ["A", "B"], reference=(1.0, 1.0)) == pytest.approx(0.8 * 0.7)
+
+    def test_better_front_has_larger_volume(self):
+        good = [P("a", 0.1, 0.1)]
+        bad = [P("b", 0.5, 0.5)]
+        ref = (1.0, 1.0)
+        assert hypervolume_2d(good, ["A", "B"], ref) > hypervolume_2d(bad, ["A", "B"], ref)
+
+    def test_multiple_points_do_not_double_count(self):
+        points = [P("a", 0.2, 0.6), P("b", 0.6, 0.2)]
+        volume = hypervolume_2d(points, ["A", "B"], reference=(1.0, 1.0))
+        assert volume == pytest.approx(0.8 * 0.4 + 0.4 * 0.4)
+
+    def test_reference_must_be_worse(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d([P("a", 0.5, 0.5)], ["A", "B"], reference=(0.1, 0.1))
+
+    def test_empty_points(self):
+        assert hypervolume_2d([], ["A", "B"], reference=(1.0, 1.0)) == 0.0
+
+    def test_requires_two_keys(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d([P("a", 0.5, 0.5)], ["A"], reference=(1.0, 1.0))
+
+
+class TestIdealDistance:
+    def test_distance_to_origin(self):
+        point = P("a", 0.3, 0.4)
+        assert ideal_distance(point, ["A", "B"], {"A": 0.0, "B": 0.0}) == pytest.approx(0.5)
+
+    def test_zero_distance_at_ideal(self):
+        point = P("a", 0.1, 0.2)
+        assert ideal_distance(point, ["A", "B"], {"A": 0.1, "B": 0.2}) == pytest.approx(0.0)

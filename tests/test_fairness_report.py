@@ -1,0 +1,96 @@
+"""Unit tests for repro.fairness.report."""
+
+import pytest
+
+from repro.fairness import (
+    ComparisonReport,
+    FairnessEvaluation,
+    ModelFairnessReport,
+    accuracy_improvement,
+    relative_improvement,
+)
+
+
+def make_eval(acc, age, site):
+    return FairnessEvaluation(accuracy=acc, unfairness={"age": age, "site": site})
+
+
+class TestImprovementHelpers:
+    def test_relative_improvement_positive_when_score_drops(self):
+        assert relative_improvement(0.4, 0.3) == pytest.approx(0.25)
+
+    def test_relative_improvement_negative_when_score_rises(self):
+        assert relative_improvement(0.4, 0.5) == pytest.approx(-0.25)
+
+    def test_relative_improvement_zero_baseline(self):
+        assert relative_improvement(0.0, 0.2) == 0.0
+
+    def test_accuracy_improvement(self):
+        assert accuracy_improvement(0.75, 0.80) == pytest.approx(0.05)
+
+    def test_paper_headline_number(self):
+        # MobileNet_V3_Small: vanilla U(age)=0.38, Muffin U(age)=0.28 -> 26.32%
+        assert relative_improvement(0.38, 0.28) == pytest.approx(0.2632, abs=1e-3)
+
+
+class TestModelFairnessReport:
+    def test_row_without_baseline(self):
+        report = ModelFairnessReport("net", make_eval(0.8, 0.3, 0.4))
+        row = report.row()
+        assert row["model"] == "net"
+        assert row["U(age)"] == 0.3
+        assert row["U(multi)"] == pytest.approx(0.7)
+        assert report.improvement("age") is None
+        assert report.accuracy_gain() is None
+
+    def test_row_with_baseline(self):
+        report = ModelFairnessReport(
+            "muffin", make_eval(0.82, 0.28, 0.43), baseline=make_eval(0.76, 0.38, 0.54)
+        )
+        row = report.row()
+        assert row["imp(age)"] == pytest.approx(relative_improvement(0.38, 0.28))
+        assert row["acc_imp"] == pytest.approx(0.06)
+
+    def test_metadata_included(self):
+        report = ModelFairnessReport("net", make_eval(0.8, 0.3, 0.4), metadata={"paired": "R18"})
+        assert report.row()["paired"] == "R18"
+
+    def test_to_dict_with_baseline(self):
+        report = ModelFairnessReport(
+            "muffin", make_eval(0.8, 0.3, 0.4), baseline=make_eval(0.7, 0.4, 0.5)
+        )
+        payload = report.to_dict()
+        assert "improvements" in payload and "accuracy_gain" in payload
+
+
+class TestComparisonReport:
+    def _report(self):
+        comparison = ComparisonReport("demo")
+        comparison.add(ModelFairnessReport("a", make_eval(0.7, 0.4, 0.5)))
+        comparison.add(ModelFairnessReport("b", make_eval(0.8, 0.3, 0.6)))
+        return comparison
+
+    def test_rows_and_render(self):
+        comparison = self._report()
+        assert len(comparison.rows()) == 2
+        rendered = comparison.render()
+        assert "demo" in rendered and "a" in rendered and "b" in rendered
+
+    def test_best_by_accuracy(self):
+        assert self._report().best_by("accuracy").model_name == "b"
+
+    def test_best_by_minimised_column(self):
+        assert self._report().best_by("U(age)", maximize=False).model_name == "b"
+
+    def test_best_by_missing_column(self):
+        with pytest.raises(KeyError):
+            self._report().best_by("missing")
+
+    def test_empty_report_raises(self):
+        with pytest.raises(ValueError):
+            ComparisonReport("empty").best_by("accuracy")
+
+    def test_to_dict(self):
+        payload = self._report().to_dict()
+        assert payload["title"] == "demo"
+        assert len(payload["reports"]) == 2

@@ -1,0 +1,95 @@
+"""End-to-end integration tests: the full Muffin pipeline reproduces the
+paper's headline behaviour on the synthetic substrate.
+
+These tests run a small but complete search (pool -> proxy -> RL search ->
+finalised Muffin-Net) and check the paper's Table I claims in relaxed form:
+the fused model improves the unfairness of *both* attributes relative to the
+vanilla base model while keeping (or improving) accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HeadTrainConfig, MuffinSearch, SearchConfig
+
+
+@pytest.fixture(scope="module")
+def search_outcome(pool):
+    base_model = "MobileNet_V3_Small"
+    search = MuffinSearch(
+        pool,
+        attributes=["age", "site"],
+        base_model=base_model,
+        search_config=SearchConfig(episodes=25, episode_batch=5, seed=0),
+        head_config=HeadTrainConfig(epochs=20, seed=0),
+    )
+    result = search.run()
+    muffin = search.finalize(
+        result, metric="reward", name="Muffin", reference_model=base_model
+    )
+    vanilla = pool.evaluate(base_model, partition="test")
+    return {"search": search, "result": result, "muffin": muffin, "vanilla": vanilla}
+
+
+class TestEndToEndMuffin:
+    def test_search_completes(self, search_outcome):
+        assert len(search_outcome["result"]) == 25
+
+    def test_muffin_improves_both_attributes(self, search_outcome):
+        """Neither attribute degrades and the combined unfairness improves.
+
+        The dominating-candidate selection is made on the validation
+        partition, so a small generalisation slack is allowed on test.
+        """
+        vanilla = search_outcome["vanilla"]
+        fused = search_outcome["muffin"].test_evaluation
+        assert fused.unfairness["age"] < vanilla.unfairness["age"] + 0.03
+        assert fused.unfairness["site"] < vanilla.unfairness["site"] + 0.03
+        assert (
+            fused.multi_dimensional_unfairness < vanilla.multi_dimensional_unfairness
+        )
+
+    def test_muffin_does_not_lose_accuracy(self, search_outcome):
+        vanilla = search_outcome["vanilla"]
+        fused = search_outcome["muffin"].test_evaluation
+        assert fused.accuracy >= vanilla.accuracy - 0.01
+
+    def test_muffin_reward_exceeds_vanilla_reward(self, search_outcome):
+        vanilla = search_outcome["vanilla"]
+        fused = search_outcome["muffin"].test_evaluation
+        vanilla_reward = sum(vanilla.accuracy / max(vanilla.unfairness[a], 1e-6) for a in ("age", "site"))
+        fused_reward = sum(fused.accuracy / max(fused.unfairness[a], 1e-6) for a in ("age", "site"))
+        assert fused_reward > vanilla_reward
+
+    def test_body_contains_base_and_partner(self, search_outcome):
+        names = search_outcome["muffin"].record.candidate.model_names
+        assert names[0] == "MobileNet_V3_Small"
+        assert len(names) == 2 and names[1] != names[0]
+
+    def test_consensus_shortcut_only_changes_disagreements(self, search_outcome, pool):
+        fused = search_outcome["muffin"].fused
+        test = pool.split.test
+        detailed = fused.predict_detailed(test)
+        member_predictions = np.stack([m.predict(test) for m in fused.body.models])
+        agree = np.all(member_predictions == member_predictions[0], axis=0)
+        np.testing.assert_array_equal(
+            detailed.predictions[agree], member_predictions[0][agree]
+        )
+
+    def test_search_reward_trend_not_degenerate(self, search_outcome):
+        """The reward signal is informative: the best episode clearly beats the worst."""
+        rewards = search_outcome["result"].rewards()
+        assert rewards.max() > rewards.min()
+        assert np.isfinite(rewards).all()
+
+
+class TestQuickMuffinSearchHelper:
+    def test_quick_helper_runs(self):
+        from repro import quick_muffin_search
+
+        outcome = quick_muffin_search(
+            base_model="ShuffleNet_V2_X1_0", episodes=6, num_samples=2000, seed=1
+        )
+        assert outcome["muffin"].test_evaluation is not None
+        assert len(outcome["result"]) == 6
+        assert outcome["pool"].get("ShuffleNet_V2_X1_0").is_trained

@@ -1,0 +1,147 @@
+"""Unit tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(5, 4)))
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.data.sum(axis=-1), np.ones(5), atol=1e-12)
+
+    def test_invariant_to_constant_shift(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        a = F.softmax(Tensor(logits)).data
+        b = F.softmax(Tensor(logits + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_handles_large_values_without_overflow(self):
+        probs = F.softmax(Tensor(np.array([[1000.0, 0.0]]))).data
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = Tensor(np.random.default_rng(1).normal(size=(3, 6)))
+        np.testing.assert_allclose(
+            F.log_softmax(logits).data, np.log(F.softmax(logits).data), atol=1e-10
+        )
+
+    def test_softmax_gradient_flows(self):
+        logits = Tensor(np.random.default_rng(2).normal(size=(2, 3)), requires_grad=True)
+        F.softmax(logits).sum().backward()
+        assert logits.grad is not None
+        # Softmax rows always sum to 1, so the gradient of the sum is ~0.
+        np.testing.assert_allclose(logits.grad, np.zeros_like(logits.data), atol=1e-8)
+
+
+class TestOneHot:
+    def test_basic_encoding(self):
+        encoded = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(encoded, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([-1]), 3)
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_empty_labels(self):
+        assert F.one_hot(np.array([], dtype=int), 4).shape == (0, 4)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = np.array([[2.0, 0.0, 0.0], [0.0, 3.0, 0.0]])
+        targets = np.array([0, 1])
+        loss = F.cross_entropy(Tensor(logits), targets).item()
+        log_probs = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        expected = -np.mean(log_probs[np.arange(2), targets])
+        assert loss == pytest.approx(expected, abs=1e-10)
+
+    def test_perfect_prediction_has_small_loss(self):
+        logits = np.array([[50.0, 0.0], [0.0, 50.0]])
+        loss = F.cross_entropy(Tensor(logits), np.array([0, 1])).item()
+        assert loss < 1e-6
+
+    def test_weights_shift_the_loss(self):
+        logits = Tensor(np.array([[5.0, 0.0], [0.0, 0.1]]))
+        targets = np.array([0, 1])
+        uniform = F.cross_entropy(logits, targets).item()
+        # Up-weighting the harder (second) sample must raise the loss.
+        weighted = F.cross_entropy(logits, targets, weights=np.array([0.1, 0.9])).item()
+        assert weighted > uniform
+
+    def test_weight_validation(self):
+        logits = Tensor(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, np.array([0, 1]), weights=np.array([1.0]))
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, np.array([0, 1]), weights=np.array([0.0, 0.0]))
+
+    def test_label_smoothing_increases_confident_loss(self):
+        logits = Tensor(np.array([[10.0, 0.0]]))
+        targets = np.array([0])
+        plain = F.cross_entropy(logits, targets).item()
+        smoothed = F.cross_entropy(logits, targets, label_smoothing=0.2).item()
+        assert smoothed > plain
+
+    def test_gradient_direction_reduces_loss(self):
+        rng = np.random.default_rng(3)
+        logits_val = rng.normal(size=(8, 4))
+        targets = rng.integers(0, 4, size=8)
+        logits = Tensor(logits_val, requires_grad=True)
+        loss = F.cross_entropy(logits, targets)
+        loss.backward()
+        stepped = Tensor(logits_val - 0.1 * logits.grad)
+        assert F.cross_entropy(stepped, targets).item() < loss.item()
+
+
+class TestMSE:
+    def test_mse_zero_for_identical(self):
+        x = Tensor(np.ones((3, 2)))
+        assert F.mse(x, np.ones((3, 2))).item() == pytest.approx(0.0)
+
+    def test_weighted_mse_upweights_samples(self):
+        predictions = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        targets = np.array([[0.0, 1.0], [0.0, 1.0]])  # first sample is wrong
+        uniform = F.weighted_mse(predictions, targets, np.array([1.0, 1.0])).item()
+        upweighted = F.weighted_mse(predictions, targets, np.array([3.0, 1.0])).item()
+        assert upweighted > uniform
+
+    def test_weighted_mse_validates_weights(self):
+        predictions = Tensor(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            F.weighted_mse(predictions, np.zeros((2, 2)), np.array([1.0]))
+
+
+class TestAccuracy:
+    def test_accuracy_from_logits(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert F.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_accepts_tensor(self):
+        logits = Tensor(np.array([[1.0, 0.0]]))
+        assert F.accuracy(logits, np.array([0])) == 1.0
+
+    def test_accuracy_empty(self):
+        assert F.accuracy(np.zeros((0, 3)), np.array([], dtype=int)) == 0.0
+
+
+class TestActivationHelpers:
+    def test_relu_and_leaky_relu(self):
+        x = Tensor(np.array([-1.0, 2.0]))
+        np.testing.assert_allclose(F.relu(x).data, [0.0, 2.0])
+        np.testing.assert_allclose(F.leaky_relu(x, 0.5).data, [-0.5, 2.0])
+
+    def test_sigmoid_tanh_ranges(self):
+        x = Tensor(np.linspace(-5, 5, 11))
+        assert ((F.sigmoid(x).data > 0) & (F.sigmoid(x).data < 1)).all()
+        assert ((F.tanh(x).data > -1) & (F.tanh(x).data < 1)).all()

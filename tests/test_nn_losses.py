@@ -1,0 +1,110 @@
+"""Unit tests for repro.nn.losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, FairRegularizedLoss, Tensor, WeightedMSELoss
+
+
+class TestCrossEntropyLoss:
+    def test_matches_functional(self):
+        from repro.nn import functional as F
+
+        logits = Tensor(np.random.default_rng(0).normal(size=(5, 3)))
+        targets = np.array([0, 1, 2, 0, 1])
+        assert CrossEntropyLoss()(logits, targets).item() == pytest.approx(
+            F.cross_entropy(logits, targets).item()
+        )
+
+    def test_label_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(label_smoothing=1.0)
+
+    def test_sample_weights_change_loss(self):
+        logits = Tensor(np.array([[4.0, 0.0], [0.0, 0.5]]))
+        targets = np.array([0, 1])
+        plain = CrossEntropyLoss()(logits, targets).item()
+        weighted = CrossEntropyLoss()(logits, targets, sample_weights=np.array([0.0, 1.0])).item()
+        assert weighted != pytest.approx(plain)
+
+
+class TestWeightedMSELoss:
+    def test_zero_when_prediction_is_one_hot_target(self):
+        loss_fn = WeightedMSELoss(num_classes=3)
+        logits = Tensor(np.array([[100.0, 0.0, 0.0]]))
+        loss = loss_fn(logits, np.array([0]), np.array([1.0]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_higher_weight_on_wrong_sample_raises_loss(self):
+        loss_fn = WeightedMSELoss(num_classes=2)
+        logits = Tensor(np.array([[3.0, 0.0], [3.0, 0.0]]))
+        targets = np.array([0, 1])  # second sample is wrong
+        low = loss_fn(logits, targets, np.array([1.0, 1.0])).item()
+        high = loss_fn(logits, targets, np.array([1.0, 4.0])).item()
+        assert high > low
+
+    def test_rejects_non_positive_classes(self):
+        with pytest.raises(ValueError):
+            WeightedMSELoss(num_classes=0)
+
+    def test_gradient_reduces_loss(self):
+        rng = np.random.default_rng(1)
+        logits_val = rng.normal(size=(6, 4))
+        targets = rng.integers(0, 4, size=6)
+        weights = rng.uniform(0.5, 2.0, size=6)
+        loss_fn = WeightedMSELoss(num_classes=4)
+        logits = Tensor(logits_val, requires_grad=True)
+        loss = loss_fn(logits, targets, weights)
+        loss.backward()
+        stepped = Tensor(logits_val - 0.5 * logits.grad)
+        assert loss_fn(stepped, targets, weights).item() < loss.item()
+
+
+class TestFairRegularizedLoss:
+    def _setup(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(20, 3))
+        targets = rng.integers(0, 3, size=20)
+        groups = np.array([0] * 10 + [1] * 10)
+        # Make group 1 systematically worse.
+        logits[10:, :] *= 0.1
+        return Tensor(logits), targets, groups
+
+    def test_penalty_increases_loss_when_groups_diverge(self):
+        logits, targets, groups = self._setup()
+        base = FairRegularizedLoss(fairness_weight=0.0)(logits, targets, groups).item()
+        regularized = FairRegularizedLoss(fairness_weight=2.0)(logits, targets, groups).item()
+        assert regularized > base
+
+    def test_zero_weight_equals_cross_entropy(self):
+        from repro.nn import functional as F
+
+        logits, targets, groups = self._setup()
+        loss = FairRegularizedLoss(fairness_weight=0.0)(logits, targets, groups).item()
+        assert loss == pytest.approx(F.cross_entropy(logits, targets).item(), abs=1e-10)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            FairRegularizedLoss(fairness_weight=-1.0)
+
+    def test_group_losses_reports_each_group(self):
+        logits, targets, groups = self._setup()
+        per_group = FairRegularizedLoss().group_losses(logits, targets, groups)
+        assert set(per_group) == {0, 1}
+        assert all(value >= 0 for value in per_group.values())
+
+    def test_single_group_has_no_penalty(self):
+        from repro.nn import functional as F
+
+        logits, targets, _ = self._setup()
+        groups = np.zeros(20, dtype=int)
+        loss = FairRegularizedLoss(fairness_weight=5.0)(logits, targets, groups).item()
+        # With one group, the group mean equals the total mean: penalty ~ 0.
+        assert loss == pytest.approx(F.cross_entropy(logits, targets).item(), abs=1e-8)
+
+    def test_gradient_flows(self):
+        logits, targets, groups = self._setup()
+        logits = Tensor(logits.data, requires_grad=True)
+        FairRegularizedLoss(fairness_weight=1.0)(logits, targets, groups).backward()
+        assert logits.grad is not None
+        assert np.isfinite(logits.grad).all()

@@ -1,0 +1,215 @@
+"""Unit tests for repro.nn.modules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ACTIVATIONS,
+    MLP,
+    Dropout,
+    LeakyReLU,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    SoftmaxClassifier,
+    Tanh,
+    Tensor,
+    make_activation,
+)
+
+
+class TestModuleRegistration:
+    def test_parameters_are_registered(self):
+        layer = Linear(4, 2)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert all(isinstance(p, Parameter) for p in layer.parameters())
+
+    def test_submodules_are_registered(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(3, 3)
+                self.b = Linear(3, 2)
+
+            def forward(self, x):
+                return self.b(self.a(x))
+
+        net = Net()
+        names = [name for name, _ in net.named_parameters()]
+        assert "a.weight" in names and "b.bias" in names
+        assert len(list(net.modules())) == 3
+
+    def test_num_parameters(self):
+        layer = Linear(4, 3)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Linear(2, 2), Dropout(0.5))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_clears_all(self):
+        layer = Linear(2, 2)
+        out = layer(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net = MLP(4, [8], 3, rng=np.random.default_rng(0))
+        state = net.state_dict()
+        other = MLP(4, [8], 3, rng=np.random.default_rng(99))
+        other.load_state_dict(state)
+        x = Tensor(np.random.default_rng(1).normal(size=(5, 4)))
+        np.testing.assert_allclose(net(x).data, other(x).data)
+
+    def test_state_dict_is_a_copy(self):
+        layer = Linear(2, 2)
+        state = layer.state_dict()
+        state["weight"][:] = 0.0
+        assert not np.allclose(layer.weight.data, 0.0)
+
+    def test_missing_key_raises(self):
+        layer = Linear(2, 2)
+        state = layer.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            layer.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        layer = Linear(2, 2)
+        state = layer.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            layer.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        layer = Linear(2, 2)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(5, 3)
+        assert layer(Tensor(np.zeros((7, 5)))).shape == (7, 3)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert layer.num_parameters() == 6
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_gradients_flow_to_weights(self):
+        layer = Linear(3, 2)
+        out = layer(Tensor(np.ones((4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad.shape == (3, 2)
+        assert layer.bias.grad.shape == (2,)
+
+    def test_repr(self):
+        assert "Linear(in=3, out=2" in repr(Linear(3, 2))
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name", sorted(ACTIVATIONS))
+    def test_make_activation(self, name):
+        module = make_activation(name)
+        out = module(Tensor(np.array([-1.0, 1.0])))
+        assert out.shape == (2,)
+
+    def test_unknown_activation(self):
+        with pytest.raises(KeyError):
+            make_activation("gelu")
+
+    def test_relu_module(self):
+        np.testing.assert_allclose(ReLU()(Tensor([-2.0, 3.0])).data, [0.0, 3.0])
+
+    def test_leaky_relu_slope(self):
+        np.testing.assert_allclose(LeakyReLU(0.2)(Tensor([-1.0])).data, [-0.2])
+
+    def test_sigmoid_tanh_modules(self):
+        assert Sigmoid()(Tensor([0.0])).data[0] == pytest.approx(0.5)
+        assert Tanh()(Tensor([0.0])).data[0] == pytest.approx(0.0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        drop = Dropout(0.9)
+        drop.eval()
+        x = np.random.default_rng(0).normal(size=(10, 10))
+        np.testing.assert_allclose(drop(Tensor(x)).data, x)
+
+    def test_train_mode_zeroes_some_entries(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        out = drop(Tensor(np.ones((100, 10))))
+        assert (out.data == 0).any()
+        # Inverted dropout keeps the expectation roughly constant.
+        assert out.data.mean() == pytest.approx(1.0, abs=0.15)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_zero_probability_is_identity(self):
+        x = np.ones((3, 3))
+        np.testing.assert_allclose(Dropout(0.0)(Tensor(x)).data, x)
+
+
+class TestSequentialAndMLP:
+    def test_sequential_applies_in_order(self):
+        net = Sequential(Linear(2, 2), ReLU(), Linear(2, 1))
+        assert net(Tensor(np.zeros((3, 2)))).shape == (3, 1)
+        assert len(net) == 3
+        assert isinstance(net[1], ReLU)
+        assert len(list(iter(net))) == 3
+
+    def test_mlp_structure(self):
+        mlp = MLP(6, [16, 8], 4, activation="tanh")
+        assert mlp(Tensor(np.zeros((2, 6)))).shape == (2, 4)
+        assert mlp.hidden_sizes == (16, 8)
+        # parameters: 6*16+16 + 16*8+8 + 8*4+4
+        assert mlp.num_parameters() == 6 * 16 + 16 + 16 * 8 + 8 + 8 * 4 + 4
+
+    def test_mlp_no_hidden_layers(self):
+        mlp = MLP(5, [], 3)
+        assert mlp(Tensor(np.zeros((1, 5)))).shape == (1, 3)
+
+    def test_mlp_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            MLP(5, [0], 3)
+        with pytest.raises(ValueError):
+            MLP(5, [4], 0)
+
+    def test_mlp_dropout_layers_present(self):
+        mlp = MLP(5, [4], 2, dropout=0.3)
+        assert any(isinstance(layer, Dropout) for layer in mlp.body)
+
+    def test_repr_mentions_structure(self):
+        assert "hidden=[16, 8]" in repr(MLP(6, [16, 8], 4))
+
+
+class TestSoftmaxClassifier:
+    def test_predict_proba_rows_sum_to_one(self):
+        clf = SoftmaxClassifier(10, 4)
+        probs = clf.predict_proba(np.random.default_rng(0).normal(size=(6, 10)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(6), atol=1e-10)
+        assert (probs >= 0).all()
+
+    def test_forward_shape(self):
+        clf = SoftmaxClassifier(3, 2)
+        assert clf(Tensor(np.zeros((5, 3)))).shape == (5, 2)

@@ -1,0 +1,152 @@
+"""Unit tests for repro.nn.optim."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, StepLR, Tensor, clip_grad_norm
+from repro.nn import functional as F
+
+
+def _quadratic_problem():
+    """A parameter that should converge to the target under any optimiser."""
+    param = Linear(1, 1, bias=False, rng=np.random.default_rng(0))
+    target = 3.0
+
+    def loss_fn():
+        prediction = param(Tensor(np.array([[1.0]])))
+        return ((prediction - target) ** 2).sum()
+
+    return param, loss_fn
+
+
+class TestSGD:
+    def test_plain_sgd_reduces_quadratic_loss(self):
+        param, loss_fn = _quadratic_problem()
+        optimizer = SGD(param.parameters(), lr=0.1)
+        first = loss_fn().item()
+        for _ in range(50):
+            loss = loss_fn()
+            param.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss_fn().item() < 1e-3 < first
+
+    def test_momentum_accelerates(self):
+        param_a, loss_a = _quadratic_problem()
+        param_b, loss_b = _quadratic_problem()
+        plain = SGD(param_a.parameters(), lr=0.01)
+        momentum = SGD(param_b.parameters(), lr=0.01, momentum=0.9)
+        for _ in range(30):
+            for param, loss_fn, opt in ((param_a, loss_a, plain), (param_b, loss_b, momentum)):
+                loss = loss_fn()
+                param.zero_grad()
+                loss.backward()
+                opt.step()
+        assert loss_b().item() < loss_a().item()
+
+    def test_weight_decay_shrinks_weights(self):
+        layer = Linear(3, 3, bias=False, rng=np.random.default_rng(1))
+        optimizer = SGD(layer.parameters(), lr=0.1, weight_decay=0.5)
+        before = np.abs(layer.weight.data).sum()
+        # No data gradient: only the decay term acts.
+        layer.weight.grad = np.zeros_like(layer.weight.data)
+        optimizer.step()
+        assert np.abs(layer.weight.data).sum() < before
+
+    def test_parameters_without_grad_are_skipped(self):
+        layer = Linear(2, 2)
+        optimizer = SGD(layer.parameters(), lr=0.1)
+        before = layer.weight.data.copy()
+        optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, before)
+
+    def test_validation(self):
+        layer = Linear(2, 2)
+        with pytest.raises(ValueError):
+            SGD(layer.parameters(), lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(layer.parameters(), lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_adam_converges_on_quadratic(self):
+        param, loss_fn = _quadratic_problem()
+        optimizer = Adam(param.parameters(), lr=0.1)
+        for _ in range(200):
+            loss = loss_fn()
+            param.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss_fn().item() < 1e-4
+
+    def test_adam_trains_small_classifier(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 5))
+        w_true = rng.normal(size=(5,))
+        y = (x @ w_true > 0).astype(int)
+        layer = Linear(5, 2, rng=rng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        for _ in range(100):
+            logits = layer(Tensor(x))
+            loss = F.cross_entropy(logits, y)
+            layer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert F.accuracy(layer(Tensor(x)).data, y) > 0.9
+
+    def test_beta_validation(self):
+        layer = Linear(2, 2)
+        with pytest.raises(ValueError):
+            Adam(layer.parameters(), betas=(1.0, 0.999))
+
+
+class TestStepLR:
+    def test_decay_schedule(self):
+        layer = Linear(2, 2)
+        optimizer = SGD(layer.parameters(), lr=0.1)
+        scheduler = StepLR(optimizer, step_size=20, gamma=0.9)
+        for _ in range(19):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.09)
+        for _ in range(20):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1 * 0.9 ** 2)
+
+    def test_validation(self):
+        layer = Linear(2, 2)
+        optimizer = SGD(layer.parameters(), lr=0.1)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, gamma=0.0)
+
+
+class TestClipGradNorm:
+    def test_clipping_scales_gradients(self):
+        layer = Linear(4, 4, bias=False)
+        layer.weight.grad = np.full((4, 4), 10.0)
+        norm_before = clip_grad_norm(layer.parameters(), max_norm=1.0)
+        assert norm_before > 1.0
+        clipped_norm = float(np.sqrt((layer.weight.grad ** 2).sum()))
+        assert clipped_norm == pytest.approx(1.0, rel=1e-6)
+
+    def test_small_gradients_untouched(self):
+        layer = Linear(2, 2, bias=False)
+        layer.weight.grad = np.full((2, 2), 0.01)
+        before = layer.weight.grad.copy()
+        clip_grad_norm(layer.parameters(), max_norm=10.0)
+        np.testing.assert_allclose(layer.weight.grad, before)
+
+    def test_no_gradients_returns_zero(self):
+        layer = Linear(2, 2)
+        assert clip_grad_norm(layer.parameters(), max_norm=1.0) == 0.0
+
+    def test_invalid_max_norm(self):
+        layer = Linear(2, 2, bias=False)
+        layer.weight.grad = np.ones((2, 2))
+        with pytest.raises(ValueError):
+            clip_grad_norm(layer.parameters(), max_norm=0.0)

@@ -1,0 +1,94 @@
+"""Unit tests for repro.nn.rnn."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRUCell, RNN, RNNCell, Tensor
+
+
+class TestRNNCell:
+    def test_output_shape(self):
+        cell = RNNCell(4, 8)
+        h = cell(Tensor(np.zeros((3, 4))))
+        assert h.shape == (3, 8)
+
+    def test_output_bounded_by_tanh(self):
+        cell = RNNCell(4, 8)
+        h = cell(Tensor(np.random.default_rng(0).normal(size=(5, 4)) * 10))
+        assert (np.abs(h.data) <= 1.0).all()
+
+    def test_hidden_state_feeds_back(self):
+        cell = RNNCell(2, 3, rng=np.random.default_rng(1))
+        x = Tensor(np.ones((1, 2)))
+        h1 = cell(x)
+        h2 = cell(x, h1)
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_init_hidden_zeros(self):
+        cell = RNNCell(2, 5)
+        np.testing.assert_allclose(cell.init_hidden(4).data, np.zeros((4, 5)))
+
+    def test_gradients_flow_through_time(self):
+        cell = RNNCell(2, 3, rng=np.random.default_rng(2))
+        x = Tensor(np.ones((1, 2)))
+        h = cell(x)
+        for _ in range(3):
+            h = cell(x, h)
+        h.sum().backward()
+        assert cell.weight_hh.grad is not None
+        assert np.isfinite(cell.weight_hh.grad).all()
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            RNNCell(0, 4)
+
+
+class TestGRUCell:
+    def test_output_shape(self):
+        cell = GRUCell(4, 6)
+        assert cell(Tensor(np.zeros((2, 4)))).shape == (2, 6)
+
+    def test_zero_input_zero_hidden_stays_small(self):
+        cell = GRUCell(3, 3)
+        h = cell(Tensor(np.zeros((1, 3))))
+        assert np.abs(h.data).max() < 1.0
+
+    def test_gradients_flow(self):
+        cell = GRUCell(3, 4, rng=np.random.default_rng(3))
+        h = cell(Tensor(np.ones((1, 3))))
+        h = cell(Tensor(np.ones((1, 3))), h)
+        h.sum().backward()
+        assert cell.weight_hn.grad is not None
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            GRUCell(3, 0)
+
+
+class TestRNN:
+    def test_unroll_shapes(self):
+        rnn = RNN(3, 5)
+        inputs = Tensor(np.random.default_rng(0).normal(size=(7, 2, 3)))
+        outputs, final_hidden = rnn(inputs)
+        assert outputs.shape == (7, 2, 5)
+        assert final_hidden.shape == (2, 5)
+
+    def test_last_output_matches_final_hidden(self):
+        rnn = RNN(3, 4)
+        inputs = Tensor(np.random.default_rng(1).normal(size=(4, 1, 3)))
+        outputs, final_hidden = rnn(inputs)
+        np.testing.assert_allclose(outputs.data[-1], final_hidden.data)
+
+    def test_gru_variant(self):
+        rnn = RNN(3, 4, cell="gru")
+        outputs, _ = rnn(Tensor(np.zeros((2, 1, 3))))
+        assert outputs.shape == (2, 1, 4)
+
+    def test_invalid_cell_type(self):
+        with pytest.raises(ValueError):
+            RNN(3, 4, cell="lstm")
+
+    def test_rejects_2d_input(self):
+        rnn = RNN(3, 4)
+        with pytest.raises(ValueError):
+            rnn(Tensor(np.zeros((2, 3))))

@@ -1,0 +1,334 @@
+"""Unit tests for the autograd tensor (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, ones, stack_tensors, tensor, zeros
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function of ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x.copy())
+        flat[i] = original - eps
+        minus = fn(x.copy())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestConstruction:
+    def test_wraps_numpy_array(self):
+        t = Tensor(np.arange(6).reshape(2, 3))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+
+    def test_accepts_python_lists_and_scalars(self):
+        assert Tensor([1.0, 2.0]).shape == (2,)
+        assert Tensor(3.5).shape == ()
+
+    def test_dtype_is_float64(self):
+        assert Tensor(np.array([1, 2], dtype=np.int32)).dtype == np.float64
+
+    def test_helpers(self):
+        assert zeros((2, 2)).data.sum() == 0
+        assert ones((3,)).data.sum() == 3
+        assert tensor([1.0], requires_grad=True).requires_grad
+
+    def test_detach_and_copy(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_item_on_scalar(self):
+        assert Tensor([3.0]).item() == pytest.approx(3.0)
+
+    def test_len_and_repr(self):
+        t = Tensor(np.zeros((4, 2)), requires_grad=True)
+        assert len(t) == 4
+        assert "requires_grad=True" in repr(t)
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_radd_and_rsub_and_rmul(self):
+        a = Tensor([2.0], requires_grad=True)
+        (1.0 + a).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+        a.zero_grad()
+        (5.0 - a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0])
+        a.zero_grad()
+        (3.0 * a).sum().backward()
+        np.testing.assert_allclose(a.grad, [3.0])
+
+    def test_mul_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [3.0, 4.0])
+        np.testing.assert_allclose(b.grad, [1.0, 2.0])
+
+    def test_div_backward(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_rtruediv(self):
+        a = Tensor([2.0], requires_grad=True)
+        (4.0 / a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0])
+
+    def test_neg(self):
+        a = Tensor([1.0, -2.0], requires_grad=True)
+        (-a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0, -1.0])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_broadcast_add_reduces_gradient(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.ones((2,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 2)
+        assert b.grad.shape == (2,)
+        np.testing.assert_allclose(b.grad, [3.0, 3.0])
+
+    def test_broadcast_keepdims_dimension(self):
+        a = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.ones((4, 1)), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (4, 1)
+        np.testing.assert_allclose(b.grad, np.full((4, 1), 3.0))
+
+
+class TestMatmul:
+    def test_matmul_2d_gradients(self):
+        rng = np.random.default_rng(0)
+        a_val = rng.normal(size=(3, 4))
+        b_val = rng.normal(size=(4, 2))
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a @ b).sum().backward()
+
+        num_a = numerical_gradient(lambda x: float((x @ b_val).sum()), a_val.copy())
+        num_b = numerical_gradient(lambda x: float((a_val @ x).sum()), b_val.copy())
+        np.testing.assert_allclose(a.grad, num_a, atol=1e-5)
+        np.testing.assert_allclose(b.grad, num_b, atol=1e-5)
+
+    def test_matmul_vector_matrix(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        w = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]), requires_grad=True)
+        (a @ w).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(w.grad, [[1.0, 1.0], [2.0, 2.0]])
+
+    def test_matmul_matrix_vector(self):
+        m = Tensor(np.eye(2), requires_grad=True)
+        v = Tensor([3.0, 4.0], requires_grad=True)
+        (m @ v).sum().backward()
+        np.testing.assert_allclose(v.grad, [1.0, 1.0])
+
+    def test_matmul_vector_vector(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a @ b).backward()
+        np.testing.assert_allclose(a.grad, [3.0, 4.0])
+        np.testing.assert_allclose(b.grad, [1.0, 2.0])
+
+
+class TestShapes:
+    def test_reshape_backward(self):
+        a = Tensor(np.arange(6.0), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        assert a.grad.shape == (6,)
+
+    def test_reshape_accepts_tuple(self):
+        a = Tensor(np.arange(6.0))
+        assert a.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_backward(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        a.T.sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_transpose_with_axes(self):
+        a = Tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+        out = a.transpose((2, 0, 1))
+        assert out.shape == (4, 2, 3)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_getitem_backward(self):
+        a = Tensor(np.arange(5.0), requires_grad=True)
+        a[1:3].sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_getitem_repeated_indices_accumulate(self):
+        a = Tensor(np.arange(3.0), requires_grad=True)
+        a[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0])
+
+    def test_concatenate_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+
+    def test_stack_tensors(self):
+        stacked = stack_tensors([Tensor([1.0]), Tensor([2.0])])
+        assert stacked.shape == (2, 1)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_gradient(self):
+        a = Tensor(np.arange(4.0), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(4, 0.25))
+
+    def test_max_global(self):
+        a = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis(self):
+        a = Tensor(np.array([[1.0, 2.0], [5.0, 0.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor([2.0, 2.0], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5])
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize(
+        "op",
+        ["exp", "log", "sqrt", "abs", "relu", "sigmoid", "tanh"],
+    )
+    def test_elementwise_gradients_match_numerical(self, op):
+        rng = np.random.default_rng(1)
+        x_val = rng.uniform(0.2, 2.0, size=(4,))
+        x = Tensor(x_val, requires_grad=True)
+        getattr(x, op)().sum().backward()
+
+        def fn(values):
+            arr = {
+                "exp": np.exp,
+                "log": np.log,
+                "sqrt": np.sqrt,
+                "abs": np.abs,
+                "relu": lambda v: np.maximum(v, 0),
+                "sigmoid": lambda v: 1 / (1 + np.exp(-v)),
+                "tanh": np.tanh,
+            }[op](values)
+            return float(arr.sum())
+
+        np.testing.assert_allclose(x.grad, numerical_gradient(fn, x_val.copy()), atol=1e-5)
+
+    def test_leaky_relu(self):
+        x = Tensor([-1.0, 2.0], requires_grad=True)
+        x.leaky_relu(0.1).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+    def test_clip(self):
+        x = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        out = x.clip(0.0, 1.0)
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_non_scalar_needs_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            t.backward()
+        t.backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(t.grad, [1.0, 1.0])
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 3).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_reused_node_gradients(self):
+        # f(x) = x*x + x -> df/dx = 2x + 1
+        x = Tensor([3.0], requires_grad=True)
+        (x * x + x).sum().backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_deep_chain_is_iterative_not_recursive(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_no_graph_tracking_without_requires_grad(self):
+        a = Tensor([1.0])
+        b = Tensor([2.0])
+        c = a + b
+        assert not c.requires_grad
+        assert c._parents == ()
+
+    def test_composite_expression_matches_numerical(self):
+        rng = np.random.default_rng(2)
+        x_val = rng.normal(size=(3, 3))
+        x = Tensor(x_val, requires_grad=True)
+        out = ((x.tanh() * x).sigmoid() + x.abs()).mean()
+        out.backward()
+
+        def fn(values):
+            t = np.tanh(values) * values
+            s = 1 / (1 + np.exp(-t))
+            return float((s + np.abs(values)).mean())
+
+        np.testing.assert_allclose(x.grad, numerical_gradient(fn, x_val.copy()), atol=1e-5)

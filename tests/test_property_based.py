@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data import AttributeSpec, stratified_split_indices
+from repro.fairness import (
+    disagreement_breakdown,
+    make_point,
+    overall_accuracy,
+    pareto_front,
+    unfairness_score,
+)
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+# ---------------------------------------------------------------------------
+# Autograd invariants
+# ---------------------------------------------------------------------------
+
+small_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=6),
+    elements=st.floats(-5.0, 5.0, allow_nan=False),
+)
+
+
+@given(small_arrays)
+@settings(max_examples=50, deadline=None)
+def test_sum_gradient_is_ones(values):
+    t = Tensor(values, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(values))
+
+
+@given(small_arrays, st.integers(0, 2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_addition_gradient_distributes(a_values, seed):
+    b_values = np.random.default_rng(seed).uniform(-5.0, 5.0, size=a_values.shape)
+    a = Tensor(a_values, requires_grad=True)
+    b = Tensor(b_values, requires_grad=True)
+    (a + b).sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones_like(a_values))
+    np.testing.assert_allclose(b.grad, np.ones_like(b_values))
+
+
+@given(small_arrays)
+@settings(max_examples=50, deadline=None)
+def test_mul_by_self_gradient_is_2x(values):
+    x = Tensor(values, requires_grad=True)
+    (x * x).sum().backward()
+    np.testing.assert_allclose(x.grad, 2 * values, atol=1e-10)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 8), st.integers(2, 6)),
+        elements=st.floats(-30.0, 30.0, allow_nan=False),
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_softmax_is_a_distribution(logits):
+    probs = F.softmax(Tensor(logits)).data
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(probs.sum(axis=-1), np.ones(logits.shape[0]), atol=1e-9)
+
+
+@given(st.integers(2, 10), st.integers(1, 40))
+@settings(max_examples=40, deadline=None)
+def test_one_hot_is_inverse_of_argmax(num_classes, n):
+    labels = np.random.default_rng(n).integers(0, num_classes, size=n)
+    encoded = F.one_hot(labels, num_classes)
+    assert encoded.shape == (n, num_classes)
+    np.testing.assert_array_equal(encoded.argmax(axis=1), labels)
+    np.testing.assert_allclose(encoded.sum(axis=1), np.ones(n))
+
+
+# ---------------------------------------------------------------------------
+# Fairness metric invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def predictions_labels_groups(draw):
+    n = draw(st.integers(4, 120))
+    num_classes = draw(st.integers(2, 6))
+    num_groups = draw(st.integers(2, 5))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, size=n)
+    predictions = rng.integers(0, num_classes, size=n)
+    groups = rng.integers(0, num_groups, size=n)
+    spec = AttributeSpec(
+        name="attr", groups=tuple(f"g{i}" for i in range(num_groups)), unprivileged=("g0",)
+    )
+    return predictions, labels, groups, spec
+
+
+@given(predictions_labels_groups())
+@settings(max_examples=60, deadline=None)
+def test_unfairness_score_bounds(data):
+    predictions, labels, groups, spec = data
+    score = unfairness_score(predictions, labels, groups, spec)
+    assert 0.0 <= score <= spec.num_groups
+
+
+@given(predictions_labels_groups())
+@settings(max_examples=60, deadline=None)
+def test_perfect_predictions_are_perfectly_fair(data):
+    _, labels, groups, spec = data
+    assert unfairness_score(labels, labels, groups, spec) == pytest.approx(0.0)
+    assert overall_accuracy(labels, labels) == 1.0
+
+
+@given(predictions_labels_groups())
+@settings(max_examples=60, deadline=None)
+def test_disagreement_breakdown_partitions_probability(data):
+    predictions, labels, groups, _ = data
+    other = np.roll(predictions, 1)
+    breakdown = disagreement_breakdown(predictions, other, labels)
+    total = breakdown["00"] + breakdown["01"] + breakdown["10"] + breakdown["11"]
+    assert total == pytest.approx(1.0)
+    assert breakdown["oracle"] >= max(
+        overall_accuracy(predictions, labels), overall_accuracy(other, labels)
+    ) - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Pareto-front invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 1.0, allow_nan=False), st.floats(0.0, 1.0, allow_nan=False)),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_pareto_front_is_subset_and_nonempty(points):
+    named = [make_point(f"p{i}", {"a": a, "b": b}) for i, (a, b) in enumerate(points)]
+    front = pareto_front(named, ["a", "b"])
+    assert 1 <= len(front) <= len(named)
+    front_names = {p.name for p in front}
+    assert front_names <= {p.name for p in named}
+    # The point with the minimum first objective is never strictly dominated:
+    best_a = min(named, key=lambda p: (p.objectives["a"], p.objectives["b"]))
+    assert best_a.name in front_names
+
+
+# ---------------------------------------------------------------------------
+# Split invariants
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(20, 300), st.integers(2, 6), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_split_partitions_every_index_exactly_once(n, num_classes, seed):
+    labels = np.random.default_rng(seed).integers(0, num_classes, size=n)
+    train, val, test = stratified_split_indices(labels, seed=seed)
+    combined = np.sort(np.concatenate([train, val, test]))
+    np.testing.assert_array_equal(combined, np.arange(n))
+
+
+# ---------------------------------------------------------------------------
+# Proxy weight invariants (Algorithm 1)
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=20, deadline=None)
+def test_image_weights_bounded_by_attribute_count(seed):
+    from repro.core import compute_image_weights
+    from repro.data import SyntheticISIC2019
+
+    dataset = SyntheticISIC2019(num_samples=200, seed=seed % 100)
+    weights = compute_image_weights(dataset, ["age", "site", "gender"])
+    assert weights.min() >= 0
+    assert weights.max() <= 3

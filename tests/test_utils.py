@@ -1,0 +1,152 @@
+"""Unit tests for repro.utils (rng, logging, serialization)."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    DEFAULT_SEED,
+    RunLogger,
+    derive_seeds,
+    format_table,
+    get_rng,
+    load_json,
+    load_state_dict,
+    save_json,
+    save_state_dict,
+    seed_everything,
+    spawn_rng,
+    to_jsonable,
+)
+
+
+class TestRng:
+    def test_get_rng_from_int(self):
+        a = get_rng(7)
+        b = get_rng(7)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_get_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert get_rng(rng) is rng
+
+    def test_default_seed_used_when_none(self):
+        a = get_rng(None).integers(0, 1_000_000)
+        b = get_rng(DEFAULT_SEED).integers(0, 1_000_000)
+        assert a == b
+
+    def test_spawn_rng_label_dependent(self):
+        parent_a = get_rng(1)
+        parent_b = get_rng(1)
+        child_x = spawn_rng(parent_a, "x")
+        child_y = spawn_rng(parent_b, "y")
+        assert child_x.integers(0, 10**9) != child_y.integers(0, 10**9)
+
+    def test_derive_seeds_deterministic(self):
+        assert derive_seeds(5, 4) == derive_seeds(5, 4)
+        assert len(derive_seeds(5, 4)) == 4
+
+    def test_seed_everything_returns_generator(self):
+        rng = seed_everything(3)
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestRunLogger:
+    def test_log_and_columns(self):
+        logger = RunLogger("test")
+        logger.log(step=0, reward=1.0)
+        logger.log(step=1, reward=3.0)
+        assert len(logger) == 2
+        assert logger.column("reward") == [1.0, 3.0]
+
+    def test_best_row(self):
+        logger = RunLogger("test")
+        logger.log(step=0, reward=1.0)
+        logger.log(step=1, reward=3.0)
+        assert logger.best("reward")["step"] == 1
+        assert logger.best("reward", maximize=False)["step"] == 0
+
+    def test_best_missing_key(self):
+        logger = RunLogger("test")
+        logger.log(step=0)
+        with pytest.raises(KeyError):
+            logger.best("reward")
+
+    def test_csv_export(self):
+        logger = RunLogger("test")
+        logger.log(a=1, b="x")
+        csv_text = logger.to_csv()
+        assert "a" in csv_text.splitlines()[0]
+        assert RunLogger("empty").to_csv() == ""
+
+    def test_verbose_logging_writes_to_stream(self, capsys):
+        logger = RunLogger("loud", verbose=True)
+        logger.log(metric=0.5)
+        captured = capsys.readouterr()
+        assert "loud" in captured.out
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        rows = [{"model": "a", "acc": 0.5}, {"model": "bbbb", "acc": 0.75}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "model" in lines[1] and "acc" in lines[1]
+        assert len(lines) == 2 + 2 + 1  # title + header + separator + 2 rows
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_values_rendered_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        assert "b" in format_table(rows)
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(empty table)"
+
+
+class TestSerialization:
+    def test_to_jsonable_handles_numpy(self):
+        payload = to_jsonable(
+            {"array": np.arange(3), "float": np.float64(1.5), "int": np.int64(2), "bool": np.bool_(True)}
+        )
+        assert payload == {"array": [0, 1, 2], "float": 1.5, "int": 2, "bool": True}
+
+    def test_to_jsonable_dataclass(self):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: float
+
+        assert to_jsonable(Point(1, 2.5)) == {"x": 1, "y": 2.5}
+
+    def test_to_jsonable_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_save_and_load_json(self, tmp_path):
+        path = save_json({"value": np.float64(3.5)}, tmp_path / "out" / "data.json")
+        assert path.exists()
+        assert load_json(path) == {"value": 3.5}
+        # File is valid JSON readable without the helper.
+        assert json.loads(path.read_text())["value"] == 3.5
+
+    def test_state_dict_roundtrip(self, tmp_path):
+        state = {"layer.weight": np.random.default_rng(0).normal(size=(3, 4)), "layer.bias": np.zeros(4)}
+        path = save_state_dict(state, tmp_path / "weights.json")
+        loaded = load_state_dict(path)
+        assert set(loaded) == set(state)
+        np.testing.assert_allclose(loaded["layer.weight"], state["layer.weight"])
+        assert loaded["layer.bias"].shape == (4,)
+
+    def test_to_jsonable_evaluation_object(self):
+        from repro.fairness import FairnessEvaluation
+
+        evaluation = FairnessEvaluation(accuracy=0.8, unfairness={"age": 0.3})
+        payload = to_jsonable(evaluation)
+        assert payload["accuracy"] == 0.8

@@ -1,0 +1,108 @@
+"""Unit tests for the architecture registry."""
+
+import pytest
+
+from repro.zoo import (
+    ALIASES,
+    ARCHITECTURES,
+    ArchitectureSpec,
+    architecture_names,
+    architectures_by_family,
+    default_pool_names,
+    fitzpatrick_pool_names,
+    get_architecture,
+    register_architecture,
+)
+
+
+class TestRegistry:
+    def test_ten_architectures_like_the_paper(self):
+        assert len(ARCHITECTURES) == 10
+        assert len(architecture_names()) == 10
+
+    def test_paper_parameter_counts(self):
+        assert get_architecture("ShuffleNet_V2_X1_0").num_parameters == 1_261_804
+        assert get_architecture("MobileNet_V3_Small").num_parameters == 1_526_056
+
+    def test_parameter_ordering_small_to_large(self):
+        params = [spec.num_parameters for spec in ARCHITECTURES]
+        assert params == sorted(params)
+
+    def test_aliases_resolve(self):
+        assert get_architecture("R-18").name == "ResNet-18"
+        assert get_architecture("D121").name == "DenseNet121"
+        assert get_architecture("S_V2_X1_0").name == "ShuffleNet_V2_X1_0"
+        assert get_architecture("M_V3_Small").name == "MobileNet_V3_Small"
+
+    def test_every_alias_points_to_registered_arch(self):
+        names = set(architecture_names())
+        assert all(target in names for target in ALIASES.values())
+
+    def test_unknown_architecture_raises(self):
+        with pytest.raises(KeyError):
+            get_architecture("VGG-16")
+
+    def test_families(self):
+        assert len(architectures_by_family("ResNet")) == 3
+        assert len(architectures_by_family("densenet")) == 2
+        with pytest.raises(KeyError):
+            architectures_by_family("Transformer")
+
+    def test_default_pool_is_all_ten(self):
+        assert len(default_pool_names()) == 10
+
+    def test_fitzpatrick_pool_excludes_densenets(self):
+        names = fitzpatrick_pool_names()
+        assert all("DenseNet" not in name for name in names)
+        assert any("ResNet" in name for name in names)
+
+
+class TestSensitivityProfiles:
+    def test_every_arch_defines_all_paper_attributes(self):
+        for spec in ARCHITECTURES:
+            for attr in ("age", "site", "gender", "skin_tone", "type"):
+                assert 0.0 <= spec.sensitivity_for(attr) <= 1.5
+
+    def test_gender_sensitivity_is_low(self):
+        """All architectures are nearly fair on gender (Figure 1a-b)."""
+        assert all(spec.sensitivity_for("gender") <= 0.6 for spec in ARCHITECTURES)
+
+    def test_resnet_vs_densenet_tradeoff(self):
+        """ResNet-18 is robust on age, DenseNet121 on site (Figure 1c)."""
+        r18 = get_architecture("ResNet-18")
+        d121 = get_architecture("DenseNet121")
+        assert r18.sensitivity_for("age") < d121.sensitivity_for("age")
+        assert d121.sensitivity_for("site") < r18.sensitivity_for("site")
+
+    def test_default_sensitivity_for_unknown_attribute(self):
+        spec = ARCHITECTURES[0]
+        assert spec.sensitivity_for("unknown_attr") == spec.default_sensitivity
+
+    def test_to_dict(self):
+        payload = ARCHITECTURES[0].to_dict()
+        assert {"name", "family", "num_parameters", "capacity", "sensitivity"} <= set(payload)
+
+
+class TestCustomRegistration:
+    def test_register_and_lookup(self):
+        spec = ArchitectureSpec(
+            name="TestNet-42", family="Custom", num_parameters=1000, capacity=8
+        )
+        register_architecture(spec, overwrite=True)
+        assert get_architecture("TestNet-42").capacity == 8
+
+    def test_duplicate_registration_rejected(self):
+        spec = ArchitectureSpec(name="TestNet-dup", family="Custom", num_parameters=10, capacity=4)
+        register_architecture(spec, overwrite=True)
+        with pytest.raises(ValueError):
+            register_architecture(spec)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ArchitectureSpec(name="bad", family="x", num_parameters=0, capacity=4)
+        with pytest.raises(ValueError):
+            ArchitectureSpec(name="bad", family="x", num_parameters=10, capacity=0)
+        with pytest.raises(ValueError):
+            ArchitectureSpec(
+                name="bad", family="x", num_parameters=10, capacity=4, sensitivity={"age": 2.0}
+            )

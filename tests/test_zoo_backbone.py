@@ -1,0 +1,73 @@
+"""Unit tests for the simulated backbones."""
+
+import numpy as np
+import pytest
+
+from repro.zoo import SimulatedBackbone, get_architecture
+
+
+class TestSimulatedBackbone:
+    def test_output_dimension_is_capacity(self, isic_dataset):
+        spec = get_architecture("ResNet-18")
+        backbone = SimulatedBackbone(spec, isic_dataset.feature_dim, seed=0)
+        features = backbone.extract(isic_dataset, indices=np.arange(10))
+        assert features.shape == (10, spec.capacity)
+
+    def test_output_bounded_by_tanh(self, isic_dataset):
+        backbone = SimulatedBackbone(get_architecture("DenseNet121"), isic_dataset.feature_dim, seed=0)
+        features = backbone.extract(isic_dataset, indices=np.arange(50))
+        assert np.abs(features).max() <= 1.0
+
+    def test_deterministic_given_seed(self, isic_dataset):
+        spec = get_architecture("ResNet-18")
+        a = SimulatedBackbone(spec, isic_dataset.feature_dim, seed=3)
+        b = SimulatedBackbone(spec, isic_dataset.feature_dim, seed=3)
+        idx = np.arange(20)
+        np.testing.assert_allclose(a.extract(isic_dataset, idx), b.extract(isic_dataset, idx))
+
+    def test_different_architectures_have_different_projections(self, isic_dataset):
+        idx = np.arange(20)
+        a = SimulatedBackbone(get_architecture("ResNet-18"), isic_dataset.feature_dim, seed=1)
+        b = SimulatedBackbone(get_architecture("DenseNet121"), isic_dataset.feature_dim, seed=2)
+        assert a.extract(isic_dataset, idx).shape != b.extract(isic_dataset, idx).shape or not np.allclose(
+            a.extract(isic_dataset, idx)[:, : min(a.output_dim, b.output_dim)],
+            b.extract(isic_dataset, idx)[:, : min(a.output_dim, b.output_dim)],
+        )
+
+    def test_sensitivity_profile_matches_spec(self, isic_dataset):
+        spec = get_architecture("ResNet-18")
+        backbone = SimulatedBackbone(spec, isic_dataset.feature_dim, seed=0)
+        profile = backbone.sensitivity_profile(isic_dataset)
+        assert set(profile) == {"age", "site", "gender"}
+        assert profile["age"] == spec.sensitivity_for("age")
+
+    def test_perceive_uses_sensitivity(self, isic_dataset):
+        """A fully-robust backbone perceives less distortion energy than a fragile one."""
+        from repro.zoo.architectures import ArchitectureSpec
+
+        idx = isic_dataset.group_indices("site", "oral/genital")[:30]
+        robust = ArchitectureSpec(
+            name="robust-test", family="t", num_parameters=1, capacity=16,
+            sensitivity={"age": 0.0, "site": 0.0, "gender": 0.0},
+        )
+        fragile = ArchitectureSpec(
+            name="fragile-test", family="t", num_parameters=1, capacity=16,
+            sensitivity={"age": 1.0, "site": 1.0, "gender": 1.0},
+        )
+        robust_view = SimulatedBackbone(robust, isic_dataset.feature_dim, seed=0).perceive(
+            isic_dataset, idx
+        )
+        fragile_view = SimulatedBackbone(fragile, isic_dataset.feature_dim, seed=0).perceive(
+            isic_dataset, idx
+        )
+        clean = isic_dataset.components["signal"][idx] + isic_dataset.components["noise"][idx]
+        assert np.linalg.norm(fragile_view - clean) > np.linalg.norm(robust_view - clean)
+
+    def test_transform_validates_shape(self, isic_dataset):
+        backbone = SimulatedBackbone(get_architecture("ResNet-18"), isic_dataset.feature_dim, seed=0)
+        with pytest.raises(ValueError):
+            backbone.transform(np.zeros((5, isic_dataset.feature_dim + 1)))
+
+    def test_invalid_feature_dim(self):
+        with pytest.raises(ValueError):
+            SimulatedBackbone(get_architecture("ResNet-18"), 0)

@@ -1,0 +1,94 @@
+"""Unit tests for ModelPool."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import apply_fair_loss
+from repro.zoo import ModelPool, TrainConfig
+
+
+class TestModelPool:
+    def test_build_trains_all_architectures(self, pool):
+        assert len(pool) == 5
+        assert all(model.is_trained for model in pool)
+        assert set(pool.names) == {
+            "ShuffleNet_V2_X1_0",
+            "MobileNet_V3_Small",
+            "MobileNet_V3_Large",
+            "DenseNet121",
+            "ResNet-18",
+        }
+
+    def test_get_accepts_aliases(self, pool):
+        assert pool.get("R-18").name == "ResNet-18"
+        assert pool.get("D121").name == "DenseNet121"
+
+    def test_get_unknown_raises(self, pool):
+        with pytest.raises(KeyError):
+            pool.get("ResNet-50")  # valid architecture, not in this pool
+
+    def test_contains_and_iteration(self, pool):
+        assert "ResNet-18" in pool
+        assert "not-a-model" not in pool
+        assert len(list(iter(pool))) == len(pool)
+
+    def test_models_selection_order(self, pool):
+        models = pool.models(["DenseNet121", "ResNet-18"])
+        assert [m.name for m in models] == ["DenseNet121", "ResNet-18"]
+
+    def test_partition_lookup(self, pool):
+        assert len(pool.partition("train")) > len(pool.partition("test"))
+        with pytest.raises(KeyError):
+            pool.partition("holdout")
+
+    def test_prediction_cache_consistency(self, pool):
+        direct = pool.get("ResNet-18").predict(pool.split.test)
+        cached_once = pool.predict("ResNet-18", "test")
+        cached_twice = pool.predict("ResNet-18", "test")
+        np.testing.assert_array_equal(direct, cached_once)
+        np.testing.assert_array_equal(cached_once, cached_twice)
+
+    def test_evaluate_matches_model_evaluate(self, pool):
+        via_pool = pool.evaluate("DenseNet121")
+        direct = pool.get("DenseNet121").evaluate(pool.split.test)
+        assert via_pool.accuracy == pytest.approx(direct.accuracy)
+
+    def test_evaluate_all_keys(self, pool):
+        evaluations = pool.evaluate_all()
+        assert set(evaluations) == set(pool.names)
+
+    def test_train_result_recorded(self, pool):
+        result = pool.train_result("ResNet-18")
+        assert len(result.losses) > 0
+
+    def test_pareto_points(self, pool):
+        points = pool.pareto_points(["age", "site"], include_accuracy=True)
+        assert len(points) == len(pool)
+        sample = points[0]
+        assert set(sample.objectives) == {"U(age)", "U(site)", "accuracy"}
+        assert sample.minimize["accuracy"] is False
+
+    def test_summary_rows(self, pool):
+        rows = pool.summary()
+        assert len(rows) == len(pool)
+        assert {"model", "parameters", "accuracy"} <= set(rows[0])
+
+    def test_add_model(self, pool, isic_split, train_config):
+        outcome = apply_fair_loss(
+            pool.get("ResNet-18"), isic_split, "age", TrainConfig(epochs=10, batch_size=256)
+        )
+        before = len(pool)
+        pool.add_model(outcome.model, outcome.train_result)
+        assert len(pool) == before + 1
+        assert outcome.model.label in pool.names
+        evaluation = pool.evaluate(outcome.model.label)
+        assert evaluation.accuracy > 0.3
+
+    def test_add_untrained_model_rejected(self, pool, isic_split):
+        untrained = pool.get("ResNet-18").clone_untrained(label="untrained-clone")
+        with pytest.raises(ValueError):
+            pool.add_model(untrained)
+
+    def test_empty_architecture_list_rejected(self, isic_split, train_config):
+        with pytest.raises(ValueError):
+            ModelPool(isic_split, architecture_names=[], train_config=train_config)

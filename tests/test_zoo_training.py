@@ -1,0 +1,84 @@
+"""Unit tests for the zoo head trainer."""
+
+import numpy as np
+import pytest
+
+from repro.zoo import TrainConfig, ZooModel, train_model
+
+
+@pytest.fixture
+def fresh_model(isic_split):
+    train = isic_split.train
+    return ZooModel.from_name("MobileNet_V3_Large", train.feature_dim, train.num_classes, seed=0)
+
+
+class TestTrainConfig:
+    def test_defaults_follow_paper_recipe(self):
+        config = TrainConfig()
+        assert config.lr == pytest.approx(0.1)
+        assert config.lr_decay == pytest.approx(0.9)
+        assert config.lr_decay_every == 20
+
+    def test_invalid_optimizer(self, fresh_model, isic_split):
+        with pytest.raises(ValueError):
+            train_model(fresh_model, isic_split.train, config=TrainConfig(epochs=1, optimizer="rmsprop"))
+
+
+class TestTrainModel:
+    def test_loss_decreases_and_accuracy_improves(self, fresh_model, isic_split):
+        result = train_model(
+            fresh_model, isic_split.train, isic_split.val, TrainConfig(epochs=20, batch_size=256)
+        )
+        assert result.losses[-1] < result.losses[0]
+        assert result.train_accuracy[-1] > 0.5
+        assert len(result.val_accuracy) == 20
+        assert fresh_model.is_trained
+
+    def test_lr_schedule_applied(self, fresh_model, isic_split):
+        result = train_model(
+            fresh_model,
+            isic_split.train,
+            config=TrainConfig(epochs=25, lr=0.1, lr_decay=0.9, lr_decay_every=20),
+        )
+        assert result.final_lr == pytest.approx(0.1 * 0.9)
+
+    def test_sample_weights_change_outcome(self, isic_split):
+        train = isic_split.train
+        model_a = ZooModel.from_name("ResNet-34", train.feature_dim, train.num_classes, seed=0)
+        model_b = ZooModel.from_name("ResNet-34", train.feature_dim, train.num_classes, seed=0)
+        config = TrainConfig(epochs=10, batch_size=256, seed=0)
+        train_model(model_a, train, config=config)
+        weights = np.ones(len(train))
+        weights[train.unprivileged_mask("site")] = 6.0
+        train_model(model_b, train, config=config, sample_weights=weights)
+        assert not np.allclose(
+            model_a.predict_logits(isic_split.test), model_b.predict_logits(isic_split.test)
+        )
+
+    def test_sample_weight_shape_validated(self, fresh_model, isic_split):
+        with pytest.raises(ValueError):
+            train_model(
+                fresh_model,
+                isic_split.train,
+                config=TrainConfig(epochs=1),
+                sample_weights=np.ones(3),
+            )
+
+    def test_fair_loss_attribute_used(self, isic_split):
+        train = isic_split.train
+        model = ZooModel.from_name("DenseNet201", train.feature_dim, train.num_classes, seed=0)
+        config = TrainConfig(epochs=10, fair_attribute="age", fairness_weight=2.0)
+        result = train_model(model, train, config=config)
+        assert model.is_trained
+        assert len(result.losses) == 10
+
+    def test_adam_option(self, isic_split):
+        train = isic_split.train
+        model = ZooModel.from_name("ShuffleNet_V2_X0_5", train.feature_dim, train.num_classes, seed=0)
+        result = train_model(model, train, config=TrainConfig(epochs=10, optimizer="adam", lr=0.01))
+        assert result.train_accuracy[-1] > 0.4
+
+    def test_train_result_to_dict(self, fresh_model, isic_split):
+        result = train_model(fresh_model, isic_split.train, config=TrainConfig(epochs=2))
+        payload = result.to_dict()
+        assert len(payload["losses"]) == 2
