@@ -1,32 +1,31 @@
-"""Extending the library: a custom dataset, a custom architecture and a
-Muffin search over both.
+"""Extending the library: plugin registries + a declarative pipeline run.
 
-The Muffin framework is dataset- and model-agnostic: anything exposing the
-``FairnessDataset`` group structure and the ``ZooModel`` prediction API can
-be searched over.  This example builds
+The Muffin framework is dataset- and model-agnostic, and every pluggable
+component family is a registry.  This example registers
 
 * a custom synthetic dataset ("retinopathy screening") with two sensitive
-  attributes (camera type and clinic region) and bespoke group difficulty /
-  imbalance profiles;
-* a custom architecture ("ClinicNet") registered next to the built-in pool;
-* a model pool mixing the custom architecture with two built-ins, and a
-  Muffin search optimizing both attributes at once.
+  attributes (camera type and clinic region) in :data:`repro.api.DATASETS`;
+* a custom architecture ("ClinicNet") in the zoo's architecture registry;
+
+and then runs the full pipeline from a :class:`~repro.api.RunSpec` that
+names both plugins exactly like built-ins — no imperative wiring.
 
 Run with::
 
     python examples/custom_dataset_and_pool.py
 """
 
-from repro.core import MuffinSearch, SearchConfig, HeadTrainConfig
-from repro.data import AttributeSet, AttributeSpec, sample_dataset, split_dataset
+from repro.api import DATASETS, DatasetSpec, FinalizeSpec, MuffinPipeline, PoolSpec, RunSpec, SearchSpec
+from repro.data import AttributeSet, AttributeSpec, sample_dataset
 from repro.data.synthetic import SyntheticConfig
 from repro.utils import format_table
-from repro.zoo import ArchitectureSpec, ModelPool, TrainConfig, register_architecture
+from repro.zoo import ArchitectureSpec, register_architecture
 
 ATTRIBUTES = ("camera", "region")
 
 
-def build_custom_dataset():
+@DATASETS.register("retinopathy", overwrite=True)
+def build_retinopathy(num_samples: int = 4000, seed: int = 77, **params):
     """A screening dataset where old cameras and rural clinics are unprivileged."""
     camera = AttributeSpec(
         name="camera",
@@ -44,7 +43,7 @@ def build_custom_dataset():
     )
     attributes = AttributeSet([camera, region])
     config = SyntheticConfig(
-        num_samples=4000,
+        num_samples=num_samples,
         feature_dim=40,
         class_separation=2.8,
         group_shift_scale=3.0,
@@ -55,7 +54,7 @@ def build_custom_dataset():
         num_classes=5,
         attributes=attributes,
         config=config,
-        seed=77,
+        seed=seed,
         class_names=("none", "mild", "moderate", "severe", "proliferative"),
     )
 
@@ -76,16 +75,30 @@ def register_clinicnet() -> str:
 
 
 def main() -> None:
-    dataset = build_custom_dataset()
-    split = split_dataset(dataset, seed=11)
     custom_arch = register_clinicnet()
 
-    pool = ModelPool(
-        split,
-        architecture_names=[custom_arch, "ResNet-18", "DenseNet121", "MobileNet_V3_Large"],
-        train_config=TrainConfig(epochs=40, batch_size=256),
-        seed=5,
-    ).build()
+    # Both plugins are now addressable from a declarative spec.
+    spec = RunSpec(
+        name="custom-retinopathy",
+        dataset=DatasetSpec(name="retinopathy", num_samples=4000, seed=77, split_seed=11),
+        pool=PoolSpec(
+            architectures=(custom_arch, "ResNet-18", "DenseNet121", "MobileNet_V3_Large"),
+            epochs=40,
+            batch_size=256,
+            seed=5,
+        ),
+        search=SearchSpec(
+            attributes=ATTRIBUTES,
+            base_model=custom_arch,
+            episodes=40,
+            episode_batch=5,
+            head_epochs=25,
+            seed=13,
+        ),
+        finalize=FinalizeSpec(selection="reward", name="Muffin(ClinicNet)"),
+    )
+    outcome = MuffinPipeline(spec).run()
+    pool, muffin = outcome.pool, outcome.muffin
 
     landscape = [
         {
@@ -98,16 +111,6 @@ def main() -> None:
     ]
     print(format_table(landscape, title="Custom dataset: unfairness landscape"))
     print()
-
-    search = MuffinSearch(
-        pool,
-        attributes=list(ATTRIBUTES),
-        base_model=custom_arch,
-        search_config=SearchConfig(episodes=40, episode_batch=5, seed=13),
-        head_config=HeadTrainConfig(epochs=25),
-    )
-    result = search.run()
-    muffin = search.finalize(result, metric="reward", name="Muffin(ClinicNet)")
 
     vanilla = pool.evaluate(custom_arch)
     fused_eval = muffin.test_evaluation
@@ -130,6 +133,9 @@ def main() -> None:
     print(f"Selected body: {muffin.record.candidate.model_names}")
     print(f"Selected head: MLP{list(muffin.record.candidate.hidden_sizes)} "
           f"({muffin.record.candidate.activation})")
+    print()
+    print("The same run as a portable spec file:")
+    print(spec.to_json())
 
 
 if __name__ == "__main__":

@@ -1,8 +1,9 @@
 """Fitzpatrick17K validation workflow (Section 4.5 / Figures 7-8).
 
-Builds the synthetic Fitzpatrick17K stand-in (9 classes; skin-tone and
-lesion-type attributes), trains the ResNet/ShuffleNet/MobileNet pool the
-paper uses for this dataset, runs a pool-wide Muffin search and prints:
+Declares the Fitzpatrick17K stand-in run as a :class:`~repro.api.RunSpec`
+(9 classes; skin-tone and lesion-type attributes; the paper's
+ResNet/ShuffleNet/MobileNet pool), executes it through the pipeline, and
+then uses the pipeline's search driver for the named Muffin-Nets:
 
 * the Pareto comparison between existing models and the Muffin-Nets
   (Figure 7);
@@ -14,24 +15,36 @@ Run with::
     python examples/fitzpatrick_validation.py
 """
 
-from repro.core import MuffinSearch, SearchConfig, HeadTrainConfig
-from repro.data import SyntheticFitzpatrick17K, split_dataset
+from repro.api import DatasetSpec, FinalizeSpec, MuffinPipeline, PoolSpec, RunSpec, SearchSpec
 from repro.fairness import group_accuracies
 from repro.utils import format_table
-from repro.zoo import ModelPool, TrainConfig, fitzpatrick_pool_names
+from repro.zoo import fitzpatrick_pool_names
 
 ATTRIBUTES = ("skin_tone", "type")
 
 
 def main() -> None:
-    dataset = SyntheticFitzpatrick17K(num_samples=5000, seed=1717)
-    split = split_dataset(dataset, seed=2)
-    pool = ModelPool(
-        split,
-        architecture_names=fitzpatrick_pool_names(),
-        train_config=TrainConfig(epochs=40, batch_size=256),
-        seed=3,
-    ).build()
+    spec = RunSpec(
+        name="fitzpatrick-validation",
+        dataset=DatasetSpec(
+            name="synthetic_fitzpatrick", num_samples=5000, seed=1717, split_seed=2
+        ),
+        pool=PoolSpec(
+            architectures=tuple(fitzpatrick_pool_names()), epochs=40, batch_size=256, seed=3
+        ),
+        search=SearchSpec(
+            attributes=ATTRIBUTES,
+            num_paired=2,
+            episodes=50,
+            episode_batch=5,
+            head_epochs=25,
+            seed=7,
+        ),
+        finalize=FinalizeSpec(selection="reward", name="Muffin"),
+    )
+    pipeline = MuffinPipeline(spec)
+    outcome = pipeline.run()
+    pool, result, split = outcome.pool, outcome.result, outcome.split
 
     existing = [
         {
@@ -46,15 +59,9 @@ def main() -> None:
     print(format_table(existing, title="Existing models on Fitzpatrick17K (stand-in)"))
     print()
 
-    search = MuffinSearch(
-        pool,
-        attributes=list(ATTRIBUTES),
-        num_paired=2,
-        search_config=SearchConfig(episodes=50, episode_batch=5, seed=7),
-        head_config=HeadTrainConfig(epochs=25),
-    )
-    result = search.run()
-    nets = search.named_muffin_nets(result)
+    # The pipeline's search driver exposes the full MuffinSearch API, sharing
+    # its cached body outputs with the stages that already ran.
+    nets = pipeline.search.named_muffin_nets(result)
 
     muffin_rows = [
         {
@@ -73,15 +80,15 @@ def main() -> None:
     # Figure 8: per-skin-tone accuracy of Muffin-Balance vs ResNet-18.
     balance = nets["Muffin-Balance"]
     test = split.test
-    spec = test.attributes["skin_tone"]
+    spec_attr = test.attributes["skin_tone"]
     ids = test.group_ids("skin_tone")
     resnet = pool.get("ResNet-18").predict(test)
     fused = balance.fused.predict(test)
-    resnet_groups = group_accuracies(resnet, test.labels, ids, spec)
-    fused_groups = group_accuracies(fused, test.labels, ids, spec)
+    resnet_groups = group_accuracies(resnet, test.labels, ids, spec_attr)
+    fused_groups = group_accuracies(fused, test.labels, ids, spec_attr)
     per_tone = [
         {"skin_tone": tone, "ResNet-18": resnet_groups[tone], "Muffin-Balance": fused_groups[tone]}
-        for tone in spec.groups
+        for tone in spec_attr.groups
     ]
     print(format_table(per_tone, title="Per-skin-tone accuracy (Figure 8)"))
 

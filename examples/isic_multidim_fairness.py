@@ -2,7 +2,8 @@
 then unite models with Muffin.
 
 The script walks through the paper's narrative on the synthetic ISIC2019
-stand-in:
+stand-in, with the pipeline stages (dataset, split, pool, search, finalize)
+declared as one :class:`~repro.api.RunSpec`:
 
 1. train the model pool and print the unfairness landscape (Observation 1 /
    Figure 1): gender is fair, age and site are not, and no architecture is
@@ -18,12 +19,11 @@ Run with::
     python examples/isic_multidim_fairness.py
 """
 
+from repro.api import DatasetSpec, FinalizeSpec, MuffinPipeline, PoolSpec, RunSpec, SearchSpec
 from repro.baselines import SingleAttributeOptimizer
-from repro.core import MuffinSearch, SearchConfig, HeadTrainConfig
-from repro.data import SyntheticISIC2019, split_dataset
 from repro.fairness import relative_improvement
 from repro.utils import format_table
-from repro.zoo import ModelPool, TrainConfig
+from repro.zoo import TrainConfig
 
 BASE_MODEL = "ShuffleNet_V2_X1_0"
 ATTRIBUTES = ("age", "site")
@@ -31,11 +31,24 @@ ATTRIBUTES = ("age", "site")
 
 def main() -> None:
     # ------------------------------------------------------------------
-    # 1. Dataset, split and model pool
+    # 1. The declared pipeline: dataset, split, pool, search, finalize
     # ------------------------------------------------------------------
-    dataset = SyntheticISIC2019(num_samples=6000, seed=2019)
-    split = split_dataset(dataset, seed=1)
-    pool = ModelPool(split, train_config=TrainConfig(epochs=40, batch_size=256), seed=0).build()
+    spec = RunSpec(
+        name="isic-multidim",
+        dataset=DatasetSpec(name="synthetic_isic", num_samples=6000, seed=2019, split_seed=1),
+        pool=PoolSpec(epochs=40, batch_size=256, seed=0),
+        search=SearchSpec(
+            attributes=ATTRIBUTES,
+            base_model=BASE_MODEL,
+            episodes=60,
+            episode_batch=5,
+            head_epochs=25,
+            seed=0,
+        ),
+        finalize=FinalizeSpec(selection="reward", name=f"Muffin({BASE_MODEL})"),
+    )
+    outcome = MuffinPipeline(spec).run()
+    pool, result, muffin = outcome.pool, outcome.result, outcome.muffin
 
     landscape = [
         {
@@ -53,7 +66,9 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 2. Single-attribute baselines on the base model (the see-saw)
     # ------------------------------------------------------------------
-    optimizer = SingleAttributeOptimizer(split, train_config=TrainConfig(epochs=40, batch_size=256))
+    optimizer = SingleAttributeOptimizer(
+        outcome.split, train_config=TrainConfig(epochs=40, batch_size=256)
+    )
     study = optimizer.run(pool.get(BASE_MODEL), ATTRIBUTES)
     seesaw = study.seesaw_pairs(ATTRIBUTES)
     print(format_table(seesaw, title=f"Observation 2: single-attribute optimization of {BASE_MODEL}"))
@@ -61,18 +76,8 @@ def main() -> None:
     print()
 
     # ------------------------------------------------------------------
-    # 3. Muffin search anchored on the base model
+    # 3. The Muffin-Net the pipeline finalised
     # ------------------------------------------------------------------
-    search = MuffinSearch(
-        pool,
-        attributes=list(ATTRIBUTES),
-        base_model=BASE_MODEL,
-        search_config=SearchConfig(episodes=60, episode_batch=5, seed=0),
-        head_config=HeadTrainConfig(epochs=25),
-    )
-    result = search.run()
-    muffin = search.finalize(result, metric="reward", name=f"Muffin({BASE_MODEL})")
-
     vanilla = study.vanilla
     fused_eval = muffin.test_evaluation
     table_row = {

@@ -1,28 +1,38 @@
-"""Quickstart: run a small Muffin search end-to-end in one call.
+"""Quickstart: run a Muffin pipeline end-to-end from a declarative spec.
 
-This script exercises the highest-level entry point of the library,
-``repro.quick_muffin_search``: it builds the synthetic ISIC2019 stand-in,
-trains the ten-model pool, runs a short reinforcement-learning search
-anchored on MobileNet_V3_Small and prints the paper-style comparison
-between the vanilla base model and the discovered Muffin-Net.
+This script exercises the highest-level entry point of the library, the
+declarative Pipeline API: it loads ``examples/specs/quickstart.json``
+(dataset -> split -> pool -> search -> finalize -> report), executes it with
+artifact caching — a second run resumes from the cached pool and search —
+and prints the paper-style comparison between the vanilla base model and
+the discovered Muffin-Net.
 
 Run with::
 
     python examples/quickstart.py
+
+or, equivalently, straight from the spec file::
+
+    python -m repro run examples/specs/quickstart.json
 """
 
-from repro import quick_muffin_search
+from pathlib import Path
+
+from repro.api import MuffinPipeline, RunSpec
 from repro.fairness import relative_improvement
 from repro.utils import format_table
 
+SPEC_PATH = Path(__file__).parent / "specs" / "quickstart.json"
+
 
 def main() -> None:
-    base_model = "MobileNet_V3_Small"
-    outcome = quick_muffin_search(base_model=base_model, episodes=40, num_samples=5000, seed=0)
+    spec = RunSpec.from_json(SPEC_PATH)
+    base_model = spec.search.base_model
+    pipeline = MuffinPipeline(spec, cache_dir=MuffinPipeline.default_cache_dir(spec))
+    outcome = pipeline.run()
 
-    pool = outcome["pool"]
-    muffin = outcome["muffin"]
-    vanilla = pool.evaluate(base_model, partition="test")
+    vanilla = outcome.pool.evaluate(base_model, partition="test")
+    muffin = outcome.muffin
     fused_eval = muffin.test_evaluation
 
     rows = [
@@ -41,6 +51,9 @@ def main() -> None:
     ]
     print(format_table(rows, title="Quickstart: vanilla vs Muffin"))
     print()
+    for timing in outcome.timings:
+        print(f"  {timing.stage:<10} {timing.status:<8} {timing.seconds:8.3f}s")
+    print()
     print(f"Muffin body: {muffin.record.candidate.model_names}")
     print(f"Muffin head: MLP{list(muffin.record.candidate.hidden_sizes)} "
           f"({muffin.record.candidate.activation})")
@@ -50,6 +63,8 @@ def main() -> None:
         f"site {relative_improvement(vanilla.unfairness['site'], fused_eval.unfairness['site']):+.1%}, "
         f"accuracy {fused_eval.accuracy - vanilla.accuracy:+.2%}"
     )
+    if outcome.resumed_stages:
+        print(f"(resumed from cache: {', '.join(outcome.resumed_stages)})")
 
 
 if __name__ == "__main__":

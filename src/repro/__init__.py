@@ -3,6 +3,12 @@ Uniting Off-the-Shelf Models" (Sheng et al., DAC 2023).
 
 The package is organised as:
 
+* :mod:`repro.api` — the declarative Pipeline API: :class:`~repro.api.RunSpec`
+  (JSON-serialisable run descriptions), the component registries and the
+  staged :class:`~repro.api.MuffinPipeline` executor with artifact caching;
+* :mod:`repro.registry` — the generic named-component registry every
+  pluggable family (datasets, controllers, rewards, proxy builders,
+  selection strategies, architectures, experiments) is built on;
 * :mod:`repro.nn` — numpy neural-network substrate (autograd, layers, losses,
   optimisers, RNN cells);
 * :mod:`repro.data` — synthetic dermatology datasets with multi-attribute
@@ -17,24 +23,48 @@ The package is organised as:
 * :mod:`repro.experiments` — harness regenerating every table and figure of
   the paper's evaluation section.
 
-Quickstart::
+Quickstart — declare a run, execute it, resume it::
+
+    from repro.api import MuffinPipeline, RunSpec
+
+    spec = RunSpec.from_json("examples/specs/quickstart.json")
+    result = MuffinPipeline(spec, cache_dir=".repro_cache/quickstart").run()
+    print(result.muffin.test_evaluation.accuracy)
+    # A second .run() loads the trained pool and search history from cache.
+
+or equivalently from the command line::
+
+    python -m repro run examples/specs/quickstart.json
+
+The one-call helper wraps the same pipeline::
 
     from repro import quick_muffin_search
 
     outcome = quick_muffin_search(base_model="MobileNet_V3_Small", episodes=40)
-    print(outcome["muffin"].test_evaluation.accuracy)
+    print(outcome.muffin.test_evaluation.accuracy)
+
+Plugins register next to the built-ins and become addressable from spec
+files immediately (see ``docs/api.md``)::
+
+    from repro.api import DATASETS
+
+    @DATASETS.register("my_dataset")
+    def build_my_dataset(num_samples=4000, seed=0, **params):
+        ...
 """
 
-from . import baselines, core, data, fairness, nn, utils, zoo
+from . import api, baselines, core, data, fairness, nn, registry, utils, zoo
 from .version import __version__
 
 __all__ = [
+    "api",
     "nn",
     "data",
     "zoo",
     "fairness",
     "baselines",
     "core",
+    "registry",
     "utils",
     "__version__",
     "quick_muffin_search",
@@ -47,31 +77,38 @@ def quick_muffin_search(
     episodes: int = 40,
     num_samples: int = 4000,
     seed: int = 0,
+    cache_dir=None,
 ):
     """One-call demonstration of the full pipeline on the synthetic ISIC stand-in.
 
-    Builds the dataset, trains a compact model pool, runs a short Muffin
-    search anchored on ``base_model`` and returns a dictionary with the pool,
-    the search result and the finalised Muffin-Net.  Intended for examples
-    and smoke tests; the experiment harness exposes every knob.
-    """
-    from .core import MuffinSearch, SearchConfig
-    from .data import SyntheticISIC2019, split_dataset
-    from .zoo import ModelPool, TrainConfig
+    Declares a :class:`~repro.api.RunSpec` matching the historical defaults
+    (dataset -> split -> pool -> search -> finalize -> report) and executes it
+    through :class:`~repro.api.MuffinPipeline`.  Pass ``cache_dir`` to persist
+    stage artifacts and resume repeated calls.
 
-    dataset = SyntheticISIC2019(num_samples=num_samples, seed=2019 + seed)
-    split = split_dataset(dataset, seed=seed)
-    pool = ModelPool(
-        split,
-        train_config=TrainConfig(epochs=40, batch_size=256, seed=seed),
-        seed=seed,
-    ).build()
-    search = MuffinSearch(
-        pool,
-        attributes=list(attributes),
-        base_model=pool.get(base_model).label,
-        search_config=SearchConfig(episodes=episodes, seed=seed),
+    Returns a :class:`~repro.api.PipelineResult`.
+
+    .. deprecated:: 0.2
+        The return value used to be a plain ``dict``.  Mapping-style access
+        (``outcome["muffin"]``, ``outcome["pool"]``, ...) still works but is
+        deprecated; prefer the typed attributes (``outcome.muffin``,
+        ``outcome.pool``, ``outcome.result``, ``outcome.report``).
+    """
+    from .api import DatasetSpec, FinalizeSpec, MuffinPipeline, PoolSpec, RunSpec, SearchSpec
+
+    spec = RunSpec(
+        name=f"quick-muffin-{base_model}",
+        dataset=DatasetSpec(
+            name="synthetic_isic", num_samples=num_samples, seed=2019 + seed, split_seed=seed
+        ),
+        pool=PoolSpec(epochs=40, batch_size=256, seed=seed),
+        search=SearchSpec(
+            attributes=tuple(attributes),
+            base_model=base_model,
+            episodes=episodes,
+            head_epochs=40,
+            seed=seed,
+        ),
+        finalize=FinalizeSpec(selection="reward", name="Muffin"),
     )
-    result = search.run()
-    muffin = search.finalize(result, metric="reward", name="Muffin")
-    return {"dataset": dataset, "split": split, "pool": pool, "result": result, "muffin": muffin}
+    return MuffinPipeline(spec, cache_dir=cache_dir).run()

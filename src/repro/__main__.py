@@ -1,14 +1,129 @@
 """Command-line entry point: ``python -m repro``.
 
-Delegates to the experiment runner, so the package can regenerate the
-paper's tables and figures directly::
+Two families of subcommands:
+
+* ``run <spec.json>`` — execute a declarative pipeline spec end to end with
+  per-stage artifact caching (a repeated run resumes from cache)::
+
+      python -m repro run examples/specs/quickstart.json
+      python -m repro run spec.json --cache-dir .repro_cache/my-run --rerun-from search
+
+* ``components`` — list every registered component (datasets, controllers,
+  rewards, proxy builders, selection strategies, architectures, experiments).
+
+Anything else is treated as experiment ids and delegated to the experiment
+runner, preserving the historical interface::
 
     python -m repro fig1 table1 --scale fast --output-dir results/
 """
 
-import sys
+from __future__ import annotations
 
-from .experiments.runner import main
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+
+def _run_command(argv: Sequence[str]) -> int:
+    from .api import MuffinPipeline, RunSpec, SpecError
+    from .utils.serialization import save_json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description="Execute a declarative Muffin pipeline spec",
+    )
+    parser.add_argument("spec", help="path to a RunSpec JSON file")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="stage-artifact cache directory (default: .repro_cache/<name>-<hash>)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="run fully in memory, persist nothing"
+    )
+    parser.add_argument(
+        "--fresh", action="store_true", help="ignore cached stages and recompute everything"
+    )
+    parser.add_argument(
+        "--rerun-from",
+        default=None,
+        metavar="STAGE",
+        help="force this stage and everything after it to recompute",
+    )
+    parser.add_argument("--output", default=None, help="write the report JSON to this file")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(list(argv))
+
+    try:
+        spec = RunSpec.from_json(args.spec)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = Path(args.cache_dir)
+    else:
+        cache_dir = MuffinPipeline.default_cache_dir(spec)
+
+    try:
+        pipeline = MuffinPipeline(spec, cache_dir=cache_dir, verbose=not args.quiet)
+        result = pipeline.run(resume=not args.fresh, rerun_from=args.rerun_from)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.output is not None:
+        save_json(result.report, args.output)
+    if not args.quiet:
+        muffin = result.muffin
+        print(f"run '{spec.name}' ({spec.spec_hash()}) complete")
+        for timing in result.timings:
+            print(f"  {timing.stage:<10} {timing.status:<8} {timing.seconds:8.3f}s")
+        if cache_dir is not None:
+            print(f"cache: {cache_dir}")
+        if muffin.test_evaluation is not None:
+            unfairness = ", ".join(
+                f"U({a})={u:.3f}" for a, u in muffin.test_evaluation.unfairness.items()
+            )
+            print(
+                f"{muffin.name}: accuracy={muffin.test_evaluation.accuracy:.4f}, {unfairness}"
+            )
+    return 0
+
+
+def _components_command(argv: Sequence[str]) -> int:
+    from .api import ALL_REGISTRIES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro components",
+        description="List every registered pipeline component",
+    )
+    parser.parse_args(list(argv))
+    for family, registry in ALL_REGISTRIES.items():
+        print(f"{family} ({len(registry)}):")
+        aliases = {}
+        for alias, target in registry.aliases().items():
+            aliases.setdefault(target, []).append(alias)
+        for name in registry.names():
+            suffix = f" (aliases: {', '.join(sorted(aliases[name]))})" if name in aliases else ""
+            print(f"  {name}{suffix}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(argv if argv is not None else sys.argv[1:])
+    if argv and argv[0] == "run":
+        return _run_command(argv[1:])
+    if argv and argv[0] == "components":
+        return _components_command(argv[1:])
+    # Legacy interface: experiment ids for the paper harness.
+    from .experiments.runner import main as experiments_main
+
+    return experiments_main(argv)
+
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv[1:]))
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""Declarative Pipeline API: specs, registries and the staged executor.
+
+The public entry point of the library.  A run is described by a
+:class:`RunSpec` (JSON-serialisable nested dataclasses), every component the
+spec names resolves through a :class:`~repro.registry.Registry`, and
+:class:`MuffinPipeline` executes the staged dataset → split → pool → search
+→ finalize → report flow with per-stage artifact caching and resume::
+
+    from repro.api import RunSpec, MuffinPipeline
+
+    spec = RunSpec.from_json("examples/specs/quickstart.json")
+    result = MuffinPipeline(spec, cache_dir=".repro_cache/quickstart").run()
+    print(result.muffin.test_evaluation.accuracy)
+"""
+
+from .pipeline import (
+    MuffinPipeline,
+    PipelineError,
+    PipelineResult,
+    StageTiming,
+    run_spec,
+)
+from .registries import (
+    ARCHITECTURES,
+    CONTROLLERS,
+    DATASETS,
+    PROXY_BUILDERS,
+    REWARDS,
+    SELECTION_STRATEGIES,
+    available_components,
+)
+
+
+def __getattr__(name: str):
+    # Lazy re-exports: resolving these pulls in the experiment harness.
+    if name in ("EXPERIMENTS", "ALL_REGISTRIES"):
+        from . import registries
+
+        return getattr(registries, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+from .spec import (
+    PIPELINE_STAGES,
+    DatasetSpec,
+    FinalizeSpec,
+    PoolSpec,
+    ReportSpec,
+    RunSpec,
+    SearchSpec,
+    SpecError,
+)
+
+__all__ = [
+    "RunSpec",
+    "DatasetSpec",
+    "PoolSpec",
+    "SearchSpec",
+    "FinalizeSpec",
+    "ReportSpec",
+    "SpecError",
+    "PIPELINE_STAGES",
+    "MuffinPipeline",
+    "PipelineResult",
+    "PipelineError",
+    "StageTiming",
+    "run_spec",
+    "ALL_REGISTRIES",
+    "ARCHITECTURES",
+    "CONTROLLERS",
+    "DATASETS",
+    "EXPERIMENTS",
+    "PROXY_BUILDERS",
+    "REWARDS",
+    "SELECTION_STRATEGIES",
+    "available_components",
+]

@@ -1,0 +1,279 @@
+"""Declarative run specifications for the Muffin pipeline.
+
+A :class:`RunSpec` is a nested, JSON-serialisable description of one full
+Muffin run — dataset, split, model pool, search, finalisation and report.
+It round-trips losslessly through JSON (``spec == RunSpec.from_json(spec.to_json())``)
+and every component it names (dataset, controller, proxy builder, reward,
+selection strategy, architectures) resolves through a registry, so plugins
+are addressable from a spec file without touching library code.
+
+Stage hashes (:meth:`RunSpec.stage_hash`) cover exactly the sub-specs that
+influence a stage's artifact, which is what the pipeline's resume-from-cache
+logic keys on: editing ``search.episodes`` invalidates the search stage but
+leaves the trained pool cache intact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from ..core import HeadTrainConfig, RewardConfig, SearchConfig
+from ..data.splits import PAPER_SPLIT
+from ..zoo import TrainConfig
+
+PathLike = Union[str, Path]
+
+#: Pipeline stages in execution order (also the resume-from targets).
+PIPELINE_STAGES: Tuple[str, ...] = ("dataset", "split", "pool", "search", "finalize", "report")
+
+
+class SpecError(ValueError):
+    """A run spec that cannot be built or parsed."""
+
+
+def _tuple_or_none(value):
+    return None if value is None else tuple(value)
+
+
+@dataclass
+class DatasetSpec:
+    """Which dataset to build (a :data:`~repro.data.DATASETS` entry) and how to split it."""
+
+    name: str = "synthetic_isic"
+    num_samples: int = 6000
+    seed: int = 2019
+    #: extra keyword arguments forwarded to the registered dataset builder
+    params: Dict[str, object] = field(default_factory=dict)
+    split_fractions: Tuple[float, float, float] = PAPER_SPLIT
+    split_seed: int = 1
+
+    def __post_init__(self) -> None:
+        self.split_fractions = tuple(float(f) for f in self.split_fractions)
+        if self.num_samples <= 0:
+            raise SpecError("dataset.num_samples must be positive")
+        if len(self.split_fractions) != 3:
+            raise SpecError("dataset.split_fractions must have three entries")
+
+
+@dataclass
+class PoolSpec:
+    """Which architectures to train into the model pool, and how."""
+
+    #: architecture names / aliases; ``None`` = the paper's default ten-model pool
+    architectures: Optional[Tuple[str, ...]] = None
+    epochs: int = 40
+    batch_size: int = 256
+    lr: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.architectures = _tuple_or_none(self.architectures)
+        if self.epochs <= 0:
+            raise SpecError("pool.epochs must be positive")
+
+    def train_config(self) -> TrainConfig:
+        return TrainConfig(
+            epochs=self.epochs, batch_size=self.batch_size, lr=self.lr, seed=self.seed
+        )
+
+
+@dataclass
+class SearchSpec:
+    """The Muffin search: attributes, search space anchors and all component names."""
+
+    attributes: Tuple[str, ...] = ("age", "site")
+    base_model: Optional[str] = None
+    num_paired: int = 1
+    episodes: int = 40
+    episode_batch: int = 5
+    #: registered controller name (:data:`repro.core.CONTROLLERS`)
+    controller: str = "rnn"
+    #: registered proxy-builder name (:data:`repro.core.PROXY_BUILDERS`)
+    proxy: str = "weighted"
+    #: registered reward name (:data:`repro.core.REWARDS`)
+    reward: str = "multi_fairness"
+    eval_partition: str = "val"
+    head_epochs: int = 25
+    head_batch_size: int = 128
+    store_heads: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.attributes = tuple(self.attributes)
+        if not self.attributes:
+            raise SpecError("search.attributes must name at least one unfair attribute")
+        if self.episodes <= 0 or self.episode_batch <= 0:
+            raise SpecError("search.episodes and search.episode_batch must be positive")
+
+    def search_config(self) -> SearchConfig:
+        return SearchConfig(
+            episodes=self.episodes,
+            episode_batch=self.episode_batch,
+            eval_partition=self.eval_partition,
+            controller=self.controller,
+            proxy_builder=self.proxy,
+            store_heads=self.store_heads,
+            seed=self.seed,
+        )
+
+    def head_config(self) -> HeadTrainConfig:
+        return HeadTrainConfig(epochs=self.head_epochs, batch_size=self.head_batch_size)
+
+    def reward_config(self) -> RewardConfig:
+        return RewardConfig(attributes=self.attributes)
+
+
+@dataclass
+class FinalizeSpec:
+    """How to pick and materialise the reported Muffin-Net."""
+
+    #: registered selection strategy (:data:`repro.core.SELECTION_STRATEGIES`)
+    #: or the name of a searched attribute
+    selection: str = "reward"
+    name: str = "Muffin"
+    #: restrict selection to candidates dominating this pool model
+    reference_model: Optional[str] = None
+    evaluate_on_test: bool = True
+
+
+@dataclass
+class ReportSpec:
+    """What the report stage assembles."""
+
+    include_pool: bool = True
+    include_search: bool = True
+    #: how many top-reward episodes to list
+    top_k: int = 5
+
+    def __post_init__(self) -> None:
+        if self.top_k < 0:
+            raise SpecError("report.top_k must be non-negative")
+
+
+_SECTION_TYPES = {
+    "dataset": DatasetSpec,
+    "pool": PoolSpec,
+    "search": SearchSpec,
+    "finalize": FinalizeSpec,
+    "report": ReportSpec,
+}
+
+
+@dataclass
+class RunSpec:
+    """One declarative, serialisable Muffin run."""
+
+    name: str = "muffin-run"
+    dataset: DatasetSpec = field(default_factory=DatasetSpec)
+    pool: PoolSpec = field(default_factory=PoolSpec)
+    search: SearchSpec = field(default_factory=SearchSpec)
+    finalize: FinalizeSpec = field(default_factory=FinalizeSpec)
+    report: ReportSpec = field(default_factory=ReportSpec)
+
+    def __post_init__(self) -> None:
+        for section, section_type in _SECTION_TYPES.items():
+            value = getattr(self, section)
+            if isinstance(value, Mapping):
+                setattr(self, section, _section_from_dict(section, value))
+            elif not isinstance(value, section_type):
+                raise SpecError(
+                    f"'{section}' must be a {section_type.__name__} or a mapping, "
+                    f"got {type(value).__name__}"
+                )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"name": self.name}
+        for section in _SECTION_TYPES:
+            payload[section] = dataclasses.asdict(getattr(self, section))
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RunSpec":
+        unknown = set(payload) - ({"name"} | set(_SECTION_TYPES))
+        if unknown:
+            raise SpecError(
+                f"unknown run-spec section(s) {sorted(unknown)}; "
+                f"expected {['name'] + sorted(_SECTION_TYPES)}"
+            )
+        kwargs: Dict[str, object] = {"name": str(payload.get("name", "muffin-run"))}
+        for section in _SECTION_TYPES:
+            if section in payload:
+                kwargs[section] = _section_from_dict(section, payload[section])
+        return cls(**kwargs)
+
+    def to_json(self, path: Optional[PathLike] = None, indent: int = 2) -> str:
+        """Serialise to a JSON string, optionally also writing ``path``."""
+        text = json.dumps(self.to_dict(), indent=indent)
+        if path is not None:
+            Path(path).parent.mkdir(parents=True, exist_ok=True)
+            Path(path).write_text(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, source: PathLike) -> "RunSpec":
+        """Parse a spec from a JSON string or a path to a JSON file."""
+        text = str(source)
+        if not text.lstrip().startswith("{"):
+            path = Path(text)
+            if not path.exists():
+                raise SpecError(f"spec file '{path}' does not exist")
+            text = path.read_text()
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise SpecError("a run spec must be a JSON object")
+        return cls.from_dict(payload)
+
+    # ------------------------------------------------------------------
+    # Hashing (the pipeline's cache keys)
+    # ------------------------------------------------------------------
+    def spec_hash(self) -> str:
+        """Stable short hash of the full spec."""
+        return _hash_payload(self.to_dict())
+
+    def stage_hash(self, stage: str) -> str:
+        """Hash of the sub-specs influencing ``stage``'s artifact."""
+        sections = {
+            "dataset": ("dataset",),
+            "split": ("dataset",),
+            "pool": ("dataset", "pool"),
+            "search": ("dataset", "pool", "search"),
+            "finalize": ("dataset", "pool", "search", "finalize"),
+            "report": ("dataset", "pool", "search", "finalize", "report"),
+        }
+        if stage not in sections:
+            raise SpecError(f"unknown stage '{stage}'; expected one of {list(PIPELINE_STAGES)}")
+        payload = {
+            section: dataclasses.asdict(getattr(self, section)) for section in sections[stage]
+        }
+        return _hash_payload(payload)
+
+
+def _section_from_dict(section: str, payload: object):
+    section_type = _SECTION_TYPES[section]
+    if isinstance(payload, section_type):
+        return payload
+    if not isinstance(payload, Mapping):
+        raise SpecError(f"'{section}' must be a mapping, got {type(payload).__name__}")
+    valid = {f.name for f in dataclasses.fields(section_type)}
+    unknown = set(payload) - valid
+    if unknown:
+        raise SpecError(
+            f"unknown key(s) {sorted(unknown)} in '{section}' spec; valid keys: {sorted(valid)}"
+        )
+    return section_type(**payload)
+
+
+def _hash_payload(payload: object) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]

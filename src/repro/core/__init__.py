@@ -1,17 +1,25 @@
 """Muffin core: search space, model fusing, proxy dataset, reward, controller
 and the reinforcement-learning search driver."""
 
-from .controller import ControllerConfig, Episode, RandomController, RNNController
+from .controller import CONTROLLERS, ControllerConfig, Episode, RandomController, RNNController
 from .fusing import FusedModel, FusedPrediction, MuffinBody, MuffinHead, oracle_union_predictions
 from .proxy import (
+    PROXY_BUILDERS,
     ProxyDataset,
     build_proxy_dataset,
     compute_group_weights,
     compute_image_weights,
     uniform_proxy_dataset,
 )
-from .results import EpisodeRecord, MuffinNet, MuffinSearchResult, rebuild_fused_model
-from .reward import MultiFairnessReward, RewardConfig
+from .results import (
+    SELECTION_STRATEGIES,
+    EpisodeRecord,
+    MuffinNet,
+    MuffinSearchResult,
+    rebuild_fused_model,
+    select_record,
+)
+from .reward import REWARDS, MultiFairnessReward, RewardConfig
 from .search import BodyOutputCache, MuffinSearch, SearchConfig
 from .search_space import (
     DEFAULT_ACTIVATIONS,
@@ -56,4 +64,9 @@ __all__ = [
     "MuffinSearchResult",
     "MuffinNet",
     "rebuild_fused_model",
+    "select_record",
+    "CONTROLLERS",
+    "PROXY_BUILDERS",
+    "REWARDS",
+    "SELECTION_STRATEGIES",
 ]

@@ -21,8 +21,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import nn
+from ..registry import Registry
 from ..utils.rng import get_rng
 from .search_space import SearchSpace
+
+#: Registry of controller factories.  Each entry is a callable
+#: ``(search_space, config: ControllerConfig) -> controller`` where the
+#: returned object implements ``sample`` / ``update`` / ``update_history``.
+#: Plugins register here and become addressable from ``SearchConfig.controller``
+#: and ``SearchSpec.controller`` alike.
+CONTROLLERS: Registry = Registry("controller")
 
 
 @dataclass
@@ -222,3 +230,15 @@ class RandomController:
         stats = {"loss": 0.0, "mean_reward": mean_reward, "baseline": mean_reward, "grad_norm": 0.0}
         self.update_history.append(stats)
         return stats
+
+
+@CONTROLLERS.register("rnn")
+def _build_rnn_controller(search_space: SearchSpace, config: ControllerConfig) -> RNNController:
+    return RNNController(search_space, config)
+
+
+@CONTROLLERS.register("random", aliases=("uniform",))
+def _build_random_controller(
+    search_space: SearchSpace, config: ControllerConfig
+) -> RandomController:
+    return RandomController(search_space, seed=config.seed)

@@ -27,6 +27,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.dataset import FairnessDataset
+from ..registry import Registry
+
+#: Registry of proxy-dataset builders.  Each entry is a callable
+#: ``(dataset, attributes) -> ProxyDataset``; the search selects one by name
+#: (``SearchConfig.proxy_builder`` / ``SearchSpec.proxy``).
+PROXY_BUILDERS: Registry = Registry("proxy builder")
 
 
 @dataclass
@@ -180,3 +186,7 @@ def uniform_proxy_dataset(
         group_weights=compute_group_weights(dataset, attribute_names),
         attributes=attribute_names,
     )
+
+
+PROXY_BUILDERS.register("weighted", build_proxy_dataset, aliases=("proxy",))
+PROXY_BUILDERS.register("uniform", uniform_proxy_dataset, aliases=("original",))

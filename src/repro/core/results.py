@@ -18,8 +18,15 @@ import numpy as np
 
 from ..fairness.metrics import FairnessEvaluation
 from ..fairness.pareto import ParetoPoint, make_point, pareto_front
+from ..registry import Registry, UnknownComponentError
 from .fusing import FusedModel, MuffinBody, MuffinHead
 from .search_space import FusingCandidate
+
+#: Registry of final-model selection strategies.  Each entry is a callable
+#: ``(result: MuffinSearchResult, **kwargs) -> EpisodeRecord``; ``finalize``
+#: resolves ``metric`` names through it (attribute names fall back to the
+#: ``per_attribute`` strategy).
+SELECTION_STRATEGIES: Registry = Registry("selection strategy")
 
 
 @dataclass
@@ -38,8 +45,8 @@ class EpisodeRecord:
     def unfairness(self, attribute: str) -> float:
         return self.evaluation.unfairness[attribute]
 
-    def to_dict(self) -> Dict[str, object]:
-        return {
+    def to_dict(self, include_state: bool = False) -> Dict[str, object]:
+        payload: Dict[str, object] = {
             "episode": self.episode,
             "candidate": self.candidate.to_dict(),
             "reward": self.reward,
@@ -47,6 +54,34 @@ class EpisodeRecord:
             "num_parameters": self.num_parameters,
             "trainable_parameters": self.trainable_parameters,
         }
+        if include_state:
+            payload["train_losses"] = [float(x) for x in self.train_losses]
+            if self.head_state is not None:
+                payload["head_state"] = {
+                    name: {"shape": list(values.shape), "values": values.reshape(-1).tolist()}
+                    for name, values in self.head_state.items()
+                }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "EpisodeRecord":
+        """Rebuild a record serialised by ``to_dict(include_state=True)``."""
+        head_state = None
+        if payload.get("head_state") is not None:
+            head_state = {
+                name: np.asarray(entry["values"], dtype=np.float64).reshape(entry["shape"])
+                for name, entry in payload["head_state"].items()
+            }
+        return cls(
+            episode=int(payload["episode"]),
+            candidate=FusingCandidate.from_dict(payload["candidate"]),
+            reward=float(payload["reward"]),
+            evaluation=FairnessEvaluation.from_dict(payload["evaluation"]),
+            head_state=head_state,
+            train_losses=[float(x) for x in payload.get("train_losses", [])],
+            num_parameters=int(payload.get("num_parameters", 0)),
+            trainable_parameters=int(payload.get("trainable_parameters", 0)),
+        )
 
 
 @dataclass
@@ -247,12 +282,28 @@ class MuffinSearchResult:
             "search_space": dict(self.search_space_description),
         }
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self, include_state: bool = False) -> Dict[str, object]:
         return {
             "summary": self.summary(),
-            "records": [record.to_dict() for record in self.records],
+            "attributes": list(self.attributes),
+            "search_space": dict(self.search_space_description),
+            "records": [record.to_dict(include_state=include_state) for record in self.records],
             "controller_history": [dict(h) for h in self.controller_history],
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "MuffinSearchResult":
+        """Rebuild a result serialised by ``to_dict(include_state=True)``."""
+        attributes = payload.get("attributes") or payload.get("summary", {}).get("attributes", [])
+        return cls(
+            records=[EpisodeRecord.from_dict(entry) for entry in payload["records"]],
+            attributes=list(attributes),
+            controller_history=[dict(h) for h in payload.get("controller_history", [])],
+            search_space_description=dict(
+                payload.get("search_space")
+                or payload.get("summary", {}).get("search_space", {})
+            ),
+        )
 
 
 def rebuild_fused_model(
@@ -274,3 +325,67 @@ def rebuild_fused_model(
     if record.head_state is not None:
         fused.head.load_state_dict(record.head_state)
     return fused
+
+
+# ----------------------------------------------------------------------
+# Selection strategies (the "which episode becomes the Muffin-Net" policies)
+# ----------------------------------------------------------------------
+@SELECTION_STRATEGIES.register("reward")
+def _select_best_reward(result: MuffinSearchResult, **_: object) -> EpisodeRecord:
+    return result.best_record("reward")
+
+
+@SELECTION_STRATEGIES.register("accuracy")
+def _select_best_accuracy(result: MuffinSearchResult, **_: object) -> EpisodeRecord:
+    return result.best_record("accuracy")
+
+
+@SELECTION_STRATEGIES.register("multi")
+def _select_lowest_multi_unfairness(result: MuffinSearchResult, **_: object) -> EpisodeRecord:
+    return result.best_record("multi")
+
+
+@SELECTION_STRATEGIES.register("balance")
+def _select_balanced(
+    result: MuffinSearchResult, accuracy_slack: float = 0.02, **_: object
+) -> EpisodeRecord:
+    return result.best_balanced_record(accuracy_slack=accuracy_slack)
+
+
+@SELECTION_STRATEGIES.register("per_attribute")
+def _select_per_attribute(
+    result: MuffinSearchResult, attribute: Optional[str] = None, **_: object
+) -> EpisodeRecord:
+    if attribute is None:
+        raise ValueError("the 'per_attribute' strategy needs an attribute= keyword")
+    return result.best_record(attribute)
+
+
+@SELECTION_STRATEGIES.register("dominating")
+def _select_dominating(
+    result: MuffinSearchResult,
+    reference: Optional[FairnessEvaluation] = None,
+    metric: str = "reward",
+    **_: object,
+) -> EpisodeRecord:
+    if reference is None:
+        raise ValueError("the 'dominating' strategy needs a reference= evaluation")
+    return result.best_dominating_record(reference, metric=metric)
+
+
+def select_record(result: MuffinSearchResult, metric: str = "reward", **kwargs) -> EpisodeRecord:
+    """Resolve ``metric`` through :data:`SELECTION_STRATEGIES` and apply it.
+
+    Attribute names of the search fall back to the ``per_attribute`` strategy,
+    preserving the historical ``finalize(result, metric="age")`` shorthand.
+    """
+    if metric in SELECTION_STRATEGIES:
+        return SELECTION_STRATEGIES.get(metric)(result, **kwargs)
+    if metric in result.attributes:
+        return SELECTION_STRATEGIES.get("per_attribute")(result, attribute=metric, **kwargs)
+    raise UnknownComponentError(
+        "selection strategy",
+        metric,
+        SELECTION_STRATEGIES.names() + list(result.attributes),
+        SELECTION_STRATEGIES.suggest(metric),
+    )

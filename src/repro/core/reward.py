@@ -18,6 +18,11 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from ..fairness.metrics import FairnessEvaluation
+from ..registry import Registry
+
+#: Registry of reward factories: ``(config: RewardConfig) -> reward`` where
+#: the reward is a callable ``(FairnessEvaluation) -> float``.
+REWARDS: Registry = Registry("reward")
 
 
 @dataclass
@@ -79,3 +84,8 @@ class MultiFairnessReward:
         }
         contributions["total"] = self.compute(evaluation)
         return contributions
+
+
+@REWARDS.register("multi_fairness", aliases=("equation3",))
+def _build_multi_fairness_reward(config: RewardConfig) -> MultiFairnessReward:
+    return MultiFairnessReward(config)

@@ -28,13 +28,23 @@ from ..fairness.metrics import FairnessEvaluation, evaluate_predictions
 from ..utils.logging import RunLogger
 from ..utils.rng import get_rng
 from ..zoo.pool import ModelPool
-from .controller import ControllerConfig, Episode, RandomController, RNNController
+from .controller import CONTROLLERS, ControllerConfig, Episode, RandomController, RNNController
 from .fusing import FusedModel, MuffinBody, MuffinHead
-from .proxy import ProxyDataset, build_proxy_dataset, uniform_proxy_dataset
-from .results import EpisodeRecord, MuffinNet, MuffinSearchResult, rebuild_fused_model
-from .reward import MultiFairnessReward, RewardConfig
+from .proxy import PROXY_BUILDERS, ProxyDataset, build_proxy_dataset, uniform_proxy_dataset
+from .results import (
+    SELECTION_STRATEGIES,
+    EpisodeRecord,
+    MuffinNet,
+    MuffinSearchResult,
+    rebuild_fused_model,
+    select_record,
+)
+from .reward import REWARDS, MultiFairnessReward, RewardConfig
 from .search_space import FusingCandidate, SearchSpace
 from .trainer import HeadTrainConfig, train_head
+
+#: Partitions a :class:`~repro.data.splits.DataSplit` exposes by name.
+VALID_PARTITIONS = ("train", "val", "test")
 
 
 @dataclass
@@ -47,10 +57,13 @@ class SearchConfig:
     episode_batch: int = 5
     #: partition used for the reward evaluation ('val' keeps the test set untouched)
     eval_partition: str = "val"
-    #: 'rnn' is the paper's controller; 'random' is the search ablation
+    #: registered controller name: 'rnn' is the paper's controller, 'random'
+    #: the search ablation; plugins register in :data:`CONTROLLERS`
     controller: str = "rnn"
     #: train the head on the weighted proxy dataset (False = Fig 9a ablation arm)
     use_weighted_proxy: bool = True
+    #: registered proxy-builder name; overrides ``use_weighted_proxy`` when set
+    proxy_builder: Optional[str] = None
     store_heads: bool = True
     seed: int = 0
     verbose: bool = False
@@ -60,8 +73,32 @@ class SearchConfig:
             raise ValueError("episodes must be positive")
         if self.episode_batch <= 0:
             raise ValueError("episode_batch must be positive")
-        if self.controller not in {"rnn", "random"}:
-            raise ValueError("controller must be 'rnn' or 'random'")
+        if self.controller not in CONTROLLERS:
+            suggestions = CONTROLLERS.suggest(self.controller)
+            hint = f" (did you mean {suggestions[0]!r}?)" if suggestions else ""
+            raise ValueError(
+                f"controller must be one of {CONTROLLERS.names()}, got "
+                f"'{self.controller}'{hint}"
+            )
+        if self.eval_partition not in VALID_PARTITIONS:
+            raise ValueError(
+                f"eval_partition must be one of {list(VALID_PARTITIONS)}, got "
+                f"'{self.eval_partition}'"
+            )
+        if self.proxy_builder is not None and self.proxy_builder not in PROXY_BUILDERS:
+            suggestions = PROXY_BUILDERS.suggest(self.proxy_builder)
+            hint = f" (did you mean {suggestions[0]!r}?)" if suggestions else ""
+            raise ValueError(
+                f"proxy_builder must be one of {PROXY_BUILDERS.names()}, got "
+                f"'{self.proxy_builder}'{hint}"
+            )
+
+    @property
+    def effective_proxy_builder(self) -> str:
+        """The proxy-builder registry name this config resolves to."""
+        if self.proxy_builder is not None:
+            return self.proxy_builder
+        return "weighted" if self.use_weighted_proxy else "uniform"
 
 
 class BodyOutputCache:
@@ -106,6 +143,8 @@ class MuffinSearch:
         reward_config: Optional[RewardConfig] = None,
         head_config: Optional[HeadTrainConfig] = None,
         controller_config: Optional[ControllerConfig] = None,
+        reward_builder: str = "multi_fairness",
+        body_cache: Optional["BodyOutputCache"] = None,
     ) -> None:
         if not attributes:
             raise ValueError("the search needs at least one unfair attribute")
@@ -113,27 +152,25 @@ class MuffinSearch:
         self.attributes = list(attributes)
         self.search_config = search_config or SearchConfig()
         self.head_config = head_config or HeadTrainConfig()
-        self.reward = MultiFairnessReward(
+        self.reward = REWARDS.get(reward_builder)(
             reward_config or RewardConfig(attributes=self.attributes)
         )
         self.search_space = search_space or SearchSpace(
             pool_names=pool.names, base_model=base_model, num_paired=num_paired
         )
         controller_config = controller_config or ControllerConfig(seed=self.search_config.seed)
-        if self.search_config.controller == "rnn":
-            self.controller = RNNController(self.search_space, controller_config)
-        else:
-            self.controller = RandomController(self.search_space, seed=self.search_config.seed)
+        self.controller = CONTROLLERS.get(self.search_config.controller)(
+            self.search_space, controller_config
+        )
 
         # Proxy dataset over the training partition (component ②).
-        train_set = pool.split.train
-        if self.search_config.use_weighted_proxy:
-            self.proxy: ProxyDataset = build_proxy_dataset(train_set, self.attributes)
-        else:
-            self.proxy = uniform_proxy_dataset(train_set, self.attributes)
+        proxy_builder = PROXY_BUILDERS.get(self.search_config.effective_proxy_builder)
+        self.proxy: ProxyDataset = proxy_builder(pool.split.train, self.attributes)
 
         self.eval_dataset = pool.partition(self.search_config.eval_partition)
-        self._cache = BodyOutputCache(pool)
+        # Body outputs are deterministic (frozen models), so the cache can be
+        # shared across searches / pipeline stages over the same pool.
+        self._cache = body_cache if body_cache is not None else BodyOutputCache(pool)
         self._rng = get_rng(self.search_config.seed)
         self.logger = RunLogger(name="muffin-search", verbose=self.search_config.verbose)
 
@@ -263,11 +300,11 @@ class MuffinSearch:
                 self.eval_dataset,
                 self.attributes,
             )
-            record = result.best_dominating_record(reference, metric=metric)
-        elif metric == "balance":
-            record = result.best_balanced_record()
+            record = SELECTION_STRATEGIES.get("dominating")(
+                result, reference=reference, metric=metric
+            )
         else:
-            record = result.best_record(metric)
+            record = select_record(result, metric)
         return self.materialize_record(
             record, name=name or f"Muffin-{metric}", evaluate_on_test=evaluate_on_test
         )

@@ -49,6 +49,14 @@ class FusingCandidate:
             "activation": self.activation,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FusingCandidate":
+        return cls(
+            model_names=tuple(payload["model_names"]),
+            hidden_sizes=tuple(int(w) for w in payload["hidden_sizes"]),
+            activation=str(payload["activation"]),
+        )
+
 
 @dataclass(frozen=True)
 class DecisionStep:

@@ -15,6 +15,7 @@ from .attributes import (
 from .dataset import Batch, FairnessDataset, distortion_key
 from .fitzpatrick import FITZPATRICK_CLASS_NAMES, SyntheticFitzpatrick17K, load_fitzpatrick17k
 from .isic import ISIC_CLASS_NAMES, SyntheticISIC2019, load_isic2019
+from .registry import DATASETS, build_synthetic_fitzpatrick, build_synthetic_isic
 from .splits import PAPER_SPLIT, DataSplit, split_dataset, stratified_split_indices
 from .synthetic import SyntheticBlueprint, SyntheticConfig, build_blueprint, describe_difficulty, sample_dataset
 from .transforms import AugmentationConfig, augment_subset, concatenate_datasets
@@ -50,4 +51,7 @@ __all__ = [
     "AugmentationConfig",
     "augment_subset",
     "concatenate_datasets",
+    "DATASETS",
+    "build_synthetic_isic",
+    "build_synthetic_fitzpatrick",
 ]

@@ -1,0 +1,40 @@
+"""Dataset registry: named builders for every dataset the pipeline can load.
+
+Entries are callables ``(num_samples=..., seed=..., **params) -> FairnessDataset``.
+The built-in synthetic stand-ins register here; custom datasets plug in the
+same way and immediately become addressable from a
+:class:`~repro.api.DatasetSpec`::
+
+    from repro.data import DATASETS
+
+    @DATASETS.register("retinopathy")
+    def build_retinopathy(num_samples=4000, seed=0, **params):
+        return sample_dataset(...)
+
+``params`` carries builder-specific keyword arguments straight from the
+spec's ``params`` mapping (e.g. a custom ``SyntheticConfig`` field).
+"""
+
+from __future__ import annotations
+
+from ..registry import Registry
+from .dataset import FairnessDataset
+from .fitzpatrick import SyntheticFitzpatrick17K
+from .isic import SyntheticISIC2019
+
+#: Registry of dataset builders, keyed by the names ``DatasetSpec`` uses.
+DATASETS: Registry = Registry("dataset")
+
+
+@DATASETS.register("synthetic_isic", aliases=("isic", "isic2019"))
+def build_synthetic_isic(num_samples: int = 6000, seed: int = 2019, **params) -> FairnessDataset:
+    """The synthetic ISIC2019 stand-in (8 classes; age / site / gender)."""
+    return SyntheticISIC2019(num_samples=num_samples, seed=seed, **params)
+
+
+@DATASETS.register("synthetic_fitzpatrick", aliases=("fitzpatrick", "fitzpatrick17k"))
+def build_synthetic_fitzpatrick(
+    num_samples: int = 5000, seed: int = 1717, **params
+) -> FairnessDataset:
+    """The synthetic Fitzpatrick17K stand-in (9 classes; skin tone / type)."""
+    return SyntheticFitzpatrick17K(num_samples=num_samples, seed=seed, **params)

@@ -86,6 +86,65 @@ class ExperimentConfig:
     def head_config(self) -> HeadTrainConfig:
         return HeadTrainConfig(epochs=self.head_epochs, batch_size=self.head_batch_size)
 
+    def run_spec(
+        self,
+        dataset: str = "synthetic_isic",
+        base_model: Optional[str] = None,
+        selection: str = "reward",
+        name: Optional[str] = None,
+    ):
+        """Express this experiment configuration as a declarative RunSpec.
+
+        Bridges the harness knobs onto the Pipeline API so an experiment's
+        dataset/pool/search setup can be exported, cached and resumed with
+        ``python -m repro run`` like any other spec.
+        """
+        from ..api import DatasetSpec, FinalizeSpec, PoolSpec, RunSpec, SearchSpec
+        from ..data import DATASETS
+
+        canonical = DATASETS.canonical_name(dataset)
+        if canonical == "synthetic_fitzpatrick":
+            dataset_spec = DatasetSpec(
+                name=canonical,
+                num_samples=self.fitzpatrick_samples,
+                seed=self.fitzpatrick_seed,
+                split_seed=self.split_seed + 1,
+            )
+            attributes = self.fitzpatrick_attributes
+            architectures: Optional[Tuple[str, ...]] = tuple(fitzpatrick_pool_names())
+            pool_seed = self.pool_seed + 1
+        else:
+            dataset_spec = DatasetSpec(
+                name=canonical,
+                num_samples=self.isic_samples,
+                seed=self.isic_seed,
+                split_seed=self.split_seed,
+            )
+            attributes = self.isic_attributes
+            architectures = None
+            pool_seed = self.pool_seed
+        return RunSpec(
+            name=name or f"experiment-{self.scale}-{canonical}",
+            dataset=dataset_spec,
+            pool=PoolSpec(
+                architectures=architectures,
+                epochs=self.zoo_epochs,
+                batch_size=self.zoo_batch_size,
+                lr=self.zoo_lr,
+                seed=pool_seed,
+            ),
+            search=SearchSpec(
+                attributes=attributes,
+                base_model=base_model,
+                episodes=self.search_episodes,
+                episode_batch=self.episode_batch,
+                head_epochs=self.head_epochs,
+                head_batch_size=self.head_batch_size,
+                seed=self.search_seed,
+            ),
+            finalize=FinalizeSpec(selection=selection),
+        )
+
 
 def paper_scale_config() -> ExperimentConfig:
     """The configuration matching the paper's experimental setup."""

@@ -11,6 +11,7 @@ import argparse
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from ..registry import Registry
 from ..utils.serialization import save_json
 from .config import ExperimentConfig, ExperimentContext, fast_config, paper_scale_config, smoke_config
 from .fig1_unfairness_landscape import render_fig1, run_fig1
@@ -24,17 +25,21 @@ from .fig9_ablations import render_fig9, run_fig9
 from .table1_main_comparison import render_table1, run_table1
 
 #: Registry of experiment id -> (runner, renderer, short description).
-EXPERIMENTS: Dict[str, Tuple[Callable, Callable, str]] = {
-    "fig1": (run_fig1, render_fig1, "Unfairness landscape of existing architectures"),
-    "fig2": (run_fig2, render_fig2, "Single-attribute optimization see-saw"),
-    "fig3": (run_fig3, render_fig3, "Cross-model disagreement on the unprivileged group"),
-    "table1": (run_table1, render_table1, "Main comparison: vanilla / D / L / Muffin"),
-    "fig5": (run_fig5, render_fig5, "ISIC2019 Pareto frontiers"),
-    "fig6": (run_fig6, render_fig6, "Muffin-Site per-subgroup detail"),
-    "fig7": (run_fig7, render_fig7, "Fitzpatrick17K validation"),
-    "fig8": (run_fig8, render_fig8, "Muffin-Balance per-skin-tone detail"),
-    "fig9": (run_fig9, render_fig9, "Ablations: weighted proxy data, number of paired models"),
-}
+#: A :class:`~repro.registry.Registry` instance, so unknown ids fail with
+#: did-you-mean suggestions and extension experiments can register themselves.
+EXPERIMENTS: Registry = Registry("experiment")
+for _id, _entry in (
+    ("fig1", (run_fig1, render_fig1, "Unfairness landscape of existing architectures")),
+    ("fig2", (run_fig2, render_fig2, "Single-attribute optimization see-saw")),
+    ("fig3", (run_fig3, render_fig3, "Cross-model disagreement on the unprivileged group")),
+    ("table1", (run_table1, render_table1, "Main comparison: vanilla / D / L / Muffin")),
+    ("fig5", (run_fig5, render_fig5, "ISIC2019 Pareto frontiers")),
+    ("fig6", (run_fig6, render_fig6, "Muffin-Site per-subgroup detail")),
+    ("fig7", (run_fig7, render_fig7, "Fitzpatrick17K validation")),
+    ("fig8", (run_fig8, render_fig8, "Muffin-Balance per-skin-tone detail")),
+    ("fig9", (run_fig9, render_fig9, "Ablations: weighted proxy data, number of paired models")),
+):
+    EXPERIMENTS.register(_id, _entry)
 
 
 def experiment_ids() -> Sequence[str]:
@@ -46,10 +51,8 @@ def run_experiment(
     name: str, context: Optional[ExperimentContext] = None
 ) -> Dict[str, object]:
     """Run one experiment by id and return its structured results."""
-    if name not in EXPERIMENTS:
-        raise KeyError(f"unknown experiment '{name}'; available: {list(EXPERIMENTS)}")
+    runner, _renderer, _description = EXPERIMENTS.get(name)
     context = context or ExperimentContext()
-    runner, _renderer, _description = EXPERIMENTS[name]
     return runner(context)
 
 

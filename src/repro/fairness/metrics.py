@@ -140,6 +140,19 @@ class FairnessEvaluation:
             "gaps": dict(self.gaps),
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FairnessEvaluation":
+        """Rebuild an evaluation serialised by :meth:`to_dict`."""
+        return cls(
+            accuracy=float(payload["accuracy"]),
+            unfairness={k: float(v) for k, v in payload.get("unfairness", {}).items()},
+            group_accuracy={
+                attr: {g: float(a) for g, a in groups.items()}
+                for attr, groups in payload.get("group_accuracy", {}).items()
+            },
+            gaps={k: float(v) for k, v in payload.get("gaps", {}).items()},
+        )
+
 
 def evaluate_predictions(
     predictions_or_logits: np.ndarray,

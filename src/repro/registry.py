@@ -1,0 +1,207 @@
+"""Generic component registry backing the declarative Pipeline API.
+
+Every pluggable component family of the library — datasets, controllers,
+rewards, proxy builders, selection strategies, architectures, experiments —
+is a :class:`Registry` instance living next to the components it serves
+(e.g. ``repro.core.controller.CONTROLLERS``).  A registry maps stable string
+names (plus optional aliases) to objects or factory callables, so that a
+:class:`~repro.api.RunSpec` loaded from JSON can name any component, built-in
+or user-registered, without the library hard-coding string conditionals.
+
+Registration is decorator-friendly::
+
+    CONTROLLERS = Registry("controller")
+
+    @CONTROLLERS.register("rnn")
+    def _build_rnn(search_space, config):
+        return RNNController(search_space, config)
+
+Lookups of unknown names raise :class:`UnknownComponentError` (a
+``KeyError``) carrying did-you-mean suggestions; duplicate registrations
+raise :class:`DuplicateComponentError` (a ``ValueError``) unless
+``overwrite=True``.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T")
+
+__all__ = [
+    "Registry",
+    "RegistryError",
+    "UnknownComponentError",
+    "DuplicateComponentError",
+]
+
+
+class RegistryError(Exception):
+    """Base class of registry failures."""
+
+
+class UnknownComponentError(RegistryError, KeyError):
+    """Lookup of a name that is not registered (with suggestions)."""
+
+    def __init__(self, kind: str, name: str, available: Sequence[str], suggestions: Sequence[str]):
+        self.kind = kind
+        self.name = name
+        self.available = list(available)
+        self.suggestions = list(suggestions)
+        message = f"unknown {kind} '{name}'"
+        if self.suggestions:
+            quoted = ", ".join(f"'{s}'" for s in self.suggestions)
+            message += f"; did you mean {quoted}?"
+        message += f" Available {kind}s: {self.available}"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
+class DuplicateComponentError(RegistryError, ValueError):
+    """Registration under a name that is already taken."""
+
+    def __init__(self, kind: str, name: str):
+        super().__init__(
+            f"{kind} '{name}' is already registered; pass overwrite=True to replace it"
+        )
+
+
+class Registry(Generic[T]):
+    """An ordered name -> component mapping with aliases and fuzzy errors."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: Optional[str] = None,
+        obj: Optional[T] = None,
+        *,
+        aliases: Sequence[str] = (),
+        overwrite: bool = False,
+    ):
+        """Register ``obj`` under ``name``; usable directly or as a decorator.
+
+        ``registry.register("x", thing)`` registers immediately and returns
+        ``thing``.  ``@registry.register("x")`` (or bare ``@registry.register``,
+        which uses ``__name__``) registers the decorated callable.
+        """
+        if callable(name) and obj is None:
+            # Bare @register usage: ``name`` is actually the decorated object.
+            return self.register(name.__name__, name, aliases=aliases, overwrite=overwrite)
+        if obj is not None:
+            if name is None:
+                raise ValueError("register() needs a name when given an object")
+            self._insert(name, obj, overwrite=overwrite)
+            for alias in aliases:
+                self.alias(alias, name, overwrite=overwrite)
+            return obj
+
+        def decorator(target: T) -> T:
+            return self.register(
+                name if name is not None else getattr(target, "__name__", str(target)),
+                target,
+                aliases=aliases,
+                overwrite=overwrite,
+            )
+
+        return decorator
+
+    def _insert(self, name: str, obj: T, overwrite: bool) -> None:
+        if not overwrite and (name in self._entries or name in self._aliases):
+            raise DuplicateComponentError(self.kind, name)
+        self._aliases.pop(name, None)
+        self._entries[name] = obj
+
+    def alias(self, alias: str, target: str, overwrite: bool = False) -> None:
+        """Register ``alias`` as an alternative name for ``target``."""
+        if target not in self._entries:
+            raise UnknownComponentError(self.kind, target, self.names(), self.suggest(target))
+        if not overwrite and (alias in self._entries or alias in self._aliases):
+            raise DuplicateComponentError(self.kind, alias)
+        self._aliases[alias] = target
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry and every alias pointing at it."""
+        canonical = self._aliases.get(name, name)
+        if canonical not in self._entries:
+            raise UnknownComponentError(self.kind, name, self.names(), self.suggest(name))
+        del self._entries[canonical]
+        for alias in [a for a, t in self._aliases.items() if t == canonical]:
+            del self._aliases[alias]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> T:
+        """Resolve ``name`` (or one of its aliases) to the registered object."""
+        canonical = self._aliases.get(name, name)
+        try:
+            return self._entries[canonical]
+        except KeyError:
+            raise UnknownComponentError(
+                self.kind, name, self.names(), self.suggest(name)
+            ) from None
+
+    def canonical_name(self, name: str) -> str:
+        """The canonical registered name behind ``name`` (resolving aliases)."""
+        canonical = self._aliases.get(name, name)
+        if canonical not in self._entries:
+            raise UnknownComponentError(self.kind, name, self.names(), self.suggest(name))
+        return canonical
+
+    def suggest(self, name: str, cutoff: float = 0.5) -> List[str]:
+        """Close matches to ``name`` among registered names and aliases."""
+        candidates = self.names() + list(self._aliases)
+        return difflib.get_close_matches(name, candidates, n=3, cutoff=cutoff)
+
+    def names(self) -> List[str]:
+        """Canonical names in registration order (aliases excluded)."""
+        return list(self._entries)
+
+    def aliases(self) -> Dict[str, str]:
+        """alias -> canonical name mapping."""
+        return dict(self._aliases)
+
+    def items(self) -> List[Tuple[str, T]]:
+        return list(self._entries.items())
+
+    def values(self) -> List[T]:
+        return list(self._entries.values())
+
+    def keys(self) -> List[str]:
+        return self.names()
+
+    # Mapping protocol, so a registry can drop in for a plain dict.
+    def __getitem__(self, name: str) -> T:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries or name in self._aliases
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {len(self)} entries)"

@@ -2,6 +2,7 @@
 
 from .architectures import (
     ALIASES,
+    ARCHITECTURE_REGISTRY,
     ARCHITECTURES,
     ArchitectureSpec,
     architecture_names,
@@ -20,6 +21,7 @@ from .training import TrainConfig, TrainResult, train_model
 __all__ = [
     "ArchitectureSpec",
     "ARCHITECTURES",
+    "ARCHITECTURE_REGISTRY",
     "ALIASES",
     "architecture_names",
     "architectures_by_family",

@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from ..registry import Registry
+
 
 @dataclass(frozen=True)
 class ArchitectureSpec:
@@ -129,23 +131,24 @@ ALIASES: Dict[str, str] = {
     "R50": "ResNet-50",
 }
 
-_REGISTRY: Dict[str, ArchitectureSpec] = {spec.name: spec for spec in ARCHITECTURES}
+#: Generic registry behind every architecture lookup.  Built-ins and paper
+#: aliases are pre-registered; plugins add entries via
+#: :func:`register_architecture` (or directly on the registry).
+ARCHITECTURE_REGISTRY: Registry = Registry("architecture")
+for _spec_entry in ARCHITECTURES:
+    ARCHITECTURE_REGISTRY.register(_spec_entry.name, _spec_entry)
+for _alias, _target in ALIASES.items():
+    ARCHITECTURE_REGISTRY.alias(_alias, _target)
 
 
 def architecture_names() -> List[str]:
-    """Names of every registered architecture, in registry (size) order."""
+    """Names of the built-in paper architectures, in registry (size) order."""
     return [spec.name for spec in ARCHITECTURES]
 
 
 def get_architecture(name: str) -> ArchitectureSpec:
     """Look up an architecture by canonical name or paper alias."""
-    canonical = ALIASES.get(name, name)
-    try:
-        return _REGISTRY[canonical]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown architecture '{name}'; available: {architecture_names()}"
-        ) from exc
+    return ARCHITECTURE_REGISTRY.get(name)
 
 
 def architectures_by_family(family: str) -> List[ArchitectureSpec]:
@@ -173,6 +176,4 @@ def fitzpatrick_pool_names() -> List[str]:
 
 def register_architecture(spec: ArchitectureSpec, overwrite: bool = False) -> None:
     """Register a custom architecture (used by the extensibility example)."""
-    if spec.name in _REGISTRY and not overwrite:
-        raise ValueError(f"architecture '{spec.name}' is already registered")
-    _REGISTRY[spec.name] = spec
+    ARCHITECTURE_REGISTRY.register(spec.name, spec, overwrite=overwrite)

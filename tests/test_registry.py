@@ -1,0 +1,207 @@
+"""Tests of the generic component registry and its concrete instances."""
+
+import pytest
+
+from repro.registry import (
+    DuplicateComponentError,
+    Registry,
+    UnknownComponentError,
+)
+
+
+class TestGenericRegistry:
+    def test_register_and_get(self):
+        registry = Registry("widget")
+        registry.register("a", 1)
+        assert registry.get("a") == 1
+        assert registry["a"] == 1
+        assert "a" in registry
+        assert registry.names() == ["a"]
+
+    def test_decorator_registration(self):
+        registry = Registry("widget")
+
+        @registry.register("double")
+        def double(x):
+            return 2 * x
+
+        assert registry.get("double")(4) == 8
+
+    def test_bare_decorator_uses_function_name(self):
+        registry = Registry("widget")
+
+        @registry.register
+        def triple(x):
+            return 3 * x
+
+        assert registry.get("triple")(3) == 9
+
+    def test_aliases_resolve_to_canonical(self):
+        registry = Registry("widget")
+        registry.register("canonical", "value", aliases=("alt", "other"))
+        assert registry.get("alt") == "value"
+        assert registry.canonical_name("other") == "canonical"
+        assert registry.names() == ["canonical"]
+        assert registry.aliases() == {"alt": "canonical", "other": "canonical"}
+
+    def test_unknown_name_suggests_close_matches(self):
+        registry = Registry("widget")
+        registry.register("weighted", 1)
+        registry.register("uniform", 2)
+        with pytest.raises(UnknownComponentError) as excinfo:
+            registry.get("weigthed")
+        assert "weighted" in str(excinfo.value)
+        assert "did you mean" in str(excinfo.value)
+        # UnknownComponentError is a KeyError, so dict-style callers still work.
+        assert isinstance(excinfo.value, KeyError)
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("widget")
+        registry.register("x", 1)
+        with pytest.raises(DuplicateComponentError):
+            registry.register("x", 2)
+        assert isinstance(DuplicateComponentError("widget", "x"), ValueError)
+        registry.register("x", 2, overwrite=True)
+        assert registry.get("x") == 2
+
+    def test_duplicate_alias_rejected(self):
+        registry = Registry("widget")
+        registry.register("x", 1, aliases=("y",))
+        with pytest.raises(DuplicateComponentError):
+            registry.register("y", 2)
+        with pytest.raises(DuplicateComponentError):
+            registry.alias("y", "x")
+
+    def test_alias_of_unknown_target_rejected(self):
+        registry = Registry("widget")
+        with pytest.raises(UnknownComponentError):
+            registry.alias("a", "missing")
+
+    def test_unregister_removes_entry_and_aliases(self):
+        registry = Registry("widget")
+        registry.register("x", 1, aliases=("y",))
+        registry.unregister("x")
+        assert "x" not in registry and "y" not in registry
+
+    def test_mapping_protocol(self):
+        registry = Registry("widget")
+        registry.register("a", 1)
+        registry.register("b", 2)
+        assert list(registry) == ["a", "b"]
+        assert len(registry) == 2
+        assert dict(registry.items()) == {"a": 1, "b": 2}
+
+
+class TestBuiltinRegistries:
+    def test_every_component_family_is_populated(self):
+        from repro.api import available_components
+
+        components = available_components()
+        assert "rnn" in components["controllers"]
+        assert "random" in components["controllers"]
+        assert "weighted" in components["proxy_builders"]
+        assert "uniform" in components["proxy_builders"]
+        assert "multi_fairness" in components["rewards"]
+        assert {"reward", "balance", "per_attribute", "dominating"} <= set(
+            components["selection_strategies"]
+        )
+        assert "synthetic_isic" in components["datasets"]
+        assert "synthetic_fitzpatrick" in components["datasets"]
+        assert "MobileNet_V3_Small" in components["architectures"]
+        assert "fig1" in components["experiments"]
+
+    def test_dataset_aliases(self):
+        from repro.data import DATASETS
+
+        assert DATASETS.canonical_name("isic") == "synthetic_isic"
+        assert DATASETS.canonical_name("fitzpatrick17k") == "synthetic_fitzpatrick"
+
+    def test_architecture_registry_backs_lookup(self):
+        from repro.zoo import ARCHITECTURE_REGISTRY, get_architecture
+
+        assert ARCHITECTURE_REGISTRY.get("R-18") is get_architecture("ResNet-18")
+
+    def test_selection_strategy_unknown_metric_suggests(self):
+        import numpy as np
+
+        from repro.core import select_record
+        from repro.core.results import EpisodeRecord, MuffinSearchResult
+        from repro.core.search_space import FusingCandidate
+        from repro.fairness.metrics import FairnessEvaluation
+
+        record = EpisodeRecord(
+            episode=0,
+            candidate=FusingCandidate(("A", "B"), (8,), "relu"),
+            reward=1.0,
+            evaluation=FairnessEvaluation(accuracy=0.8, unfairness={"age": 0.2}),
+        )
+        result = MuffinSearchResult([record], attributes=["age"])
+        assert select_record(result, "reward") is record
+        assert select_record(result, "age") is record
+        with pytest.raises(KeyError) as excinfo:
+            select_record(result, "rewardd")
+        assert "did you mean" in str(excinfo.value)
+
+
+class TestSearchConfigRegistryValidation:
+    def test_unknown_controller_rejected_with_suggestion(self):
+        from repro.core import SearchConfig
+
+        with pytest.raises(ValueError) as excinfo:
+            SearchConfig(controller="rnnn")
+        assert "rnn" in str(excinfo.value)
+
+    def test_eval_partition_validated(self):
+        from repro.core import SearchConfig
+
+        with pytest.raises(ValueError) as excinfo:
+            SearchConfig(eval_partition="vall")
+        assert "eval_partition" in str(excinfo.value)
+        SearchConfig(eval_partition="test")  # all real partitions accepted
+
+    def test_unknown_proxy_builder_rejected(self):
+        from repro.core import SearchConfig
+
+        with pytest.raises(ValueError):
+            SearchConfig(proxy_builder="weigthed")
+        assert SearchConfig(proxy_builder="uniform").effective_proxy_builder == "uniform"
+        assert SearchConfig(use_weighted_proxy=False).effective_proxy_builder == "uniform"
+        assert SearchConfig().effective_proxy_builder == "weighted"
+
+
+class TestCustomControllerPlugin:
+    def test_registered_controller_drives_a_search(self, pool):
+        """A plugin controller registered by name is usable end to end."""
+        from repro.core import CONTROLLERS, HeadTrainConfig, MuffinSearch, SearchConfig
+        from repro.core.controller import RandomController
+
+        class GreedyFirstChoice(RandomController):
+            def sample(self, rng=None, greedy=False):
+                episode = super().sample(rng, greedy)
+                episode.actions = [0 for _ in episode.actions]
+                from repro.core.controller import Episode
+
+                return Episode(actions=episode.actions, log_probs=[], entropies=[])
+
+        CONTROLLERS.register(
+            "greedy_first",
+            lambda space, config: GreedyFirstChoice(space, seed=config.seed),
+            overwrite=True,
+        )
+        try:
+            search = MuffinSearch(
+                pool,
+                attributes=["age", "site"],
+                base_model="MobileNet_V3_Small",
+                search_config=SearchConfig(
+                    episodes=2, episode_batch=2, controller="greedy_first"
+                ),
+                head_config=HeadTrainConfig(epochs=3),
+            )
+            result = search.run()
+            assert len(result) == 2
+            # Every decision was forced to choice 0.
+            first = search.search_space.decode([0] * search.search_space.num_steps)
+            assert result.records[0].candidate == first
+        finally:
+            CONTROLLERS.unregister("greedy_first")
