@@ -26,7 +26,10 @@ from typing import Optional, Sequence
 
 
 def _run_command(argv: Sequence[str]) -> int:
+    import dataclasses
+
     from .api import MuffinPipeline, RunSpec, SpecError
+    from .core import EXECUTORS
     from .utils.serialization import save_json
 
     parser = argparse.ArgumentParser(
@@ -51,12 +54,42 @@ def _run_command(argv: Sequence[str]) -> int:
         metavar="STAGE",
         help="force this stage and everything after it to recompute",
     )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=EXECUTORS.names(),
+        help="override the spec's candidate-evaluation executor "
+        "(results are seed-identical across executors)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for the thread/process executors (default: one per CPU core)",
+    )
+    parser.add_argument(
+        "--no-memoize",
+        action="store_true",
+        help="disable the (candidate, seed) evaluation memo",
+    )
     parser.add_argument("--output", default=None, help="write the report JSON to this file")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(list(argv))
 
     try:
         spec = RunSpec.from_json(args.spec)
+        if args.executor is not None or args.max_workers is not None or args.no_memoize:
+            overrides = {}
+            if args.executor is not None:
+                overrides["executor"] = args.executor
+            if args.max_workers is not None:
+                overrides["max_workers"] = args.max_workers
+            if args.no_memoize:
+                overrides["memoize"] = False
+            # The execution section never enters stage hashes, so overriding
+            # it keeps every cached artifact valid.
+            spec.execution = dataclasses.replace(spec.execution, **overrides)
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -82,6 +115,18 @@ def _run_command(argv: Sequence[str]) -> int:
         print(f"run '{spec.name}' ({spec.spec_hash()}) complete")
         for timing in result.timings:
             print(f"  {timing.stage:<10} {timing.status:<8} {timing.seconds:8.3f}s")
+        stats = result.result.execution_stats
+        if stats is not None:
+            # A cache-hit search stage reports the stats stored with the
+            # artifact, which may predate an --executor override.
+            search_cached = any(
+                t.stage == "search" and t.status == "cached" for t in result.timings
+            )
+            suffix = " [from cached search artifact]" if search_cached else ""
+            print(
+                f"search executor: {stats.executor} (workers={stats.max_workers}), "
+                f"memo {stats.memo_hits} hits / {stats.memo_misses} misses{suffix}"
+            )
         if cache_dir is not None:
             print(f"cache: {cache_dir}")
         if muffin.test_evaluation is not None:

@@ -24,6 +24,7 @@ from .registries import (
     ARCHITECTURES,
     CONTROLLERS,
     DATASETS,
+    EXECUTORS,
     PROXY_BUILDERS,
     REWARDS,
     SELECTION_STRATEGIES,
@@ -41,6 +42,7 @@ def __getattr__(name: str):
 from .spec import (
     PIPELINE_STAGES,
     DatasetSpec,
+    ExecutionSpec,
     FinalizeSpec,
     PoolSpec,
     ReportSpec,
@@ -54,6 +56,7 @@ __all__ = [
     "DatasetSpec",
     "PoolSpec",
     "SearchSpec",
+    "ExecutionSpec",
     "FinalizeSpec",
     "ReportSpec",
     "SpecError",
@@ -67,6 +70,7 @@ __all__ = [
     "ARCHITECTURES",
     "CONTROLLERS",
     "DATASETS",
+    "EXECUTORS",
     "EXPERIMENTS",
     "PROXY_BUILDERS",
     "REWARDS",

@@ -172,7 +172,8 @@ class MuffinPipeline:
         try:
             DATASETS.canonical_name(spec.dataset.name)
             REWARDS.canonical_name(spec.search.reward)
-            spec.search.search_config()  # validates controller / proxy / partition
+            # Validates controller / proxy / partition / executor names.
+            spec.search.search_config(spec.execution)
             for name in spec.pool.architectures or ():
                 get_architecture(name)
             for model in (spec.search.base_model, spec.finalize.reference_model):
@@ -269,6 +270,11 @@ class MuffinPipeline:
             artifact = self._persist(stage, stage_hash)
             if artifact:
                 detail = artifact
+            if stage == "search":
+                stats = getattr(self._artifacts["search"], "execution_stats", None)
+                if stats is not None:
+                    memo = f"executor={stats.executor} memo={stats.memo_hits}h/{stats.memo_misses}m"
+                    detail = f"{detail}; {memo}" if detail else memo
         seconds = time.perf_counter() - start
         self.timings.append(
             StageTiming(stage=stage, status=status, seconds=seconds, hash=stage_hash, detail=detail)
@@ -316,7 +322,7 @@ class MuffinPipeline:
                 attributes=list(spec.attributes),
                 base_model=base_model,
                 num_paired=spec.num_paired,
-                search_config=spec.search_config(),
+                search_config=spec.search_config(self.spec.execution),
                 reward_config=spec.reward_config(),
                 head_config=spec.head_config(),
                 reward_builder=spec.reward,

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..core.controller import CONTROLLERS
+from ..core.execution import EXECUTORS
 from ..core.proxy import PROXY_BUILDERS
 from ..core.results import SELECTION_STRATEGIES
 from ..core.reward import REWARDS
@@ -34,6 +35,7 @@ _CORE_REGISTRIES: Dict[str, Registry] = {
     "proxy_builders": PROXY_BUILDERS,
     "rewards": REWARDS,
     "selection_strategies": SELECTION_STRATEGIES,
+    "executors": EXECUTORS,
 }
 
 
@@ -60,6 +62,7 @@ __all__ = [
     "ARCHITECTURES",
     "ARCHITECTURE_REGISTRY",
     "CONTROLLERS",
+    "EXECUTORS",
     "PROXY_BUILDERS",
     "REWARDS",
     "SELECTION_STRATEGIES",

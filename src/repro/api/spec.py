@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple, Union
 
-from ..core import HeadTrainConfig, RewardConfig, SearchConfig
+from ..core import EXECUTORS, HeadTrainConfig, RewardConfig, SearchConfig
 from ..data.splits import PAPER_SPLIT
 from ..zoo import TrainConfig
 
@@ -102,6 +102,11 @@ class SearchSpec:
     head_batch_size: int = 128
     store_heads: bool = True
     seed: int = 0
+    #: 'episode' (paper formulation: every episode retrains) or 'derived'
+    #: (per-candidate seeds: re-sampled structures hit the evaluation memo).
+    #: Result-affecting, hence part of the search stage hash — unlike the
+    #: ``execution`` section.
+    candidate_seeds: str = "episode"
 
     def __post_init__(self) -> None:
         self.attributes = tuple(self.attributes)
@@ -110,7 +115,14 @@ class SearchSpec:
         if self.episodes <= 0 or self.episode_batch <= 0:
             raise SpecError("search.episodes and search.episode_batch must be positive")
 
-    def search_config(self) -> SearchConfig:
+    def search_config(self, execution: Optional["ExecutionSpec"] = None) -> SearchConfig:
+        kwargs: Dict[str, object] = {}
+        if execution is not None:
+            kwargs = {
+                "executor": execution.executor,
+                "max_workers": execution.max_workers,
+                "memoize": execution.memoize,
+            }
         return SearchConfig(
             episodes=self.episodes,
             episode_batch=self.episode_batch,
@@ -119,6 +131,8 @@ class SearchSpec:
             proxy_builder=self.proxy,
             store_heads=self.store_heads,
             seed=self.seed,
+            candidate_seeds=self.candidate_seeds,
+            **kwargs,
         )
 
     def head_config(self) -> HeadTrainConfig:
@@ -126,6 +140,37 @@ class SearchSpec:
 
     def reward_config(self) -> RewardConfig:
         return RewardConfig(attributes=self.attributes)
+
+
+@dataclass
+class ExecutionSpec:
+    """How candidate evaluations are dispatched — never *what* they compute.
+
+    Seeded results are bit-identical across executors, so this section is
+    deliberately excluded from every stage hash: switching ``serial`` to
+    ``process`` reuses all cached artifacts.
+    """
+
+    #: registered executor name (:data:`repro.core.EXECUTORS`):
+    #: 'serial', 'thread' or 'process'
+    executor: str = "serial"
+    #: worker count for parallel executors (``None`` = one per CPU core)
+    max_workers: Optional[int] = None
+    #: memoise evaluations on their (candidate, seed) key
+    memoize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            suggestions = EXECUTORS.suggest(self.executor)
+            hint = f" (did you mean {suggestions[0]!r}?)" if suggestions else ""
+            raise SpecError(
+                f"execution.executor must be one of {EXECUTORS.names()}, got "
+                f"'{self.executor}'{hint}"
+            )
+        if self.max_workers is not None:
+            self.max_workers = int(self.max_workers)
+            if self.max_workers <= 0:
+                raise SpecError("execution.max_workers must be positive (or null for auto)")
 
 
 @dataclass
@@ -159,6 +204,7 @@ _SECTION_TYPES = {
     "dataset": DatasetSpec,
     "pool": PoolSpec,
     "search": SearchSpec,
+    "execution": ExecutionSpec,
     "finalize": FinalizeSpec,
     "report": ReportSpec,
 }
@@ -172,6 +218,7 @@ class RunSpec:
     dataset: DatasetSpec = field(default_factory=DatasetSpec)
     pool: PoolSpec = field(default_factory=PoolSpec)
     search: SearchSpec = field(default_factory=SearchSpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     finalize: FinalizeSpec = field(default_factory=FinalizeSpec)
     report: ReportSpec = field(default_factory=ReportSpec)
 
@@ -238,8 +285,15 @@ class RunSpec:
     # Hashing (the pipeline's cache keys)
     # ------------------------------------------------------------------
     def spec_hash(self) -> str:
-        """Stable short hash of the full spec."""
-        return _hash_payload(self.to_dict())
+        """Stable short hash of the spec's result-determining sections.
+
+        The ``execution`` section only changes *how fast* a run computes,
+        never what it computes, so it is excluded — two specs differing only
+        in executor share one default cache directory.
+        """
+        payload = self.to_dict()
+        payload.pop("execution", None)
+        return _hash_payload(payload)
 
     def stage_hash(self, stage: str) -> str:
         """Hash of the sub-specs influencing ``stage``'s artifact."""

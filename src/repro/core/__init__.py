@@ -2,7 +2,21 @@
 and the reinforcement-learning search driver."""
 
 from .controller import CONTROLLERS, ControllerConfig, Episode, RandomController, RNNController
-from .fusing import FusedModel, FusedPrediction, MuffinBody, MuffinHead, oracle_union_predictions
+from .execution import (
+    EXECUTORS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    build_executor,
+)
+from .fusing import (
+    FusedModel,
+    FusedPrediction,
+    MuffinBody,
+    MuffinHead,
+    consensus_arbitrate,
+    oracle_union_predictions,
+)
 from .proxy import (
     PROXY_BUILDERS,
     ProxyDataset,
@@ -14,13 +28,22 @@ from .proxy import (
 from .results import (
     SELECTION_STRATEGIES,
     EpisodeRecord,
+    ExecutionStats,
     MuffinNet,
     MuffinSearchResult,
     rebuild_fused_model,
     select_record,
 )
 from .reward import REWARDS, MultiFairnessReward, RewardConfig
-from .search import BodyOutputCache, MuffinSearch, SearchConfig
+from .search import (
+    BodyOutputCache,
+    EvaluationOutcome,
+    EvaluationTask,
+    MuffinSearch,
+    SearchConfig,
+    dataset_fingerprint,
+    evaluate_task,
+)
 from .search_space import (
     DEFAULT_ACTIVATIONS,
     DEFAULT_DEPTH_CHOICES,
@@ -29,7 +52,7 @@ from .search_space import (
     FusingCandidate,
     SearchSpace,
 )
-from .trainer import HeadTrainConfig, HeadTrainResult, train_head
+from .trainer import HeadTrainConfig, HeadTrainResult, train_head, train_head_on_outputs
 
 __all__ = [
     "SearchSpace",
@@ -42,6 +65,7 @@ __all__ = [
     "MuffinHead",
     "FusedModel",
     "FusedPrediction",
+    "consensus_arbitrate",
     "oracle_union_predictions",
     "ProxyDataset",
     "build_proxy_dataset",
@@ -53,6 +77,7 @@ __all__ = [
     "HeadTrainConfig",
     "HeadTrainResult",
     "train_head",
+    "train_head_on_outputs",
     "RNNController",
     "RandomController",
     "ControllerConfig",
@@ -60,6 +85,16 @@ __all__ = [
     "MuffinSearch",
     "SearchConfig",
     "BodyOutputCache",
+    "dataset_fingerprint",
+    "EvaluationTask",
+    "EvaluationOutcome",
+    "evaluate_task",
+    "EXECUTORS",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "build_executor",
+    "ExecutionStats",
     "EpisodeRecord",
     "MuffinSearchResult",
     "MuffinNet",

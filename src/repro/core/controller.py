@@ -141,6 +141,20 @@ class RNNController(nn.Module):
             previous = action
         return Episode(actions=actions, log_probs=log_prob_tensors, entropies=entropies)
 
+    def sample_batch(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> List[Episode]:
+        """Sample one controller batch of ``count`` independent episodes.
+
+        The episodes of a batch are independent until the REINFORCE update
+        of Equation 4, so the search can evaluate them concurrently; they
+        are still *sampled* sequentially here because the policy is
+        autoregressive over one shared RNG stream (determinism).
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return [self.sample(rng) for _ in range(count)]
+
     def greedy_actions(self) -> List[int]:
         """The most likely decision sequence under the current policy."""
         return self.sample(greedy=True).actions
@@ -220,6 +234,13 @@ class RandomController:
         rng = rng if rng is not None else self._rng
         actions = self.search_space.random_actions(rng)
         return Episode(actions=actions, log_probs=[], entropies=[])
+
+    def sample_batch(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> List[Episode]:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return [self.sample(rng) for _ in range(count)]
 
     def greedy_actions(self) -> List[int]:
         return self.search_space.random_actions(self._rng)

@@ -1,0 +1,150 @@
+"""Pluggable executors for the candidate-evaluation hot path.
+
+Episodes inside one controller batch are independent until the REINFORCE
+update (Equation 4), so the search evaluates a whole ``episode_batch`` of
+candidates through one of these executors:
+
+* ``serial`` — evaluate in the calling thread (the default, and the
+  reference behaviour every parallel executor must reproduce bit-exactly);
+* ``thread`` — a :class:`concurrent.futures.ThreadPoolExecutor`; the numpy
+  kernels dominating head training release the GIL, so threads already
+  overlap well and share the process memory (no pickling);
+* ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`; true
+  multi-core parallelism at the cost of pickling each task's arrays, the
+  right choice when head training is python-bound (deep heads, many epochs).
+
+Every executor's ``map`` returns results **in submission order**, which is
+what keeps seeded searches bit-identical across executors: the tasks are
+pure functions of their picklable inputs, so only the ordering could differ.
+
+Plugins can register additional executors (e.g. a cluster dispatcher) in
+:data:`EXECUTORS` and select them from ``SearchConfig.executor`` or an
+``ExecutionSpec``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from ..registry import Registry
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Registry of executor factories.  Each entry is a callable
+#: ``(max_workers: Optional[int]) -> executor`` where the returned object
+#: implements ``map`` (order-preserving) and ``shutdown``.
+EXECUTORS: Registry = Registry("executor")
+
+
+def default_max_workers() -> int:
+    """Worker count used when a config leaves ``max_workers`` unset."""
+    return os.cpu_count() or 1
+
+
+class SerialExecutor:
+    """Evaluate tasks inline, in the calling thread (the reference executor)."""
+
+    name = "serial"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        # ``max_workers`` is accepted for interface uniformity; serial
+        # execution always uses exactly the calling thread.
+        self.max_workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+    def shutdown(self) -> None:
+        pass
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+class _PooledExecutor:
+    """Shared plumbing for the concurrent.futures-backed executors.
+
+    The underlying pool is created lazily on the first multi-item ``map``
+    and reused across batches, so one search pays the worker start-up cost
+    at most once.  Single-item batches run inline: spinning up workers for
+    one task only adds latency.
+    """
+
+    name = "pooled"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive (or None for auto)")
+        self.max_workers = max_workers or default_max_workers()
+        self._pool: Optional[_FuturesExecutor] = None
+
+    def _make_pool(self) -> _FuturesExecutor:
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if len(items) <= 1 or self.max_workers == 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = self._make_pool()
+        # Executor.map yields results in submission order regardless of
+        # completion order — the property the determinism guarantee rests on.
+        return list(self._pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "_PooledExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+class ThreadExecutor(_PooledExecutor):
+    """Evaluate tasks on a thread pool (shared memory, no pickling)."""
+
+    name = "thread"
+
+    def _make_pool(self) -> _FuturesExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="muffin-eval"
+        )
+
+
+class ProcessExecutor(_PooledExecutor):
+    """Evaluate tasks on a process pool (true multi-core parallelism).
+
+    Task functions and their inputs must be picklable; the search's
+    :class:`~repro.core.search.EvaluationTask` is designed to be exactly
+    that (numpy arrays plus plain configs, no live models).
+    """
+
+    name = "process"
+
+    def _make_pool(self) -> _FuturesExecutor:
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+
+def build_executor(name: str, max_workers: Optional[int] = None):
+    """Instantiate a registered executor by name."""
+    return EXECUTORS.get(name)(max_workers=max_workers)
+
+
+def executor_names() -> Sequence[str]:
+    """The registered executor names (for CLI choices and error messages)."""
+    return EXECUTORS.names()
+
+
+EXECUTORS.register("serial", SerialExecutor, aliases=("sync", "inline"))
+EXECUTORS.register("thread", ThreadExecutor, aliases=("threads", "threadpool"))
+EXECUTORS.register("process", ProcessExecutor, aliases=("processes", "multiprocessing"))

@@ -125,6 +125,50 @@ class MuffinHead(nn.Module):
         return f"MuffinHead(hidden={list(self.hidden_sizes)}, activation='{self.activation}')"
 
 
+def consensus_arbitrate(
+    body_outputs: np.ndarray, head_predictions: np.ndarray, num_classes: int
+) -> "FusedPrediction":
+    """Consensus-keeping arbitration from precomputed body outputs.
+
+    ``body_outputs`` is the concatenated per-member probability matrix
+    ``(N, num_models * num_classes)`` (as produced by
+    :meth:`MuffinBody.forward` or a :class:`~repro.core.search.BodyOutputCache`);
+    ``head_predictions`` the head's argmax labels for the same samples.
+    Samples on which every body member agrees keep the consensus label, the
+    head decides the rest — the single implementation shared by
+    :meth:`FusedModel.predict_detailed` and the search loop, so the two
+    paths cannot drift.
+    """
+    body_outputs = np.asarray(body_outputs)
+    head_predictions = np.asarray(head_predictions)
+    if body_outputs.ndim != 2 or body_outputs.shape[1] % num_classes != 0:
+        raise ValueError(
+            f"body_outputs must have shape (N, num_models * {num_classes}), "
+            f"got {body_outputs.shape}"
+        )
+    if head_predictions.shape != (body_outputs.shape[0],):
+        raise ValueError(
+            f"head_predictions must have shape ({body_outputs.shape[0]},), "
+            f"got {head_predictions.shape}"
+        )
+    num_models = body_outputs.shape[1] // num_classes
+    member_predictions = np.stack(
+        [
+            body_outputs[:, i * num_classes : (i + 1) * num_classes].argmax(axis=-1)
+            for i in range(num_models)
+        ],
+        axis=0,
+    )
+    agree = np.all(member_predictions == member_predictions[0], axis=0)
+    predictions = np.where(agree, member_predictions[0], head_predictions)
+    return FusedPrediction(
+        predictions=predictions,
+        consensus_mask=agree,
+        head_predictions=head_predictions,
+        consensus_predictions=member_predictions[0],
+    )
+
+
 @dataclass
 class FusedPrediction:
     """Predictions of a fused model plus bookkeeping about the arbitration."""
@@ -197,19 +241,18 @@ class FusedModel:
         use_consensus_shortcut: bool = True,
     ) -> FusedPrediction:
         """Predict with full arbitration bookkeeping."""
-        consensus = self.body.consensus(dataset, indices)
-        head_predictions = self.head_logits(dataset, indices).argmax(axis=-1)
+        # One body forward serves both the consensus check and the head, so
+        # each frozen member is queried exactly once.
+        body_output = self.body.forward(dataset, indices)
+        head_predictions = self.head(nn.Tensor(body_output)).data.argmax(axis=-1)
+        arbitrated = consensus_arbitrate(body_output, head_predictions, self.num_classes)
         if use_consensus_shortcut:
-            predictions = np.where(
-                consensus["agree"], consensus["consensus_prediction"], head_predictions
-            )
-        else:
-            predictions = head_predictions
+            return arbitrated
         return FusedPrediction(
-            predictions=predictions,
-            consensus_mask=consensus["agree"],
+            predictions=head_predictions,
+            consensus_mask=arbitrated.consensus_mask,
             head_predictions=head_predictions,
-            consensus_predictions=consensus["consensus_prediction"],
+            consensus_predictions=arbitrated.consensus_predictions,
         )
 
     def predict(

@@ -177,6 +177,9 @@ def uniform_proxy_dataset(
     weighted proxy dataset.
     """
     attribute_names: Tuple[str, ...] = tuple(attributes or dataset.attributes.names)
+    for name in attribute_names:
+        if name not in dataset.attributes:
+            raise KeyError(f"dataset has no attribute '{name}'")
     indices = np.arange(len(dataset))
     return ProxyDataset(
         dataset=dataset,

@@ -30,6 +30,51 @@ SELECTION_STRATEGIES: Registry = Registry("selection strategy")
 
 
 @dataclass
+class ExecutionStats:
+    """How one search run dispatched and memoised its candidate evaluations.
+
+    ``memo_hits`` counts candidate evaluations answered from the
+    ``(candidate, seed)`` memo without retraining a head (re-sampled
+    structures, common late in the search when the controller converges);
+    the body-cache counters track the shared frozen-body probability cache.
+    """
+
+    executor: str = "serial"
+    max_workers: int = 1
+    episodes: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    body_cache_hits: int = 0
+    body_cache_misses: int = 0
+    eval_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+            "episodes": self.episodes,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "body_cache_hits": self.body_cache_hits,
+            "body_cache_misses": self.body_cache_misses,
+            "eval_seconds": round(float(self.eval_seconds), 4),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExecutionStats":
+        return cls(
+            executor=str(payload.get("executor", "serial")),
+            max_workers=int(payload.get("max_workers", 1)),
+            episodes=int(payload.get("episodes", 0)),
+            memo_hits=int(payload.get("memo_hits", 0)),
+            memo_misses=int(payload.get("memo_misses", 0)),
+            body_cache_hits=int(payload.get("body_cache_hits", 0)),
+            body_cache_misses=int(payload.get("body_cache_misses", 0)),
+            eval_seconds=float(payload.get("eval_seconds", 0.0)),
+        )
+
+
+@dataclass
 class EpisodeRecord:
     """One evaluated candidate of the search."""
 
@@ -114,6 +159,7 @@ class MuffinSearchResult:
         attributes: Sequence[str],
         controller_history: Optional[Sequence[Mapping[str, float]]] = None,
         search_space_description: Optional[Mapping[str, object]] = None,
+        execution_stats: Optional[ExecutionStats] = None,
     ) -> None:
         if not records:
             raise ValueError("a search result needs at least one episode record")
@@ -121,6 +167,7 @@ class MuffinSearchResult:
         self.attributes: List[str] = list(attributes)
         self.controller_history: List[Mapping[str, float]] = list(controller_history or [])
         self.search_space_description = dict(search_space_description or {})
+        self.execution_stats = execution_stats
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -272,7 +319,7 @@ class MuffinSearchResult:
 
     def summary(self) -> Dict[str, object]:
         best = self.best_record()
-        return {
+        summary: Dict[str, object] = {
             "episodes": len(self.records),
             "best_reward": best.reward,
             "best_candidate": best.candidate.to_dict(),
@@ -281,20 +328,31 @@ class MuffinSearchResult:
             "attributes": list(self.attributes),
             "search_space": dict(self.search_space_description),
         }
+        if self.execution_stats is not None:
+            summary["execution"] = self.execution_stats.to_dict()
+        return summary
 
     def to_dict(self, include_state: bool = False) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "summary": self.summary(),
             "attributes": list(self.attributes),
             "search_space": dict(self.search_space_description),
             "records": [record.to_dict(include_state=include_state) for record in self.records],
             "controller_history": [dict(h) for h in self.controller_history],
         }
+        if self.execution_stats is not None:
+            payload["execution_stats"] = self.execution_stats.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "MuffinSearchResult":
         """Rebuild a result serialised by ``to_dict(include_state=True)``."""
         attributes = payload.get("attributes") or payload.get("summary", {}).get("attributes", [])
+        execution_stats = (
+            ExecutionStats.from_dict(payload["execution_stats"])
+            if payload.get("execution_stats") is not None
+            else None
+        )
         return cls(
             records=[EpisodeRecord.from_dict(entry) for entry in payload["records"]],
             attributes=list(attributes),
@@ -303,6 +361,7 @@ class MuffinSearchResult:
                 payload.get("search_space")
                 or payload.get("summary", {}).get("search_space", {})
             ),
+            execution_stats=execution_stats,
         )
 
 

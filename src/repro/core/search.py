@@ -14,12 +14,28 @@ For every reinforcement-learning episode (Figure 4):
 Because the body models are frozen, their class probabilities on the proxy
 and evaluation partitions are computed once per model and cached, which
 makes each episode cost only one small-MLP training run.
+
+Episodes inside one controller batch are independent until the REINFORCE
+update, so the search samples the whole batch up front and dispatches the
+train-and-evaluate work through a pluggable executor
+(:mod:`repro.core.execution`): ``serial``, ``thread`` or ``process``, all
+bit-identical for a fixed seed.  Evaluations are additionally memoised on a
+``(candidate, seed)`` key; with ``SearchConfig.candidate_seeds='derived'``
+the seed is hashed from the candidate itself, so re-sampled structures —
+common late in the search when the controller converges — return their
+record without retraining.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import copy
+import hashlib
+import json
+import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,11 +45,13 @@ from ..utils.logging import RunLogger
 from ..utils.rng import get_rng
 from ..zoo.pool import ModelPool
 from .controller import CONTROLLERS, ControllerConfig, Episode, RandomController, RNNController
-from .fusing import FusedModel, MuffinBody, MuffinHead
+from .execution import EXECUTORS, build_executor
+from .fusing import FusedModel, MuffinHead, consensus_arbitrate
 from .proxy import PROXY_BUILDERS, ProxyDataset, build_proxy_dataset, uniform_proxy_dataset
 from .results import (
     SELECTION_STRATEGIES,
     EpisodeRecord,
+    ExecutionStats,
     MuffinNet,
     MuffinSearchResult,
     rebuild_fused_model,
@@ -41,7 +59,7 @@ from .results import (
 )
 from .reward import REWARDS, MultiFairnessReward, RewardConfig
 from .search_space import FusingCandidate, SearchSpace
-from .trainer import HeadTrainConfig, train_head
+from .trainer import HeadTrainConfig, train_head, train_head_on_outputs
 
 #: Partitions a :class:`~repro.data.splits.DataSplit` exposes by name.
 VALID_PARTITIONS = ("train", "val", "test")
@@ -67,6 +85,21 @@ class SearchConfig:
     store_heads: bool = True
     seed: int = 0
     verbose: bool = False
+    #: registered executor dispatching each batch's candidate evaluations
+    #: ('serial', 'thread' or 'process'); results are seed-identical across
+    #: executors, only wall-clock differs
+    executor: str = "serial"
+    #: worker count for the parallel executors (None = one per CPU core)
+    max_workers: Optional[int] = None
+    #: memoise evaluations on their (candidate, seed) key so re-sampled
+    #: structures skip head retraining
+    memoize: bool = True
+    #: where each episode's head-training seed comes from: 'episode' draws it
+    #: from the search RNG stream (the paper's formulation — every episode
+    #: retrains, even re-sampled structures), 'derived' hashes it from the
+    #: candidate itself, making the reward a stationary function of the
+    #: candidate so re-sampled structures hit the evaluation memo
+    candidate_seeds: str = "episode"
 
     def __post_init__(self) -> None:
         if self.episodes <= 0:
@@ -92,6 +125,20 @@ class SearchConfig:
                 f"proxy_builder must be one of {PROXY_BUILDERS.names()}, got "
                 f"'{self.proxy_builder}'{hint}"
             )
+        if self.executor not in EXECUTORS:
+            suggestions = EXECUTORS.suggest(self.executor)
+            hint = f" (did you mean {suggestions[0]!r}?)" if suggestions else ""
+            raise ValueError(
+                f"executor must be one of {EXECUTORS.names()}, got "
+                f"'{self.executor}'{hint}"
+            )
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError("max_workers must be positive (or None for auto)")
+        if self.candidate_seeds not in ("episode", "derived"):
+            raise ValueError(
+                f"candidate_seeds must be 'episode' or 'derived', got "
+                f"'{self.candidate_seeds}'"
+            )
 
     @property
     def effective_proxy_builder(self) -> str:
@@ -101,32 +148,212 @@ class SearchConfig:
         return "weighted" if self.use_weighted_proxy else "uniform"
 
 
+#: Memoised dataset fingerprints (datasets are treated as immutable
+#: throughout the library); weak keys so caching never extends a dataset's
+#: lifetime.
+_DATASET_FINGERPRINTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def dataset_fingerprint(dataset: FairnessDataset) -> str:
+    """Stable content fingerprint of a dataset (name, labels and features).
+
+    Two dataset objects with the same fingerprint produce identical model
+    predictions, so it is a safe cache-key component — unlike a
+    caller-supplied tag, which silently aliases different partitions.
+    """
+    try:
+        return _DATASET_FINGERPRINTS[dataset]
+    except KeyError:
+        pass
+    digest = hashlib.sha1()
+    digest.update(dataset.name.encode("utf-8"))
+    digest.update(np.int64(len(dataset)).tobytes())
+    digest.update(np.int64(dataset.num_classes).tobytes())
+    digest.update(np.ascontiguousarray(dataset.labels).tobytes())
+    # The declared attribute set decides which distortion components enter
+    # compose_features, so it is part of the prediction-relevant identity.
+    for attribute in sorted(dataset.attributes.names):
+        digest.update(attribute.encode("utf-8"))
+    # Model features compose *every* component (signal, noise and the
+    # per-attribute distortions), so all of them are part of the identity —
+    # hashing only one would alias datasets differing in the others.
+    for key in sorted(dataset.components):
+        digest.update(key.encode("utf-8"))
+        digest.update(np.ascontiguousarray(dataset.components[key]).tobytes())
+    fingerprint = digest.hexdigest()[:16]
+    _DATASET_FINGERPRINTS[dataset] = fingerprint
+    return fingerprint
+
+
+def _indices_fingerprint(indices: Optional[np.ndarray]) -> str:
+    """Fingerprint of an index array (``'all'`` for the full dataset)."""
+    if indices is None:
+        return "all"
+    indices = np.ascontiguousarray(np.asarray(indices, dtype=np.int64))
+    return hashlib.sha1(indices.tobytes()).hexdigest()[:16]
+
+
 class BodyOutputCache:
-    """Caches each pool model's class probabilities on fixed index sets."""
+    """Caches each pool model's class probabilities on fixed index sets.
+
+    Entries are keyed on the *dataset identity* (a content fingerprint) and
+    a fingerprint of the index array — not on a caller-supplied tag — so one
+    cache can be shared across searches and pipeline stages with different
+    proxy builders or evaluation partitions without ever returning stale
+    probabilities for the wrong index set.
+    """
+
+    #: LRU bound on memoised concatenated matrices (re-derivable from the
+    #: per-model entries, so eviction only costs a re-concatenation)
+    MAX_CONCATENATED_ENTRIES = 32
 
     def __init__(self, pool: ModelPool) -> None:
         self.pool = pool
-        self._cache: Dict[str, Dict[str, np.ndarray]] = {}
+        self._cache: Dict[Tuple[str, str, str], np.ndarray] = {}
+        self._concatenated: "OrderedDict[Tuple[Tuple[str, ...], str, str], np.ndarray]" = (
+            OrderedDict()
+        )
+        #: per-model matrix lookups (one count per probabilities() call)
+        self.hits = 0
+        self.misses = 0
+        #: whole concatenated-matrix lookups (one count per concatenated() call)
+        self.concat_hits = 0
+        self.concat_misses = 0
 
     def probabilities(
-        self, model_name: str, dataset: FairnessDataset, indices: Optional[np.ndarray], tag: str
+        self,
+        model_name: str,
+        dataset: FairnessDataset,
+        indices: Optional[np.ndarray] = None,
+        tag: Optional[str] = None,
     ) -> np.ndarray:
-        per_model = self._cache.setdefault(model_name, {})
-        if tag not in per_model:
+        """Cached ``model.predict_proba(dataset, indices)``.
+
+        ``tag`` is kept for backward compatibility as a human-readable label
+        only; it no longer participates in the cache key.
+        """
+        key = (model_name, dataset_fingerprint(dataset), _indices_fingerprint(indices))
+        if key not in self._cache:
+            self.misses += 1
             model = self.pool.get(model_name)
-            per_model[tag] = model.predict_proba(dataset, indices)
-        return per_model[tag]
+            self._cache[key] = model.predict_proba(dataset, indices)
+        else:
+            self.hits += 1
+        return self._cache[key]
 
     def concatenated(
         self,
         model_names: Sequence[str],
         dataset: FairnessDataset,
-        indices: Optional[np.ndarray],
-        tag: str,
+        indices: Optional[np.ndarray] = None,
+        tag: Optional[str] = None,
     ) -> np.ndarray:
-        return np.concatenate(
-            [self.probabilities(name, dataset, indices, tag) for name in model_names], axis=1
+        """Cached concatenation of the selected models' probability matrices.
+
+        The concatenated matrix is memoised in a small LRU so every episode
+        of a batch (and repeat candidates across batches — the eval
+        partition recurs each batch) shares one buffer instead of
+        re-concatenating its own copy.  The LRU bound caps the duplication
+        relative to the per-model cache, which the matrices are always
+        cheaply re-derivable from.
+        """
+        key = (
+            tuple(model_names),
+            dataset_fingerprint(dataset),
+            _indices_fingerprint(indices),
         )
+        if key not in self._concatenated:
+            self.concat_misses += 1
+            self._concatenated[key] = np.concatenate(
+                [self.probabilities(name, dataset, indices, tag) for name in model_names],
+                axis=1,
+            )
+            while len(self._concatenated) > self.MAX_CONCATENATED_ENTRIES:
+                self._concatenated.pop(next(iter(self._concatenated)))
+        else:
+            self.concat_hits += 1
+            self._concatenated.move_to_end(key)
+        return self._concatenated[key]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "concat_hits": self.concat_hits,
+            "concat_misses": self.concat_misses,
+            "entries": len(self._cache),
+            "concatenated_entries": len(self._concatenated),
+        }
+
+
+# ----------------------------------------------------------------------
+# Executor-safe candidate evaluation
+# ----------------------------------------------------------------------
+@dataclass
+class EvaluationTask:
+    """Picklable, self-contained description of one candidate evaluation.
+
+    Carries only numpy arrays and plain configs — no live models, datasets
+    or RNGs — so it can cross a process boundary and run as a pure function
+    (:func:`evaluate_task`) with bit-identical results on any executor.
+    """
+
+    model_names: Tuple[str, ...]
+    hidden_sizes: Tuple[int, ...]
+    activation: str
+    seed: int
+    head_config: HeadTrainConfig
+    num_classes: int
+    proxy_outputs: np.ndarray
+    proxy_labels: np.ndarray
+    proxy_weights: np.ndarray
+    eval_outputs: np.ndarray
+
+
+@dataclass
+class EvaluationOutcome:
+    """What one evaluation returns to the search loop (also picklable)."""
+
+    predictions: np.ndarray
+    head_state: Dict[str, np.ndarray]
+    losses: List[float]
+    head_parameters: int
+
+
+def evaluate_task(task: EvaluationTask) -> EvaluationOutcome:
+    """Train one muffin head and predict on the evaluation partition.
+
+    Module-level (hence picklable by reference for the process executor) and
+    a pure function of ``task``: it builds a fresh head seeded from
+    ``task.seed``, trains it with :func:`~repro.core.trainer.train_head_on_outputs`
+    (which seeds a local generator) and arbitrates predictions through
+    :func:`~repro.core.fusing.consensus_arbitrate`.
+    """
+    from .. import nn
+
+    head = MuffinHead(
+        body_output_dim=int(task.proxy_outputs.shape[1]),
+        num_classes=task.num_classes,
+        hidden_sizes=task.hidden_sizes,
+        activation=task.activation,
+        seed=task.seed,
+    )
+    train_result = train_head_on_outputs(
+        head,
+        task.proxy_outputs,
+        task.proxy_labels,
+        task.proxy_weights,
+        task.num_classes,
+        task.head_config,
+    )
+    head_predictions = head(nn.Tensor(task.eval_outputs)).data.argmax(axis=-1)
+    arbitrated = consensus_arbitrate(task.eval_outputs, head_predictions, task.num_classes)
+    return EvaluationOutcome(
+        predictions=arbitrated.predictions,
+        head_state=head.state_dict(),
+        losses=list(train_result.losses),
+        head_parameters=head.num_parameters(),
+    )
 
 
 class MuffinSearch:
@@ -173,101 +400,283 @@ class MuffinSearch:
         self._cache = body_cache if body_cache is not None else BodyOutputCache(pool)
         self._rng = get_rng(self.search_config.seed)
         self.logger = RunLogger(name="muffin-search", verbose=self.search_config.verbose)
+        #: (candidate, seed) -> EpisodeRecord memo shared by every run()
+        self._memo: Dict[Tuple[FusingCandidate, int], EpisodeRecord] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     # ------------------------------------------------------------------
     # Candidate evaluation
     # ------------------------------------------------------------------
-    def _build_fused(self, candidate: FusingCandidate, seed: int) -> FusedModel:
-        models = self.pool.models(candidate.model_names)
-        body = MuffinBody(models)
-        head = MuffinHead(
-            body_output_dim=body.output_dim,
-            num_classes=body.num_classes,
-            hidden_sizes=candidate.hidden_sizes,
-            activation=candidate.activation,
-            seed=seed,
+    def candidate_seed(self, candidate: FusingCandidate) -> int:
+        """Deterministic head-training seed for ``candidate``.
+
+        Derived from the search seed and the candidate alone (not from the
+        shared RNG stream or the episode index), so a structure re-sampled
+        later in the search maps to the same ``(candidate, seed)`` memo key
+        and evaluation order never influences results.
+        """
+        payload = json.dumps(
+            {"seed": self.search_config.seed, "candidate": candidate.to_dict()},
+            sort_keys=True,
         )
-        return FusedModel(body, head, name=f"Muffin[{candidate.describe()}]")
+        digest = hashlib.sha256(payload.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") % (2**31)
 
     def _evaluate_fused(self, fused: FusedModel, candidate: FusingCandidate) -> FairnessEvaluation:
-        """Evaluate a trained fused model on the reward partition (cached bodies)."""
+        """Evaluate a trained fused model on the reward partition (cached bodies).
+
+        Shares :func:`~repro.core.fusing.consensus_arbitrate` and the body
+        cache with the batch path, so a rebuilt Muffin-Net reproduces its
+        episode record's evaluation exactly.
+        """
+        from .. import nn
+
         eval_probs = self._cache.concatenated(
             candidate.model_names, self.eval_dataset, None, tag=self.search_config.eval_partition
         )
-        num_models = len(candidate.model_names)
-        num_classes = fused.num_classes
-        member_predictions = np.stack(
-            [
-                eval_probs[:, i * num_classes : (i + 1) * num_classes].argmax(axis=-1)
-                for i in range(num_models)
-            ],
-            axis=0,
-        )
-        agree = np.all(member_predictions == member_predictions[0], axis=0)
-        from .. import nn
-
         head_predictions = fused.head(nn.Tensor(eval_probs)).data.argmax(axis=-1)
-        predictions = np.where(agree, member_predictions[0], head_predictions)
-        return evaluate_predictions(predictions, self.eval_dataset, self.attributes)
+        arbitrated = consensus_arbitrate(eval_probs, head_predictions, fused.num_classes)
+        return evaluate_predictions(arbitrated.predictions, self.eval_dataset, self.attributes)
 
-    def evaluate_candidate(
-        self, candidate: FusingCandidate, episode: int = -1, seed: Optional[int] = None
-    ) -> EpisodeRecord:
-        """Train and evaluate one candidate; returns its episode record."""
-        seed = seed if seed is not None else int(self._rng.integers(0, 2**31))
-        fused = self._build_fused(candidate, seed)
+    def _task_for(self, candidate: FusingCandidate, seed: int) -> EvaluationTask:
+        """Assemble the picklable evaluation task of one candidate."""
         proxy_outputs = self._cache.concatenated(
             candidate.model_names, self.proxy.dataset, self.proxy.indices, tag="proxy"
         )
-        head_result = train_head(fused, self.proxy, self.head_config, body_outputs=proxy_outputs)
-        evaluation = self._evaluate_fused(fused, candidate)
+        eval_outputs = self._cache.concatenated(
+            candidate.model_names, self.eval_dataset, None, tag=self.search_config.eval_partition
+        )
+        return EvaluationTask(
+            model_names=tuple(candidate.model_names),
+            hidden_sizes=tuple(candidate.hidden_sizes),
+            activation=candidate.activation,
+            seed=seed,
+            head_config=self.head_config,
+            num_classes=self.eval_dataset.num_classes,
+            proxy_outputs=proxy_outputs,
+            proxy_labels=self.proxy.dataset.labels[self.proxy.indices],
+            proxy_weights=np.asarray(self.proxy.sample_weights, dtype=np.float64),
+            eval_outputs=eval_outputs,
+        )
+
+    def _record_from_outcome(
+        self, candidate: FusingCandidate, outcome: EvaluationOutcome, episode: int
+    ) -> EpisodeRecord:
+        """Score a worker outcome and assemble the episode record (main thread)."""
+        evaluation = evaluate_predictions(outcome.predictions, self.eval_dataset, self.attributes)
         reward_value = self.reward(evaluation)
+        body_parameters = sum(
+            model.num_parameters for model in self.pool.models(candidate.model_names)
+        )
         return EpisodeRecord(
             episode=episode,
             candidate=candidate,
             reward=reward_value,
             evaluation=evaluation,
-            head_state=fused.head.state_dict() if self.search_config.store_heads else None,
-            train_losses=head_result.losses,
-            num_parameters=fused.num_parameters,
-            trainable_parameters=fused.trainable_parameters,
+            head_state=outcome.head_state if self.search_config.store_heads else None,
+            train_losses=list(outcome.losses),
+            num_parameters=body_parameters + outcome.head_parameters,
+            trainable_parameters=outcome.head_parameters,
         )
+
+    def evaluate_batch(
+        self,
+        candidates: Sequence[FusingCandidate],
+        seeds: Optional[Sequence[Optional[int]]] = None,
+        episodes: Optional[Sequence[int]] = None,
+        executor=None,
+        memoize: Optional[bool] = None,
+    ) -> List[EpisodeRecord]:
+        """Train and evaluate a batch of candidates, memoised and in parallel.
+
+        Duplicate ``(candidate, seed)`` keys — within the batch or across
+        earlier evaluations — are answered from the memo without retraining.
+        The unique remainder is dispatched through ``executor`` (default:
+        the one named by ``search_config.executor``); records always come
+        back in input order regardless of completion order.  ``memoize``
+        can force-disable the memo for this batch (``search_config.memoize``
+        always wins when False); ``run()`` disables it under the 'episode'
+        seed strategy, whose fresh per-episode seeds can never hit.
+        """
+        candidates = list(candidates)
+        seeds = list(seeds) if seeds is not None else [None] * len(candidates)
+        if len(seeds) != len(candidates):
+            raise ValueError("seeds must match candidates in length")
+        episodes = list(episodes) if episodes is not None else [-1] * len(candidates)
+        if len(episodes) != len(candidates):
+            raise ValueError("episodes must match candidates in length")
+
+        resolved = [
+            (candidate, seed if seed is not None else self.candidate_seed(candidate))
+            for candidate, seed in zip(candidates, seeds)
+        ]
+        memoize = self.search_config.memoize and (memoize is None or memoize)
+        scheduled: set = set()
+        to_evaluate: List[Tuple[FusingCandidate, int]] = []
+        for key in resolved:
+            # Without memoisation every request is evaluated, duplicates too.
+            if memoize and (key in self._memo or key in scheduled):
+                self.memo_hits += 1
+                continue
+            self.memo_misses += 1
+            scheduled.add(key)
+            to_evaluate.append(key)
+
+        outcomes: List[EvaluationOutcome] = []
+        if to_evaluate:
+            tasks = [self._task_for(candidate, seed) for candidate, seed in to_evaluate]
+            own_executor = executor is None
+            if own_executor:
+                executor = build_executor(
+                    self.search_config.executor, self.search_config.max_workers
+                )
+            try:
+                outcomes = executor.map(evaluate_task, tasks)
+            finally:
+                if own_executor:
+                    executor.shutdown()
+
+        records: List[EpisodeRecord] = []
+        if memoize:
+            for (candidate, seed), outcome in zip(to_evaluate, outcomes):
+                self._memo[(candidate, seed)] = self._record_from_outcome(
+                    candidate, outcome, episode=-1
+                )
+            for key, episode in zip(resolved, episodes):
+                memoised = self._memo[key]
+                # Mutable payloads are copied so no caller can corrupt the
+                # memo (or a sibling record) through a returned record.
+                records.append(
+                    replace(
+                        memoised,
+                        episode=episode,
+                        train_losses=list(memoised.train_losses),
+                        evaluation=copy.deepcopy(memoised.evaluation),
+                        head_state=(
+                            {name: values.copy() for name, values in memoised.head_state.items()}
+                            if memoised.head_state is not None
+                            else None
+                        ),
+                    )
+                )
+        else:
+            for (candidate, _), outcome, episode in zip(to_evaluate, outcomes, episodes):
+                records.append(self._record_from_outcome(candidate, outcome, episode=episode))
+        return records
+
+    def evaluate_candidate(
+        self, candidate: FusingCandidate, episode: int = -1, seed: Optional[int] = None
+    ) -> EpisodeRecord:
+        """Train and evaluate one candidate; returns its episode record.
+
+        ``seed`` defaults to :meth:`candidate_seed`, so repeated evaluations
+        of the same structure are memo hits.
+        """
+        return self.evaluate_batch([candidate], seeds=[seed], episodes=[episode])[0]
 
     # ------------------------------------------------------------------
     # The search loop
     # ------------------------------------------------------------------
+    def _sample_episode_batch(
+        self, count: int
+    ) -> Tuple[List[Episode], List[Optional[int]]]:
+        """One controller batch of episodes plus their head-training seeds.
+
+        Under the default ``candidate_seeds='episode'`` strategy each seed is
+        drawn from the shared RNG stream immediately after its episode is
+        sampled — the exact draw order of the serial formulation, so seeded
+        searches stay bit-identical regardless of executor.  Under
+        ``'derived'`` the seeds are left to :meth:`candidate_seed` (hashed
+        from the candidate), which is what lets re-sampled structures hit
+        the evaluation memo.
+        """
+        if self.search_config.candidate_seeds == "derived":
+            sampler = getattr(self.controller, "sample_batch", None)
+            if sampler is not None:
+                episodes = sampler(count, self._rng)
+            else:  # plugin controllers may predate the batch-sampling API
+                episodes = [self.controller.sample(self._rng) for _ in range(count)]
+            return episodes, [None] * count
+        episodes: List[Episode] = []
+        seeds: List[Optional[int]] = []
+        for _ in range(count):
+            episodes.append(self.controller.sample(self._rng))
+            seeds.append(int(self._rng.integers(0, 2**31)))
+        return episodes, seeds
+
     def run(self, episodes: Optional[int] = None) -> MuffinSearchResult:
-        """Run the reinforcement-learning search and return its history."""
+        """Run the reinforcement-learning search and return its history.
+
+        Each controller batch is sampled up front and its candidates are
+        evaluated concurrently through the configured executor; the
+        REINFORCE update then sees the whole rewarded batch, exactly as in
+        the serial formulation of Equation 4.
+        """
         total_episodes = episodes if episodes is not None else self.search_config.episodes
+        config = self.search_config
         records: List[EpisodeRecord] = []
-        pending: List[Episode] = []
-        for episode_index in range(total_episodes):
-            episode = self.controller.sample(self._rng)
-            candidate = self.search_space.decode(episode.actions)
-            record = self.evaluate_candidate(candidate, episode=episode_index)
-            episode.reward = record.reward
-            records.append(record)
-            pending.append(episode)
+        memo_hits_before = self.memo_hits
+        memo_misses_before = self.memo_misses
+        # Request-level cache counters: per-model and concatenated lookups.
+        cache_hits_before = self._cache.hits + self._cache.concat_hits
+        cache_misses_before = self._cache.misses + self._cache.concat_misses
+        start_time = time.perf_counter()
 
-            self.logger.log(
-                episode=episode_index,
-                reward=record.reward,
-                accuracy=record.evaluation.accuracy,
-                **{f"U({a})": record.evaluation.unfairness[a] for a in self.attributes},
-                candidate=candidate.describe(),
-            )
+        executor = build_executor(config.executor, config.max_workers)
+        try:
+            episode_index = 0
+            while episode_index < total_episodes:
+                batch_size = min(config.episode_batch, total_episodes - episode_index)
+                batch_episodes, batch_seeds = self._sample_episode_batch(batch_size)
+                batch_candidates = [
+                    self.search_space.decode(episode.actions) for episode in batch_episodes
+                ]
+                batch_records = self.evaluate_batch(
+                    batch_candidates,
+                    seeds=batch_seeds,
+                    episodes=range(episode_index, episode_index + batch_size),
+                    executor=executor,
+                    # Fresh per-episode seeds can never repeat a memo key;
+                    # storing every record would be pure memory overhead.
+                    memoize=config.candidate_seeds == "derived",
+                )
+                for episode, record in zip(batch_episodes, batch_records):
+                    episode.reward = record.reward
+                    records.append(record)
+                    self.logger.log(
+                        episode=record.episode,
+                        reward=record.reward,
+                        accuracy=record.evaluation.accuracy,
+                        **{
+                            f"U({a})": record.evaluation.unfairness[a]
+                            for a in self.attributes
+                        },
+                        candidate=record.candidate.describe(),
+                    )
+                self.controller.update(batch_episodes)
+                episode_index += batch_size
+        finally:
+            executor.shutdown()
 
-            if len(pending) >= self.search_config.episode_batch:
-                self.controller.update(pending)
-                pending = []
-        if pending:
-            self.controller.update(pending)
-
+        stats = ExecutionStats(
+            executor=config.executor,
+            max_workers=getattr(executor, "max_workers", 1),
+            episodes=total_episodes,
+            memo_hits=self.memo_hits - memo_hits_before,
+            memo_misses=self.memo_misses - memo_misses_before,
+            body_cache_hits=self._cache.hits + self._cache.concat_hits - cache_hits_before,
+            body_cache_misses=self._cache.misses
+            + self._cache.concat_misses
+            - cache_misses_before,
+            eval_seconds=time.perf_counter() - start_time,
+        )
         return MuffinSearchResult(
             records=records,
             attributes=self.attributes,
             controller_history=self.controller.update_history,
             search_space_description=self.search_space.describe(),
+            execution_stats=stats,
         )
 
     # ------------------------------------------------------------------

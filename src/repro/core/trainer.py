@@ -38,6 +38,10 @@ class HeadTrainConfig:
     def __post_init__(self) -> None:
         if self.epochs <= 0 or self.batch_size <= 0:
             raise ValueError("epochs and batch_size must be positive")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if self.weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
         if self.loss not in {"weighted_mse", "weighted_ce"}:
             raise ValueError("loss must be 'weighted_mse' or 'weighted_ce'")
         if self.optimizer not in {"adam", "sgd"}:
@@ -56,6 +60,66 @@ class HeadTrainResult:
         return {"losses": list(self.losses), "proxy_size": self.proxy_size, "epochs": self.epochs}
 
 
+def train_head_on_outputs(
+    head: nn.Module,
+    body_outputs: np.ndarray,
+    labels: np.ndarray,
+    sample_weights: np.ndarray,
+    num_classes: int,
+    config: Optional[HeadTrainConfig] = None,
+) -> HeadTrainResult:
+    """Train ``head`` on pre-computed body outputs with the Equation-2 loss.
+
+    This is the executor-safe core of :func:`train_head`: it is a pure
+    function of picklable inputs (numpy arrays and a plain config), seeds a
+    *local* generator from ``config.seed`` (no shared-RNG mutation), and
+    touches no live model or dataset objects — so the search loop can run it
+    concurrently on threads or worker processes with bit-identical results.
+    """
+    config = config or HeadTrainConfig()
+    rng = get_rng(config.seed)
+
+    body_outputs = np.asarray(body_outputs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    weights = np.asarray(sample_weights, dtype=np.float64)
+    n = labels.shape[0]
+    if body_outputs.ndim != 2 or body_outputs.shape[0] != n:
+        raise ValueError(
+            f"body_outputs must have shape ({n}, d), got {body_outputs.shape}"
+        )
+    if weights.shape[0] != n:
+        raise ValueError(f"sample_weights must have {n} entries, got {weights.shape[0]}")
+
+    params = list(head.parameters())
+    if config.optimizer == "adam":
+        optimizer: nn.Optimizer = nn.Adam(params, lr=config.lr, weight_decay=config.weight_decay)
+    else:
+        optimizer = nn.SGD(params, lr=config.lr, momentum=0.9, weight_decay=config.weight_decay)
+
+    mse_loss = nn.WeightedMSELoss(num_classes)
+    ce_loss = nn.CrossEntropyLoss()
+
+    result = HeadTrainResult(proxy_size=n, epochs=config.epochs)
+    for epoch in range(config.epochs):
+        order = rng.permutation(n)
+        epoch_losses = []
+        for start in range(0, n, config.batch_size):
+            idx = order[start : start + config.batch_size]
+            logits = head(nn.Tensor(body_outputs[idx]))
+            if config.loss == "weighted_mse":
+                loss = mse_loss(logits, labels[idx], weights[idx])
+            else:
+                loss = ce_loss(logits, labels[idx], sample_weights=weights[idx])
+            head.zero_grad()
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        result.losses.append(float(np.mean(epoch_losses)))
+        if config.verbose:
+            print(f"[muffin-head] epoch {epoch + 1}/{config.epochs} loss={result.losses[-1]:.5f}")
+    return result
+
+
 def train_head(
     fused: FusedModel,
     proxy: ProxyDataset,
@@ -69,7 +133,6 @@ def train_head(
     frozen); otherwise they are computed here.
     """
     config = config or HeadTrainConfig()
-    rng = get_rng(config.seed)
 
     if body_outputs is None:
         body_outputs = fused.body.forward(proxy.dataset, proxy.indices)
@@ -80,35 +143,11 @@ def train_head(
             f"got {body_outputs.shape}"
         )
 
-    labels = proxy.dataset.labels[proxy.indices]
-    weights = np.asarray(proxy.sample_weights, dtype=np.float64)
-
-    params = list(fused.head.parameters())
-    if config.optimizer == "adam":
-        optimizer: nn.Optimizer = nn.Adam(params, lr=config.lr, weight_decay=config.weight_decay)
-    else:
-        optimizer = nn.SGD(params, lr=config.lr, momentum=0.9, weight_decay=config.weight_decay)
-
-    mse_loss = nn.WeightedMSELoss(fused.num_classes)
-    ce_loss = nn.CrossEntropyLoss()
-
-    result = HeadTrainResult(proxy_size=len(proxy), epochs=config.epochs)
-    n = len(proxy)
-    for epoch in range(config.epochs):
-        order = rng.permutation(n)
-        epoch_losses = []
-        for start in range(0, n, config.batch_size):
-            idx = order[start : start + config.batch_size]
-            logits = fused.head(nn.Tensor(body_outputs[idx]))
-            if config.loss == "weighted_mse":
-                loss = mse_loss(logits, labels[idx], weights[idx])
-            else:
-                loss = ce_loss(logits, labels[idx], sample_weights=weights[idx])
-            fused.head.zero_grad()
-            loss.backward()
-            optimizer.step()
-            epoch_losses.append(loss.item())
-        result.losses.append(float(np.mean(epoch_losses)))
-        if config.verbose:
-            print(f"[muffin-head] epoch {epoch + 1}/{config.epochs} loss={result.losses[-1]:.5f}")
-    return result
+    return train_head_on_outputs(
+        fused.head,
+        body_outputs,
+        proxy.dataset.labels[proxy.indices],
+        proxy.sample_weights,
+        fused.num_classes,
+        config,
+    )

@@ -6,6 +6,7 @@ import pytest
 
 from repro.api import (
     DatasetSpec,
+    ExecutionSpec,
     FinalizeSpec,
     PoolSpec,
     ReportSpec,
@@ -125,6 +126,47 @@ class TestHashing:
         b = make_spec(name="two")
         assert a.stage_hash("report") == b.stage_hash("report")
         assert a.spec_hash() != b.spec_hash()
+
+    def test_execution_section_never_invalidates_caches(self):
+        """Executors change how fast a run computes, never what it computes."""
+        serial = make_spec()
+        parallel = make_spec(
+            execution=ExecutionSpec(executor="process", max_workers=4, memoize=False)
+        )
+        assert serial.spec_hash() == parallel.spec_hash()
+        for stage in ("dataset", "split", "pool", "search", "finalize", "report"):
+            assert serial.stage_hash(stage) == parallel.stage_hash(stage)
+
+
+class TestExecutionSpec:
+    def test_round_trip(self):
+        spec = make_spec(execution=ExecutionSpec(executor="thread", max_workers=3))
+        loaded = RunSpec.from_json(spec.to_json())
+        assert loaded == spec
+        assert loaded.execution.executor == "thread"
+        assert loaded.execution.max_workers == 3
+
+    def test_defaults_are_serial_and_memoised(self):
+        execution = RunSpec().execution
+        assert execution.executor == "serial"
+        assert execution.max_workers is None
+        assert execution.memoize is True
+
+    def test_unknown_executor_rejected_with_suggestion(self):
+        with pytest.raises(SpecError, match="thread"):
+            ExecutionSpec(executor="thread-pool")
+
+    def test_non_positive_max_workers_rejected(self):
+        with pytest.raises(SpecError):
+            ExecutionSpec(max_workers=0)
+
+    def test_search_config_carries_execution_knobs(self):
+        config = SearchSpec().search_config(ExecutionSpec(executor="thread", max_workers=2))
+        assert config.executor == "thread"
+        assert config.max_workers == 2
+        assert config.memoize is True
+        # Omitting the execution spec keeps the SearchConfig defaults.
+        assert SearchSpec().search_config().executor == "serial"
 
 
 class TestQuickstartSpecFile:

@@ -8,6 +8,7 @@ from repro.core import (
     FusingCandidate,
     MuffinBody,
     MuffinHead,
+    consensus_arbitrate,
     oracle_union_predictions,
 )
 from repro.nn import Tensor
@@ -106,6 +107,29 @@ class TestFusedModel:
         test = pool.split.test
         detailed = fused.predict_detailed(test, use_consensus_shortcut=False)
         np.testing.assert_array_equal(detailed.predictions, detailed.head_predictions)
+
+    def test_predict_detailed_matches_shared_arbitration_helper(self, fused, pool):
+        """predict_detailed and the search loop share consensus_arbitrate."""
+        test = pool.split.test
+        body_outputs = fused.body.forward(test)
+        head_predictions = fused.head(Tensor(body_outputs)).data.argmax(axis=-1)
+        helper = consensus_arbitrate(body_outputs, head_predictions, fused.num_classes)
+        detailed = fused.predict_detailed(test)
+        np.testing.assert_array_equal(helper.predictions, detailed.predictions)
+        np.testing.assert_array_equal(helper.consensus_mask, detailed.consensus_mask)
+        np.testing.assert_array_equal(helper.head_predictions, detailed.head_predictions)
+        np.testing.assert_array_equal(
+            helper.consensus_predictions, detailed.consensus_predictions
+        )
+
+    def test_consensus_arbitrate_validates_shapes(self, fused, pool):
+        body_outputs = fused.body.forward(pool.split.test, indices=np.arange(8))
+        with pytest.raises(ValueError):
+            consensus_arbitrate(body_outputs, np.zeros(5, dtype=np.int64), fused.num_classes)
+        with pytest.raises(ValueError):
+            consensus_arbitrate(
+                body_outputs[:, :-1], np.zeros(8, dtype=np.int64), fused.num_classes
+            )
 
     def test_evaluate_returns_fairness_evaluation(self, fused, pool):
         evaluation = fused.evaluate(pool.split.test, attributes=["age", "site"])

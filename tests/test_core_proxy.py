@@ -106,3 +106,8 @@ class TestUniformProxy:
         proxy = uniform_proxy_dataset(isic_split.train, ["age", "site"])
         assert len(proxy) == len(isic_split.train)
         np.testing.assert_allclose(proxy.sample_weights, np.ones(len(isic_split.train)))
+
+    def test_unknown_attribute_rejected(self, isic_split):
+        """Regression: the uniform builder silently accepted unknown names."""
+        with pytest.raises(KeyError, match="dataset has no attribute 'hair_colour'"):
+            uniform_proxy_dataset(isic_split.train, ["hair_colour"])

@@ -12,6 +12,19 @@ from repro.core import (
 )
 
 
+def _small_search(pool, cache=None, **config_overrides) -> MuffinSearch:
+    config = dict(episodes=6, episode_batch=3, seed=0)
+    config.update(config_overrides)
+    return MuffinSearch(
+        pool,
+        attributes=["age", "site"],
+        base_model="MobileNet_V3_Small",
+        search_config=SearchConfig(**config),
+        head_config=HeadTrainConfig(epochs=4, seed=0),
+        body_cache=cache,
+    )
+
+
 @pytest.fixture(scope="module")
 def search(pool):
     return MuffinSearch(
@@ -51,6 +64,76 @@ class TestBodyOutputCache:
         test = pool.split.test
         output = cache.concatenated(["ResNet-18", "DenseNet121"], test, None, tag="test")
         assert output.shape == (len(test), 2 * test.num_classes)
+
+    def test_distinct_index_sets_are_not_aliased(self, pool):
+        """Regression: entries must key on the index fingerprint, not a tag.
+
+        The old ``(model_name, tag)`` keying returned the first index set's
+        probabilities for *any* later index set carrying the same tag.
+        """
+        cache = BodyOutputCache(pool)
+        train = pool.split.train
+        first_indices = np.arange(10)
+        second_indices = np.arange(10, 20)
+        cache.probabilities("ResNet-18", train, first_indices, tag="proxy")
+        stale_candidate = cache.probabilities("ResNet-18", train, second_indices, tag="proxy")
+        expected = pool.get("ResNet-18").predict_proba(train, second_indices)
+        np.testing.assert_array_equal(stale_candidate, expected)
+
+    def test_distinct_partitions_are_not_aliased(self, pool):
+        cache = BodyOutputCache(pool)
+        cache.probabilities("ResNet-18", pool.split.val, None, tag="eval")
+        from_test = cache.probabilities("ResNet-18", pool.split.test, None, tag="eval")
+        np.testing.assert_array_equal(
+            from_test, pool.get("ResNet-18").predict_proba(pool.split.test, None)
+        )
+
+    def test_shared_cache_across_proxy_builders(self, pool):
+        """Two searches with different proxy builders may share one cache.
+
+        The weighted proxy uses the unprivileged subset, the uniform proxy
+        the full training partition; under the old keying the second search
+        read the first search's (differently-indexed) probability matrix.
+        """
+        cache = BodyOutputCache(pool)
+        weighted = _small_search(pool, cache=cache, use_weighted_proxy=True)
+        uniform = _small_search(pool, cache=cache, use_weighted_proxy=False)
+        assert len(weighted.proxy) < len(uniform.proxy)
+
+        names = ["MobileNet_V3_Small", "ResNet-18"]
+        weighted_outputs = cache.concatenated(
+            names, weighted.proxy.dataset, weighted.proxy.indices, tag="proxy"
+        )
+        uniform_outputs = cache.concatenated(
+            names, uniform.proxy.dataset, uniform.proxy.indices, tag="proxy"
+        )
+        assert weighted_outputs.shape[0] == len(weighted.proxy)
+        assert uniform_outputs.shape[0] == len(uniform.proxy)
+        expected = np.concatenate(
+            [
+                pool.get(name).predict_proba(uniform.proxy.dataset, uniform.proxy.indices)
+                for name in names
+            ],
+            axis=1,
+        )
+        np.testing.assert_array_equal(uniform_outputs, expected)
+
+    def test_hit_miss_stats(self, pool):
+        cache = BodyOutputCache(pool)
+        test = pool.split.test
+        cache.probabilities("ResNet-18", test, None)
+        cache.probabilities("ResNet-18", test, None)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["entries"] == 1
+
+    def test_concatenated_matrix_is_memoised(self, pool):
+        cache = BodyOutputCache(pool)
+        test = pool.split.test
+        names = ["ResNet-18", "DenseNet121"]
+        first = cache.concatenated(names, test, None)
+        second = cache.concatenated(names, test, None)
+        assert first is second  # one shared buffer per (models, dataset, indices)
+        assert cache.stats()["concatenated_entries"] == 1
 
 
 class TestMuffinSearch:
@@ -147,3 +230,157 @@ class TestMuffinSearch:
         )
         result = search.run(episodes=3)
         assert len(result) == 3
+
+
+class TestExecutors:
+    def test_executor_config_validation(self):
+        with pytest.raises(ValueError):
+            SearchConfig(executor="gpu-cluster")
+        with pytest.raises(ValueError):
+            SearchConfig(max_workers=0)
+        # Aliases resolve through the registry.
+        assert SearchConfig(executor="threads").executor == "threads"
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_parallel_executors_match_serial_bit_exactly(self, pool, executor):
+        """Seeded records are bit-identical across serial/thread/process."""
+        serial = _small_search(pool, executor="serial").run()
+        parallel = _small_search(pool, executor=executor, max_workers=2).run()
+
+        assert [r.candidate for r in serial.records] == [r.candidate for r in parallel.records]
+        assert [r.reward for r in serial.records] == [r.reward for r in parallel.records]
+        for record_a, record_b in zip(serial.records, parallel.records):
+            assert record_a.evaluation.accuracy == record_b.evaluation.accuracy
+            assert record_a.evaluation.unfairness == record_b.evaluation.unfairness
+            assert record_a.train_losses == record_b.train_losses
+            assert set(record_a.head_state) == set(record_b.head_state)
+            for key in record_a.head_state:
+                np.testing.assert_array_equal(record_a.head_state[key], record_b.head_state[key])
+        assert serial.execution_stats.executor == "serial"
+        assert parallel.execution_stats.executor == executor
+
+    def test_run_reports_execution_stats(self, pool):
+        result = _small_search(pool).run()
+        stats = result.execution_stats
+        assert stats is not None
+        assert stats.episodes == 6
+        assert stats.memo_hits + stats.memo_misses == 6
+        assert stats.body_cache_misses > 0
+        assert stats.eval_seconds > 0
+        assert "execution" in result.summary()
+
+
+class TestMemoisation:
+    @pytest.fixture()
+    def search(self, pool):
+        return _small_search(pool)
+
+    @pytest.fixture()
+    def candidate(self):
+        return FusingCandidate(
+            model_names=("MobileNet_V3_Small", "ResNet-18"),
+            hidden_sizes=(16, 10),
+            activation="relu",
+        )
+
+    def test_duplicate_evaluation_trains_zero_extra_epochs(
+        self, search, candidate, monkeypatch
+    ):
+        import repro.core.search as search_module
+
+        calls = []
+        original = search_module.train_head_on_outputs
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(search_module, "train_head_on_outputs", counting)
+        first, second = search.evaluate_batch([candidate, candidate])
+        third = search.evaluate_candidate(candidate, episode=7)
+
+        assert len(calls) == 1  # one head trained for three requested evaluations
+        assert search.memo_hits == 2 and search.memo_misses == 1
+        assert first.reward == second.reward == third.reward
+        assert third.episode == 7
+        for key in first.head_state:
+            np.testing.assert_array_equal(first.head_state[key], second.head_state[key])
+
+    def test_candidate_seed_is_deterministic_and_order_free(self, pool, candidate):
+        seed_a = _small_search(pool).candidate_seed(candidate)
+        seed_b = _small_search(pool).candidate_seed(candidate)
+        assert seed_a == seed_b
+        other = FusingCandidate(
+            model_names=("MobileNet_V3_Small", "DenseNet121"),
+            hidden_sizes=(16, 10),
+            activation="relu",
+        )
+        assert _small_search(pool).candidate_seed(other) != seed_a
+        # The search seed participates, so two seeded searches stay distinct.
+        assert _small_search(pool, seed=1).candidate_seed(candidate) != seed_a
+
+    def test_memoize_can_be_disabled(self, candidate, monkeypatch, pool):
+        import repro.core.search as search_module
+
+        calls = []
+        original = search_module.train_head_on_outputs
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(search_module, "train_head_on_outputs", counting)
+        unmemoised = _small_search(pool, memoize=False)
+        first, second = unmemoised.evaluate_batch([candidate, candidate])
+        assert len(calls) == 2
+        assert first.reward == second.reward  # same (candidate, seed) → same result
+
+
+class TestCandidateSeedStrategies:
+    """'episode' draws seeds from the RNG stream (paper formulation);
+    'derived' hashes them from the candidate so re-samples hit the memo."""
+
+    @staticmethod
+    def _single_candidate_search(pool, **config_overrides):
+        from repro.core import SearchSpace
+
+        # A degenerate one-point search space forces the controller to
+        # re-sample the same structure every episode.
+        space = SearchSpace(
+            pool_names=["MobileNet_V3_Small", "ResNet-18"],
+            base_model="MobileNet_V3_Small",
+            num_paired=1,
+            width_choices=(16,),
+            depth_choices=(1,),
+            activation_choices=("relu",),
+        )
+        assert space.size() == 1
+        config = dict(episodes=4, episode_batch=2, seed=0)
+        config.update(config_overrides)
+        return MuffinSearch(
+            pool,
+            attributes=["age", "site"],
+            search_space=space,
+            search_config=SearchConfig(**config),
+            head_config=HeadTrainConfig(epochs=3, seed=0),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchConfig(candidate_seeds="lottery")
+
+    def test_derived_seeding_memoises_resampled_structures(self, pool):
+        search = self._single_candidate_search(pool, candidate_seeds="derived")
+        result = search.run()
+        stats = result.execution_stats
+        assert stats.memo_misses == 1  # one unique candidate trained once
+        assert stats.memo_hits == 3
+        rewards = {record.reward for record in result.records}
+        assert len(rewards) == 1  # stationary reward per candidate
+
+    def test_episode_seeding_retrains_every_episode(self, pool):
+        search = self._single_candidate_search(pool, candidate_seeds="episode")
+        result = search.run()
+        stats = result.execution_stats
+        assert stats.memo_misses == 4  # fresh seed per episode, no memo hits
+        assert stats.memo_hits == 0

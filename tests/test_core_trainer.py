@@ -34,6 +34,17 @@ class TestHeadTrainConfig:
         with pytest.raises(ValueError):
             HeadTrainConfig(optimizer="rmsprop")
 
+    def test_rejects_non_positive_lr(self):
+        with pytest.raises(ValueError):
+            HeadTrainConfig(lr=0.0)
+        with pytest.raises(ValueError):
+            HeadTrainConfig(lr=-1e-3)
+
+    def test_rejects_negative_weight_decay(self):
+        with pytest.raises(ValueError):
+            HeadTrainConfig(weight_decay=-1e-4)
+        HeadTrainConfig(weight_decay=0.0)  # zero decay is valid
+
 
 class TestTrainHead:
     def test_loss_decreases(self, fused, proxy):
@@ -90,3 +101,55 @@ class TestTrainHead:
         payload = result.to_dict()
         assert payload["epochs"] == 2
         assert payload["proxy_size"] == len(proxy)
+
+
+class TestTrainHeadOnOutputs:
+    """The executor-safe core: pure arrays in, same trajectory as train_head."""
+
+    def test_matches_train_head(self, pool, proxy):
+        from repro.core import train_head_on_outputs
+
+        candidate = FusingCandidate(
+            model_names=("ResNet-18", "DenseNet121"), hidden_sizes=(16,), activation="relu"
+        )
+        models = pool.models(candidate.model_names)
+        via_fused = FusedModel.from_candidate(candidate, models, seed=3)
+        standalone = FusedModel.from_candidate(candidate, models, seed=3)
+        outputs = via_fused.body.forward(proxy.dataset, proxy.indices)
+
+        config = HeadTrainConfig(epochs=5, seed=4)
+        result_fused = train_head(via_fused, proxy, config, body_outputs=outputs)
+        result_standalone = train_head_on_outputs(
+            standalone.head,
+            outputs,
+            proxy.dataset.labels[proxy.indices],
+            proxy.sample_weights,
+            standalone.num_classes,
+            config,
+        )
+        assert result_fused.losses == result_standalone.losses
+        for key, values in via_fused.head.state_dict().items():
+            np.testing.assert_array_equal(values, standalone.head.state_dict()[key])
+
+    def test_shape_validation(self, pool, proxy):
+        from repro.core import MuffinHead, train_head_on_outputs
+
+        head = MuffinHead(body_output_dim=16, num_classes=8, hidden_sizes=(8,), seed=0)
+        with pytest.raises(ValueError):
+            train_head_on_outputs(
+                head,
+                np.zeros((3, 16)),
+                np.zeros(5, dtype=np.int64),
+                np.ones(5),
+                8,
+                HeadTrainConfig(epochs=1),
+            )
+        with pytest.raises(ValueError):
+            train_head_on_outputs(
+                head,
+                np.zeros((5, 16)),
+                np.zeros(5, dtype=np.int64),
+                np.ones(3),
+                8,
+                HeadTrainConfig(epochs=1),
+            )
