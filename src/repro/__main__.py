@@ -125,7 +125,8 @@ def _run_command(argv: Sequence[str]) -> int:
             suffix = " [from cached search artifact]" if search_cached else ""
             print(
                 f"search executor: {stats.executor} (workers={stats.max_workers}), "
-                f"memo {stats.memo_hits} hits / {stats.memo_misses} misses{suffix}"
+                f"memo {stats.memo_hits} hits / {stats.memo_misses} misses, "
+                f"metrics {stats.metrics_seconds:.3f}s{suffix}"
             )
         if cache_dir is not None:
             print(f"cache: {cache_dir}")

@@ -280,6 +280,20 @@ class MuffinPipeline:
             StageTiming(stage=stage, status=status, seconds=seconds, hash=stage_hash, detail=detail)
         )
         self.logger.log(stage=stage, status=status, seconds=round(seconds, 3))
+        if stage == "search" and status == "ran":
+            # Surface the vectorized-engine share of the search wall-clock as
+            # its own timings bucket (it is a subset of the search seconds).
+            stats = getattr(self._artifacts["search"], "execution_stats", None)
+            if stats is not None:
+                self.timings.append(
+                    StageTiming(
+                        stage="metrics",
+                        status="ran",
+                        seconds=float(stats.metrics_seconds),
+                        hash=stage_hash,
+                        detail="vectorized fairness evaluation inside the search stage",
+                    )
+                )
         self._manifest[stage] = {
             "hash": stage_hash,
             "seconds": round(seconds, 4),

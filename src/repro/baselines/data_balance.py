@@ -108,10 +108,14 @@ def balance_dataset(
 
 
 def balancing_weights(dataset: FairnessDataset, attribute: str) -> np.ndarray:
-    """Cost-sensitive per-sample weights: inverse group frequency, mean 1."""
-    spec = dataset.attributes[attribute]
+    """Cost-sensitive per-sample weights: inverse group frequency, mean 1.
+
+    Group counts come from the dataset's cached
+    :class:`~repro.data.groups.GroupIndexBank`, shared with the vectorized
+    metrics engine and the sampling plan.
+    """
     ids = dataset.group_ids(attribute)
-    counts = np.bincount(ids, minlength=spec.num_groups).astype(np.float64)
+    counts = dataset.group_index_bank().counts_for(attribute).copy()
     counts[counts == 0] = 1.0
     inverse = 1.0 / counts
     weights = inverse[ids]

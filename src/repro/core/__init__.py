@@ -15,6 +15,7 @@ from .fusing import (
     MuffinBody,
     MuffinHead,
     consensus_arbitrate,
+    consensus_arbitrate_labels,
     oracle_union_predictions,
 )
 from .proxy import (
@@ -66,6 +67,7 @@ __all__ = [
     "FusedModel",
     "FusedPrediction",
     "consensus_arbitrate",
+    "consensus_arbitrate_labels",
     "oracle_union_predictions",
     "ProxyDataset",
     "build_proxy_dataset",

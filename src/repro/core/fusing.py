@@ -125,6 +125,40 @@ class MuffinHead(nn.Module):
         return f"MuffinHead(hidden={list(self.hidden_sizes)}, activation='{self.activation}')"
 
 
+def consensus_arbitrate_labels(
+    member_predictions: np.ndarray, head_predictions: np.ndarray
+) -> "FusedPrediction":
+    """Consensus-keeping arbitration from precomputed member argmax labels.
+
+    ``member_predictions`` has shape ``(num_models, N)``.  Samples on which
+    every body member agrees keep the consensus label, the head decides the
+    rest.  Because the body members are frozen, their argmax labels on a
+    fixed partition never change — the search computes them once per batch
+    (shared by every candidate selecting those members) instead of
+    re-deriving them from the concatenated probability matrix per episode.
+    """
+    member_predictions = np.asarray(member_predictions)
+    head_predictions = np.asarray(head_predictions)
+    if member_predictions.ndim != 2:
+        raise ValueError(
+            f"member_predictions must have shape (num_models, N), "
+            f"got {member_predictions.shape}"
+        )
+    if head_predictions.shape != (member_predictions.shape[1],):
+        raise ValueError(
+            f"head_predictions must have shape ({member_predictions.shape[1]},), "
+            f"got {head_predictions.shape}"
+        )
+    agree = np.all(member_predictions == member_predictions[0], axis=0)
+    predictions = np.where(agree, member_predictions[0], head_predictions)
+    return FusedPrediction(
+        predictions=predictions,
+        consensus_mask=agree,
+        head_predictions=head_predictions,
+        consensus_predictions=member_predictions[0],
+    )
+
+
 def consensus_arbitrate(
     body_outputs: np.ndarray, head_predictions: np.ndarray, num_classes: int
 ) -> "FusedPrediction":
@@ -135,7 +169,8 @@ def consensus_arbitrate(
     :meth:`MuffinBody.forward` or a :class:`~repro.core.search.BodyOutputCache`);
     ``head_predictions`` the head's argmax labels for the same samples.
     Samples on which every body member agrees keep the consensus label, the
-    head decides the rest — the single implementation shared by
+    head decides the rest — the single implementation (via
+    :func:`consensus_arbitrate_labels`) shared by
     :meth:`FusedModel.predict_detailed` and the search loop, so the two
     paths cannot drift.
     """
@@ -146,11 +181,6 @@ def consensus_arbitrate(
             f"body_outputs must have shape (N, num_models * {num_classes}), "
             f"got {body_outputs.shape}"
         )
-    if head_predictions.shape != (body_outputs.shape[0],):
-        raise ValueError(
-            f"head_predictions must have shape ({body_outputs.shape[0]},), "
-            f"got {head_predictions.shape}"
-        )
     num_models = body_outputs.shape[1] // num_classes
     member_predictions = np.stack(
         [
@@ -159,14 +189,7 @@ def consensus_arbitrate(
         ],
         axis=0,
     )
-    agree = np.all(member_predictions == member_predictions[0], axis=0)
-    predictions = np.where(agree, member_predictions[0], head_predictions)
-    return FusedPrediction(
-        predictions=predictions,
-        consensus_mask=agree,
-        head_predictions=head_predictions,
-        consensus_predictions=member_predictions[0],
-    )
+    return consensus_arbitrate_labels(member_predictions, head_predictions)
 
 
 @dataclass

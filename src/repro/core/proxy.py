@@ -84,17 +84,31 @@ def compute_group_weights(
     attributes: Sequence[str],
     image_weights: Optional[np.ndarray] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Second loop of Algorithm 1: mean image weight per unprivileged group."""
+    """Second loop of Algorithm 1: mean image weight per unprivileged group.
+
+    Computed against the dataset's cached
+    :class:`~repro.data.groups.GroupIndexBank`: one matmul of the image
+    weights against the membership matrix yields every group's weight sum
+    (bit-identical to the per-group mask loop — the weights are integer
+    membership counts, so the sums are exact).
+    """
     if image_weights is None:
         image_weights = compute_image_weights(dataset, attributes)
+    image_weights = np.asarray(image_weights, dtype=np.float64)
+    bank = dataset.group_index_bank(list(attributes))
+    sums = image_weights @ bank.membership
     group_weights: Dict[str, Dict[str, float]] = {}
     for attribute in attributes:
         spec = dataset.attributes[attribute]
-        ids = dataset.group_ids(attribute)
+        block = bank.slices[attribute]
+        counts = bank.counts[block]
+        attr_sums = sums[block]
         per_group: Dict[str, float] = {}
         for group in spec.unprivileged:
-            mask = ids == spec.group_index(group)
-            per_group[group] = float(image_weights[mask].mean()) if mask.any() else 0.0
+            index = spec.group_index(group)
+            per_group[group] = (
+                float(attr_sums[index] / counts[index]) if counts[index] > 0 else 0.0
+            )
         group_weights[attribute] = per_group
     return group_weights
 

@@ -47,6 +47,9 @@ class ExecutionStats:
     body_cache_hits: int = 0
     body_cache_misses: int = 0
     eval_seconds: float = 0.0
+    #: wall-clock spent inside the vectorized metrics engine (a subset of
+    #: ``eval_seconds``): the search's per-batch fairness scoring
+    metrics_seconds: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -58,6 +61,7 @@ class ExecutionStats:
             "body_cache_hits": self.body_cache_hits,
             "body_cache_misses": self.body_cache_misses,
             "eval_seconds": round(float(self.eval_seconds), 4),
+            "metrics_seconds": round(float(self.metrics_seconds), 4),
         }
 
     @classmethod
@@ -71,6 +75,7 @@ class ExecutionStats:
             body_cache_hits=int(payload.get("body_cache_hits", 0)),
             body_cache_misses=int(payload.get("body_cache_misses", 0)),
             eval_seconds=float(payload.get("eval_seconds", 0.0)),
+            metrics_seconds=float(payload.get("metrics_seconds", 0.0)),
         )
 
 

@@ -15,10 +15,15 @@ penalty below the floor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+import numpy as np
 
 from ..fairness.metrics import FairnessEvaluation
 from ..registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fairness.engine import BatchEvaluation
 
 #: Registry of reward factories: ``(config: RewardConfig) -> reward`` where
 #: the reward is a callable ``(FairnessEvaluation) -> float``.
@@ -74,6 +79,26 @@ class MultiFairnessReward:
             shortfall = self.config.min_accuracy - evaluation.accuracy
             reward /= 1.0 + self.config.accuracy_penalty * shortfall
         return float(reward)
+
+    def compute_batch(self, batch: "BatchEvaluation") -> np.ndarray:
+        """Rewards of a whole candidate batch, directly from engine output.
+
+        Vectorized over candidates but accumulated attribute-by-attribute in
+        the same order as :meth:`compute`, so ``compute_batch(batch)[i]`` is
+        bit-identical to ``compute(batch.evaluation(i))``.
+        """
+        rewards = np.zeros(len(batch), dtype=np.float64)
+        for attribute in self.config.attributes:
+            if attribute not in batch.unfairness:
+                raise KeyError(f"evaluation lacks unfairness score for '{attribute}'")
+            unfairness = np.maximum(batch.unfairness[attribute], self.config.epsilon)
+            rewards = rewards + batch.accuracy / unfairness
+        if self.config.min_accuracy is not None:
+            shortfall = self.config.min_accuracy - batch.accuracy
+            penalized = shortfall > 0
+            divisor = np.where(penalized, 1.0 + self.config.accuracy_penalty * shortfall, 1.0)
+            rewards = rewards / divisor
+        return rewards
 
     def breakdown(self, evaluation: FairnessEvaluation) -> Dict[str, float]:
         """Per-attribute contribution to the reward (for logging)."""

@@ -15,6 +15,12 @@ Because the body models are frozen, their class probabilities on the proxy
 and evaluation partitions are computed once per model and cached, which
 makes each episode cost only one small-MLP training run.
 
+Once trained, every candidate of a batch is scored in a single call of the
+vectorized :class:`~repro.fairness.engine.EvaluationEngine` — predictions
+are stacked into one matrix and accuracy, per-group accuracy, Eq. 1
+unfairness and Eq. 3 rewards come out of a handful of array ops, with the
+frozen members' argmax labels computed once per batch and shared.
+
 Episodes inside one controller batch are independent until the REINFORCE
 update, so the search samples the whole batch up front and dispatches the
 train-and-evaluate work through a pluggable executor
@@ -32,21 +38,21 @@ import copy
 import hashlib
 import json
 import time
-import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..data.dataset import FairnessDataset
+from ..data.dataset import FairnessDataset, dataset_fingerprint
+from ..fairness.engine import EvaluationEngine
 from ..fairness.metrics import FairnessEvaluation, evaluate_predictions
 from ..utils.logging import RunLogger
 from ..utils.rng import get_rng
 from ..zoo.pool import ModelPool
 from .controller import CONTROLLERS, ControllerConfig, Episode, RandomController, RNNController
 from .execution import EXECUTORS, build_executor
-from .fusing import FusedModel, MuffinHead, consensus_arbitrate
+from .fusing import FusedModel, MuffinHead, consensus_arbitrate_labels
 from .proxy import PROXY_BUILDERS, ProxyDataset, build_proxy_dataset, uniform_proxy_dataset
 from .results import (
     SELECTION_STRATEGIES,
@@ -148,43 +154,6 @@ class SearchConfig:
         return "weighted" if self.use_weighted_proxy else "uniform"
 
 
-#: Memoised dataset fingerprints (datasets are treated as immutable
-#: throughout the library); weak keys so caching never extends a dataset's
-#: lifetime.
-_DATASET_FINGERPRINTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
-
-
-def dataset_fingerprint(dataset: FairnessDataset) -> str:
-    """Stable content fingerprint of a dataset (name, labels and features).
-
-    Two dataset objects with the same fingerprint produce identical model
-    predictions, so it is a safe cache-key component — unlike a
-    caller-supplied tag, which silently aliases different partitions.
-    """
-    try:
-        return _DATASET_FINGERPRINTS[dataset]
-    except KeyError:
-        pass
-    digest = hashlib.sha1()
-    digest.update(dataset.name.encode("utf-8"))
-    digest.update(np.int64(len(dataset)).tobytes())
-    digest.update(np.int64(dataset.num_classes).tobytes())
-    digest.update(np.ascontiguousarray(dataset.labels).tobytes())
-    # The declared attribute set decides which distortion components enter
-    # compose_features, so it is part of the prediction-relevant identity.
-    for attribute in sorted(dataset.attributes.names):
-        digest.update(attribute.encode("utf-8"))
-    # Model features compose *every* component (signal, noise and the
-    # per-attribute distortions), so all of them are part of the identity —
-    # hashing only one would alias datasets differing in the others.
-    for key in sorted(dataset.components):
-        digest.update(key.encode("utf-8"))
-        digest.update(np.ascontiguousarray(dataset.components[key]).tobytes())
-    fingerprint = digest.hexdigest()[:16]
-    _DATASET_FINGERPRINTS[dataset] = fingerprint
-    return fingerprint
-
-
 def _indices_fingerprint(indices: Optional[np.ndarray]) -> str:
     """Fingerprint of an index array (``'all'`` for the full dataset)."""
     if indices is None:
@@ -213,6 +182,8 @@ class BodyOutputCache:
         self._concatenated: "OrderedDict[Tuple[Tuple[str, ...], str, str], np.ndarray]" = (
             OrderedDict()
         )
+        #: per-model argmax labels, derived from the probability entries
+        self._labels: Dict[Tuple[str, str, str], np.ndarray] = {}
         #: per-model matrix lookups (one count per probabilities() call)
         self.hits = 0
         self.misses = 0
@@ -275,6 +246,31 @@ class BodyOutputCache:
             self._concatenated.move_to_end(key)
         return self._concatenated[key]
 
+    def member_labels(
+        self,
+        model_names: Sequence[str],
+        dataset: FairnessDataset,
+        indices: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Stacked per-member argmax labels ``(num_models, N)``, memoised.
+
+        The body members are frozen, so their argmax labels on a fixed
+        index set never change; computing them once per model (instead of
+        re-deriving them from the concatenated probability matrix inside
+        every candidate evaluation) lets a whole episode batch share them.
+        """
+        ds_fp = dataset_fingerprint(dataset)
+        idx_fp = _indices_fingerprint(indices)
+        stacked = []
+        for name in model_names:
+            key = (name, ds_fp, idx_fp)
+            labels = self._labels.get(key)
+            if labels is None:
+                labels = self.probabilities(name, dataset, indices).argmax(axis=-1)
+                self._labels[key] = labels
+            stacked.append(labels)
+        return np.stack(stacked, axis=0)
+
     def stats(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
@@ -308,6 +304,9 @@ class EvaluationTask:
     proxy_labels: np.ndarray
     proxy_weights: np.ndarray
     eval_outputs: np.ndarray
+    #: per-member argmax labels on the eval partition ``(num_models, N)``,
+    #: computed once per batch and shared (the members are frozen)
+    eval_member_labels: np.ndarray
 
 
 @dataclass
@@ -327,7 +326,8 @@ def evaluate_task(task: EvaluationTask) -> EvaluationOutcome:
     a pure function of ``task``: it builds a fresh head seeded from
     ``task.seed``, trains it with :func:`~repro.core.trainer.train_head_on_outputs`
     (which seeds a local generator) and arbitrates predictions through
-    :func:`~repro.core.fusing.consensus_arbitrate`.
+    :func:`~repro.core.fusing.consensus_arbitrate_labels` using the member
+    labels precomputed once for the whole batch.
     """
     from .. import nn
 
@@ -347,7 +347,7 @@ def evaluate_task(task: EvaluationTask) -> EvaluationOutcome:
         task.head_config,
     )
     head_predictions = head(nn.Tensor(task.eval_outputs)).data.argmax(axis=-1)
-    arbitrated = consensus_arbitrate(task.eval_outputs, head_predictions, task.num_classes)
+    arbitrated = consensus_arbitrate_labels(task.eval_member_labels, head_predictions)
     return EvaluationOutcome(
         predictions=arbitrated.predictions,
         head_state=head.state_dict(),
@@ -398,6 +398,11 @@ class MuffinSearch:
         # Body outputs are deterministic (frozen models), so the cache can be
         # shared across searches / pipeline stages over the same pool.
         self._cache = body_cache if body_cache is not None else BodyOutputCache(pool)
+        # One vectorized engine scores every candidate of an episode batch
+        # on every attribute in a single call (group matrices precomputed).
+        self._eval_engine = EvaluationEngine.for_dataset(self.eval_dataset, self.attributes)
+        #: cumulative wall-clock spent scoring predictions in the engine
+        self.metrics_seconds = 0.0
         self._rng = get_rng(self.search_config.seed)
         self.logger = RunLogger(name="muffin-search", verbose=self.search_config.verbose)
         #: (candidate, seed) -> EpisodeRecord memo shared by every run()
@@ -426,9 +431,10 @@ class MuffinSearch:
     def _evaluate_fused(self, fused: FusedModel, candidate: FusingCandidate) -> FairnessEvaluation:
         """Evaluate a trained fused model on the reward partition (cached bodies).
 
-        Shares :func:`~repro.core.fusing.consensus_arbitrate` and the body
-        cache with the batch path, so a rebuilt Muffin-Net reproduces its
-        episode record's evaluation exactly.
+        Shares :func:`~repro.core.fusing.consensus_arbitrate_labels`, the
+        body cache and the evaluation engine with the batch path, so a
+        rebuilt Muffin-Net reproduces its episode record's evaluation
+        exactly.
         """
         from .. import nn
 
@@ -436,8 +442,12 @@ class MuffinSearch:
             candidate.model_names, self.eval_dataset, None, tag=self.search_config.eval_partition
         )
         head_predictions = fused.head(nn.Tensor(eval_probs)).data.argmax(axis=-1)
-        arbitrated = consensus_arbitrate(eval_probs, head_predictions, fused.num_classes)
-        return evaluate_predictions(arbitrated.predictions, self.eval_dataset, self.attributes)
+        member_labels = self._cache.member_labels(candidate.model_names, self.eval_dataset)
+        arbitrated = consensus_arbitrate_labels(member_labels, head_predictions)
+        start = time.perf_counter()
+        evaluation = self._eval_engine.evaluate(arbitrated.predictions).evaluation(0)
+        self.metrics_seconds += time.perf_counter() - start
+        return evaluation
 
     def _task_for(self, candidate: FusingCandidate, seed: int) -> EvaluationTask:
         """Assemble the picklable evaluation task of one candidate."""
@@ -447,6 +457,7 @@ class MuffinSearch:
         eval_outputs = self._cache.concatenated(
             candidate.model_names, self.eval_dataset, None, tag=self.search_config.eval_partition
         )
+        eval_member_labels = self._cache.member_labels(candidate.model_names, self.eval_dataset)
         return EvaluationTask(
             model_names=tuple(candidate.model_names),
             hidden_sizes=tuple(candidate.hidden_sizes),
@@ -458,27 +469,64 @@ class MuffinSearch:
             proxy_labels=self.proxy.dataset.labels[self.proxy.indices],
             proxy_weights=np.asarray(self.proxy.sample_weights, dtype=np.float64),
             eval_outputs=eval_outputs,
+            eval_member_labels=eval_member_labels,
         )
+
+    def _records_from_outcomes(
+        self,
+        candidates: Sequence[FusingCandidate],
+        outcomes: Sequence[EvaluationOutcome],
+        episodes: Sequence[int],
+    ) -> List[EpisodeRecord]:
+        """Score a batch of worker outcomes in one engine call (main thread).
+
+        The candidates' predictions are stacked into one
+        ``(num_candidates, num_samples)`` matrix and scored on every
+        attribute at once; rewards come straight from the engine output
+        (:meth:`~repro.core.reward.MultiFairnessReward.compute_batch`) when
+        the reward supports it, with a per-evaluation fallback for plugin
+        rewards that only implement the scalar protocol.
+        """
+        if not outcomes:
+            return []
+        start = time.perf_counter()
+        batch = self._eval_engine.evaluate(
+            np.stack([outcome.predictions for outcome in outcomes])
+        )
+        evaluations = batch.evaluations()
+        compute_batch = getattr(self.reward, "compute_batch", None)
+        if compute_batch is not None:
+            rewards = [float(value) for value in compute_batch(batch)]
+        else:
+            rewards = [float(self.reward(evaluation)) for evaluation in evaluations]
+        self.metrics_seconds += time.perf_counter() - start
+
+        records: List[EpisodeRecord] = []
+        for candidate, outcome, episode, evaluation, reward_value in zip(
+            candidates, outcomes, episodes, evaluations, rewards
+        ):
+            body_parameters = sum(
+                model.num_parameters for model in self.pool.models(candidate.model_names)
+            )
+            records.append(
+                EpisodeRecord(
+                    episode=episode,
+                    candidate=candidate,
+                    reward=reward_value,
+                    evaluation=evaluation,
+                    head_state=outcome.head_state if self.search_config.store_heads else None,
+                    train_losses=list(outcome.losses),
+                    num_parameters=body_parameters + outcome.head_parameters,
+                    trainable_parameters=outcome.head_parameters,
+                )
+            )
+        return records
 
     def _record_from_outcome(
         self, candidate: FusingCandidate, outcome: EvaluationOutcome, episode: int
     ) -> EpisodeRecord:
-        """Score a worker outcome and assemble the episode record (main thread)."""
-        evaluation = evaluate_predictions(outcome.predictions, self.eval_dataset, self.attributes)
-        reward_value = self.reward(evaluation)
-        body_parameters = sum(
-            model.num_parameters for model in self.pool.models(candidate.model_names)
-        )
-        return EpisodeRecord(
-            episode=episode,
-            candidate=candidate,
-            reward=reward_value,
-            evaluation=evaluation,
-            head_state=outcome.head_state if self.search_config.store_heads else None,
-            train_losses=list(outcome.losses),
-            num_parameters=body_parameters + outcome.head_parameters,
-            trainable_parameters=outcome.head_parameters,
-        )
+        """Score one worker outcome (single-candidate engine batch)."""
+        return self._records_from_outcomes([candidate], [outcome], [episode])[0]
 
     def evaluate_batch(
         self,
@@ -537,12 +585,16 @@ class MuffinSearch:
                 if own_executor:
                     executor.shutdown()
 
+        fresh_records = self._records_from_outcomes(
+            [candidate for candidate, _ in to_evaluate],
+            outcomes,
+            [-1] * len(to_evaluate) if memoize else list(episodes[: len(to_evaluate)]),
+        )
+
         records: List[EpisodeRecord] = []
         if memoize:
-            for (candidate, seed), outcome in zip(to_evaluate, outcomes):
-                self._memo[(candidate, seed)] = self._record_from_outcome(
-                    candidate, outcome, episode=-1
-                )
+            for key, record in zip(to_evaluate, fresh_records):
+                self._memo[key] = record
             for key, episode in zip(resolved, episodes):
                 memoised = self._memo[key]
                 # Mutable payloads are copied so no caller can corrupt the
@@ -561,8 +613,9 @@ class MuffinSearch:
                     )
                 )
         else:
-            for (candidate, _), outcome, episode in zip(to_evaluate, outcomes, episodes):
-                records.append(self._record_from_outcome(candidate, outcome, episode=episode))
+            # Without memoisation every request was evaluated, so the fresh
+            # records already align 1:1 with the inputs.
+            records.extend(fresh_records)
         return records
 
     def evaluate_candidate(
@@ -618,6 +671,7 @@ class MuffinSearch:
         records: List[EpisodeRecord] = []
         memo_hits_before = self.memo_hits
         memo_misses_before = self.memo_misses
+        metrics_seconds_before = self.metrics_seconds
         # Request-level cache counters: per-model and concatenated lookups.
         cache_hits_before = self._cache.hits + self._cache.concat_hits
         cache_misses_before = self._cache.misses + self._cache.concat_misses
@@ -670,6 +724,7 @@ class MuffinSearch:
             + self._cache.concat_misses
             - cache_misses_before,
             eval_seconds=time.perf_counter() - start_time,
+            metrics_seconds=self.metrics_seconds - metrics_seconds_before,
         )
         return MuffinSearchResult(
             records=records,

@@ -12,7 +12,8 @@ from .attributes import (
     isic_gender_spec,
     isic_site_spec,
 )
-from .dataset import Batch, FairnessDataset, distortion_key
+from .dataset import Batch, FairnessDataset, dataset_fingerprint, distortion_key
+from .groups import GroupIndexBank, validate_group_ids
 from .fitzpatrick import FITZPATRICK_CLASS_NAMES, SyntheticFitzpatrick17K, load_fitzpatrick17k
 from .isic import ISIC_CLASS_NAMES, SyntheticISIC2019, load_isic2019
 from .registry import DATASETS, build_synthetic_fitzpatrick, build_synthetic_isic
@@ -32,7 +33,10 @@ __all__ = [
     "fitzpatrick_attribute_set",
     "FairnessDataset",
     "Batch",
+    "dataset_fingerprint",
     "distortion_key",
+    "GroupIndexBank",
+    "validate_group_ids",
     "SyntheticConfig",
     "SyntheticBlueprint",
     "build_blueprint",

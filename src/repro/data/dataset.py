@@ -17,18 +17,62 @@ different attributes exactly as observed in Figure 1 of the paper.
 
 from __future__ import annotations
 
+import hashlib
+import weakref
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..utils.rng import get_rng
 from .attributes import AttributeSet
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .groups import GroupIndexBank
+
 
 def distortion_key(attribute: str) -> str:
     """Key under which the distortion component of ``attribute`` is stored."""
     return f"distortion:{attribute}"
+
+
+#: Memoised dataset fingerprints (datasets are treated as immutable
+#: throughout the library); weak keys so caching never extends a dataset's
+#: lifetime.
+_DATASET_FINGERPRINTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def dataset_fingerprint(dataset: "FairnessDataset") -> str:
+    """Stable content fingerprint of a dataset (name, labels and features).
+
+    Two dataset objects with the same fingerprint produce identical model
+    predictions, so it is a safe cache-key component — unlike a
+    caller-supplied tag, which silently aliases different partitions.  The
+    body-output cache and the per-dataset :class:`~repro.data.groups.GroupIndexBank`
+    are both keyed on it.
+    """
+    try:
+        return _DATASET_FINGERPRINTS[dataset]
+    except KeyError:
+        pass
+    digest = hashlib.sha1()
+    digest.update(dataset.name.encode("utf-8"))
+    digest.update(np.int64(len(dataset)).tobytes())
+    digest.update(np.int64(dataset.num_classes).tobytes())
+    digest.update(np.ascontiguousarray(dataset.labels).tobytes())
+    # The declared attribute set decides which distortion components enter
+    # compose_features, so it is part of the prediction-relevant identity.
+    for attribute in sorted(dataset.attributes.names):
+        digest.update(attribute.encode("utf-8"))
+    # Model features compose *every* component (signal, noise and the
+    # per-attribute distortions), so all of them are part of the identity —
+    # hashing only one would alias datasets differing in the others.
+    for key in sorted(dataset.components):
+        digest.update(key.encode("utf-8"))
+        digest.update(np.ascontiguousarray(dataset.components[key]).tobytes())
+    fingerprint = digest.hexdigest()[:16]
+    _DATASET_FINGERPRINTS[dataset] = fingerprint
+    return fingerprint
 
 
 @dataclass
@@ -101,6 +145,10 @@ class FairnessDataset:
         self.feature_dim = feature_dim
         if "signal" not in self.components:
             raise KeyError("components must include a 'signal' entry")
+
+        #: lazily built group-index banks, keyed by (content fingerprint,
+        #: attribute selection) — see :meth:`group_index_bank`
+        self._group_banks: Dict[Tuple[str, Tuple[str, ...]], "GroupIndexBank"] = {}
 
     # ------------------------------------------------------------------
     # Basic container protocol
@@ -192,8 +240,29 @@ class FairnessDataset:
     def group_sizes(self, attribute: str) -> Dict[str, int]:
         """Number of samples per group of ``attribute``."""
         spec = self.attributes[attribute]
-        ids = self.group_ids(attribute)
-        return {g: int((ids == spec.group_index(g)).sum()) for g in spec.groups}
+        counts = self.group_index_bank().counts_for(attribute)
+        return {g: int(counts[spec.group_index(g)]) for g in spec.groups}
+
+    def group_index_bank(self, attributes: Optional[Sequence[str]] = None) -> "GroupIndexBank":
+        """Cached :class:`~repro.data.groups.GroupIndexBank` of this dataset.
+
+        The bank precomputes the per-attribute membership matrices the
+        vectorized :class:`~repro.fairness.engine.EvaluationEngine` consumes.
+        Datasets are treated as immutable throughout the library, so each
+        bank is built exactly once per dataset object; the cache key also
+        carries :func:`dataset_fingerprint` (itself memoised per object) so
+        the entry is tied to the content identity the body-output cache
+        uses, not just to the object.
+        """
+        from .groups import GroupIndexBank
+
+        names = tuple(attributes) if attributes is not None else self.attributes.names
+        key = (dataset_fingerprint(self), names)
+        bank = self._group_banks.get(key)
+        if bank is None:
+            bank = GroupIndexBank.from_attribute_set(self.attribute_groups, self.attributes, names)
+            self._group_banks[key] = bank
+        return bank
 
     def class_counts(self) -> np.ndarray:
         """Number of samples per class."""

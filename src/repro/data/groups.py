@@ -1,0 +1,173 @@
+"""Precomputed group-membership indices for vectorized fairness metrics.
+
+Every fairness metric in the library reduces to the same primitive: count,
+per group of a sensitive attribute, how many samples a model classified
+correctly.  The scalar helpers in :mod:`repro.fairness.metrics` used to
+rebuild a boolean mask per group per call; a :class:`GroupIndexBank`
+precomputes, once per dataset, everything those masks were derived from:
+
+* the validated integer group ids of every attribute;
+* a dense one-hot *membership matrix* ``(num_samples, total_groups)`` whose
+  column blocks are the attributes' groups — one matmul against a stacked
+  ``(num_candidates, num_samples)`` correctness matrix yields every
+  per-group correct count for every candidate and every attribute;
+* the exact per-group sample counts.
+
+Banks are immutable.  :meth:`GroupIndexBank.slice` restricts a bank to an
+index array (an evaluation split, an unprivileged subset, …) and memoises
+the result in a small LRU keyed by the index array's content, so repeated
+evaluations on the same partition share one set of matrices.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .attributes import AttributeSet, AttributeSpec
+
+#: Upper bound on memoised :meth:`GroupIndexBank.slice` results (evaluation
+#: partitions recur; arbitrary one-off subsets should not accumulate).
+MAX_SLICE_ENTRIES = 16
+
+
+def validate_group_ids(ids: np.ndarray, spec: AttributeSpec) -> np.ndarray:
+    """Return ``ids`` as a validated 1-D ``int64`` array.
+
+    Out-of-range ids used to fall silently into *no* group mask, skewing
+    every per-group accuracy they should have contributed to; they are now
+    rejected up front with a clear error.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.ndim != 1:
+        raise ValueError(
+            f"group ids of attribute '{spec.name}' must be 1-D, got shape {ids.shape}"
+        )
+    if ids.size and (ids.min() < 0 or ids.max() >= spec.num_groups):
+        bad = ids[(ids < 0) | (ids >= spec.num_groups)]
+        raise ValueError(
+            f"group ids of attribute '{spec.name}' must be in [0, {spec.num_groups}) "
+            f"(groups {list(spec.groups)}); found out-of-range values "
+            f"{sorted(set(int(v) for v in bad[:8]))}"
+        )
+    return ids
+
+
+class GroupIndexBank:
+    """Per-attribute group-membership matrices of one fixed sample set."""
+
+    def __init__(
+        self,
+        group_ids: Mapping[str, np.ndarray],
+        specs: Mapping[str, AttributeSpec],
+        order: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.attribute_names: Tuple[str, ...] = tuple(order) if order is not None else tuple(specs)
+        if not self.attribute_names:
+            raise ValueError("GroupIndexBank needs at least one attribute")
+        missing = [name for name in self.attribute_names if name not in group_ids]
+        if missing:
+            raise KeyError(f"missing group ids for attributes {missing}")
+
+        self.specs: Dict[str, AttributeSpec] = {}
+        self.group_ids: Dict[str, np.ndarray] = {}
+        num_samples: Optional[int] = None
+        for name in self.attribute_names:
+            spec = specs[name]
+            ids = validate_group_ids(group_ids[name], spec)
+            if num_samples is None:
+                num_samples = ids.shape[0]
+            elif ids.shape[0] != num_samples:
+                raise ValueError(
+                    f"group ids of attribute '{name}' have {ids.shape[0]} samples, "
+                    f"expected {num_samples}"
+                )
+            self.specs[name] = spec
+            self.group_ids[name] = ids
+        self.num_samples = int(num_samples or 0)
+
+        # Column layout of the concatenated membership matrix.
+        self.slices: Dict[str, slice] = {}
+        offset = 0
+        for name in self.attribute_names:
+            width = self.specs[name].num_groups
+            self.slices[name] = slice(offset, offset + width)
+            offset += width
+        self.total_groups = offset
+
+        #: dense one-hot membership, ``(num_samples, total_groups)`` float64
+        self.membership = np.zeros((self.num_samples, self.total_groups), dtype=np.float64)
+        #: exact per-group sample counts aligned with the membership columns
+        self.counts = np.zeros(self.total_groups, dtype=np.float64)
+        rows = np.arange(self.num_samples)
+        for name in self.attribute_names:
+            ids = self.group_ids[name]
+            block = self.slices[name]
+            if self.num_samples:
+                self.membership[rows, block.start + ids] = 1.0
+            self.counts[block] = np.bincount(
+                ids, minlength=self.specs[name].num_groups
+            ).astype(np.float64)
+
+        self._slices_lru: "OrderedDict[str, GroupIndexBank]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_attribute_set(
+        cls,
+        group_ids: Mapping[str, np.ndarray],
+        attributes: AttributeSet,
+        names: Optional[Sequence[str]] = None,
+    ) -> "GroupIndexBank":
+        """Build a bank for (a subset of) an :class:`AttributeSet`."""
+        order = tuple(names) if names is not None else attributes.names
+        specs = {name: attributes[name] for name in order}
+        return cls(group_ids, specs, order=order)
+
+    # ------------------------------------------------------------------
+    def counts_for(self, attribute: str) -> np.ndarray:
+        """Per-group sample counts of one attribute, aligned with its groups."""
+        return self.counts[self.slices[self._check(attribute)]]
+
+    def _check(self, attribute: str) -> str:
+        if attribute not in self.specs:
+            raise KeyError(
+                f"bank has no attribute '{attribute}'; available: {list(self.attribute_names)}"
+            )
+        return attribute
+
+    def subset(self, names: Sequence[str]) -> "GroupIndexBank":
+        """A bank restricted to ``names`` (shares the underlying id arrays)."""
+        for name in names:
+            self._check(name)
+        if tuple(names) == self.attribute_names:
+            return self
+        return GroupIndexBank(self.group_ids, self.specs, order=names)
+
+    def slice(self, indices: np.ndarray) -> "GroupIndexBank":
+        """A bank restricted to the samples in ``indices`` (LRU-memoised)."""
+        indices = np.ascontiguousarray(np.asarray(indices, dtype=np.int64))
+        key = hashlib.sha1(indices.tobytes()).hexdigest()[:16]
+        cached = self._slices_lru.get(key)
+        if cached is not None:
+            self._slices_lru.move_to_end(key)
+            return cached
+        sliced = GroupIndexBank(
+            {name: ids[indices] for name, ids in self.group_ids.items()},
+            self.specs,
+            order=self.attribute_names,
+        )
+        self._slices_lru[key] = sliced
+        while len(self._slices_lru) > MAX_SLICE_ENTRIES:
+            self._slices_lru.popitem(last=False)
+        return sliced
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"GroupIndexBank(n={self.num_samples}, attributes={list(self.attribute_names)}, "
+            f"total_groups={self.total_groups})"
+        )

@@ -27,7 +27,12 @@ from .config import ExperimentContext
 
 
 def run_fig1(context: ExperimentContext) -> Dict[str, object]:
-    """Evaluate every pool model on age / site / gender unfairness."""
+    """Evaluate every pool model on age / site / gender unfairness.
+
+    ``evaluate_all`` stacks every model's predictions and scores all
+    models × all attributes in a single
+    :class:`~repro.fairness.engine.EvaluationEngine` call.
+    """
     pool = context.isic_pool
     evaluations = pool.evaluate_all(partition="test")
 

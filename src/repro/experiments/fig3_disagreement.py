@@ -21,7 +21,8 @@ import numpy as np
 
 from ..baselines import apply_data_balancing
 from ..core import oracle_union_predictions
-from ..fairness.metrics import disagreement_breakdown, overall_accuracy
+from ..fairness.engine import EvaluationEngine
+from ..fairness.metrics import disagreement_breakdown
 from ..utils.logging import format_table
 from .config import ExperimentContext
 
@@ -62,11 +63,16 @@ def run_fig3(
     oracle = oracle_union_predictions(
         np.stack([predictions_a, predictions_b]), test.labels
     )
-    oracle_unprivileged = overall_accuracy(oracle[unprivileged_mask], test.labels[unprivileged_mask])
-    acc_a_unpriv = overall_accuracy(predictions_a[unprivileged_mask], test.labels[unprivileged_mask])
-    acc_b_unpriv = overall_accuracy(predictions_b[unprivileged_mask], test.labels[unprivileged_mask])
-    acc_a_priv = overall_accuracy(predictions_a[privileged_mask], test.labels[privileged_mask])
-    acc_b_priv = overall_accuracy(predictions_b[privileged_mask], test.labels[privileged_mask])
+    # Both members and the oracle are scored per privilege stratum in one
+    # engine call each (stacked predictions, restricted sample sets).
+    engine = EvaluationEngine.for_dataset(test, [attribute])
+    stacked = np.stack([predictions_a, predictions_b, oracle])
+    unpriv_idx = np.where(unprivileged_mask)[0]
+    priv_idx = np.where(privileged_mask)[0]
+    unpriv_acc = engine.restrict(unpriv_idx).accuracies(stacked[:, unpriv_idx])
+    priv_acc = engine.restrict(priv_idx).accuracies(stacked[:, priv_idx])
+    acc_a_unpriv, acc_b_unpriv, oracle_unprivileged = (float(v) for v in unpriv_acc)
+    acc_a_priv, acc_b_priv = float(priv_acc[0]), float(priv_acc[1])
 
     rows = [
         {"case": "00 (both wrong)", "fraction": breakdown["00"]},

@@ -21,7 +21,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..fairness.metrics import group_accuracies, overall_accuracy
+from ..fairness.engine import EvaluationEngine
+from ..fairness.metrics import overall_accuracy
 from ..utils.logging import format_table
 from .config import ExperimentContext
 from .fig5_pareto_isic import _free_search
@@ -45,21 +46,27 @@ def run_fig6(context: ExperimentContext) -> Dict[str, object]:
     }
     fused_predictions = fused.predict(test)
 
+    # One engine call scores both members and the fused model on every
+    # group of both attributes (the seed recomputed the full per-group dict
+    # once per group per model).
+    column_names = list(member_predictions) + [site_specialist_name]
+    stacked = np.stack(
+        [member_predictions[name] for name in member_predictions] + [fused_predictions]
+    )
+    batch = EvaluationEngine.for_dataset(test, ("age", "site")).evaluate(stacked)
+
     panels: Dict[str, List[Dict[str, object]]] = {}
     for attribute in ("age", "site"):
         spec = test.attributes[attribute]
-        ids = test.group_ids(attribute)
+        per_group = batch.group_accuracy[attribute]
         rows = []
-        for group in spec.groups:
+        for group_index, group in enumerate(spec.groups):
             row: Dict[str, object] = {
                 "group": group,
                 "unprivileged": spec.is_unprivileged(group),
             }
-            for name, predictions in member_predictions.items():
-                row[name] = group_accuracies(predictions, test.labels, ids, spec)[group]
-            row[site_specialist_name] = group_accuracies(
-                fused_predictions, test.labels, ids, spec
-            )[group]
+            for model_index, name in enumerate(column_names):
+                row[name] = float(per_group[model_index, group_index])
             rows.append(row)
         panels[attribute] = rows
 

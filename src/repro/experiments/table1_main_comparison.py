@@ -14,6 +14,12 @@ accuracy for MobileNet_V3_Small with a ResNet-34 partner.  The reproduction
 keeps the same protocol: the base model is fixed, the controller chooses the
 partner and the head, and improvements are measured against the vanilla base
 model on the untouched test split.
+
+All fairness numbers in the table come from the vectorized
+:class:`~repro.fairness.engine.EvaluationEngine`: the baseline grid is
+scored in one stacked engine call per architecture
+(:meth:`SingleAttributeOptimizer.run`), and the Muffin search batches each
+episode's candidates through the same engine.
 """
 
 from __future__ import annotations

@@ -1,5 +1,7 @@
-"""Fairness metrics, Pareto-frontier tools and report objects."""
+"""Fairness metrics, the vectorized batch-evaluation engine,
+Pareto-frontier tools and report objects."""
 
+from .engine import BatchEvaluation, EvaluationEngine
 from .metrics import (
     FairnessEvaluation,
     accuracy_gap,
@@ -18,6 +20,7 @@ from .pareto import (
     ideal_distance,
     make_point,
     pareto_front,
+    resolve_objective_keys,
 )
 from .report import (
     ComparisonReport,
@@ -27,6 +30,8 @@ from .report import (
 )
 
 __all__ = [
+    "BatchEvaluation",
+    "EvaluationEngine",
     "FairnessEvaluation",
     "overall_accuracy",
     "group_accuracies",
@@ -40,6 +45,7 @@ __all__ = [
     "dominates",
     "pareto_front",
     "front_advancement",
+    "resolve_objective_keys",
     "hypervolume_2d",
     "ideal_distance",
     "ModelFairnessReport",

@@ -45,6 +45,29 @@ def overall_accuracy(predictions_or_logits: np.ndarray, labels: np.ndarray) -> f
     return float((predictions == labels).mean())
 
 
+def _single_attribute_batch(
+    predictions_or_logits: np.ndarray,
+    labels: np.ndarray,
+    group_ids: np.ndarray,
+    spec: AttributeSpec,
+):
+    """Shared engine entry point of the single-attribute scalar wrappers.
+
+    Group ids are validated against ``spec`` by the engine's index bank:
+    out-of-range ids used to fall silently into no group mask (skewing
+    every per-group accuracy) and now raise a ``ValueError``.
+    """
+    from .engine import EvaluationEngine
+
+    predictions = _as_predictions(predictions_or_logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    if not (predictions.shape == labels.shape == group_ids.shape):
+        raise ValueError("predictions, labels and group_ids must share their shape")
+    engine = EvaluationEngine.from_arrays(labels, {spec.name: group_ids}, {spec.name: spec})
+    return engine.evaluate(predictions)
+
+
 def group_accuracies(
     predictions_or_logits: np.ndarray,
     labels: np.ndarray,
@@ -56,22 +79,12 @@ def group_accuracies(
     Empty groups are reported with the overall accuracy so they neither
     reward nor penalise the unfairness score (they contribute 0 deviation),
     matching how a group absent from a test split should be treated.
+    Thin wrapper over :class:`~repro.fairness.engine.EvaluationEngine`
+    (bit-identical to the original per-group mask loop).
     """
-    predictions = _as_predictions(predictions_or_logits)
-    labels = np.asarray(labels, dtype=np.int64)
-    group_ids = np.asarray(group_ids, dtype=np.int64)
-    if not (predictions.shape == labels.shape == group_ids.shape):
-        raise ValueError("predictions, labels and group_ids must share their shape")
-
-    overall = overall_accuracy(predictions, labels)
-    accuracies: Dict[str, float] = {}
-    for index, group in enumerate(spec.groups):
-        mask = group_ids == index
-        if mask.any():
-            accuracies[group] = float((predictions[mask] == labels[mask]).mean())
-        else:
-            accuracies[group] = overall
-    return accuracies
+    batch = _single_attribute_batch(predictions_or_logits, labels, group_ids, spec)
+    row = batch.group_accuracy[spec.name][0]
+    return {group: float(row[index]) for index, group in enumerate(spec.groups)}
 
 
 def unfairness_score(
@@ -81,9 +94,8 @@ def unfairness_score(
     spec: AttributeSpec,
 ) -> float:
     """The paper's L1 unfairness score for a single attribute."""
-    overall = overall_accuracy(predictions_or_logits, labels)
-    per_group = group_accuracies(predictions_or_logits, labels, group_ids, spec)
-    return float(sum(abs(acc - overall) for acc in per_group.values()))
+    batch = _single_attribute_batch(predictions_or_logits, labels, group_ids, spec)
+    return float(batch.unfairness[spec.name][0])
 
 
 def accuracy_gap(
@@ -93,9 +105,8 @@ def accuracy_gap(
     spec: AttributeSpec,
 ) -> float:
     """Max-minus-min per-group accuracy (the "accuracy gap" quoted in Obs. 1)."""
-    per_group = group_accuracies(predictions_or_logits, labels, group_ids, spec)
-    values = list(per_group.values())
-    return float(max(values) - min(values))
+    batch = _single_attribute_batch(predictions_or_logits, labels, group_ids, spec)
+    return float(batch.gaps[spec.name][0])
 
 
 @dataclass
@@ -127,6 +138,12 @@ class FairnessEvaluation:
     def reward(self, attributes: Optional[Sequence[str]] = None, epsilon: float = 1e-6) -> float:
         """Equation 3: ``sum_k A / U_{a_k}`` over the selected attributes."""
         names = list(attributes) if attributes is not None else list(self.unfairness)
+        unknown = [name for name in names if name not in self.unfairness]
+        if unknown:
+            raise ValueError(
+                f"unknown attribute(s) {unknown}; evaluation has unfairness scores "
+                f"for {list(self.unfairness)}"
+            )
         return float(
             sum(self.accuracy / max(self.unfairness[name], epsilon) for name in names)
         )
@@ -159,28 +176,23 @@ def evaluate_predictions(
     dataset: FairnessDataset,
     attributes: Optional[Sequence[str]] = None,
 ) -> FairnessEvaluation:
-    """Evaluate predictions on every (or the selected) sensitive attribute."""
-    names = list(attributes) if attributes is not None else list(dataset.attributes.names)
+    """Evaluate predictions on every (or the selected) sensitive attribute.
+
+    Thin wrapper over :meth:`EvaluationEngine.for_dataset
+    <repro.fairness.engine.EvaluationEngine.for_dataset>` — the engine (and
+    the dataset's cached group-index bank) is shared across calls, and
+    results are bit-identical to the original per-attribute loop.  Callers
+    scoring many models on the same dataset should stack their predictions
+    and call :meth:`EvaluationEngine.evaluate` once instead.
+    """
+    from .engine import EvaluationEngine
+
+    names = tuple(attributes) if attributes is not None else dataset.attributes.names
     predictions = _as_predictions(predictions_or_logits)
-    accuracy = overall_accuracy(predictions, dataset.labels)
-    unfairness: Dict[str, float] = {}
-    per_group: Dict[str, Dict[str, float]] = {}
-    gaps: Dict[str, float] = {}
-    for name in names:
-        spec = dataset.attributes[name]
-        ids = dataset.group_ids(name)
-        per_group[name] = group_accuracies(predictions, dataset.labels, ids, spec)
-        unfairness[name] = float(
-            sum(abs(acc - accuracy) for acc in per_group[name].values())
-        )
-        values = list(per_group[name].values())
-        gaps[name] = float(max(values) - min(values))
-    return FairnessEvaluation(
-        accuracy=accuracy,
-        unfairness=unfairness,
-        group_accuracy=per_group,
-        gaps=gaps,
-    )
+    if predictions.shape != dataset.labels.shape:
+        raise ValueError("predictions and labels must have the same length")
+    engine = EvaluationEngine.for_dataset(dataset, names)
+    return engine.evaluate(predictions).evaluation(0)
 
 
 def multi_dimensional_unfairness(evaluation: FairnessEvaluation) -> float:

@@ -48,6 +48,41 @@ def make_point(
     return ParetoPoint(name=name, objectives=dict(objectives), minimize=minimize)
 
 
+def resolve_objective_keys(
+    points: Sequence[ParetoPoint], keys: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Validate that every point defines the compared objectives.
+
+    With ``keys=None`` the keys are taken from the first point — but only
+    after checking that *all* points share exactly that objective set.
+    Silently comparing points with mismatched objectives used to produce a
+    wrong front (extra objectives ignored, missing ones a late
+    ``KeyError``); now it fails up front with the offending point named.
+    """
+    if not points:
+        return list(keys or [])
+    if keys is None:
+        reference = set(points[0].objectives)
+        for point in points:
+            if set(point.objectives) != reference:
+                raise ValueError(
+                    f"point '{point.name}' has objectives "
+                    f"{sorted(point.objectives)} but '{points[0].name}' has "
+                    f"{sorted(reference)}; all points must share one objective set "
+                    "(or pass the keys to compare explicitly)"
+                )
+        return sorted(reference)
+    keys = list(keys)
+    for point in points:
+        missing = set(keys) - set(point.objectives)
+        if missing:
+            raise ValueError(
+                f"point '{point.name}' lacks compared objective(s) {sorted(missing)}; "
+                f"it defines {sorted(point.objectives)}"
+            )
+    return keys
+
+
 def dominates(a: ParetoPoint, b: ParetoPoint, keys: Optional[Sequence[str]] = None) -> bool:
     """True if ``a`` weakly dominates ``b`` and strictly improves one objective."""
     if keys is None:
@@ -66,8 +101,7 @@ def pareto_front(
     """Return the non-dominated subset of ``points`` (stable order)."""
     if not points:
         return []
-    if keys is None:
-        keys = sorted(points[0].objectives)
+    keys = resolve_objective_keys(points, keys)
     front: List[ParetoPoint] = []
     for candidate in points:
         if any(dominates(other, candidate, keys) for other in points if other is not candidate):
@@ -87,8 +121,7 @@ def front_advancement(
     point, and how many baseline-front points are dominated by some
     challenger point — the two facts Figures 5 and 7 illustrate.
     """
-    if keys is None and baseline:
-        keys = sorted(baseline[0].objectives)
+    keys = resolve_objective_keys([*baseline, *challenger], keys)
     baseline_front = pareto_front(list(baseline), keys)
     challenger_front = pareto_front(list(challenger), keys)
 

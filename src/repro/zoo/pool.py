@@ -161,8 +161,24 @@ class ModelPool:
         partition: str = "test",
         attributes: Optional[Sequence[str]] = None,
     ) -> Dict[str, FairnessEvaluation]:
-        """Fairness evaluation of every pool model."""
-        return {name: self.evaluate(name, partition, attributes) for name in self.names}
+        """Fairness evaluation of every pool model.
+
+        All models are scored in one call of the vectorized
+        :class:`~repro.fairness.engine.EvaluationEngine`: their cached hard
+        predictions are stacked into a ``(num_models, N)`` matrix and every
+        attribute's metrics come out of a handful of array ops —
+        bit-identical to evaluating each model separately.
+        """
+        from ..fairness.engine import EvaluationEngine
+
+        names = self.names
+        if not names:
+            return {}
+        dataset = self.partition(partition)
+        engine = EvaluationEngine.for_dataset(dataset, attributes)
+        stacked = np.stack([self.predict(name, partition) for name in names])
+        batch = engine.evaluate(stacked)
+        return {name: batch.evaluation(index) for index, name in enumerate(names)}
 
     # ------------------------------------------------------------------
     # Pareto helpers (Figures 1, 5 and 7)

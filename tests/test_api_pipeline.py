@@ -52,6 +52,7 @@ class TestPipelineRun:
             "split",
             "pool",
             "search",
+            "metrics",  # vectorized-engine share of the search wall-clock
             "finalize",
             "report",
         ]

@@ -123,3 +123,45 @@ class TestIdealDistance:
     def test_zero_distance_at_ideal(self):
         point = P("a", 0.1, 0.2)
         assert ideal_distance(point, ["A", "B"], {"A": 0.1, "B": 0.2}) == pytest.approx(0.0)
+
+
+class TestObjectiveKeyValidation:
+    """Mismatched objective key sets must fail loudly (regression).
+
+    ``pareto_front`` used to take the keys of ``points[0]`` on faith: a
+    point with extra objectives was silently compared on a subset, and a
+    point with missing objectives crashed deep inside ``dominates``.
+    """
+
+    def test_pareto_front_rejects_mismatched_key_sets(self):
+        points = [P("a", 0.1, 0.2), make_point("b", {"A": 0.1, "C": 0.2})]
+        with pytest.raises(ValueError, match="point 'b' has objectives"):
+            pareto_front(points)
+
+    def test_pareto_front_rejects_extra_objectives(self):
+        points = [P("a", 0.1, 0.2), make_point("b", {"A": 0.1, "B": 0.2, "C": 0.0})]
+        with pytest.raises(ValueError, match="all points must share one objective set"):
+            pareto_front(points)
+
+    def test_explicit_keys_allow_superset_objectives(self):
+        points = [P("a", 0.1, 0.2), make_point("b", {"A": 0.5, "B": 0.5, "C": 0.0})]
+        names = {p.name for p in pareto_front(points, ["A", "B"])}
+        assert names == {"a"}
+
+    def test_explicit_keys_reject_missing_objective(self):
+        points = [P("a", 0.1, 0.2), make_point("b", {"A": 0.5})]
+        with pytest.raises(ValueError, match="point 'b' lacks compared objective"):
+            pareto_front(points, ["A", "B"])
+
+    def test_front_advancement_validates_both_sides(self):
+        baseline = [P("base", 0.2, 0.2)]
+        challenger = [make_point("ch", {"A": 0.1, "C": 0.1})]
+        with pytest.raises(ValueError, match="objective"):
+            front_advancement(baseline, challenger)
+
+    def test_front_advancement_with_consistent_points(self):
+        baseline = [P("base", 0.3, 0.3)]
+        challenger = [P("ch", 0.1, 0.1)]
+        outcome = front_advancement(baseline, challenger)
+        assert outcome["challenger_advances"] is True
+        assert outcome["dominated_baseline"] == ["base"]
