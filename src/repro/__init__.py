@@ -20,6 +20,9 @@ The package is organised as:
   L (fair loss);
 * :mod:`repro.core` — the Muffin framework: model fusing, fairness proxy
   dataset, multi-fairness reward, RNN controller and the search loop;
+* :mod:`repro.serve` — the online serving subsystem: deployable fused-model
+  artifacts, a micro-batching inference server (in-process and HTTP) and
+  live sliding-window fairness monitoring;
 * :mod:`repro.experiments` — harness regenerating every table and figure of
   the paper's evaluation section.
 
@@ -53,7 +56,7 @@ files immediately (see ``docs/api.md``)::
         ...
 """
 
-from . import api, baselines, core, data, fairness, nn, registry, utils, zoo
+from . import api, baselines, core, data, fairness, nn, registry, serve, utils, zoo
 from .version import __version__
 
 __all__ = [
@@ -65,6 +68,7 @@ __all__ = [
     "baselines",
     "core",
     "registry",
+    "serve",
     "utils",
     "__version__",
     "quick_muffin_search",

@@ -1,12 +1,22 @@
 """Command-line entry point: ``python -m repro``.
 
-Two families of subcommands:
+Subcommand families:
 
 * ``run <spec.json>`` — execute a declarative pipeline spec end to end with
   per-stage artifact caching (a repeated run resumes from cache)::
 
       python -m repro run examples/specs/quickstart.json
       python -m repro run spec.json --cache-dir .repro_cache/my-run --rerun-from search
+
+* ``export <spec.json>`` — turn a finished (or resumable) run into a
+  deployable fused-model bundle::
+
+      python -m repro export examples/specs/quickstart.json --output muffin.json
+
+* ``serve <artifact.json>`` — serve a bundle over HTTP with micro-batching
+  and live fairness monitoring::
+
+      python -m repro serve muffin.json --port 8000 --batch-window-ms 5 --max-batch 64
 
 * ``components`` — list every registered component (datasets, controllers,
   rewards, proxy builders, selection strategies, architectures, experiments).
@@ -140,6 +150,145 @@ def _run_command(argv: Sequence[str]) -> int:
     return 0
 
 
+def _export_command(argv: Sequence[str]) -> int:
+    from .api import MuffinPipeline, RunSpec, SpecError
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro export",
+        description="Export a run's finalised Muffin-Net as a deployable serving bundle",
+    )
+    parser.add_argument("spec", help="path to a RunSpec JSON file")
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="bundle destination (default: <run-name>-muffin.json)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="stage-artifact cache directory (default: .repro_cache/<name>-<hash>); "
+        "a finished run's cache makes the export instant",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="run fully in memory, persist no stages"
+    )
+    parser.add_argument(
+        "--fresh", action="store_true", help="ignore cached stages and recompute everything"
+    )
+    parser.add_argument(
+        "--force", action="store_true", help="overwrite an existing output bundle"
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(list(argv))
+
+    try:
+        spec = RunSpec.from_json(args.spec)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not spec.export.enabled:
+        print("error: this spec disables the export stage (export.enabled)", file=sys.stderr)
+        return 2
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = Path(args.cache_dir)
+    else:
+        cache_dir = MuffinPipeline.default_cache_dir(spec)
+
+    try:
+        pipeline = MuffinPipeline(spec, cache_dir=cache_dir, verbose=not args.quiet)
+        result = pipeline.run(resume=not args.fresh)
+        output = Path(args.output or f"{spec.name}-muffin.json")
+        path = result.save_artifact(output, overwrite=args.force)
+    except (SpecError, FileExistsError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        artifact = result.artifact
+        members = [entry["label"] for entry in artifact["members"]]
+        head = artifact["head"]
+        print(f"exported '{artifact['name']}' -> {path}")
+        print(f"  spec hash : {artifact['spec_hash']}")
+        print(f"  body      : {members}")
+        print(
+            f"  head      : MLP{head['hidden_sizes']} ({head['activation']})"
+        )
+        schema = artifact["schema"]
+        print(
+            f"  schema    : {len(schema['component_keys'])} components x "
+            f"{schema['feature_dim']} dims, classes={len(schema['class_names'])}, "
+            f"attributes={schema['attribute_names']}"
+        )
+        print(f"serve it with: python -m repro serve {path} --port 8000")
+    return 0
+
+
+def _serve_command(argv: Sequence[str]) -> int:
+    from .core import EXECUTORS
+    from .serve import InferenceServer, ServeConfig, serve_forever
+    from .zoo import load_fused_model
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve a fused-model bundle over HTTP with micro-batching "
+        "and live fairness monitoring",
+    )
+    parser.add_argument("artifact", help="path to a bundle written by 'export'")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000)
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help="how long the micro-batcher waits for more requests (default: 5)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="maximum sample rows coalesced into one forward pass (default: 64)",
+    )
+    parser.add_argument(
+        "--executor",
+        default="serial",
+        choices=EXECUTORS.names(),
+        help="executor dispatching the independent body-member forwards",
+    )
+    parser.add_argument("--max-workers", type=int, default=None, metavar="N")
+    parser.add_argument(
+        "--monitor-window",
+        type=int,
+        default=512,
+        help="sliding-window size of the online fairness monitor (default: 512)",
+    )
+    parser.add_argument(
+        "--log-every",
+        type=int,
+        default=100,
+        help="labelled samples between fairness log lines (0 disables; default: 100)",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(list(argv))
+
+    try:
+        fused = load_fused_model(args.artifact)
+        config = ServeConfig(
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            executor=args.executor,
+            max_workers=args.max_workers,
+            monitor_window=args.monitor_window,
+            log_every=args.log_every,
+        )
+        server = InferenceServer(fused, config, verbose=not args.quiet)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    serve_forever(server, host=args.host, port=args.port, verbose=not args.quiet)
+    return 0
+
+
 def _components_command(argv: Sequence[str]) -> int:
     from .api import ALL_REGISTRIES
 
@@ -163,6 +312,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv if argv is not None else sys.argv[1:])
     if argv and argv[0] == "run":
         return _run_command(argv[1:])
+    if argv and argv[0] == "export":
+        return _export_command(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_command(argv[1:])
     if argv and argv[0] == "components":
         return _components_command(argv[1:])
     # Legacy interface: experiment ids for the paper harness.

@@ -43,6 +43,7 @@ from .spec import (
     PIPELINE_STAGES,
     DatasetSpec,
     ExecutionSpec,
+    ExportSpec,
     FinalizeSpec,
     PoolSpec,
     ReportSpec,
@@ -58,6 +59,7 @@ __all__ = [
     "SearchSpec",
     "ExecutionSpec",
     "FinalizeSpec",
+    "ExportSpec",
     "ReportSpec",
     "SpecError",
     "PIPELINE_STAGES",

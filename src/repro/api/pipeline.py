@@ -1,8 +1,8 @@
 """Staged executor turning a :class:`~repro.api.RunSpec` into artifacts.
 
-``MuffinPipeline`` runs the six stages of a Muffin run —
+``MuffinPipeline`` runs the seven stages of a Muffin run —
 
-    dataset -> split -> pool -> search -> finalize -> report
+    dataset -> split -> pool -> search -> finalize -> export -> report
 
 — resolving every component through the registries, sharing one
 :class:`~repro.core.BodyOutputCache` across the search and finalisation
@@ -32,11 +32,13 @@ from ..core import (
 )
 from ..data import DATASETS, split_dataset
 from ..data.dataset import FairnessDataset
+from ..data.schema import FeatureSchema
 from ..data.splits import DataSplit
 from ..fairness.metrics import FairnessEvaluation
 from ..utils.logging import RunLogger
 from ..utils.serialization import load_json, save_json
 from ..zoo import ModelPool, load_pool, save_pool
+from ..zoo.persistence import FUSED_ARTIFACT_FORMAT, artifact_checksum, fused_model_payload
 from .spec import PIPELINE_STAGES, RunSpec, SpecError
 
 PathLike = Union[str, Path]
@@ -89,6 +91,8 @@ class PipelineResult(Mapping):
         report: Dict[str, object],
         timings: List[StageTiming],
         cache_dir: Optional[Path] = None,
+        artifact: Optional[Dict[str, object]] = None,
+        artifact_path: Optional[Path] = None,
     ) -> None:
         self.spec = spec
         self.dataset = dataset
@@ -99,6 +103,10 @@ class PipelineResult(Mapping):
         self.report = report
         self.timings = list(timings)
         self.cache_dir = cache_dir
+        #: deployable fused-model bundle built by the export stage (if enabled)
+        self.artifact = artifact
+        #: where the bundle was persisted (cache runs only)
+        self.artifact_path = artifact_path
 
     @property
     def search_result(self) -> MuffinSearchResult:
@@ -109,6 +117,23 @@ class PipelineResult(Mapping):
     def resumed_stages(self) -> List[str]:
         """Stages that were loaded from the artifact cache."""
         return [t.stage for t in self.timings if t.status == "cached"]
+
+    def save_artifact(self, path: PathLike, overwrite: bool = False) -> Path:
+        """Write the deployable fused-model bundle to ``path``.
+
+        The bundle is what ``python -m repro serve`` and
+        :func:`~repro.zoo.persistence.load_fused_model` consume.
+        """
+        if self.artifact is None:
+            raise PipelineError(
+                "this run produced no serving artifact (export.enabled is false)"
+            )
+        path = Path(path)
+        if path.exists() and not overwrite:
+            raise FileExistsError(
+                f"artifact '{path}' already exists; pass overwrite=True to replace it"
+            )
+        return save_json(self.artifact, path)
 
     def summary(self) -> Dict[str, object]:
         return {
@@ -218,6 +243,12 @@ class MuffinPipeline:
         force_from = self.STAGES.index(rerun_from) if rerun_from is not None else len(self.STAGES)
         for index, stage in enumerate(self.STAGES):
             self._execute(stage, use_cache=resume and index < force_from)
+        artifact = self._artifacts.get("export")
+        artifact_path = None
+        if artifact is not None and self.cache_dir is not None:
+            artifact_path = self.cache_dir / self._artifact_name(
+                "export", self.spec.stage_hash("export")
+            )
         return PipelineResult(
             spec=self.spec,
             dataset=self._artifacts["dataset"],
@@ -228,6 +259,8 @@ class MuffinPipeline:
             report=self._artifacts["report"],
             timings=self.timings,
             cache_dir=self.cache_dir,
+            artifact=artifact,
+            artifact_path=artifact_path,
         )
 
     @property
@@ -357,6 +390,19 @@ class MuffinPipeline:
             reference_model=spec.reference_model,
         )
 
+    def _stage_export(self) -> Optional[Dict[str, object]]:
+        """Bundle the finalised model as a deployable serving artifact."""
+        if not self.spec.export.enabled:
+            return None
+        muffin: MuffinNet = self._artifacts["finalize"]
+        schema = FeatureSchema.from_dataset(self._artifacts["dataset"])
+        return fused_model_payload(
+            muffin.fused,
+            schema=schema,
+            spec_hash=self.spec.spec_hash(),
+            name=muffin.name,
+        )
+
     def _stage_report(self) -> Dict[str, object]:
         spec = self.spec.report
         pool: ModelPool = self._artifacts["pool"]
@@ -367,6 +413,10 @@ class MuffinPipeline:
             "spec_hash": self.spec.spec_hash(),
             "muffin": muffin.to_dict(),
         }
+        if self._artifacts.get("export") is not None:
+            report["artifact"] = self._artifact_name(
+                "export", self.spec.stage_hash("export")
+            )
         if spec.include_pool:
             report["pool"] = pool.summary()
         if spec.include_search:
@@ -379,8 +429,9 @@ class MuffinPipeline:
     # ------------------------------------------------------------------
     # Persistence (cache_dir only)
     # ------------------------------------------------------------------
-    @staticmethod
-    def _artifact_name(stage: str, stage_hash: str) -> str:
+    def _artifact_name(self, stage: str, stage_hash: str) -> str:
+        if stage == "export":
+            return self.spec.export.filename or f"muffin-{stage_hash}.json"
         return {
             "pool": f"pool-{stage_hash}",
             "search": f"search-{stage_hash}.json",
@@ -393,7 +444,15 @@ class MuffinPipeline:
             return ""
         name = self._artifact_name(stage, stage_hash)
         if stage == "pool":
-            save_pool(self._artifacts["pool"], self.cache_dir / name)
+            # The pipeline intentionally replaces its own cache artifacts
+            # (e.g. after a forced rerun or a failed cache load).
+            save_pool(self._artifacts["pool"], self.cache_dir / name, overwrite=True)
+            return name
+        if stage == "export":
+            payload = self._artifacts.get("export")
+            if payload is None:
+                return ""
+            save_json(payload, self.cache_dir / name)
             return name
         if stage == "search":
             result: MuffinSearchResult = self._artifacts["search"]
@@ -452,6 +511,33 @@ class MuffinPipeline:
         if payload.get("test_evaluation") is not None:
             muffin.test_evaluation = FairnessEvaluation.from_dict(payload["test_evaluation"])
         return muffin
+
+    def _load_export(self, stage_hash: str) -> Optional[Dict[str, object]]:
+        if not self.spec.export.enabled:
+            # A disabled export "loads" instantly as absent; returning here
+            # (instead of raising) keeps the stage cached-status-free noise
+            # out of reruns.
+            raise FileNotFoundError("export disabled")
+        path = self._require_cache() / self._artifact_name("export", stage_hash)
+        if not path.exists():
+            raise FileNotFoundError(path)
+        payload = load_json(path)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != FUSED_ARTIFACT_FORMAT
+            or payload.get("checksum") != artifact_checksum(payload)
+        ):
+            raise ValueError(f"cached artifact '{path.name}' is corrupt; re-exporting")
+        # The checksum proves integrity, not provenance.  With a custom
+        # export.filename the artifact name no longer embeds the stage hash,
+        # so a bundle exported from an earlier spec would otherwise be served
+        # as 'cached'; the stored spec hash ties it to this exact spec.
+        if payload.get("spec_hash") != self.spec.spec_hash():
+            raise ValueError(
+                f"cached artifact '{path.name}' was exported from a different "
+                "spec; re-exporting"
+            )
+        return payload
 
     def _load_report(self, stage_hash: str) -> Dict[str, object]:
         path = self._require_cache() / self._artifact_name("report", stage_hash)

@@ -29,7 +29,15 @@ from ..zoo import TrainConfig
 PathLike = Union[str, Path]
 
 #: Pipeline stages in execution order (also the resume-from targets).
-PIPELINE_STAGES: Tuple[str, ...] = ("dataset", "split", "pool", "search", "finalize", "report")
+PIPELINE_STAGES: Tuple[str, ...] = (
+    "dataset",
+    "split",
+    "pool",
+    "search",
+    "finalize",
+    "export",
+    "report",
+)
 
 
 class SpecError(ValueError):
@@ -187,6 +195,21 @@ class FinalizeSpec:
 
 
 @dataclass
+class ExportSpec:
+    """Whether (and as what) to bundle the finalised Muffin-Net for serving.
+
+    The export stage turns the finalize stage's model into a deployable
+    fused-model artifact (member specs + head weights + serving feature
+    schema + spec hash, checksummed) that ``python -m repro serve`` and
+    :func:`~repro.zoo.persistence.load_fused_model` consume.
+    """
+
+    enabled: bool = True
+    #: artifact filename inside the cache dir (default: ``muffin-<hash>.json``)
+    filename: Optional[str] = None
+
+
+@dataclass
 class ReportSpec:
     """What the report stage assembles."""
 
@@ -206,6 +229,7 @@ _SECTION_TYPES = {
     "search": SearchSpec,
     "execution": ExecutionSpec,
     "finalize": FinalizeSpec,
+    "export": ExportSpec,
     "report": ReportSpec,
 }
 
@@ -220,6 +244,7 @@ class RunSpec:
     search: SearchSpec = field(default_factory=SearchSpec)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     finalize: FinalizeSpec = field(default_factory=FinalizeSpec)
+    export: ExportSpec = field(default_factory=ExportSpec)
     report: ReportSpec = field(default_factory=ReportSpec)
 
     def __post_init__(self) -> None:
@@ -303,7 +328,8 @@ class RunSpec:
             "pool": ("dataset", "pool"),
             "search": ("dataset", "pool", "search"),
             "finalize": ("dataset", "pool", "search", "finalize"),
-            "report": ("dataset", "pool", "search", "finalize", "report"),
+            "export": ("dataset", "pool", "search", "finalize", "export"),
+            "report": ("dataset", "pool", "search", "finalize", "export", "report"),
         }
         if stage not in sections:
             raise SpecError(f"unknown stage '{stage}'; expected one of {list(PIPELINE_STAGES)}")

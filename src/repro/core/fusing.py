@@ -19,16 +19,25 @@ disagreement experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import nn
 from ..data.dataset import FairnessDataset
+from ..data.schema import FeatureSchema
 from ..fairness.metrics import FairnessEvaluation, evaluate_predictions
 from ..utils.rng import get_rng
-from ..zoo.model import ZooModel
+from ..zoo.model import ZooModel, softmax_probabilities
 from .search_space import FusingCandidate
+
+
+def _member_probabilities_task(
+    task: Tuple[ZooModel, np.ndarray, FeatureSchema]
+) -> np.ndarray:
+    """Module-level member forward (picklable for the process executor)."""
+    model, features, schema = task
+    return model.predict_proba_features(features, schema)
 
 
 class MuffinBody:
@@ -74,6 +83,35 @@ class MuffinBody:
     def forward(self, dataset: FairnessDataset, indices: Optional[np.ndarray] = None) -> np.ndarray:
         """Concatenated member probabilities ``(N, len(models) * C)``."""
         return np.concatenate(self.member_probabilities(dataset, indices), axis=1)
+
+    def member_probabilities_features(
+        self,
+        features: np.ndarray,
+        schema: FeatureSchema,
+        executor=None,
+    ) -> List[np.ndarray]:
+        """Per-member probabilities from a raw stacked component matrix.
+
+        ``executor`` may be any :mod:`repro.core.execution` executor (or
+        ``None`` for inline evaluation); its order-preserving ``map``
+        parallelises the independent member forwards without changing the
+        results — the inference server dispatches through it.
+        """
+        tasks = [(model, features, schema) for model in self.models]
+        if executor is None:
+            return [_member_probabilities_task(task) for task in tasks]
+        return list(executor.map(_member_probabilities_task, tasks))
+
+    def forward_features(
+        self,
+        features: np.ndarray,
+        schema: FeatureSchema,
+        executor=None,
+    ) -> np.ndarray:
+        """Concatenated member probabilities from a raw component matrix."""
+        return np.concatenate(
+            self.member_probabilities_features(features, schema, executor), axis=1
+        )
 
     def consensus(
         self, dataset: FairnessDataset, indices: Optional[np.ndarray] = None
@@ -200,6 +238,9 @@ class FusedPrediction:
     consensus_mask: np.ndarray
     head_predictions: np.ndarray
     consensus_predictions: np.ndarray
+    #: fused class probabilities ``(N, C)`` — populated by the raw-feature
+    #: serving path (consensus rows become one-hot under the shortcut)
+    probabilities: Optional[np.ndarray] = None
 
     @property
     def arbitrated_fraction(self) -> float:
@@ -212,10 +253,25 @@ class FusedPrediction:
 class FusedModel:
     """Muffin body + muffin head, the artefact the search produces."""
 
-    def __init__(self, body: MuffinBody, head: MuffinHead, name: str = "Muffin-Net") -> None:
+    def __init__(
+        self,
+        body: MuffinBody,
+        head: MuffinHead,
+        name: str = "Muffin-Net",
+        schema: Optional[FeatureSchema] = None,
+    ) -> None:
         self.body = body
         self.head = head
         self.name = name
+        #: raw-feature layout this model serves on (bound at export/load time)
+        self.schema = schema
+        #: free-form provenance (artifact path, spec hash) set by the loader
+        self.metadata: Dict[str, object] = {}
+
+    def bind_schema(self, schema: FeatureSchema) -> "FusedModel":
+        """Attach the serving feature schema (enables ``predict_features``)."""
+        self.schema = schema
+        return self
 
     # ------------------------------------------------------------------
     @classmethod
@@ -286,6 +342,90 @@ class FusedModel:
     ) -> np.ndarray:
         """Hard class predictions."""
         return self.predict_detailed(dataset, indices, use_consensus_shortcut).predictions
+
+    # ------------------------------------------------------------------
+    # Raw-feature inference (the dataset-free serving path)
+    # ------------------------------------------------------------------
+    def _resolve_schema(self, schema: Optional[FeatureSchema]) -> FeatureSchema:
+        resolved = schema if schema is not None else self.schema
+        if resolved is None:
+            raise ValueError(
+                "no feature schema bound to this fused model; pass schema= or "
+                "bind_schema(FeatureSchema.from_dataset(dataset)) first"
+            )
+        return resolved
+
+    def predict_detailed_features(
+        self,
+        features: np.ndarray,
+        schema: Optional[FeatureSchema] = None,
+        use_consensus_shortcut: bool = True,
+        executor=None,
+    ) -> FusedPrediction:
+        """Predict from a raw ``(n, input_dim)`` component matrix.
+
+        ``features`` is the stacked component layout described by the bound
+        :class:`~repro.data.schema.FeatureSchema` (see
+        :meth:`FeatureSchema.features`); predictions are bit-identical to
+        :meth:`predict_detailed` on the samples the matrix was stacked from.
+        ``executor`` (any :mod:`repro.core.execution` executor) parallelises
+        the independent member forwards.  The returned prediction carries
+        fused class probabilities: under the consensus shortcut, rows where
+        every member agrees become the one-hot consensus label, the head's
+        softmax decides the rest.
+        """
+        schema = self._resolve_schema(schema)
+        features = schema.validate_features(features)
+        if schema.num_classes != self.num_classes:
+            raise ValueError(
+                f"schema has {schema.num_classes} classes but the fused model "
+                f"predicts {self.num_classes}"
+            )
+        body_output = self.body.forward_features(features, schema, executor)
+        head_logits = self.head(nn.Tensor(body_output)).data
+        head_predictions = head_logits.argmax(axis=-1)
+        arbitrated = consensus_arbitrate(body_output, head_predictions, self.num_classes)
+        probabilities = softmax_probabilities(head_logits)
+        if not use_consensus_shortcut:
+            return FusedPrediction(
+                predictions=head_predictions,
+                consensus_mask=arbitrated.consensus_mask,
+                head_predictions=head_predictions,
+                consensus_predictions=arbitrated.consensus_predictions,
+                probabilities=probabilities,
+            )
+        mask = arbitrated.consensus_mask
+        if mask.any():
+            probabilities = probabilities.copy()
+            probabilities[mask] = np.eye(self.num_classes, dtype=np.float64)[
+                arbitrated.consensus_predictions[mask]
+            ]
+        arbitrated.probabilities = probabilities
+        return arbitrated
+
+    def predict_features(
+        self,
+        features: np.ndarray,
+        schema: Optional[FeatureSchema] = None,
+        use_consensus_shortcut: bool = True,
+        executor=None,
+    ) -> np.ndarray:
+        """Hard class predictions from a raw component matrix."""
+        return self.predict_detailed_features(
+            features, schema, use_consensus_shortcut, executor
+        ).predictions
+
+    def predict_proba_features(
+        self,
+        features: np.ndarray,
+        schema: Optional[FeatureSchema] = None,
+        use_consensus_shortcut: bool = True,
+        executor=None,
+    ) -> np.ndarray:
+        """Fused class probabilities ``(n, C)`` from a raw component matrix."""
+        return self.predict_detailed_features(
+            features, schema, use_consensus_shortcut, executor
+        ).probabilities
 
     def evaluate(
         self,

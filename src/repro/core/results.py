@@ -19,6 +19,7 @@ import numpy as np
 from ..fairness.metrics import FairnessEvaluation
 from ..fairness.pareto import ParetoPoint, make_point, pareto_front
 from ..registry import Registry, UnknownComponentError
+from ..utils.serialization import decode_state_dict, encode_state_dict
 from .fusing import FusedModel, MuffinBody, MuffinHead
 from .search_space import FusingCandidate
 
@@ -107,10 +108,7 @@ class EpisodeRecord:
         if include_state:
             payload["train_losses"] = [float(x) for x in self.train_losses]
             if self.head_state is not None:
-                payload["head_state"] = {
-                    name: {"shape": list(values.shape), "values": values.reshape(-1).tolist()}
-                    for name, values in self.head_state.items()
-                }
+                payload["head_state"] = encode_state_dict(self.head_state)
         return payload
 
     @classmethod
@@ -118,10 +116,7 @@ class EpisodeRecord:
         """Rebuild a record serialised by ``to_dict(include_state=True)``."""
         head_state = None
         if payload.get("head_state") is not None:
-            head_state = {
-                name: np.asarray(entry["values"], dtype=np.float64).reshape(entry["shape"])
-                for name, entry in payload["head_state"].items()
-            }
+            head_state = decode_state_dict(payload["head_state"])
         return cls(
             episode=int(payload["episode"]),
             candidate=FusingCandidate.from_dict(payload["candidate"]),

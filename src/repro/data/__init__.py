@@ -17,6 +17,7 @@ from .groups import GroupIndexBank, validate_group_ids
 from .fitzpatrick import FITZPATRICK_CLASS_NAMES, SyntheticFitzpatrick17K, load_fitzpatrick17k
 from .isic import ISIC_CLASS_NAMES, SyntheticISIC2019, load_isic2019
 from .registry import DATASETS, build_synthetic_fitzpatrick, build_synthetic_isic
+from .schema import FeatureSchema
 from .splits import PAPER_SPLIT, DataSplit, split_dataset, stratified_split_indices
 from .synthetic import SyntheticBlueprint, SyntheticConfig, build_blueprint, describe_difficulty, sample_dataset
 from .transforms import AugmentationConfig, augment_subset, concatenate_datasets
@@ -37,6 +38,7 @@ __all__ = [
     "distortion_key",
     "GroupIndexBank",
     "validate_group_ids",
+    "FeatureSchema",
     "SyntheticConfig",
     "SyntheticBlueprint",
     "build_blueprint",

@@ -1,0 +1,236 @@
+"""Serving-time feature schema of a :class:`~repro.data.dataset.FairnessDataset`.
+
+A deployed Muffin-Net cannot receive a ``FairnessDataset`` object — an
+inference request carries a plain feature matrix.  The schema pins down
+exactly what that matrix is: the dataset's latent feature components stacked
+column-wise in a fixed order (``signal``, ``noise``, one distortion block per
+attribute), i.e. a ``(n, num_components * feature_dim)`` array produced by
+:meth:`FeatureSchema.features`.
+
+Keeping the components *separate* in the serving payload is what lets every
+frozen body member re-apply its own per-attribute sensitivity profile at
+request time — each backbone composes the blocks with its own gains, exactly
+as :meth:`~repro.zoo.backbone.SimulatedBackbone.perceive` does on a dataset,
+so the raw-feature inference path is **bit-identical** to the dataset path
+on the same samples.
+
+The schema also carries the class names and the sensitive-attribute
+taxonomy (group names, unprivileged groups), which is what the live
+fairness monitor of :mod:`repro.serve` needs to score incoming traffic with
+the vectorized :class:`~repro.fairness.engine.EvaluationEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .attributes import AttributeSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .dataset import FairnessDataset
+
+
+@dataclass(frozen=True)
+class FeatureSchema:
+    """Immutable description of the raw feature matrix a fused model serves on."""
+
+    dataset_name: str
+    num_classes: int
+    feature_dim: int
+    #: component keys in stacking order (``signal`` first by construction)
+    component_keys: Tuple[str, ...]
+    #: attribute names in the dataset's declared order (composition order)
+    attribute_names: Tuple[str, ...]
+    class_names: Tuple[str, ...]
+    #: per-attribute group taxonomy (for the serving-time fairness monitor)
+    attributes: Tuple[AttributeSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_classes <= 1:
+            raise ValueError("num_classes must be at least 2")
+        if self.feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+        if "signal" not in self.component_keys:
+            raise ValueError("component_keys must include 'signal'")
+        if len(set(self.component_keys)) != len(self.component_keys):
+            raise ValueError("component_keys must be unique")
+        if len(self.class_names) != self.num_classes:
+            raise ValueError("class_names length must equal num_classes")
+        spec_names = tuple(spec.name for spec in self.attributes)
+        if self.attributes and spec_names != self.attribute_names:
+            raise ValueError(
+                f"attribute specs {list(spec_names)} must match attribute_names "
+                f"{list(self.attribute_names)} in order"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: "FairnessDataset") -> "FeatureSchema":
+        """Schema of ``dataset``'s feature layout and attribute taxonomy."""
+        specs = tuple(
+            AttributeSpec(
+                name=spec.name,
+                groups=tuple(spec.groups),
+                unprivileged=tuple(spec.unprivileged),
+            )
+            for spec in dataset.attributes
+        )
+        return cls(
+            dataset_name=dataset.name,
+            num_classes=dataset.num_classes,
+            feature_dim=dataset.feature_dim,
+            component_keys=tuple(dataset.components),
+            attribute_names=dataset.attributes.names,
+            class_names=tuple(dataset.class_names),
+            attributes=specs,
+        )
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    @property
+    def input_dim(self) -> int:
+        """Width of the stacked serving feature matrix."""
+        return len(self.component_keys) * self.feature_dim
+
+    def component_slices(self) -> Dict[str, slice]:
+        """Column block of each component in the stacked matrix."""
+        return {
+            key: slice(i * self.feature_dim, (i + 1) * self.feature_dim)
+            for i, key in enumerate(self.component_keys)
+        }
+
+    def attribute_spec(self, name: str) -> AttributeSpec:
+        """The group taxonomy of one monitored attribute."""
+        for spec in self.attributes:
+            if spec.name == name:
+                return spec
+        raise KeyError(
+            f"schema has no attribute '{name}'; available: {list(self.attribute_names)}"
+        )
+
+    # ------------------------------------------------------------------
+    # Feature extraction / validation
+    # ------------------------------------------------------------------
+    def features(
+        self, dataset: "FairnessDataset", indices: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Stack ``dataset``'s components into the serving feature matrix.
+
+        This is the payload a client sends to the inference server; feeding
+        it to :meth:`~repro.core.fusing.FusedModel.predict_features` yields
+        predictions bit-identical to ``FusedModel.predict(dataset, indices)``.
+        """
+        missing = [key for key in self.component_keys if key not in dataset.components]
+        if missing:
+            raise ValueError(
+                f"dataset '{dataset.name}' lacks schema components {missing}"
+            )
+        if dataset.feature_dim != self.feature_dim:
+            raise ValueError(
+                f"dataset feature_dim={dataset.feature_dim} does not match the "
+                f"schema's feature_dim={self.feature_dim}"
+            )
+        if indices is None:
+            blocks = [dataset.components[key] for key in self.component_keys]
+        else:
+            indices = np.asarray(indices, dtype=np.int64)
+            blocks = [dataset.components[key][indices] for key in self.component_keys]
+        return np.concatenate(blocks, axis=1)
+
+    def validate_features(self, features: np.ndarray) -> np.ndarray:
+        """Return ``features`` as a validated ``(n, input_dim)`` float64 matrix."""
+        array = np.asarray(features, dtype=np.float64)
+        if array.ndim == 1:
+            array = array[None, :]
+        if array.ndim != 2 or array.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected features of shape (n, {self.input_dim}) "
+                f"({len(self.component_keys)} components x {self.feature_dim} dims), "
+                f"got {np.asarray(features).shape}"
+            )
+        return array
+
+    def validate_groups(
+        self, groups: Optional[Mapping[str, np.ndarray]], num_samples: int
+    ) -> Dict[str, np.ndarray]:
+        """Validate per-attribute group ids attached to a serving request."""
+        if not groups:
+            return {}
+        validated: Dict[str, np.ndarray] = {}
+        for name, ids in groups.items():
+            spec = self.attribute_spec(name)
+            ids = np.asarray(ids, dtype=np.int64).reshape(-1)
+            if ids.shape[0] != num_samples:
+                raise ValueError(
+                    f"group ids of '{name}' must have one entry per sample "
+                    f"({num_samples}), got {ids.shape[0]}"
+                )
+            if ids.size and (ids.min() < 0 or ids.max() >= spec.num_groups):
+                raise ValueError(
+                    f"group ids of '{name}' must be in [0, {spec.num_groups})"
+                )
+            validated[name] = ids
+        return validated
+
+    def validate_labels(
+        self, labels: Optional[np.ndarray], num_samples: int
+    ) -> Optional[np.ndarray]:
+        """Validate optional true labels attached to a serving request."""
+        if labels is None:
+            return None
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if labels.shape[0] != num_samples:
+            raise ValueError(
+                f"labels must have one entry per sample ({num_samples}), "
+                f"got {labels.shape[0]}"
+            )
+        if labels.size and (labels.min() < 0 or labels.max() >= self.num_classes):
+            raise ValueError(f"labels must be in [0, {self.num_classes})")
+        return labels
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "dataset_name": self.dataset_name,
+            "num_classes": self.num_classes,
+            "feature_dim": self.feature_dim,
+            "component_keys": list(self.component_keys),
+            "attribute_names": list(self.attribute_names),
+            "class_names": list(self.class_names),
+            "attributes": [
+                {
+                    "name": spec.name,
+                    "groups": list(spec.groups),
+                    "unprivileged": list(spec.unprivileged),
+                }
+                for spec in self.attributes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "FeatureSchema":
+        specs = tuple(
+            AttributeSpec(
+                name=str(entry["name"]),
+                groups=tuple(entry["groups"]),
+                unprivileged=tuple(entry.get("unprivileged", ())),
+            )
+            for entry in payload.get("attributes", [])
+        )
+        return cls(
+            dataset_name=str(payload["dataset_name"]),
+            num_classes=int(payload["num_classes"]),
+            feature_dim=int(payload["feature_dim"]),
+            component_keys=tuple(payload["component_keys"]),
+            attribute_names=tuple(payload["attribute_names"]),
+            class_names=tuple(payload["class_names"]),
+            attributes=specs,
+        )

@@ -1,0 +1,31 @@
+"""Online serving subsystem: deployable artifacts, micro-batched inference
+and live fairness monitoring.
+
+The end product of a Muffin search is a fused model meant for deployment;
+this package is the deployment side of the reproduction:
+
+* export a searched model with
+  :func:`~repro.zoo.persistence.save_fused_model` (or the pipeline's
+  ``export`` stage / ``python -m repro export``);
+* serve it with :class:`InferenceServer` — a thread-safe request queue and
+  a micro-batcher that coalesces concurrent requests into single stacked
+  forward passes — via the in-process :class:`ServeClient` or the HTTP
+  frontend (``python -m repro serve <artifact> --port 8000``);
+* watch it with :class:`FairnessMonitor`, which scores labelled traffic in
+  a sliding window through the vectorized evaluation engine and exposes the
+  paper's unfairness metrics live on ``/stats``.
+"""
+
+from .monitor import FairnessMonitor
+from .server import InferenceResponse, InferenceServer, ServeClient, ServeConfig
+from .http import ServeHTTPServer, serve_forever
+
+__all__ = [
+    "ServeConfig",
+    "InferenceServer",
+    "InferenceResponse",
+    "ServeClient",
+    "FairnessMonitor",
+    "ServeHTTPServer",
+    "serve_forever",
+]

@@ -1,0 +1,176 @@
+"""Stdlib HTTP/JSON frontend over the micro-batching inference server.
+
+No web framework — a :class:`http.server.ThreadingHTTPServer` whose handler
+threads block on the in-process :class:`~repro.serve.server.ServeClient`,
+so concurrent HTTP requests coalesce into the same micro-batches as
+in-process callers.  Endpoints:
+
+``POST /predict``
+    ``{"features": [[...]], "groups": {"age": [...]}, "labels": [...]}`` →
+    ``{"predictions": [...], "probabilities": [...], "consensus": [...]}``.
+    ``features`` may be one sample (a flat list) or a matrix; ``groups`` and
+    ``labels`` are optional and feed the live fairness monitor.
+
+``GET /stats``
+    Full server + windowed-fairness statistics.
+
+``GET /healthz``
+    Liveness probe with the model name and artifact spec hash.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from .server import InferenceServer, ServeClient
+
+#: request body size guard (16 MiB) — a JSON feature matrix beyond this is
+#: almost certainly a client bug, not a workload
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServeHTTPServer"
+
+    # ------------------------------------------------------------------
+    def _send_json(self, payload: Dict[str, object], status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        inference = self.server.inference
+        if self.path in ("/healthz", "/health"):
+            self._send_json(
+                {
+                    "status": "ok" if inference.is_running else "stopped",
+                    "model": inference.model.name,
+                    "spec_hash": inference.model.metadata.get("spec_hash"),
+                }
+            )
+        elif self.path == "/stats":
+            self._send_json(inference.stats())
+        else:
+            self._send_json({"error": f"unknown path '{self.path}'"}, status=404)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
+        if self.path != "/predict":
+            self._send_json({"error": f"unknown path '{self.path}'"}, status=404)
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(
+                {"error": f"request body must be 1..{MAX_BODY_BYTES} bytes"},
+                status=400,
+            )
+            return
+        try:
+            payload = json.loads(self.rfile.read(length))
+            if not isinstance(payload, dict) or "features" not in payload:
+                raise ValueError("request body must be an object with 'features'")
+            response = self.server.client.predict(
+                payload["features"],
+                groups=payload.get("groups"),
+                labels=payload.get("labels"),
+                timeout=self.server.request_timeout,
+            )
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
+            self._send_json({"error": str(exc)}, status=400)
+            return
+        except TimeoutError as exc:
+            self._send_json({"error": str(exc)}, status=503)
+            return
+        except RuntimeError as exc:
+            # A failed batch forward (ServeClient re-raises it) must still
+            # produce a JSON error response, not a dropped connection.
+            cause = exc.__cause__
+            detail = f"{exc}: {cause}" if cause is not None else str(exc)
+            self._send_json({"error": detail}, status=500)
+            return
+        body = response.to_dict()
+        body["model"] = self.server.inference.model.name
+        self._send_json(body)
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """HTTP frontend bound to one :class:`InferenceServer`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        inference: InferenceServer,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        request_timeout: float = 30.0,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.inference = inference
+        self.client = ServeClient(inference)
+        self.request_timeout = request_timeout
+        self.verbose = verbose
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    # ------------------------------------------------------------------
+    def start_background(self) -> "ServeHTTPServer":
+        """Serve on a daemon thread (tests / embedding); returns self."""
+        self.inference.start()
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="muffin-serve-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.inference.stop()
+
+    def __enter__(self) -> "ServeHTTPServer":
+        return self.start_background()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def serve_forever(
+    inference: InferenceServer,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    verbose: bool = True,
+) -> None:
+    """Blocking CLI entry: serve until interrupted, then shut down cleanly."""
+    httpd = ServeHTTPServer(inference, host=host, port=port, verbose=verbose)
+    inference.start()
+    bound_host, bound_port = httpd.address
+    print(
+        f"serving '{inference.model.name}' on http://{bound_host}:{bound_port} "
+        f"(batch_window={inference.config.batch_window_ms}ms, "
+        f"max_batch={inference.config.max_batch}) — Ctrl-C to stop"
+    )
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down...")
+    finally:
+        httpd.server_close()
+        inference.stop()

@@ -1,0 +1,362 @@
+"""Micro-batching inference server for deployable Muffin-Net artifacts.
+
+The serving hot path is the fused forward pass, and its cost is dominated by
+per-call overhead (python dispatch, per-member composition, small GEMMs) —
+so the server coalesces concurrent requests into **micro-batches**:
+
+* every request enters a thread-safe FIFO queue;
+* a single worker thread pops the first request, then keeps collecting
+  until either ``batch_window_ms`` elapses or ``max_batch`` sample rows are
+  gathered;
+* the collected feature matrices are stacked into one
+  :meth:`~repro.core.fusing.FusedModel.predict_detailed_features` forward
+  pass (member forwards optionally dispatched through a
+  :mod:`repro.core.execution` executor), and the results are sliced back to
+  the individual requests in submission order.
+
+Because the forward pass is deterministic, a batched response carries the
+same predicted labels as a one-request-at-a-time forward pass — batching
+changes throughput, never answers.
+
+``ServeClient`` is the in-process client the tests and the CI smoke use;
+:mod:`repro.serve.http` layers a stdlib HTTP/JSON frontend on top of the
+same server object.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.execution import build_executor
+from ..core.fusing import FusedModel
+from ..utils.logging import RunLogger
+from ..zoo.persistence import load_fused_model
+from .monitor import FairnessMonitor
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of the micro-batching inference server."""
+
+    #: how long the batcher waits for more requests after the first one (ms)
+    batch_window_ms: float = 5.0
+    #: maximum sample rows coalesced into one forward pass
+    max_batch: int = 64
+    #: registered executor dispatching the independent member forwards
+    #: ('serial', 'thread' or 'process'); results are identical across them
+    executor: str = "serial"
+    max_workers: Optional[int] = None
+    #: sliding-window size of the online fairness monitor (labelled samples)
+    monitor_window: int = 512
+    #: emit one structured fairness log row per this many labelled samples
+    #: (0 disables periodic logging)
+    log_every: int = 100
+    #: return per-class probabilities with every response
+    return_probabilities: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be non-negative")
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.monitor_window <= 0:
+            raise ValueError("monitor_window must be positive")
+
+
+@dataclass
+class InferenceResponse:
+    """What the server returns for one request."""
+
+    predictions: np.ndarray
+    consensus_mask: np.ndarray
+    probabilities: Optional[np.ndarray] = None
+    batch_id: int = -1
+    batch_rows: int = 0
+    latency_ms: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "predictions": self.predictions.tolist(),
+            "consensus": self.consensus_mask.tolist(),
+            "batch_id": self.batch_id,
+            "batch_rows": self.batch_rows,
+            "latency_ms": round(self.latency_ms, 3),
+        }
+        if self.probabilities is not None:
+            payload["probabilities"] = self.probabilities.tolist()
+        return payload
+
+
+@dataclass
+class _PendingRequest:
+    """One queued request plus its completion signal."""
+
+    features: np.ndarray
+    groups: Dict[str, np.ndarray]
+    labels: Optional[np.ndarray]
+    enqueued_at: float
+    done: threading.Event = field(default_factory=threading.Event)
+    response: Optional[InferenceResponse] = None
+    error: Optional[BaseException] = None
+
+
+#: queue sentinel that wakes the worker up for shutdown
+_SHUTDOWN = object()
+
+
+class InferenceServer:
+    """Long-running micro-batched serving loop around one fused model."""
+
+    def __init__(
+        self,
+        model: Union[FusedModel, PathLike],
+        config: Optional[ServeConfig] = None,
+        verbose: bool = False,
+    ) -> None:
+        if not isinstance(model, FusedModel):
+            model = load_fused_model(model)
+        if model.schema is None:
+            raise ValueError(
+                "the fused model has no feature schema bound; load it from an "
+                "artifact or call bind_schema() before serving"
+            )
+        self.model = model
+        self.schema = model.schema
+        self.config = config or ServeConfig()
+        self.logger = RunLogger(name=f"serve:{model.name}", verbose=verbose)
+        self.monitor = FairnessMonitor(
+            self.schema,
+            window=self.config.monitor_window,
+            log_every=self.config.log_every,
+            logger=self.logger,
+        )
+        self._queue: "queue.Queue" = queue.Queue()
+        self._executor = build_executor(self.config.executor, self.config.max_workers)
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = False
+        self._lock = threading.Lock()
+        self.started_at: Optional[float] = None
+        self.requests_served = 0
+        self.samples_served = 0
+        self.batches_served = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceServer":
+        """Start the batcher worker thread (idempotent)."""
+        with self._lock:
+            if self._stopped:
+                raise RuntimeError("a stopped inference server cannot be restarted")
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self.started_at = time.time()
+            self._thread = threading.Thread(
+                target=self._serve_loop, name="muffin-serve", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 30.0) -> None:
+        """Stop accepting requests, drain the queue and join the worker."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            thread = self._thread
+            self._thread = None
+            # Enqueued under the same lock submit() holds, so no request can
+            # slip in behind the sentinel and starve its caller; everything
+            # ahead of it is still answered (FIFO).
+            self._queue.put(_SHUTDOWN)
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=timeout)
+        self._executor.shutdown()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def is_running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        features: np.ndarray,
+        groups: Optional[Mapping[str, np.ndarray]] = None,
+        labels: Optional[np.ndarray] = None,
+    ) -> _PendingRequest:
+        """Validate and enqueue one request; returns its pending handle.
+
+        Requests may be enqueued before :meth:`start` — a cold burst is
+        drained in ``max_batch`` chunks as soon as the worker comes up.
+        """
+        matrix = self.schema.validate_features(features)
+        n = matrix.shape[0]
+        request = _PendingRequest(
+            features=matrix,
+            groups=self.schema.validate_groups(groups, n),
+            labels=self.schema.validate_labels(labels, n),
+            enqueued_at=time.perf_counter(),
+        )
+        # The stopped-check and the enqueue share stop()'s lock: a request
+        # can never land behind the shutdown sentinel and hang its caller.
+        with self._lock:
+            if self._stopped:
+                raise RuntimeError("the inference server is shutting down")
+            self._queue.put(request)
+        return request
+
+    # ------------------------------------------------------------------
+    # The micro-batcher
+    # ------------------------------------------------------------------
+    def _collect_batch(
+        self, first: "_PendingRequest"
+    ) -> Tuple[List["_PendingRequest"], bool]:
+        """Coalesce requests after ``first`` within the batching window."""
+        config = self.config
+        batch = [first]
+        rows = first.features.shape[0]
+        deadline = time.monotonic() + config.batch_window_ms / 1000.0
+        exiting = False
+        while rows < config.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining <= 0:
+                    item = self._queue.get_nowait()
+                else:
+                    item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                exiting = True
+                break
+            batch.append(item)
+            rows += item.features.shape[0]
+        return batch, exiting
+
+    def _serve_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            batch, exiting = self._collect_batch(item)
+            self._process_batch(batch)
+            self.monitor.maybe_log()
+            if exiting:
+                break
+
+    def _process_batch(self, batch: List["_PendingRequest"]) -> None:
+        features = [request.features for request in batch]
+        stacked = features[0] if len(features) == 1 else np.concatenate(features, axis=0)
+        batch_id = self.batches_served
+        try:
+            detailed = self.model.predict_detailed_features(
+                stacked, executor=self._executor
+            )
+        except BaseException as exc:  # answer every caller, never hang them
+            self.errors += len(batch)
+            for request in batch:
+                request.error = exc
+                request.done.set()
+            return
+        now = time.perf_counter()
+        offset = 0
+        for request in batch:
+            n = request.features.shape[0]
+            rows = slice(offset, offset + n)
+            offset += n
+            request.response = InferenceResponse(
+                predictions=detailed.predictions[rows],
+                consensus_mask=detailed.consensus_mask[rows],
+                probabilities=(
+                    detailed.probabilities[rows]
+                    if self.config.return_probabilities
+                    else None
+                ),
+                batch_id=batch_id,
+                batch_rows=int(stacked.shape[0]),
+                latency_ms=(now - request.enqueued_at) * 1000.0,
+            )
+            self.monitor.observe(
+                request.response.predictions, request.groups, request.labels
+            )
+            request.done.set()
+        self.batches_served += 1
+        self.requests_served += len(batch)
+        self.samples_served += int(stacked.shape[0])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Structured server + monitor statistics (the ``/stats`` payload)."""
+        served = self.batches_served
+        return {
+            "model": self.model.name,
+            "spec_hash": self.model.metadata.get("spec_hash"),
+            "running": self.is_running,
+            "uptime_s": (
+                round(time.time() - self.started_at, 3) if self.started_at else 0.0
+            ),
+            "requests": self.requests_served,
+            "samples": self.samples_served,
+            "batches": served,
+            "errors": self.errors,
+            "mean_batch_size": (
+                round(self.requests_served / served, 3) if served else 0.0
+            ),
+            "queue_depth": self._queue.qsize(),
+            "config": {
+                "batch_window_ms": self.config.batch_window_ms,
+                "max_batch": self.config.max_batch,
+                "executor": self.config.executor,
+            },
+            "fairness": self.monitor.snapshot(),
+        }
+
+
+class ServeClient:
+    """In-process client: submit a request and block for its response."""
+
+    def __init__(self, server: InferenceServer) -> None:
+        self.server = server
+
+    def predict(
+        self,
+        features: np.ndarray,
+        groups: Optional[Mapping[str, np.ndarray]] = None,
+        labels: Optional[np.ndarray] = None,
+        timeout: Optional[float] = 30.0,
+    ) -> InferenceResponse:
+        """Round-trip one request through the micro-batcher."""
+        request = self.server.submit(features, groups=groups, labels=labels)
+        if not request.done.wait(timeout=timeout):
+            raise TimeoutError(
+                f"inference request timed out after {timeout}s "
+                f"(queue_depth={self.server._queue.qsize()})"
+            )
+        if request.error is not None:
+            raise RuntimeError("inference request failed") from request.error
+        assert request.response is not None
+        return request.response
+
+    def stats(self) -> Dict[str, object]:
+        return self.server.stats()

@@ -2,7 +2,15 @@
 
 from .logging import RunLogger, format_table
 from .rng import DEFAULT_SEED, derive_seeds, get_rng, seed_everything, spawn_rng
-from .serialization import load_json, load_state_dict, save_json, save_state_dict, to_jsonable
+from .serialization import (
+    decode_state_dict,
+    encode_state_dict,
+    load_json,
+    load_state_dict,
+    save_json,
+    save_state_dict,
+    to_jsonable,
+)
 
 __all__ = [
     "RunLogger",
@@ -16,5 +24,7 @@ __all__ = [
     "load_json",
     "save_state_dict",
     "load_state_dict",
+    "encode_state_dict",
+    "decode_state_dict",
     "to_jsonable",
 ]

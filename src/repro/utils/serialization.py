@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Mapping, Union
 
 import numpy as np
 
@@ -42,10 +44,37 @@ def to_jsonable(obj: Any) -> Any:
 
 
 def save_json(obj: Any, path: PathLike, indent: int = 2) -> Path:
-    """Serialise ``obj`` to a JSON file, creating parent directories."""
+    """Serialise ``obj`` to a JSON file, creating parent directories.
+
+    The write is **atomic**: the payload goes to a temporary file in the
+    target directory which is then ``os.replace``'d over ``path``.  A crash
+    mid-write (killed pipeline run, out-of-disk during an export) therefore
+    never leaves a truncated artifact behind for the inference server or a
+    cache resume to choke on — readers see either the old file or the new
+    one, never a half-written JSON document.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=False))
+    text = json.dumps(to_jsonable(obj), indent=indent, sort_keys=False)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        # mkstemp creates the file 0600; restore the umask-honoring mode a
+        # plain open() would have used, so artifacts written by one user
+        # (e.g. a root build step) stay readable by the serving user.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.fchmod(fd, 0o666 & ~umask)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 
@@ -54,19 +83,32 @@ def load_json(path: PathLike) -> Any:
     return json.loads(Path(path).read_text())
 
 
-def save_state_dict(state: Dict[str, np.ndarray], path: PathLike) -> Path:
-    """Save a module state dict (arrays become lists, shapes are preserved)."""
-    payload = {
-        name: {"shape": list(array.shape), "values": array.reshape(-1).tolist()}
+def encode_state_dict(state: Mapping[str, np.ndarray]) -> Dict[str, Dict[str, object]]:
+    """Encode a name→array state dict as JSON-friendly shape/values entries.
+
+    The single encoding shared by the zoo model/pool artifacts, the search
+    history's stored heads and the fused-model serving artifact, so every
+    persisted weight blob has the same on-disk shape.
+    """
+    return {
+        name: {"shape": list(array.shape), "values": np.asarray(array).reshape(-1).tolist()}
         for name, array in state.items()
     }
-    return save_json(payload, path)
 
 
-def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
-    """Load a module state dict written by :func:`save_state_dict`."""
-    payload = load_json(path)
+def decode_state_dict(payload: Mapping[str, Mapping[str, object]]) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`encode_state_dict` (float64 arrays, shapes restored)."""
     return {
         name: np.asarray(entry["values"], dtype=np.float64).reshape(entry["shape"])
         for name, entry in payload.items()
     }
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: PathLike) -> Path:
+    """Save a module state dict (arrays become lists, shapes are preserved)."""
+    return save_json(encode_state_dict(state), path)
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a module state dict written by :func:`save_state_dict`."""
+    return decode_state_dict(load_json(path))

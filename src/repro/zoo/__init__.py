@@ -14,7 +14,17 @@ from .architectures import (
 )
 from .backbone import SimulatedBackbone
 from .model import ZooModel
-from .persistence import load_model, load_pool, save_model, save_pool
+from .persistence import (
+    FUSED_ARTIFACT_FORMAT,
+    artifact_checksum,
+    fused_model_payload,
+    load_fused_model,
+    load_model,
+    load_pool,
+    save_fused_model,
+    save_model,
+    save_pool,
+)
 from .pool import ModelPool
 from .training import TrainConfig, TrainResult, train_model
 
@@ -36,6 +46,11 @@ __all__ = [
     "load_model",
     "save_pool",
     "load_pool",
+    "save_fused_model",
+    "load_fused_model",
+    "fused_model_payload",
+    "artifact_checksum",
+    "FUSED_ARTIFACT_FORMAT",
     "TrainConfig",
     "TrainResult",
     "train_model",

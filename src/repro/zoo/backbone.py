@@ -19,13 +19,16 @@ Only the classifier head on top of these features is ever trained.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
-from ..data.dataset import FairnessDataset
+from ..data.dataset import FairnessDataset, distortion_key
 from ..utils.rng import get_rng
 from .architectures import ArchitectureSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..data.schema import FeatureSchema
 
 
 class SimulatedBackbone:
@@ -78,6 +81,44 @@ class SimulatedBackbone:
         """Return the frozen backbone features for ``dataset`` (or a subset)."""
         perceived = self.perceive(dataset, indices)
         return self.transform(perceived)
+
+    def perceive_components(
+        self, features: np.ndarray, schema: "FeatureSchema"
+    ) -> np.ndarray:
+        """Compose a stacked component matrix as this architecture perceives it.
+
+        ``features`` is a raw serving matrix ``(n, schema.input_dim)`` whose
+        column blocks are the dataset components in ``schema`` order (see
+        :meth:`~repro.data.schema.FeatureSchema.features`).  The composition
+        applies exactly the gains and float-addition order of
+        :meth:`~repro.data.dataset.FairnessDataset.compose_features` via
+        :meth:`perceive`, so the dataset-free path is bit-identical to the
+        dataset path on the same samples.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != schema.input_dim:
+            raise ValueError(
+                f"expected stacked components of shape (N, {schema.input_dim}), "
+                f"got {features.shape}"
+            )
+        slices = schema.component_slices()
+        composed = self.spec.signal_gain * features[:, slices["signal"]]
+        if "noise" in slices:
+            composed = composed + self.noise_gain * features[:, slices["noise"]]
+        for attribute in schema.attribute_names:
+            key = distortion_key(attribute)
+            if key not in slices:
+                continue
+            weight = float(self.spec.sensitivity_for(attribute))
+            if weight != 0.0:
+                composed = composed + weight * features[:, slices[key]]
+        return composed
+
+    def extract_components(
+        self, features: np.ndarray, schema: "FeatureSchema"
+    ) -> np.ndarray:
+        """Frozen backbone features from a raw stacked component matrix."""
+        return self.transform(self.perceive_components(features, schema))
 
     def transform(self, features: np.ndarray) -> np.ndarray:
         """Apply the frozen non-linear projection to already-composed features."""

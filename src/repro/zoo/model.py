@@ -14,7 +14,7 @@ and the model exposes the two things the rest of the system needs:
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -24,6 +24,21 @@ from ..fairness.metrics import FairnessEvaluation, evaluate_predictions
 from ..utils.rng import get_rng
 from .architectures import ArchitectureSpec, get_architecture
 from .backbone import SimulatedBackbone
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..data.schema import FeatureSchema
+
+
+def softmax_probabilities(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis.
+
+    The single implementation behind every probability output in the library
+    (zoo models, the raw-feature serving path, the fused head), so the two
+    inference paths cannot drift by a ulp.
+    """
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
 
 
 class ZooModel:
@@ -103,14 +118,39 @@ class ZooModel:
 
     def predict_proba(self, dataset: FairnessDataset, indices: Optional[np.ndarray] = None) -> np.ndarray:
         """Class probabilities ``(N, C)`` (softmax of the logits)."""
-        logits = self.predict_logits(dataset, indices)
-        shifted = logits - logits.max(axis=-1, keepdims=True)
-        exp = np.exp(shifted)
-        return exp / exp.sum(axis=-1, keepdims=True)
+        return softmax_probabilities(self.predict_logits(dataset, indices))
 
     def predict(self, dataset: FairnessDataset, indices: Optional[np.ndarray] = None) -> np.ndarray:
         """Hard class predictions ``(N,)``."""
         return self.predict_logits(dataset, indices).argmax(axis=-1)
+
+    # ------------------------------------------------------------------
+    # Raw-feature inference (the dataset-free serving path)
+    # ------------------------------------------------------------------
+    def predict_logits_features(
+        self, features: np.ndarray, schema: "FeatureSchema"
+    ) -> np.ndarray:
+        """Raw classification scores from a stacked component matrix.
+
+        ``features`` follows ``schema`` (see
+        :meth:`~repro.data.schema.FeatureSchema.features`); the result is
+        bit-identical to :meth:`predict_logits` on the samples the matrix
+        was stacked from.
+        """
+        extracted = self.backbone.extract_components(features, schema)
+        return self.head(nn.Tensor(extracted)).data
+
+    def predict_proba_features(
+        self, features: np.ndarray, schema: "FeatureSchema"
+    ) -> np.ndarray:
+        """Class probabilities from a stacked component matrix."""
+        return softmax_probabilities(self.predict_logits_features(features, schema))
+
+    def predict_features(
+        self, features: np.ndarray, schema: "FeatureSchema"
+    ) -> np.ndarray:
+        """Hard class predictions from a stacked component matrix."""
+        return self.predict_logits_features(features, schema).argmax(axis=-1)
 
     def evaluate(
         self,

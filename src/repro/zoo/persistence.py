@@ -6,29 +6,70 @@ and reuses them across searches; these helpers persist the trainable state
 parts deterministically (architecture names, seeds, dataset schema).
 Everything is stored as JSON via :mod:`repro.utils.serialization`, so the
 artefacts are diffable and contain no pickled code.
+
+Three artifact families live here:
+
+* :func:`save_model` / :func:`load_model` — one trained zoo model;
+* :func:`save_pool` / :func:`load_pool` — a whole pool plus its manifest;
+* :func:`save_fused_model` / :func:`load_fused_model` — a **deployable
+  Muffin-Net bundle**: the body member specs (architecture + seed + head
+  weights), the muffin-head weights, the serving
+  :class:`~repro.data.schema.FeatureSchema` and the producing run's spec
+  hash, integrity-checked by an embedded content checksum.  Loading one
+  rebuilds a :class:`~repro.core.fusing.FusedModel` whose
+  ``predict_features`` is bit-identical to the model it was exported from.
+
+Every ``save_*`` helper refuses to overwrite an existing artifact unless
+``overwrite=True`` — a pipeline never silently clobbers a bundle a server
+might be reading.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
+import numpy as np
+
+from ..data.schema import FeatureSchema
 from ..data.splits import DataSplit
-from ..utils.serialization import load_json, save_json
-from .architectures import get_architecture
+from ..utils.serialization import (
+    decode_state_dict,
+    encode_state_dict,
+    load_json,
+    save_json,
+    to_jsonable,
+)
 from .model import ZooModel
 from .pool import ModelPool
 from .training import TrainConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.fusing import FusedModel
 
 PathLike = Union[str, Path]
 
 _POOL_MANIFEST = "pool.json"
 
+#: format tag of the deployable fused-model bundle
+FUSED_ARTIFACT_FORMAT = "muffin-fused/v1"
 
-def save_model(model: ZooModel, path: PathLike) -> Path:
+
+def _guard_overwrite(path: Path, overwrite: bool, what: str) -> None:
+    if path.exists() and not overwrite:
+        raise FileExistsError(
+            f"{what} '{path}' already exists; pass overwrite=True to replace it"
+        )
+
+
+def save_model(model: ZooModel, path: PathLike, overwrite: bool = False) -> Path:
     """Persist one trained zoo model (architecture metadata + head weights)."""
     if not model.is_trained:
         raise ValueError("refusing to save an untrained model")
+    path = Path(path)
+    _guard_overwrite(path, overwrite, "model artifact")
     payload = {
         "architecture": model.spec.name,
         "label": model.label,
@@ -36,18 +77,13 @@ def save_model(model: ZooModel, path: PathLike) -> Path:
         "num_classes": model.num_classes,
         "feature_dim": model.backbone.feature_dim,
         "backbone_output_dim": model.backbone.output_dim,
-        "head_state": {
-            name: {"shape": list(values.shape), "values": values.reshape(-1).tolist()}
-            for name, values in model.head_state().items()
-        },
+        "head_state": encode_state_dict(model.head_state()),
     }
     return save_json(payload, path)
 
 
 def load_model(path: PathLike) -> ZooModel:
     """Rebuild a zoo model saved by :func:`save_model`."""
-    import numpy as np
-
     payload = load_json(path)
     model = ZooModel.from_name(
         payload["architecture"],
@@ -56,17 +92,14 @@ def load_model(path: PathLike) -> ZooModel:
         seed=payload.get("seed"),
         label=payload.get("label"),
     )
-    state = {
-        name: np.asarray(entry["values"], dtype=float).reshape(entry["shape"])
-        for name, entry in payload["head_state"].items()
-    }
-    model.load_head_state(state)
+    model.load_head_state(decode_state_dict(payload["head_state"]))
     return model
 
 
-def save_pool(pool: ModelPool, directory: PathLike) -> Path:
+def save_pool(pool: ModelPool, directory: PathLike, overwrite: bool = False) -> Path:
     """Persist every trained model of a pool plus a manifest."""
     directory = Path(directory)
+    _guard_overwrite(directory / _POOL_MANIFEST, overwrite, "pool manifest")
     directory.mkdir(parents=True, exist_ok=True)
     manifest: Dict[str, object] = {
         "architectures": pool.architecture_names,
@@ -80,7 +113,7 @@ def save_pool(pool: ModelPool, directory: PathLike) -> Path:
     }
     for model in pool:
         filename = f"{model.label.replace('/', '_').replace(' ', '_')}.json"
-        save_model(model, directory / filename)
+        save_model(model, directory / filename, overwrite=overwrite)
         manifest["models"][model.label] = filename
     return save_json(manifest, directory / _POOL_MANIFEST)
 
@@ -114,3 +147,142 @@ def load_pool(
             )
         pool.add_model(model)
     return pool
+
+
+# ----------------------------------------------------------------------
+# Deployable fused-model bundles (the serving artifact)
+# ----------------------------------------------------------------------
+def artifact_checksum(payload: Dict[str, object]) -> str:
+    """Content checksum of a fused-model payload (``checksum`` key excluded).
+
+    Computed over the canonical JSON encoding, so a truncated or hand-edited
+    bundle fails verification at load time instead of serving corrupt
+    weights.
+    """
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    canonical = json.dumps(to_jsonable(body), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def fused_model_payload(
+    fused: "FusedModel",
+    schema: Optional[FeatureSchema] = None,
+    spec_hash: Optional[str] = None,
+    name: Optional[str] = None,
+) -> Dict[str, object]:
+    """Assemble the JSON payload of a deployable fused-model bundle."""
+    schema = schema if schema is not None else fused.schema
+    if schema is None:
+        raise ValueError(
+            "a fused-model artifact needs a FeatureSchema (pass schema= or "
+            "bind one with FusedModel.bind_schema)"
+        )
+    untrained = [m.label for m in fused.body.models if not m.is_trained]
+    if untrained:
+        raise ValueError(f"refusing to export untrained body members: {untrained}")
+    payload: Dict[str, object] = {
+        "format": FUSED_ARTIFACT_FORMAT,
+        "name": name or fused.name,
+        "spec_hash": spec_hash,
+        "num_classes": fused.num_classes,
+        "members": [
+            {
+                "architecture": model.spec.name,
+                "label": model.label,
+                "seed": int(model.seed),
+                "num_classes": model.num_classes,
+                "feature_dim": model.backbone.feature_dim,
+                "head_state": encode_state_dict(model.head_state()),
+            }
+            for model in fused.body.models
+        ],
+        "head": {
+            "hidden_sizes": list(fused.head.hidden_sizes),
+            "activation": fused.head.activation,
+            "state": encode_state_dict(fused.head.state_dict()),
+        },
+        "schema": schema.to_dict(),
+    }
+    payload["checksum"] = artifact_checksum(payload)
+    return payload
+
+
+def save_fused_model(
+    fused: "FusedModel",
+    path: PathLike,
+    schema: Optional[FeatureSchema] = None,
+    spec_hash: Optional[str] = None,
+    name: Optional[str] = None,
+    overwrite: bool = False,
+) -> Path:
+    """Export a fused model as a standalone, checksummed serving bundle."""
+    path = Path(path)
+    _guard_overwrite(path, overwrite, "fused-model artifact")
+    return save_json(fused_model_payload(fused, schema, spec_hash, name), path)
+
+
+def load_fused_model(source: Union[PathLike, Dict[str, object]]) -> "FusedModel":
+    """Rebuild a deployable :class:`~repro.core.fusing.FusedModel`.
+
+    ``source`` is a bundle path or an already-parsed payload dict.  The
+    frozen backbones are reconstructed deterministically from their
+    architecture names and seeds, the stored head weights are restored, the
+    serving schema is bound and the embedded checksum is verified — a
+    truncated or tampered bundle raises ``ValueError`` instead of silently
+    serving wrong predictions.
+    """
+    from ..core.fusing import FusedModel, MuffinBody, MuffinHead
+
+    if isinstance(source, (str, Path)):
+        payload = load_json(source)
+        origin = str(source)
+    else:
+        payload = source
+        origin = "<payload>"
+    if not isinstance(payload, dict) or payload.get("format") != FUSED_ARTIFACT_FORMAT:
+        raise ValueError(
+            f"'{origin}' is not a fused-model artifact "
+            f"(expected format '{FUSED_ARTIFACT_FORMAT}', "
+            f"got {payload.get('format') if isinstance(payload, dict) else type(payload).__name__!r})"
+        )
+    stored = payload.get("checksum")
+    if stored != artifact_checksum(payload):
+        raise ValueError(
+            f"fused-model artifact '{origin}' failed its checksum — the file is "
+            "truncated or was modified after export"
+        )
+
+    schema = FeatureSchema.from_dict(payload["schema"])
+    members = []
+    for entry in payload["members"]:
+        model = ZooModel.from_name(
+            entry["architecture"],
+            feature_dim=int(entry["feature_dim"]),
+            num_classes=int(entry["num_classes"]),
+            seed=entry.get("seed"),
+            label=entry.get("label"),
+        )
+        if model.backbone.feature_dim != schema.feature_dim:
+            raise ValueError(
+                f"member '{model.label}' expects feature_dim="
+                f"{model.backbone.feature_dim}, schema has {schema.feature_dim}"
+            )
+        model.load_head_state(decode_state_dict(entry["head_state"]))
+        members.append(model)
+
+    body = MuffinBody(members)
+    head_payload = payload["head"]
+    head = MuffinHead(
+        body_output_dim=body.output_dim,
+        num_classes=int(payload["num_classes"]),
+        hidden_sizes=tuple(int(w) for w in head_payload["hidden_sizes"]),
+        activation=str(head_payload["activation"]),
+    )
+    head.load_state_dict(decode_state_dict(head_payload["state"]))
+    fused = FusedModel(body, head, name=str(payload["name"]), schema=schema)
+    fused.metadata = {
+        "format": payload["format"],
+        "spec_hash": payload.get("spec_hash"),
+        "source": origin,
+    }
+    return fused

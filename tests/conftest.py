@@ -62,6 +62,28 @@ def pool(isic_split, train_config) -> ModelPool:
 
 
 @pytest.fixture(scope="session")
+def fused_model(pool):
+    """A deterministic fused model over three pool members (untrained head
+    weights are fine for serving-path tests: the forward is deterministic)."""
+    from repro.core import FusedModel
+    from repro.core.search_space import FusingCandidate
+
+    candidate = FusingCandidate(
+        model_names=("MobileNet_V3_Small", "ResNet-18", "DenseNet121"),
+        hidden_sizes=(16,),
+        activation="relu",
+    )
+    return FusedModel.from_candidate(candidate, pool.models(candidate.model_names), seed=7)
+
+
+@pytest.fixture(scope="session")
+def serving_schema(isic_dataset):
+    from repro.data import FeatureSchema
+
+    return FeatureSchema.from_dataset(isic_dataset)
+
+
+@pytest.fixture(scope="session")
 def fitz_dataset() -> SyntheticFitzpatrick17K:
     return SyntheticFitzpatrick17K(num_samples=2500, seed=1717)
 

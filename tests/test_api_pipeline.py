@@ -54,6 +54,7 @@ class TestPipelineRun:
             "search",
             "metrics",  # vectorized-engine share of the search wall-clock
             "finalize",
+            "export",
             "report",
         ]
         assert all(t.status == "ran" for t in first_run.timings)
@@ -90,10 +91,11 @@ class TestResume:
         assert status["pool"] == "cached"
         assert status["search"] == "cached"
         assert status["finalize"] == "cached"
+        assert status["export"] == "cached"
         assert status["report"] == "cached"
         # Deterministic cheap stages are rebuilt, not persisted.
         assert status["dataset"] == "rebuilt"
-        assert second.resumed_stages == ["pool", "search", "finalize", "report"]
+        assert second.resumed_stages == ["pool", "search", "finalize", "export", "report"]
         assert second.muffin.test_evaluation.accuracy == pytest.approx(
             first_run.muffin.test_evaluation.accuracy
         )
@@ -145,6 +147,66 @@ class TestResume:
         status = {t.stage: t.status for t in third.timings}
         assert status["pool"] == "cached"
         assert status["search"] == "cached"
+
+
+class TestExportStage:
+    def test_artifact_written_and_deployable(self, cache_dir, first_run):
+        """The export stage yields a bundle that serves bit-identical predictions."""
+        import numpy as np
+
+        from repro.data import FeatureSchema
+        from repro.zoo import load_fused_model
+
+        assert first_run.artifact is not None
+        assert first_run.artifact_path is not None
+        assert first_run.artifact_path.exists()
+        assert first_run.report["artifact"] == first_run.artifact_path.name
+
+        loaded = load_fused_model(first_run.artifact_path)
+        assert loaded.name == first_run.muffin.name
+        assert loaded.metadata["spec_hash"] == first_run.spec.spec_hash()
+        features = loaded.schema.features(first_run.split.test)
+        np.testing.assert_array_equal(
+            loaded.predict_features(features),
+            first_run.muffin.fused.predict(first_run.split.test),
+        )
+
+    def test_save_artifact_to_custom_path(self, first_run, tmp_path):
+        from repro.zoo import load_fused_model
+
+        path = first_run.save_artifact(tmp_path / "bundle.json")
+        assert load_fused_model(path).schema is not None
+        with pytest.raises(FileExistsError):
+            first_run.save_artifact(path)
+        first_run.save_artifact(path, overwrite=True)
+
+    def test_custom_filename_never_serves_stale_artifact(self, tmp_path):
+        """A fixed export filename must not resurrect a bundle from an older spec."""
+        from repro.api import ExportSpec
+
+        spec = tiny_spec(episodes=2)
+        spec.export = ExportSpec(filename="muffin.json")
+        MuffinPipeline(spec, cache_dir=tmp_path).run()
+        edited = tiny_spec(episodes=3)
+        edited.export = ExportSpec(filename="muffin.json")
+        second = MuffinPipeline(edited, cache_dir=tmp_path).run()
+        status = {t.stage: t.status for t in second.timings}
+        # The file exists under the same name but came from the old spec, so
+        # the export stage must recompute, not report 'cached'.
+        assert status["export"] == "ran"
+        assert second.artifact["spec_hash"] == edited.spec_hash()
+
+    def test_disabled_export_produces_no_artifact(self):
+        from repro.api import ExportSpec
+
+        spec = tiny_spec(episodes=2)
+        spec.export = ExportSpec(enabled=False)
+        result = MuffinPipeline(spec).run()
+        assert result.artifact is None
+        assert result.artifact_path is None
+        assert "artifact" not in result.report
+        with pytest.raises(Exception):
+            result.save_artifact("nowhere.json")
 
 
 class TestRunSpecHelper:

@@ -136,6 +136,41 @@ class TestSerialization:
         # File is valid JSON readable without the helper.
         assert json.loads(path.read_text())["value"] == 3.5
 
+    def test_save_json_is_atomic(self, tmp_path, monkeypatch):
+        """A crash mid-write must never leave a truncated artifact behind."""
+        import os
+
+        path = save_json({"value": 1}, tmp_path / "data.json")
+
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at publish time")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_json({"value": 2}, path)
+        monkeypatch.setattr(os, "replace", real_replace)
+        # The original artifact is untouched and no temp files linger.
+        assert load_json(path) == {"value": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["data.json"]
+
+    def test_save_json_leaves_no_temp_files(self, tmp_path):
+        save_json({"a": list(range(100))}, tmp_path / "out.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_save_json_honors_umask(self, tmp_path):
+        """The atomic temp file must not leak mkstemp's 0600 onto artifacts."""
+        import os
+        import stat
+
+        previous = os.umask(0o022)
+        try:
+            path = save_json({"v": 1}, tmp_path / "perm.json")
+        finally:
+            os.umask(previous)
+        assert stat.S_IMODE(path.stat().st_mode) == 0o644
+
     def test_state_dict_roundtrip(self, tmp_path):
         state = {"layer.weight": np.random.default_rng(0).normal(size=(3, 4)), "layer.bias": np.zeros(4)}
         path = save_state_dict(state, tmp_path / "weights.json")

@@ -23,6 +23,13 @@ class TestModelPersistence:
         with pytest.raises(ValueError):
             save_model(untrained, tmp_path / "u.json")
 
+    def test_overwrite_guard(self, pool, tmp_path):
+        model = pool.get("ResNet-18")
+        path = save_model(model, tmp_path / "resnet18.json")
+        with pytest.raises(FileExistsError):
+            save_model(model, path)
+        assert save_model(model, path, overwrite=True) == path
+
     def test_default_seed_is_process_independent(self, isic_dataset):
         """Two default-constructed models of the same architecture agree."""
         from repro.zoo import ZooModel
@@ -45,6 +52,12 @@ class TestPoolPersistence:
             np.testing.assert_allclose(
                 restored.predict_proba(name, "test"), pool.predict_proba(name, "test")
             )
+
+    def test_pool_overwrite_guard(self, pool, tmp_path):
+        save_pool(pool, tmp_path / "pool")
+        with pytest.raises(FileExistsError):
+            save_pool(pool, tmp_path / "pool")
+        save_pool(pool, tmp_path / "pool", overwrite=True)
 
     def test_load_pool_checks_feature_dim(self, pool, fitz_split, tmp_path):
         save_pool(pool, tmp_path / "pool")
