@@ -1,0 +1,124 @@
+"""Benchmark: fused batched head training vs the autograd loop.
+
+The seed implementation trained every muffin head by pushing each minibatch
+through the closure-based autograd graph — Python-level overhead per op,
+per parameter, per batch, per epoch.  The fused fast path
+(:mod:`repro.nn.fused`) hand-derives the forward/backward/update steps and
+trains a whole episode batch of candidate heads *simultaneously* on stacked
+``(C, in, out)`` parameter blocks.  This benchmark verifies the two
+load-bearing claims of that design on a realistic episode batch (the shape
+of one controller batch late in a Muffin search, when the controller has
+converged on a structure):
+
+* the batched fused trainer returns **bit-identical** final weights and
+  loss curves to the per-head autograd loop;
+* it is dramatically faster wherever Python overhead (not raw memory
+  bandwidth) dominates.
+
+Setting ``HEAD_BENCH_IDENTITY_ONLY=1`` (the CI smoke step) skips the
+wall-clock assertion while keeping the identity check.  Like the parallel
+search benchmark, the speedup tiers degrade on constrained runners: a
+single-core box only prints the measured ratio (identity is still
+asserted), 2-3 cores require 2x, and a genuinely multi-core runner must
+show the full 5x (threaded BLAS accelerates the stacked GEMMs while the
+interpreted autograd loop stays serial).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import HeadTrainConfig
+from repro.core.fusing import MuffinHead
+from repro.core.trainer import train_head_on_outputs, train_heads_batched
+
+NUM_CANDIDATES = 8  # one episode batch
+HIDDEN_SIZES = (16,)
+BODY_DIM = 24  # three fused members x eight ISIC classes
+NUM_CLASSES = 8
+PROXY_SIZE = 2000
+EPOCHS = 25
+ROUNDS = 3  # best-of-N guards the comparison against scheduler noise
+
+
+def _workload():
+    rng = np.random.default_rng(2023)
+    labels = rng.integers(0, NUM_CLASSES, PROXY_SIZE)
+    weights = rng.random(PROXY_SIZE) + 0.1
+    outputs = [rng.random((PROXY_SIZE, BODY_DIM)) for _ in range(NUM_CANDIDATES)]
+    return outputs, labels, weights
+
+
+def _fresh_heads():
+    return [
+        MuffinHead(BODY_DIM, NUM_CLASSES, HIDDEN_SIZES, "relu", seed=index)
+        for index in range(NUM_CANDIDATES)
+    ]
+
+
+def test_bench_head_training_identity_and_speed():
+    outputs, labels, weights = _workload()
+    autograd_config = HeadTrainConfig(epochs=EPOCHS, seed=0, use_fused=False)
+    fused_config = HeadTrainConfig(epochs=EPOCHS, seed=0, use_fused=True)
+
+    autograd_seconds = float("inf")
+    autograd_heads, autograd_results = [], []
+    for _ in range(ROUNDS):
+        autograd_heads = _fresh_heads()
+        start = time.perf_counter()
+        autograd_results = [
+            train_head_on_outputs(head, matrix, labels, weights, NUM_CLASSES, autograd_config)
+            for head, matrix in zip(autograd_heads, outputs)
+        ]
+        autograd_seconds = min(autograd_seconds, time.perf_counter() - start)
+
+    fused_seconds = float("inf")
+    fused_heads, fused_results = [], []
+    for _ in range(ROUNDS):
+        fused_heads = _fresh_heads()
+        start = time.perf_counter()
+        fused_results = train_heads_batched(
+            fused_heads, outputs, labels, weights, NUM_CLASSES, fused_config
+        )
+        fused_seconds = min(fused_seconds, time.perf_counter() - start)
+
+    # Identity first: the speedup is worthless if a single bit drifts.
+    for ref_head, ref_result, fused_head, fused_result in zip(
+        autograd_heads, autograd_results, fused_heads, fused_results
+    ):
+        assert ref_result.losses == fused_result.losses
+        ref_state, fused_state = ref_head.state_dict(), fused_head.state_dict()
+        assert set(ref_state) == set(fused_state)
+        for key in ref_state:
+            assert np.array_equal(ref_state[key], fused_state[key]), key
+
+    speedup = autograd_seconds / max(fused_seconds, 1e-9)
+    cpus = os.cpu_count() or 1
+    print(
+        f"\n[bench] {NUM_CANDIDATES} heads x {EPOCHS} epochs x {PROXY_SIZE} proxy "
+        f"samples: autograd loop {autograd_seconds:.3f}s, fused batched "
+        f"{fused_seconds:.3f}s, speedup x{speedup:.1f} ({cpus} CPUs)"
+    )
+
+    if os.environ.get("HEAD_BENCH_IDENTITY_ONLY"):
+        return  # constrained runner: identity verified, timing skipped
+    if cpus < 2:
+        # Single-core containers are memory-bandwidth-bound: both paths push
+        # the same element count, so the Python-overhead win shrinks.
+        # Identity is verified above; just require the fast path to win.
+        assert fused_seconds < autograd_seconds, (
+            f"fused trainer ({fused_seconds:.3f}s) slower than the autograd "
+            f"loop ({autograd_seconds:.3f}s) on a single-core runner"
+        )
+        return
+    if cpus < 4:
+        assert speedup >= 2.0, (
+            f"fused trainer only x{speedup:.2f} over the autograd loop on "
+            f"{cpus} CPUs (expected >= 2x)"
+        )
+        return
+    assert speedup >= 5.0, (
+        f"fused trainer only x{speedup:.2f} over the autograd loop on "
+        f"{cpus} CPUs (expected >= 5x)"
+    )

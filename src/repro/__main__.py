@@ -83,13 +83,24 @@ def _run_command(argv: Sequence[str]) -> int:
         action="store_true",
         help="disable the (candidate, seed) evaluation memo",
     )
+    parser.add_argument(
+        "--no-fused",
+        action="store_true",
+        help="disable the fused head-training fast path (results are "
+        "bit-identical either way; this forces the autograd reference loop)",
+    )
     parser.add_argument("--output", default=None, help="write the report JSON to this file")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(list(argv))
 
     try:
         spec = RunSpec.from_json(args.spec)
-        if args.executor is not None or args.max_workers is not None or args.no_memoize:
+        if (
+            args.executor is not None
+            or args.max_workers is not None
+            or args.no_memoize
+            or args.no_fused
+        ):
             overrides = {}
             if args.executor is not None:
                 overrides["executor"] = args.executor
@@ -97,6 +108,8 @@ def _run_command(argv: Sequence[str]) -> int:
                 overrides["max_workers"] = args.max_workers
             if args.no_memoize:
                 overrides["memoize"] = False
+            if args.no_fused:
+                overrides["use_fused"] = False
             # The execution section never enters stage hashes, so overriding
             # it keeps every cached artifact valid.
             spec.execution = dataclasses.replace(spec.execution, **overrides)
@@ -136,7 +149,8 @@ def _run_command(argv: Sequence[str]) -> int:
             print(
                 f"search executor: {stats.executor} (workers={stats.max_workers}), "
                 f"memo {stats.memo_hits} hits / {stats.memo_misses} misses, "
-                f"metrics {stats.metrics_seconds:.3f}s{suffix}"
+                f"metrics {stats.metrics_seconds:.3f}s, "
+                f"training {stats.train_seconds:.3f}s{suffix}"
             )
         if cache_dir is not None:
             print(f"cache: {cache_dir}")

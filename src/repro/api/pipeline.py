@@ -314,8 +314,9 @@ class MuffinPipeline:
         )
         self.logger.log(stage=stage, status=status, seconds=round(seconds, 3))
         if stage == "search" and status == "ran":
-            # Surface the vectorized-engine share of the search wall-clock as
-            # its own timings bucket (it is a subset of the search seconds).
+            # Surface the vectorized-engine and head-training shares of the
+            # search wall-clock as their own timings buckets (both are
+            # subsets of the search seconds).
             stats = getattr(self._artifacts["search"], "execution_stats", None)
             if stats is not None:
                 self.timings.append(
@@ -325,6 +326,16 @@ class MuffinPipeline:
                         seconds=float(stats.metrics_seconds),
                         hash=stage_hash,
                         detail="vectorized fairness evaluation inside the search stage",
+                    )
+                )
+                self.timings.append(
+                    StageTiming(
+                        stage="training",
+                        status="ran",
+                        seconds=float(stats.train_seconds),
+                        hash=stage_hash,
+                        detail="muffin-head training inside the search stage "
+                        "(fused batched kernels unless use_fused is disabled)",
                     )
                 )
         self._manifest[stage] = {
@@ -371,7 +382,7 @@ class MuffinPipeline:
                 num_paired=spec.num_paired,
                 search_config=spec.search_config(self.spec.execution),
                 reward_config=spec.reward_config(),
-                head_config=spec.head_config(),
+                head_config=spec.head_config(self.spec.execution),
                 reward_builder=spec.reward,
                 body_cache=self.body_cache,
             )

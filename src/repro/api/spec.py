@@ -143,8 +143,12 @@ class SearchSpec:
             **kwargs,
         )
 
-    def head_config(self) -> HeadTrainConfig:
-        return HeadTrainConfig(epochs=self.head_epochs, batch_size=self.head_batch_size)
+    def head_config(self, execution: Optional["ExecutionSpec"] = None) -> HeadTrainConfig:
+        return HeadTrainConfig(
+            epochs=self.head_epochs,
+            batch_size=self.head_batch_size,
+            use_fused=execution.use_fused if execution is not None else True,
+        )
 
     def reward_config(self) -> RewardConfig:
         return RewardConfig(attributes=self.attributes)
@@ -166,6 +170,10 @@ class ExecutionSpec:
     max_workers: Optional[int] = None
     #: memoise evaluations on their (candidate, seed) key
     memoize: bool = True
+    #: train eligible muffin heads through the fused closed-form kernels
+    #: (bit-identical to the autograd path, much faster); ``False`` restores
+    #: the per-candidate autograd loop dispatched through the executor
+    use_fused: bool = True
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:

@@ -132,6 +132,11 @@ class MuffinBody:
 class MuffinHead(nn.Module):
     """The controller-chosen MLP that arbitrates body disagreements."""
 
+    #: the head's forward is exactly ``self.mlp(x)``, so the fused-kernel
+    #: eligibility walk (:func:`repro.nn.fused.extract_fused_stack`) may
+    #: unwrap it to the underlying Linear/ReLU stack
+    fused_delegate = "mlp"
+
     def __init__(
         self,
         body_output_dim: int,

@@ -51,6 +51,12 @@ class ExecutionStats:
     #: wall-clock spent inside the vectorized metrics engine (a subset of
     #: ``eval_seconds``): the search's per-batch fairness scoring
     metrics_seconds: float = 0.0
+    #: wall-clock of the candidate-evaluation work (a subset of
+    #: ``eval_seconds``): head training — fused batched kernels, or the
+    #: executor-mapped autograd loop — plus each candidate's evaluation
+    #: forward/arbitration and, for parallel executors, the lazy worker-pool
+    #: spin-up on the first batch
+    train_seconds: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -63,6 +69,7 @@ class ExecutionStats:
             "body_cache_misses": self.body_cache_misses,
             "eval_seconds": round(float(self.eval_seconds), 4),
             "metrics_seconds": round(float(self.metrics_seconds), 4),
+            "train_seconds": round(float(self.train_seconds), 4),
         }
 
     @classmethod
@@ -77,6 +84,7 @@ class ExecutionStats:
             body_cache_misses=int(payload.get("body_cache_misses", 0)),
             eval_seconds=float(payload.get("eval_seconds", 0.0)),
             metrics_seconds=float(payload.get("metrics_seconds", 0.0)),
+            train_seconds=float(payload.get("train_seconds", 0.0)),
         )
 
 

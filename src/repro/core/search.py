@@ -65,7 +65,12 @@ from .results import (
 )
 from .reward import REWARDS, MultiFairnessReward, RewardConfig
 from .search_space import FusingCandidate, SearchSpace
-from .trainer import HeadTrainConfig, train_head, train_head_on_outputs
+from .trainer import (
+    HeadTrainConfig,
+    train_head,
+    train_head_on_outputs,
+    train_heads_batched,
+)
 
 #: Partitions a :class:`~repro.data.splits.DataSplit` exposes by name.
 VALID_PARTITIONS = ("train", "val", "test")
@@ -319,6 +324,35 @@ class EvaluationOutcome:
     head_parameters: int
 
 
+def _build_task_head(task: EvaluationTask) -> MuffinHead:
+    """The fresh, seeded head a task's evaluation trains."""
+    return MuffinHead(
+        body_output_dim=int(task.proxy_outputs.shape[1]),
+        num_classes=task.num_classes,
+        hidden_sizes=task.hidden_sizes,
+        activation=task.activation,
+        seed=task.seed,
+    )
+
+
+def _finish_task(task: EvaluationTask, head: MuffinHead, losses: List[float]) -> EvaluationOutcome:
+    """Predict, arbitrate and assemble the outcome of one trained head.
+
+    Shared by :func:`evaluate_task` and :func:`evaluate_task_batch` so the
+    two paths cannot structurally drift.
+    """
+    from .. import nn
+
+    head_predictions = head(nn.Tensor(task.eval_outputs)).data.argmax(axis=-1)
+    arbitrated = consensus_arbitrate_labels(task.eval_member_labels, head_predictions)
+    return EvaluationOutcome(
+        predictions=arbitrated.predictions,
+        head_state=head.state_dict(),
+        losses=list(losses),
+        head_parameters=head.num_parameters(),
+    )
+
+
 def evaluate_task(task: EvaluationTask) -> EvaluationOutcome:
     """Train one muffin head and predict on the evaluation partition.
 
@@ -329,15 +363,7 @@ def evaluate_task(task: EvaluationTask) -> EvaluationOutcome:
     :func:`~repro.core.fusing.consensus_arbitrate_labels` using the member
     labels precomputed once for the whole batch.
     """
-    from .. import nn
-
-    head = MuffinHead(
-        body_output_dim=int(task.proxy_outputs.shape[1]),
-        num_classes=task.num_classes,
-        hidden_sizes=task.hidden_sizes,
-        activation=task.activation,
-        seed=task.seed,
-    )
+    head = _build_task_head(task)
     train_result = train_head_on_outputs(
         head,
         task.proxy_outputs,
@@ -346,14 +372,51 @@ def evaluate_task(task: EvaluationTask) -> EvaluationOutcome:
         task.num_classes,
         task.head_config,
     )
-    head_predictions = head(nn.Tensor(task.eval_outputs)).data.argmax(axis=-1)
-    arbitrated = consensus_arbitrate_labels(task.eval_member_labels, head_predictions)
-    return EvaluationOutcome(
-        predictions=arbitrated.predictions,
-        head_state=head.state_dict(),
-        losses=list(train_result.losses),
-        head_parameters=head.num_parameters(),
-    )
+    return _finish_task(task, head, train_result.losses)
+
+
+def evaluate_task_batch(tasks: Sequence[EvaluationTask]) -> List[EvaluationOutcome]:
+    """Evaluate a whole episode batch through the fused batched trainer.
+
+    Tasks sharing one proxy (labels, weights, training config — the normal
+    case: every episode of a batch trains on the same proxy dataset) are
+    trained *simultaneously* by :func:`~repro.core.trainer.train_heads_batched`,
+    which stacks same-shape candidate heads into flat ``(C, P)`` parameter
+    blocks and runs one batched forward/backward per minibatch.  Heads the
+    fused kernels cannot express (non-ReLU activations) fall back to the
+    per-task path inside the batched trainer.  Outcomes are **bit-identical**
+    to mapping :func:`evaluate_task` over the tasks, in input order.
+    """
+    outcomes: List[Optional[EvaluationOutcome]] = [None] * len(tasks)
+    group_indices: List[List[int]] = []
+    for index, task in enumerate(tasks):
+        for indices in group_indices:
+            rep = tasks[indices[0]]
+            if (
+                task.head_config == rep.head_config
+                and task.num_classes == rep.num_classes
+                and np.array_equal(task.proxy_labels, rep.proxy_labels)
+                and np.array_equal(task.proxy_weights, rep.proxy_weights)
+            ):
+                indices.append(index)
+                break
+        else:
+            group_indices.append([index])
+
+    for indices in group_indices:
+        rep = tasks[indices[0]]
+        heads = [_build_task_head(tasks[i]) for i in indices]
+        train_results = train_heads_batched(
+            heads,
+            [tasks[i].proxy_outputs for i in indices],
+            rep.proxy_labels,
+            rep.proxy_weights,
+            rep.num_classes,
+            rep.head_config,
+        )
+        for i, head, train_result in zip(indices, heads, train_results):
+            outcomes[i] = _finish_task(tasks[i], head, train_result.losses)
+    return [outcome for outcome in outcomes if outcome is not None]
 
 
 class MuffinSearch:
@@ -403,6 +466,10 @@ class MuffinSearch:
         self._eval_engine = EvaluationEngine.for_dataset(self.eval_dataset, self.attributes)
         #: cumulative wall-clock spent scoring predictions in the engine
         self.metrics_seconds = 0.0
+        #: cumulative wall-clock of candidate-evaluation work: head training
+        #: (the fused-kernel hot path) plus each candidate's evaluation
+        #: forward and arbitration
+        self.train_seconds = 0.0
         self._rng = get_rng(self.search_config.seed)
         self.logger = RunLogger(name="muffin-search", verbose=self.search_config.verbose)
         #: (candidate, seed) -> EpisodeRecord memo shared by every run()
@@ -574,16 +641,47 @@ class MuffinSearch:
         outcomes: List[EvaluationOutcome] = []
         if to_evaluate:
             tasks = [self._task_for(candidate, seed) for candidate, seed in to_evaluate]
-            own_executor = executor is None
-            if own_executor:
-                executor = build_executor(
-                    self.search_config.executor, self.search_config.max_workers
-                )
-            try:
-                outcomes = executor.map(evaluate_task, tasks)
-            finally:
+            train_start = time.perf_counter()
+            # Partition: ReLU heads are Linear/ReLU stacks the fused batched
+            # kernels express, so they train simultaneously on the calling
+            # thread (nothing left to parallelise); everything else — other
+            # activations, or the whole batch under use_fused=False — keeps
+            # the per-candidate autograd path dispatched through the
+            # executor.  Results are bit-identical either way, so the split
+            # only moves wall-clock.
+            use_fused = self.head_config.use_fused
+            fused_indices = [
+                index
+                for index, task in enumerate(tasks)
+                if use_fused and task.activation == "relu"
+            ]
+            fused_index_set = set(fused_indices)
+            other_indices = [
+                index for index in range(len(tasks)) if index not in fused_index_set
+            ]
+            placed: List[Optional[EvaluationOutcome]] = [None] * len(tasks)
+            if fused_indices:
+                for index, outcome in zip(
+                    fused_indices, evaluate_task_batch([tasks[i] for i in fused_indices])
+                ):
+                    placed[index] = outcome
+            if other_indices:
+                own_executor = executor is None
                 if own_executor:
-                    executor.shutdown()
+                    executor = build_executor(
+                        self.search_config.executor, self.search_config.max_workers
+                    )
+                try:
+                    mapped = executor.map(
+                        evaluate_task, [tasks[i] for i in other_indices]
+                    )
+                finally:
+                    if own_executor:
+                        executor.shutdown()
+                for index, outcome in zip(other_indices, mapped):
+                    placed[index] = outcome
+            outcomes = [outcome for outcome in placed if outcome is not None]
+            self.train_seconds += time.perf_counter() - train_start
 
         fresh_records = self._records_from_outcomes(
             [candidate for candidate, _ in to_evaluate],
@@ -672,6 +770,7 @@ class MuffinSearch:
         memo_hits_before = self.memo_hits
         memo_misses_before = self.memo_misses
         metrics_seconds_before = self.metrics_seconds
+        train_seconds_before = self.train_seconds
         # Request-level cache counters: per-model and concatenated lookups.
         cache_hits_before = self._cache.hits + self._cache.concat_hits
         cache_misses_before = self._cache.misses + self._cache.concat_misses
@@ -725,6 +824,7 @@ class MuffinSearch:
             - cache_misses_before,
             eval_seconds=time.perf_counter() - start_time,
             metrics_seconds=self.metrics_seconds - metrics_seconds_before,
+            train_seconds=self.train_seconds - train_seconds_before,
         )
         return MuffinSearchResult(
             records=records,

@@ -5,17 +5,34 @@ is the proxy dataset of :mod:`repro.core.proxy`, the loss is the weighted
 MSE of Equation 2 (a weighted cross-entropy variant is also provided for
 ablations), and the optimiser defaults to Adam, which converges in a few
 dozen epochs on the small head.
+
+Two implementations produce bit-identical results:
+
+* the **autograd reference** — the closure-based tape of
+  :mod:`repro.nn.tensor`, kept as the always-correct oracle for any head
+  structure;
+* the **fused fast path** — the closed-form kernels of
+  :mod:`repro.nn.fused`, used automatically for eligible heads (pure
+  Linear/ReLU stacks, which is every ``relu`` candidate the search space
+  produces).  :func:`train_heads_batched` extends it across a whole episode
+  batch, training C candidate heads simultaneously on stacked ``(C, in,
+  out)`` parameter blocks — one batched forward/backward per minibatch for
+  the entire batch.
+
+``HeadTrainConfig.use_fused`` is the escape hatch: ``False`` forces the
+autograd path everywhere (and restores per-candidate dispatch through the
+search's executor).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from .. import nn
-from ..data.dataset import FairnessDataset
+from ..nn.fused import extract_fused_stack, train_linear_relu_stacks
 from ..utils.rng import get_rng
 from .fusing import FusedModel
 from .proxy import ProxyDataset
@@ -34,6 +51,11 @@ class HeadTrainConfig:
     loss: str = "weighted_mse"
     seed: int = 0
     verbose: bool = False
+    #: dispatch eligible heads (pure Linear/ReLU stacks) to the graph-free
+    #: fused kernels of :mod:`repro.nn.fused`.  Results are bit-identical to
+    #: the autograd path; ``False`` forces the closure-based reference loop
+    #: (and, in the search, per-candidate dispatch through the executor).
+    use_fused: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs <= 0 or self.batch_size <= 0:
@@ -60,28 +82,9 @@ class HeadTrainResult:
         return {"losses": list(self.losses), "proxy_size": self.proxy_size, "epochs": self.epochs}
 
 
-def train_head_on_outputs(
-    head: nn.Module,
-    body_outputs: np.ndarray,
-    labels: np.ndarray,
-    sample_weights: np.ndarray,
-    num_classes: int,
-    config: Optional[HeadTrainConfig] = None,
-) -> HeadTrainResult:
-    """Train ``head`` on pre-computed body outputs with the Equation-2 loss.
-
-    This is the executor-safe core of :func:`train_head`: it is a pure
-    function of picklable inputs (numpy arrays and a plain config), seeds a
-    *local* generator from ``config.seed`` (no shared-RNG mutation), and
-    touches no live model or dataset objects — so the search loop can run it
-    concurrently on threads or worker processes with bit-identical results.
-    """
-    config = config or HeadTrainConfig()
-    rng = get_rng(config.seed)
-
-    body_outputs = np.asarray(body_outputs, dtype=np.float64)
-    labels = np.asarray(labels, dtype=np.int64)
-    weights = np.asarray(sample_weights, dtype=np.float64)
+def _validate_training_inputs(
+    body_outputs: np.ndarray, labels: np.ndarray, weights: np.ndarray
+) -> None:
     n = labels.shape[0]
     if body_outputs.ndim != 2 or body_outputs.shape[0] != n:
         raise ValueError(
@@ -89,6 +92,19 @@ def train_head_on_outputs(
         )
     if weights.shape[0] != n:
         raise ValueError(f"sample_weights must have {n} entries, got {weights.shape[0]}")
+
+
+def _train_head_autograd(
+    head: nn.Module,
+    body_outputs: np.ndarray,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    num_classes: int,
+    config: HeadTrainConfig,
+) -> HeadTrainResult:
+    """The closure-based autograd reference loop (the fused path's oracle)."""
+    rng = get_rng(config.seed)
+    n = labels.shape[0]
 
     params = list(head.parameters())
     if config.optimizer == "adam":
@@ -110,7 +126,9 @@ def train_head_on_outputs(
                 loss = mse_loss(logits, labels[idx], weights[idx])
             else:
                 loss = ce_loss(logits, labels[idx], sample_weights=weights[idx])
-            head.zero_grad()
+            # Zero in place: the gradient buffers allocated on the first
+            # backward are reused for the whole run.
+            head.zero_grad(set_to_none=False)
             loss.backward()
             optimizer.step()
             epoch_losses.append(loss.item())
@@ -118,6 +136,134 @@ def train_head_on_outputs(
         if config.verbose:
             print(f"[muffin-head] epoch {epoch + 1}/{config.epochs} loss={result.losses[-1]:.5f}")
     return result
+
+
+def train_head_on_outputs(
+    head: nn.Module,
+    body_outputs: np.ndarray,
+    labels: np.ndarray,
+    sample_weights: np.ndarray,
+    num_classes: int,
+    config: Optional[HeadTrainConfig] = None,
+) -> HeadTrainResult:
+    """Train ``head`` on pre-computed body outputs with the Equation-2 loss.
+
+    This is the executor-safe core of :func:`train_head`: it is a pure
+    function of picklable inputs (numpy arrays and a plain config), seeds a
+    *local* generator from ``config.seed`` (no shared-RNG mutation), and
+    touches no live model or dataset objects — so the search loop can run it
+    concurrently on threads or worker processes with bit-identical results.
+
+    Heads that are pure Linear/ReLU stacks take the fused closed-form fast
+    path (:mod:`repro.nn.fused`) unless ``config.use_fused`` is ``False``;
+    anything else falls back to the autograd reference loop.  Both paths
+    return bit-identical weights and loss curves.
+    """
+    config = config or HeadTrainConfig()
+
+    body_outputs = np.asarray(body_outputs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    weights = np.asarray(sample_weights, dtype=np.float64)
+    _validate_training_inputs(body_outputs, labels, weights)
+
+    if config.use_fused:
+        stack = extract_fused_stack(head)
+        if stack is not None:
+            curves = train_linear_relu_stacks(
+                [stack],
+                [body_outputs],
+                labels,
+                weights,
+                num_classes,
+                epochs=config.epochs,
+                batch_size=config.batch_size,
+                lr=config.lr,
+                weight_decay=config.weight_decay,
+                optimizer=config.optimizer,
+                loss=config.loss,
+                seed=config.seed,
+            )
+            result = HeadTrainResult(
+                losses=curves[0], proxy_size=labels.shape[0], epochs=config.epochs
+            )
+            if config.verbose:
+                for epoch, value in enumerate(result.losses):
+                    print(
+                        f"[muffin-head] epoch {epoch + 1}/{config.epochs} loss={value:.5f}"
+                    )
+            return result
+
+    return _train_head_autograd(head, body_outputs, labels, weights, num_classes, config)
+
+
+def train_heads_batched(
+    heads: Sequence[nn.Module],
+    body_outputs: Sequence[np.ndarray],
+    labels: np.ndarray,
+    sample_weights: np.ndarray,
+    num_classes: int,
+    config: Optional[HeadTrainConfig] = None,
+) -> List[HeadTrainResult]:
+    """Train ``C`` candidate heads *simultaneously* on one shared proxy.
+
+    ``heads[c]`` is trained on ``body_outputs[c]`` (its own concatenated
+    body-probability matrix — candidates select different model subsets, so
+    widths may differ) against the shared ``labels``/``sample_weights`` of
+    the episode batch's proxy dataset.  Heads are grouped by layer-shape
+    signature; each group's parameters are stacked into flat ``(C, P)``
+    buffers and trained with one batched forward/backward per minibatch
+    (:func:`repro.nn.fused.train_linear_relu_stacks`).
+
+    Results are **bit-identical** to calling :func:`train_head_on_outputs`
+    on each head alone: all heads share ``config`` (hence the same seeded
+    shuffle stream), and the batched kernels replicate the autograd op order
+    per candidate.  Heads that are not pure Linear/ReLU stacks — or every
+    head, when ``config.use_fused`` is ``False`` — fall back to the per-head
+    path transparently.
+    """
+    config = config or HeadTrainConfig()
+    heads = list(heads)
+    if len(heads) != len(body_outputs):
+        raise ValueError("heads and body_outputs must align one-to-one")
+    labels = np.asarray(labels, dtype=np.int64)
+    weights = np.asarray(sample_weights, dtype=np.float64)
+    matrices = [np.asarray(outputs, dtype=np.float64) for outputs in body_outputs]
+    for matrix in matrices:
+        _validate_training_inputs(matrix, labels, weights)
+
+    results: List[Optional[HeadTrainResult]] = [None] * len(heads)
+    groups: Dict[tuple, List[int]] = {}
+    stacks = []
+    for index, head in enumerate(heads):
+        stack = extract_fused_stack(head) if config.use_fused else None
+        stacks.append(stack)
+        if stack is None:
+            results[index] = train_head_on_outputs(
+                head, matrices[index], labels, weights, num_classes, config
+            )
+        else:
+            groups.setdefault(stack.shapes, []).append(index)
+
+    for indices in groups.values():
+        curves = train_linear_relu_stacks(
+            [stacks[i] for i in indices],
+            [matrices[i] for i in indices],
+            labels,
+            weights,
+            num_classes,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            lr=config.lr,
+            weight_decay=config.weight_decay,
+            optimizer=config.optimizer,
+            loss=config.loss,
+            seed=config.seed,
+        )
+        for index, curve in zip(indices, curves):
+            results[index] = HeadTrainResult(
+                losses=curve, proxy_size=labels.shape[0], epochs=config.epochs
+            )
+    return [result for result in results if result is not None]
 
 
 def train_head(

@@ -12,7 +12,7 @@ compact, fully self-contained implementation:
 * :mod:`repro.nn.rnn` — recurrent cells for the RNN controller.
 """
 
-from . import functional
+from . import functional, fused
 from .losses import CrossEntropyLoss, FairRegularizedLoss, WeightedMSELoss
 from .modules import (
     ACTIVATIONS,
@@ -35,6 +35,7 @@ from .tensor import Tensor, ones, stack_tensors, tensor, zeros
 
 __all__ = [
     "functional",
+    "fused",
     "Tensor",
     "tensor",
     "zeros",

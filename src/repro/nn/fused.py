@@ -1,0 +1,481 @@
+"""Graph-free fused training kernels for Linear/ReLU MLP stacks.
+
+The muffin head is a small Linear/ReLU MLP trained with the Equation-2
+weighted-MSE loss (or the weighted cross-entropy ablation).  Pushing every
+minibatch through the closure-based autograd graph of
+:mod:`repro.nn.tensor` pays Python-level overhead per op, per parameter,
+per batch, per epoch — for a model whose whole forward/backward is a
+handful of GEMMs.  This module hand-derives the closed-form forward and
+backward passes and the Adam/SGD update steps as large numpy calls that
+are **bit-identical** to the autograd reference: every kernel replicates
+the exact float64 expression order the tape-based backward would execute
+(same intermediates, same accumulation order, same reductions), so trained
+weights and recorded loss curves match the oracle to the last bit — the
+property :mod:`tests.test_nn_fused` asserts across randomized
+configurations.
+
+All kernels carry a leading candidate axis ``C``: C heads with the same
+layer shapes train *simultaneously*, their parameters packed into one flat
+contiguous ``(C, P)`` buffer whose per-layer views are ``(C, in, out)``
+weight blocks.  numpy's stacked matmul dispatches the same per-slice BLAS
+GEMM a 2-D call would (each candidate's block is a contiguous 2-D matrix),
+so the batched path stays bit-identical to training each head alone while
+amortising the Python interpreter and the optimiser bookkeeping across the
+whole episode batch.  A single head is simply the ``C == 1`` case.
+
+Eligibility is structural, not nominal: :func:`extract_fused_stack` walks a
+module tree and succeeds only for a pure ``Linear (ReLU Linear)*`` chain
+with biases (optionally reached through ``Sequential`` / ``MLP`` containers
+or a module declaring ``fused_delegate``).  Anything else — other
+activations, dropout, custom layers — returns ``None`` and the caller keeps
+the autograd path, so the fast path can never silently change results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .modules import MLP, Linear, Module, ReLU, Sequential
+
+__all__ = [
+    "FusedStack",
+    "FusedParamBlock",
+    "FusedAdam",
+    "FusedSGD",
+    "extract_fused_stack",
+    "train_linear_relu_stacks",
+]
+
+
+# ----------------------------------------------------------------------
+# Structural eligibility
+# ----------------------------------------------------------------------
+@dataclass
+class FusedStack:
+    """The ordered ``Linear`` layers of one eligible Linear/ReLU MLP."""
+
+    linears: List[Linear]
+
+    @property
+    def shapes(self) -> Tuple[Tuple[int, int], ...]:
+        """Per-layer ``(in_features, out_features)`` — the grouping key."""
+        return tuple((lin.in_features, lin.out_features) for lin in self.linears)
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(fin * fout + fout for fin, fout in self.shapes)
+
+
+def _flatten_layers(module: Module) -> Optional[List[Module]]:
+    """Flatten ``module`` into its forward-order layer list, or ``None``.
+
+    Only containers whose forward is provably "apply children in order" are
+    unwrapped: ``Sequential``, ``MLP`` and modules that *opt in* by naming
+    their single delegate child in a ``fused_delegate`` attribute (e.g.
+    ``MuffinHead`` wraps one ``MLP``).  A module we cannot prove is a plain
+    chain makes the whole stack ineligible rather than risking a silently
+    different forward.
+    """
+    if isinstance(module, (Linear, ReLU)):
+        return [module]
+    if isinstance(module, MLP):
+        return _flatten_layers(module.body)
+    if isinstance(module, Sequential):
+        collected: List[Module] = []
+        for layer in module:
+            flat = _flatten_layers(layer)
+            if flat is None:
+                return None
+            collected.extend(flat)
+        return collected
+    delegate = getattr(module, "fused_delegate", None)
+    if isinstance(delegate, str):
+        child = getattr(module, delegate, None)
+        if isinstance(child, Module):
+            return _flatten_layers(child)
+    return None
+
+
+def extract_fused_stack(module: Module) -> Optional[FusedStack]:
+    """Return the module's Linear/ReLU stack if it is fusion-eligible.
+
+    Eligible means the flattened layer sequence is exactly
+    ``Linear (ReLU Linear)*`` and every ``Linear`` has a bias — the shape of
+    every muffin head the search space produces with the ``relu``
+    activation.  Returns ``None`` (caller keeps the autograd path) for
+    anything else.
+    """
+    layers = _flatten_layers(module)
+    if not layers:
+        return None
+    linears: List[Linear] = []
+    expect_linear = True
+    for layer in layers:
+        if expect_linear:
+            if not isinstance(layer, Linear) or layer.bias is None:
+                return None
+            linears.append(layer)
+            expect_linear = False
+        else:
+            if not isinstance(layer, ReLU):
+                return None
+            expect_linear = True
+    if expect_linear:  # sequence ended on a ReLU
+        return None
+    return FusedStack(linears)
+
+
+# ----------------------------------------------------------------------
+# Flat contiguous parameter block
+# ----------------------------------------------------------------------
+class FusedParamBlock:
+    """``C`` same-shape stacks packed into flat ``(C, P)`` buffers.
+
+    ``theta`` holds the parameters, ``grad`` the gradients; both expose
+    per-layer views (``(C, in, out)`` weights, ``(C, 1, out)`` biases) into
+    the same memory, so the forward/backward kernels read and write the
+    exact buffers the flat optimiser updates — no copies per minibatch.
+    """
+
+    def __init__(self, stacks: Sequence[FusedStack]) -> None:
+        if not stacks:
+            raise ValueError("FusedParamBlock needs at least one stack")
+        shapes = stacks[0].shapes
+        for stack in stacks[1:]:
+            if stack.shapes != shapes:
+                raise ValueError(
+                    f"all stacks must share one shape signature; got {stack.shapes} "
+                    f"vs {shapes}"
+                )
+        self.stacks = list(stacks)
+        self.shapes = shapes
+        self.num_candidates = len(self.stacks)
+        self.num_parameters = sum(fin * fout + fout for fin, fout in shapes)
+
+        C, P = self.num_candidates, self.num_parameters
+        self.theta = np.empty((C, P), dtype=np.float64)
+        self.grad = np.zeros((C, P), dtype=np.float64)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        self.grad_weights: List[np.ndarray] = []
+        self.grad_biases: List[np.ndarray] = []
+        offset = 0
+        for fin, fout in shapes:
+            size = fin * fout
+            self.weights.append(self.theta[:, offset : offset + size].reshape(C, fin, fout))
+            self.grad_weights.append(self.grad[:, offset : offset + size].reshape(C, fin, fout))
+            offset += size
+            self.biases.append(self.theta[:, offset : offset + fout].reshape(C, 1, fout))
+            self.grad_biases.append(self.grad[:, offset : offset + fout].reshape(C, fout))
+            offset += fout
+        for c, stack in enumerate(self.stacks):
+            for layer, linear in enumerate(stack.linears):
+                self.weights[layer][c] = linear.weight.data
+                self.biases[layer][c, 0] = linear.bias.data
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.shapes)
+
+    def write_back(self) -> None:
+        """Copy the trained flat parameters back into the live modules."""
+        for c, stack in enumerate(self.stacks):
+            for layer, linear in enumerate(stack.linears):
+                linear.weight.data = self.weights[layer][c].copy()
+                linear.bias.data = self.biases[layer][c, 0].copy()
+
+
+# ----------------------------------------------------------------------
+# Closed-form forward / backward
+# ----------------------------------------------------------------------
+def _forward(weights, biases, x: np.ndarray):
+    """Batched MLP forward; returns (logits, layer inputs, relu masks).
+
+    Replicates the autograd op order exactly: ``z = a @ W`` then
+    ``z = z + b``, and ReLU as ``mask = (z > 0); a = z * mask`` (the mask
+    multiply — not ``np.maximum`` — preserves autograd's signed zeros).
+    """
+    activations = [x]
+    masks: List[np.ndarray] = []
+    a = x
+    last = len(weights) - 1
+    for layer in range(last + 1):
+        z = np.matmul(a, weights[layer])
+        z = z + biases[layer]
+        if layer < last:
+            mask = (z > 0).astype(np.float64)
+            a = z * mask
+            masks.append(mask)
+            activations.append(a)
+        else:
+            a = z
+    return a, activations, masks
+
+
+def _backward(weights, grad_weights, grad_biases, g_logits: np.ndarray, activations, masks) -> None:
+    """Batched backward from the logits gradient into the flat grad buffer.
+
+    Mirrors the tape: bias gradients are the batch-axis sum, weight
+    gradients ``aᵀ @ g``, and the activation gradient ``(g @ Wᵀ) * mask``.
+    """
+    g = g_logits
+    for layer in range(len(weights) - 1, -1, -1):
+        np.sum(g, axis=1, out=grad_biases[layer])
+        np.matmul(activations[layer].swapaxes(1, 2), g, out=grad_weights[layer])
+        if layer > 0:
+            g = np.matmul(g, weights[layer].swapaxes(1, 2)) * masks[layer - 1]
+
+
+def _weighted_mse_value_and_grad(
+    logits: np.ndarray, target_dist: np.ndarray, batch_weights: np.ndarray
+):
+    """Equation-2 weighted-MSE loss values and logits gradient.
+
+    ``logits`` is ``(C, B, K)``; ``target_dist``/``batch_weights`` are the
+    shared ``(B, K)`` one-hot targets and ``(B,)`` proxy weights.  Every
+    expression below replicates one autograd node (softmax → one-hot diff →
+    squared error → per-sample mean → weighted mean) and its backward
+    closure in the order the tape would run them.
+    """
+    B, K = logits.shape[-2], logits.shape[-1]
+    mx = logits.max(axis=-1, keepdims=True)
+    shifted = logits - mx
+    ex = np.exp(shifted)
+    s = ex.sum(axis=-1, keepdims=True)
+    probs = ex / s
+    diff = probs - target_dist
+    sq = diff * diff
+    per_sample = sq.sum(axis=-1) * (1.0 / K)
+    wt = batch_weights / max(batch_weights.mean(), 1e-12)
+    losses = (per_sample * wt).sum(axis=-1) * (1.0 / B)
+
+    # Backward, node by node: mean → weighted mul → per-class mean → square
+    # → softmax (division then sum accumulation into the exp node).
+    g_per_sample = wt * (1.0 / B)
+    g_sq = (g_per_sample * (1.0 / K))[..., None]
+    t = g_sq * diff
+    g_diff = t + t
+    g_ex = g_diff / s
+    g_s = (((-g_diff) * ex) / (s ** 2)).sum(axis=-1, keepdims=True)
+    g_ex = g_ex + g_s
+    g_logits = g_ex * ex
+    return losses, g_logits
+
+
+def _weighted_ce_value_and_grad(
+    logits: np.ndarray, target_dist: np.ndarray, batch_weights: np.ndarray
+):
+    """Weighted cross-entropy (the Equation-2 ablation) values and gradient.
+
+    Matches :func:`repro.nn.functional.cross_entropy` with per-sample
+    weights and no label smoothing: log-softmax, one-hot dot product, and
+    sum-normalised weights.
+    """
+    norm = batch_weights.sum()
+    if norm <= 0:
+        raise ValueError("weights must sum to a positive value")
+    mx = logits.max(axis=-1, keepdims=True)
+    shifted = logits - mx
+    ex = np.exp(shifted)
+    s = ex.sum(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(s)
+    per_sample = -((target_dist * log_probs).sum(axis=-1))
+    wn = batch_weights / norm
+    losses = (per_sample * wn).sum(axis=-1)
+
+    # Backward: weighted sum → negation → per-class sum → log-softmax
+    # (the shifted node accumulates the direct and the exp-path gradients).
+    g_lp = (-wn)[..., None] * target_dist
+    g_lg = (-g_lp).sum(axis=-1, keepdims=True)
+    g_s = g_lg / s
+    g_logits = g_lp + g_s * ex
+    return losses, g_logits
+
+
+_LOSS_KERNELS = {
+    "weighted_mse": _weighted_mse_value_and_grad,
+    "weighted_ce": _weighted_ce_value_and_grad,
+}
+
+
+# ----------------------------------------------------------------------
+# Fused optimisers on flat buffers
+# ----------------------------------------------------------------------
+class FusedAdam:
+    """Adam on one flat ``(C, P)`` buffer, bit-identical to :class:`repro.nn.Adam`.
+
+    Every expression keeps the reference op order (``m ← β₁m + (1-β₁)g``
+    etc.); moment and scratch buffers are allocated once and reused, so a
+    step performs zero allocations.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, ...],
+        lr: float,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.lr = float(lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = np.zeros(shape, dtype=np.float64)
+        self._v = np.zeros(shape, dtype=np.float64)
+        self._scratch = np.empty(shape, dtype=np.float64)
+        self._scratch2 = np.empty(shape, dtype=np.float64)
+
+    def step(self, theta: np.ndarray, grad: np.ndarray) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        if self.weight_decay:
+            np.multiply(theta, self.weight_decay, out=self._scratch)
+            grad = np.add(grad, self._scratch, out=self._scratch)
+        self._m *= self.beta1
+        np.multiply(grad, 1.0 - self.beta1, out=self._scratch2)
+        self._m += self._scratch2
+        self._v *= self.beta2
+        np.multiply(grad, grad, out=self._scratch2)
+        self._scratch2 *= 1.0 - self.beta2
+        self._v += self._scratch2
+        m_hat = np.divide(self._m, bias1, out=self._scratch2)
+        denom = np.divide(self._v, bias2, out=self._scratch)
+        np.sqrt(denom, out=denom)
+        denom += self.eps
+        m_hat *= self.lr
+        np.divide(m_hat, denom, out=m_hat)
+        theta -= m_hat
+
+
+class FusedSGD:
+    """Momentum SGD on one flat ``(C, P)`` buffer, matching :class:`repro.nn.SGD`."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, ...],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.lr = float(lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = np.zeros(shape, dtype=np.float64)
+        self._scratch = np.empty(shape, dtype=np.float64)
+
+    def step(self, theta: np.ndarray, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            np.multiply(theta, self.weight_decay, out=self._scratch)
+            grad = np.add(grad, self._scratch, out=self._scratch)
+        if self.momentum:
+            self._velocity *= self.momentum
+            self._velocity += grad
+            update = self._velocity
+            np.multiply(update, self.lr, out=self._scratch)
+            theta -= self._scratch
+        else:
+            update = np.multiply(grad, self.lr, out=self._scratch)
+            theta -= update
+
+
+# ----------------------------------------------------------------------
+# The fused training loop
+# ----------------------------------------------------------------------
+def train_linear_relu_stacks(
+    stacks: Sequence[FusedStack],
+    inputs: Sequence[np.ndarray],
+    labels: np.ndarray,
+    sample_weights: np.ndarray,
+    num_classes: int,
+    *,
+    epochs: int,
+    batch_size: int,
+    lr: float,
+    weight_decay: float = 0.0,
+    optimizer: str = "adam",
+    loss: str = "weighted_mse",
+    seed: int = 0,
+) -> List[List[float]]:
+    """Train ``C`` same-shape stacks simultaneously; returns per-head loss curves.
+
+    ``inputs[c]`` is head ``c``'s ``(n, in)`` body-output matrix;
+    ``labels``/``sample_weights`` are shared across heads (one proxy dataset
+    serves a whole episode batch).  Shuffles come from one generator seeded
+    with ``seed`` — the exact stream the autograd reference draws — so every
+    head sees the reference minibatch order and the trained parameters are
+    bit-identical to ``C`` independent reference runs.
+    """
+    if loss not in _LOSS_KERNELS:
+        raise ValueError(f"loss must be one of {sorted(_LOSS_KERNELS)}, got '{loss}'")
+    if optimizer not in {"adam", "sgd"}:
+        raise ValueError(f"optimizer must be 'adam' or 'sgd', got '{optimizer}'")
+    if len(stacks) != len(inputs):
+        raise ValueError("stacks and inputs must align one-to-one")
+    labels = np.asarray(labels, dtype=np.int64)
+    weights = np.asarray(sample_weights, dtype=np.float64)
+    n = labels.shape[0]
+    stacked_inputs = []
+    for stack, matrix in zip(stacks, inputs):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        expected = (n, stack.shapes[0][0])
+        if matrix.shape != expected:
+            raise ValueError(f"inputs must have shape {expected}, got {matrix.shape}")
+        stacked_inputs.append(matrix)
+    if weights.shape != (n,):
+        raise ValueError(f"sample_weights must have {n} entries, got {weights.shape}")
+    if stacks[0].shapes[-1][1] != num_classes:
+        raise ValueError(
+            f"stack output width {stacks[0].shapes[-1][1]} != num_classes {num_classes}"
+        )
+
+    block = FusedParamBlock(stacks)
+    X = np.stack(stacked_inputs)  # (C, n, in)
+    one_hot = np.zeros((n, num_classes), dtype=np.float64)
+    one_hot[np.arange(n), labels] = 1.0
+
+    shape = block.theta.shape
+    if optimizer == "adam":
+        opt = FusedAdam(shape, lr=lr, weight_decay=weight_decay)
+    else:
+        opt = FusedSGD(shape, lr=lr, momentum=0.9, weight_decay=weight_decay)
+    loss_kernel = _LOSS_KERNELS[loss]
+
+    rng = np.random.default_rng(seed)
+    num_heads = block.num_candidates
+    layer_weights = block.weights
+    layer_biases = block.biases
+    grad_weights = block.grad_weights
+    grad_biases = block.grad_biases
+    theta, grad = block.theta, block.grad
+    curves: List[List[float]] = [[] for _ in range(num_heads)]
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        x_epoch = X[:, order]
+        targets_epoch = one_hot[order]
+        weights_epoch = weights[order]
+        batch_losses: List[np.ndarray] = []
+        for start in range(0, n, batch_size):
+            stop = start + batch_size
+            logits, activations, masks = _forward(
+                layer_weights, layer_biases, x_epoch[:, start:stop]
+            )
+            losses, g_logits = loss_kernel(
+                logits, targets_epoch[start:stop], weights_epoch[start:stop]
+            )
+            _backward(layer_weights, grad_weights, grad_biases, g_logits, activations, masks)
+            opt.step(theta, grad)
+            batch_losses.append(losses)
+        # Per-head loss curves: a contiguous (num_heads, num_batches) matrix
+        # keeps np.mean's pairwise summation identical to the reference's
+        # mean over a per-head python list of the same floats.
+        epoch_matrix = np.ascontiguousarray(np.stack(batch_losses, axis=0).T)
+        for head in range(num_heads):
+            curves[head].append(float(np.mean(epoch_matrix[head])))
+    block.write_back()
+    return curves

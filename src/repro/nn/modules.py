@@ -9,14 +9,35 @@ activation choice).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..utils.rng import spawn_rng
 from . import functional as F
 from .init import get_initializer, zeros as zeros_init
 from .tensor import Tensor
+
+#: Root sequence behind :func:`_fresh_default_rng`.  Layers constructed
+#: *without* an explicit generator each spawn an independent child stream
+#: from it, so two default-constructed layers never share a stream.  (They
+#: previously both defaulted to ``np.random.default_rng(0)``, which made two
+#: dropout layers in one network drop *identical* masks and two default
+#: ``Linear`` layers initialise to identical weights.)
+_DEFAULT_SEED_SEQUENCE = np.random.SeedSequence(0)
+#: ``SeedSequence.spawn`` mutates its child counter non-atomically, so
+#: concurrent default construction (e.g. custom heads built on executor
+#: threads) must serialise the spawn or two layers could draw one stream.
+_DEFAULT_SEED_LOCK = threading.Lock()
+
+
+def _fresh_default_rng() -> np.random.Generator:
+    """A distinct deterministic generator per default-constructed layer."""
+    with _DEFAULT_SEED_LOCK:
+        child = _DEFAULT_SEED_SEQUENCE.spawn(1)[0]
+    return np.random.default_rng(child)
 
 
 class Parameter(Tensor):
@@ -82,10 +103,15 @@ class Module:
         """Set evaluation mode recursively."""
         return self.train(False)
 
-    def zero_grad(self) -> None:
-        """Clear gradients of every parameter."""
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear gradients of every parameter.
+
+        ``set_to_none=False`` zeroes existing buffers in place (one
+        allocation per parameter for a whole training run) instead of
+        dropping them.
+        """
         for param in self.parameters():
-            param.zero_grad()
+            param.zero_grad(set_to_none=set_to_none)
 
     # -- (de)serialisation --------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
@@ -132,7 +158,7 @@ class Linear(Module):
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ValueError("Linear layer dimensions must be positive")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else _fresh_default_rng()
         initializer = get_initializer(init)
         self.in_features = in_features
         self.out_features = out_features
@@ -218,7 +244,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else _fresh_default_rng()
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
@@ -280,7 +306,7 @@ class MLP(Module):
         super().__init__()
         if num_classes <= 0:
             raise ValueError("num_classes must be positive")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else _fresh_default_rng()
         self.in_features = in_features
         self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
         self.num_classes = num_classes
@@ -288,13 +314,17 @@ class MLP(Module):
 
         layers: List[Module] = []
         previous = in_features
-        for width in self.hidden_sizes:
+        for index, width in enumerate(self.hidden_sizes):
             if width <= 0:
                 raise ValueError("hidden layer widths must be positive")
             layers.append(Linear(previous, width, rng=rng))
             layers.append(make_activation(activation))
             if dropout > 0.0:
-                layers.append(Dropout(dropout, rng=rng))
+                # Each dropout layer gets its own child stream (derived here,
+                # consuming one construction draw): sharing the construction
+                # generator would tie mask draws to forward-call order across
+                # layers.
+                layers.append(Dropout(dropout, rng=spawn_rng(rng, f"dropout-{index}")))
             previous = width
         layers.append(Linear(previous, num_classes, rng=rng))
         self.body = Sequential(*layers)

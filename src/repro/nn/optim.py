@@ -26,10 +26,14 @@ class Optimizer:
             raise ValueError("learning rate must be positive")
         self.lr = float(lr)
 
-    def zero_grad(self) -> None:
-        """Clear the gradient of every managed parameter."""
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear the gradient of every managed parameter.
+
+        ``set_to_none=False`` zeroes the buffers in place so the backward
+        pass reuses them instead of reallocating every minibatch.
+        """
         for param in self.parameters:
-            param.zero_grad()
+            param.zero_grad(set_to_none=set_to_none)
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -53,21 +57,27 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        # Scratch reused every step: the update is computed in place instead
+        # of allocating ``grad + wd * data`` / ``lr * update`` arrays per
+        # parameter per minibatch.
+        self._scratch = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for param, velocity in zip(self.parameters, self._velocity):
+        for param, velocity, scratch in zip(self.parameters, self._velocity, self._scratch):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=scratch)
+                grad = np.add(grad, scratch, out=scratch)
             if self.momentum:
                 velocity *= self.momentum
                 velocity += grad
                 update = velocity
             else:
                 update = grad
-            param.data = param.data - self.lr * update
+            np.multiply(update, self.lr, out=scratch)
+            param.data -= scratch
 
 
 class Adam(Optimizer):
@@ -92,24 +102,40 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Two scratch buffers per parameter, reused every step: the moment
+        # estimates, bias corrections and the update are all computed in
+        # place instead of allocating five intermediates per parameter per
+        # minibatch.
+        self._scratch_a = [np.empty_like(p.data) for p in self.parameters]
+        self._scratch_b = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self._step += 1
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for param, m, v, sa, sb in zip(
+            self.parameters, self._m, self._v, self._scratch_a, self._scratch_b
+        ):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=sa)
+                grad = np.add(grad, sa, out=sa)
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=sb)
+            m += sb
             v *= self.beta2
-            v += (1.0 - self.beta2) * (grad ** 2)
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=sb)
+            sb *= 1.0 - self.beta2
+            v += sb
+            m_hat = np.divide(m, bias1, out=sb)
+            denom = np.divide(v, bias2, out=sa)
+            np.sqrt(denom, out=denom)
+            denom += self.eps
+            m_hat *= self.lr
+            np.divide(m_hat, denom, out=m_hat)
+            param.data -= m_hat
 
 
 class StepLR:

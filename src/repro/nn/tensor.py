@@ -120,9 +120,19 @@ class Tensor:
         """Return a detached deep copy of this tensor."""
         return Tensor(self.data.copy(), requires_grad=False)
 
-    def zero_grad(self) -> None:
-        """Reset the accumulated gradient."""
-        self.grad = None
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Reset the accumulated gradient.
+
+        ``set_to_none=False`` keeps the existing gradient buffer and zeroes
+        it in place, so hot training loops reuse one allocation per
+        parameter across minibatches instead of rebuilding the array every
+        backward pass.  The default drops the buffer (historical behaviour,
+        and what sparse-update code that checks ``grad is None`` expects).
+        """
+        if set_to_none or self.grad is None:
+            self.grad = None
+        else:
+            self.grad.fill(0.0)
 
     # ------------------------------------------------------------------
     # Graph construction helpers
@@ -151,7 +161,10 @@ class Tensor:
         if self.grad is None:
             self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
-            self.grad = self.grad + grad
+            # In-place accumulation: a parameter whose buffer survived
+            # ``zero_grad(set_to_none=False)`` is reused every minibatch
+            # instead of being reallocated per contribution.
+            np.add(self.grad, grad, out=self.grad)
 
     # ------------------------------------------------------------------
     # Arithmetic

@@ -43,6 +43,22 @@ def to_jsonable(obj: Any) -> Any:
     raise TypeError(f"cannot serialise object of type {type(obj)!r}")
 
 
+def _read_umask() -> int:
+    """The process umask, read once at import.
+
+    ``os.umask`` can only be *read* by setting it, which is process-wide and
+    races any concurrently file-creating thread (the inference server and
+    the thread executor make this a multithreaded process) — so the
+    set-and-restore dance must never run per call.
+    """
+    umask = os.umask(0o022)
+    os.umask(umask)
+    return umask
+
+
+_PROCESS_UMASK = _read_umask()
+
+
 def save_json(obj: Any, path: PathLike, indent: int = 2) -> Path:
     """Serialise ``obj`` to a JSON file, creating parent directories.
 
@@ -63,9 +79,7 @@ def save_json(obj: Any, path: PathLike, indent: int = 2) -> Path:
         # mkstemp creates the file 0600; restore the umask-honoring mode a
         # plain open() would have used, so artifacts written by one user
         # (e.g. a root build step) stay readable by the serving user.
-        umask = os.umask(0)
-        os.umask(umask)
-        os.fchmod(fd, 0o666 & ~umask)
+        os.fchmod(fd, 0o666 & ~_PROCESS_UMASK)
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
         os.replace(tmp_name, path)

@@ -53,6 +53,7 @@ class TestPipelineRun:
             "pool",
             "search",
             "metrics",  # vectorized-engine share of the search wall-clock
+            "training",  # head-training share of the search wall-clock
             "finalize",
             "export",
             "report",

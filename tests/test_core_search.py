@@ -270,6 +270,30 @@ class TestExecutors:
         assert "execution" in result.summary()
 
 
+def _count_trained_heads(search_module, monkeypatch):
+    """Count heads trained through either entry point of the search.
+
+    Eligible batches route through the fused batched trainer
+    (``train_heads_batched``); the memoisation contract — never retrain a
+    known ``(candidate, seed)`` — must hold regardless of path.
+    """
+    trained = []
+    original_single = search_module.train_head_on_outputs
+    original_batched = search_module.train_heads_batched
+
+    def counting_single(head, *args, **kwargs):
+        trained.append(head)
+        return original_single(head, *args, **kwargs)
+
+    def counting_batched(heads, *args, **kwargs):
+        trained.extend(heads)
+        return original_batched(heads, *args, **kwargs)
+
+    monkeypatch.setattr(search_module, "train_head_on_outputs", counting_single)
+    monkeypatch.setattr(search_module, "train_heads_batched", counting_batched)
+    return trained
+
+
 class TestMemoisation:
     @pytest.fixture()
     def search(self, pool):
@@ -288,18 +312,11 @@ class TestMemoisation:
     ):
         import repro.core.search as search_module
 
-        calls = []
-        original = search_module.train_head_on_outputs
-
-        def counting(*args, **kwargs):
-            calls.append(1)
-            return original(*args, **kwargs)
-
-        monkeypatch.setattr(search_module, "train_head_on_outputs", counting)
+        trained_heads = _count_trained_heads(search_module, monkeypatch)
         first, second = search.evaluate_batch([candidate, candidate])
         third = search.evaluate_candidate(candidate, episode=7)
 
-        assert len(calls) == 1  # one head trained for three requested evaluations
+        assert len(trained_heads) == 1  # one head trained for three requested evaluations
         assert search.memo_hits == 2 and search.memo_misses == 1
         assert first.reward == second.reward == third.reward
         assert third.episode == 7
@@ -322,17 +339,10 @@ class TestMemoisation:
     def test_memoize_can_be_disabled(self, candidate, monkeypatch, pool):
         import repro.core.search as search_module
 
-        calls = []
-        original = search_module.train_head_on_outputs
-
-        def counting(*args, **kwargs):
-            calls.append(1)
-            return original(*args, **kwargs)
-
-        monkeypatch.setattr(search_module, "train_head_on_outputs", counting)
+        trained_heads = _count_trained_heads(search_module, monkeypatch)
         unmemoised = _small_search(pool, memoize=False)
         first, second = unmemoised.evaluate_batch([candidate, candidate])
-        assert len(calls) == 2
+        assert len(trained_heads) == 2
         assert first.reward == second.reward  # same (candidate, seed) → same result
 
 

@@ -1,0 +1,324 @@
+"""Equivalence suite: fused closed-form kernels vs the autograd oracle.
+
+The fused fast path (:mod:`repro.nn.fused`) promises **bit-identical**
+trained weights and loss curves to the closure-based autograd reference for
+every eligible head.  These tests enforce that promise:
+
+* a seeded property sweep across random hidden sizes, odd batch sizes,
+  class counts, both losses and both optimisers (hypothesis drives the
+  configuration space; every comparison is exact equality, not allclose);
+* the batched multi-candidate trainer vs per-head reference runs, including
+  mixed shape groups and non-ReLU fallback heads inside one batch;
+* the search-level batch evaluator vs executor-mapped single evaluations;
+* an end-to-end :class:`~repro.core.MuffinSearch` run with the fast path on
+  vs off;
+* structural eligibility of :func:`~repro.nn.fused.extract_fused_stack`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import nn
+from repro.core import HeadTrainConfig, MuffinSearch, SearchConfig
+from repro.core.fusing import MuffinHead
+from repro.core.search import evaluate_task, evaluate_task_batch
+from repro.core.trainer import train_head_on_outputs, train_heads_batched
+from repro.nn.fused import extract_fused_stack
+
+
+def _proxy(rng, n, num_classes, dim):
+    return (
+        rng.random((n, dim)),
+        rng.integers(0, num_classes, n),
+        rng.random(n) + 0.05,
+    )
+
+
+def _assert_heads_identical(reference: nn.Module, fused: nn.Module) -> None:
+    ref_state = reference.state_dict()
+    fused_state = fused.state_dict()
+    assert set(ref_state) == set(fused_state)
+    for key in ref_state:
+        assert np.array_equal(ref_state[key], fused_state[key]), key
+
+
+# ---------------------------------------------------------------------------
+# Property sweep: fused vs autograd, bit-exact
+# ---------------------------------------------------------------------------
+@given(
+    hidden=st.lists(st.integers(2, 24), min_size=0, max_size=3),
+    batch_size=st.integers(16, 96),
+    num_classes=st.integers(2, 9),
+    n=st.integers(33, 200),
+    loss=st.sampled_from(["weighted_mse", "weighted_ce"]),
+    optimizer=st.sampled_from(["adam", "sgd"]),
+    weight_decay=st.sampled_from([0.0, 1e-4]),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_fused_training_matches_autograd_bit_exactly(
+    hidden, batch_size, num_classes, n, loss, optimizer, weight_decay, seed
+):
+    rng = np.random.default_rng(seed)
+    dim = int(rng.integers(2, 30))
+    outputs, labels, weights = _proxy(rng, n, num_classes, dim)
+    base = dict(
+        epochs=3,
+        batch_size=batch_size,
+        lr=5e-3,
+        weight_decay=weight_decay,
+        optimizer=optimizer,
+        loss=loss,
+        seed=seed % 1000,
+    )
+    head_seed = int(rng.integers(0, 2**31 - 1))
+
+    reference = MuffinHead(dim, num_classes, hidden, "relu", seed=head_seed)
+    fused = MuffinHead(dim, num_classes, hidden, "relu", seed=head_seed)
+    ref_result = train_head_on_outputs(
+        reference, outputs, labels, weights, num_classes,
+        HeadTrainConfig(use_fused=False, **base),
+    )
+    fused_result = train_head_on_outputs(
+        fused, outputs, labels, weights, num_classes,
+        HeadTrainConfig(use_fused=True, **base),
+    )
+
+    assert ref_result.losses == fused_result.losses
+    _assert_heads_identical(reference, fused)
+
+
+# ---------------------------------------------------------------------------
+# Batched trainer
+# ---------------------------------------------------------------------------
+class TestBatchedTrainer:
+    NUM_CLASSES = 6
+
+    def _batch(self, specs, seed=0):
+        rng = np.random.default_rng(seed)
+        n = 157
+        labels = rng.integers(0, self.NUM_CLASSES, n)
+        weights = rng.random(n) + 0.05
+        outputs = [rng.random((n, dim)) for _, dim, _ in specs]
+        heads = lambda: [  # noqa: E731 - two identical sets of fresh heads
+            MuffinHead(dim, self.NUM_CLASSES, hidden, activation, seed=100 + i)
+            for i, (hidden, dim, activation) in enumerate(specs)
+        ]
+        return heads, outputs, labels, weights
+
+    def test_mixed_shape_groups_match_per_head_runs(self):
+        specs = [
+            ((16,), 12, "relu"),
+            ((16,), 12, "relu"),
+            ((8, 4), 12, "relu"),
+            ((), 18, "relu"),
+            ((16,), 18, "relu"),
+        ]
+        make_heads, outputs, labels, weights = self._batch(specs)
+        config = HeadTrainConfig(epochs=4, batch_size=32, seed=3)
+        reference_config = HeadTrainConfig(epochs=4, batch_size=32, seed=3, use_fused=False)
+
+        reference_heads = make_heads()
+        reference_results = [
+            train_head_on_outputs(
+                head, matrix, labels, weights, self.NUM_CLASSES, reference_config
+            )
+            for head, matrix in zip(reference_heads, outputs)
+        ]
+        batched_heads = make_heads()
+        batched_results = train_heads_batched(
+            batched_heads, outputs, labels, weights, self.NUM_CLASSES, config
+        )
+
+        assert len(batched_results) == len(specs)
+        for ref_head, ref_result, fused_head, fused_result in zip(
+            reference_heads, reference_results, batched_heads, batched_results
+        ):
+            assert ref_result.losses == fused_result.losses
+            assert ref_result.proxy_size == fused_result.proxy_size
+            _assert_heads_identical(ref_head, fused_head)
+
+    def test_non_relu_heads_fall_back_inside_the_batch(self):
+        specs = [((16,), 12, "relu"), ((16,), 12, "tanh"), ((8,), 12, "sigmoid")]
+        make_heads, outputs, labels, weights = self._batch(specs, seed=5)
+        config = HeadTrainConfig(epochs=3, batch_size=64, seed=1)
+        reference_config = HeadTrainConfig(epochs=3, batch_size=64, seed=1, use_fused=False)
+
+        reference_heads = make_heads()
+        for head, matrix in zip(reference_heads, outputs):
+            train_head_on_outputs(
+                head, matrix, labels, weights, self.NUM_CLASSES, reference_config
+            )
+        batched_heads = make_heads()
+        train_heads_batched(batched_heads, outputs, labels, weights, self.NUM_CLASSES, config)
+        for ref_head, fused_head in zip(reference_heads, batched_heads):
+            _assert_heads_identical(ref_head, fused_head)
+
+    def test_use_fused_false_forces_the_reference_path_for_all(self):
+        specs = [((16,), 12, "relu"), ((16,), 12, "relu")]
+        make_heads, outputs, labels, weights = self._batch(specs, seed=9)
+        config = HeadTrainConfig(epochs=2, batch_size=64, seed=2, use_fused=False)
+        reference_heads = make_heads()
+        for head, matrix in zip(reference_heads, outputs):
+            train_head_on_outputs(head, matrix, labels, weights, self.NUM_CLASSES, config)
+        batched_heads = make_heads()
+        train_heads_batched(batched_heads, outputs, labels, weights, self.NUM_CLASSES, config)
+        for ref_head, fused_head in zip(reference_heads, batched_heads):
+            _assert_heads_identical(ref_head, fused_head)
+
+    def test_validates_misaligned_inputs(self):
+        make_heads, outputs, labels, weights = self._batch([((16,), 12, "relu")])
+        with pytest.raises(ValueError, match="align one-to-one"):
+            train_heads_batched(
+                make_heads(), outputs + outputs, labels, weights, self.NUM_CLASSES
+            )
+
+
+# ---------------------------------------------------------------------------
+# Search-level batch evaluation and end-to-end identity
+# ---------------------------------------------------------------------------
+class TestSearchIntegration:
+    def _search(self, pool, use_fused, seed=0, episodes=6, episode_batch=3):
+        return MuffinSearch(
+            pool,
+            attributes=["age", "site"],
+            base_model="MobileNet_V3_Small",
+            search_config=SearchConfig(
+                episodes=episodes, episode_batch=episode_batch, seed=seed
+            ),
+            head_config=HeadTrainConfig(epochs=5, seed=seed, use_fused=use_fused),
+        )
+
+    def test_evaluate_task_batch_matches_mapped_evaluate_task(self, pool):
+        from repro.core.search_space import FusingCandidate
+
+        search = self._search(pool, use_fused=True)
+        candidates = [
+            FusingCandidate(("MobileNet_V3_Small", "ResNet-18"), (16,), "relu"),
+            FusingCandidate(("MobileNet_V3_Small", "DenseNet121"), (16,), "relu"),
+            FusingCandidate(("MobileNet_V3_Small", "ResNet-18"), (8, 4), "relu"),
+            FusingCandidate(("MobileNet_V3_Small", "ResNet-18"), (16,), "tanh"),
+        ]
+        tasks = [
+            search._task_for(candidate, search.candidate_seed(candidate))
+            for candidate in candidates
+        ]
+        batched = evaluate_task_batch(tasks)
+        mapped = [evaluate_task(task) for task in tasks]
+        assert len(batched) == len(mapped)
+        for got, expected in zip(batched, mapped):
+            assert np.array_equal(got.predictions, expected.predictions)
+            assert got.losses == expected.losses
+            assert got.head_parameters == expected.head_parameters
+            for key in expected.head_state:
+                assert np.array_equal(got.head_state[key], expected.head_state[key])
+
+    def test_end_to_end_search_identical_fused_on_and_off(self, pool):
+        fused_result = self._search(pool, use_fused=True).run()
+        reference_result = self._search(pool, use_fused=False).run()
+        assert [r.reward for r in fused_result.records] == [
+            r.reward for r in reference_result.records
+        ]
+        assert [r.candidate for r in fused_result.records] == [
+            r.candidate for r in reference_result.records
+        ]
+        assert [r.train_losses for r in fused_result.records] == [
+            r.train_losses for r in reference_result.records
+        ]
+        for fused_record, reference_record in zip(
+            fused_result.records, reference_result.records
+        ):
+            for key in reference_record.head_state:
+                assert np.array_equal(
+                    fused_record.head_state[key], reference_record.head_state[key]
+                )
+
+    def test_mixed_batches_split_between_fused_path_and_executor(self, pool):
+        """ReLU heads take the batched kernels; other activations keep the
+        executor — and both halves stay bit-identical to the fused-off run."""
+        from repro.core.search_space import FusingCandidate
+
+        class CountingExecutor:
+            max_workers = 1
+
+            def __init__(self):
+                self.mapped = 0
+
+            def map(self, fn, items):
+                items = list(items)
+                self.mapped += len(items)
+                return [fn(item) for item in items]
+
+            def shutdown(self):
+                pass
+
+        candidates = [
+            FusingCandidate(("MobileNet_V3_Small", "ResNet-18"), (16,), "relu"),
+            FusingCandidate(("MobileNet_V3_Small", "ResNet-18"), (16,), "tanh"),
+            FusingCandidate(("MobileNet_V3_Small", "ResNet-18"), (8,), "sigmoid"),
+            FusingCandidate(("MobileNet_V3_Small", "ResNet-18"), (8,), "relu"),
+        ]
+        fused_executor = CountingExecutor()
+        fused_records = self._search(pool, use_fused=True).evaluate_batch(
+            candidates, executor=fused_executor
+        )
+        assert fused_executor.mapped == 2  # tanh + sigmoid only
+        reference_executor = CountingExecutor()
+        reference_records = self._search(pool, use_fused=False).evaluate_batch(
+            candidates, executor=reference_executor
+        )
+        assert reference_executor.mapped == 4  # everything
+        for fused_record, reference_record in zip(fused_records, reference_records):
+            assert fused_record.reward == reference_record.reward
+            for key in reference_record.head_state:
+                assert np.array_equal(
+                    fused_record.head_state[key], reference_record.head_state[key]
+                )
+
+    def test_train_seconds_recorded(self, pool):
+        result = self._search(pool, use_fused=True).run()
+        stats = result.execution_stats
+        assert stats.train_seconds > 0.0
+        assert stats.train_seconds <= stats.eval_seconds
+        assert "train_seconds" in stats.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Structural eligibility
+# ---------------------------------------------------------------------------
+class TestEligibility:
+    def test_relu_muffin_head_is_eligible(self):
+        head = MuffinHead(12, 4, (16, 8), "relu", seed=0)
+        stack = extract_fused_stack(head)
+        assert stack is not None
+        assert stack.shapes == ((12, 16), (16, 8), (8, 4))
+        assert stack.num_parameters == head.num_parameters()
+
+    def test_linear_only_head_is_eligible(self):
+        stack = extract_fused_stack(MuffinHead(12, 4, (), "relu", seed=0))
+        assert stack is not None
+        assert stack.shapes == ((12, 4),)
+
+    @pytest.mark.parametrize("activation", ["tanh", "sigmoid", "leaky_relu"])
+    def test_other_activations_are_not_eligible(self, activation):
+        assert extract_fused_stack(MuffinHead(12, 4, (16,), activation, seed=0)) is None
+
+    def test_dropout_is_not_eligible(self):
+        mlp = nn.MLP(12, [16], 4, activation="relu", dropout=0.5)
+        assert extract_fused_stack(mlp) is None
+
+    def test_bias_free_linear_is_not_eligible(self):
+        net = nn.Sequential(nn.Linear(12, 4, bias=False))
+        assert extract_fused_stack(net) is None
+
+    def test_unknown_wrapper_without_delegate_is_not_eligible(self):
+        class Opaque(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = nn.Linear(4, 2)
+
+            def forward(self, x):
+                return self.inner(x) * 2.0
+
+        assert extract_fused_stack(Opaque()) is None

@@ -169,6 +169,25 @@ class TestDropout:
         x = np.ones((3, 3))
         np.testing.assert_allclose(Dropout(0.0)(Tensor(x)).data, x)
 
+    def test_default_constructed_layers_draw_distinct_masks(self):
+        # Regression: both layers used to default to a fresh
+        # np.random.default_rng(0), so they dropped *identical* masks.
+        first, second = Dropout(0.5), Dropout(0.5)
+        x = Tensor(np.ones((64, 32)))
+        assert not np.array_equal(first(x).data, second(x).data)
+
+    def test_dropout_layers_in_one_network_drop_distinct_masks(self):
+        net = Sequential(Dropout(0.5), Dropout(0.5))
+        x = np.ones((64, 32))
+        first_mask = net[0](Tensor(x)).data
+        second_mask = net[1](Tensor(x)).data
+        assert not np.array_equal(first_mask, second_mask)
+
+    def test_explicit_generator_still_reproducible(self):
+        a = Dropout(0.5, rng=np.random.default_rng(7))(Tensor(np.ones((16, 16)))).data
+        b = Dropout(0.5, rng=np.random.default_rng(7))(Tensor(np.ones((16, 16)))).data
+        np.testing.assert_array_equal(a, b)
+
 
 class TestSequentialAndMLP:
     def test_sequential_applies_in_order(self):
@@ -198,6 +217,26 @@ class TestSequentialAndMLP:
     def test_mlp_dropout_layers_present(self):
         mlp = MLP(5, [4], 2, dropout=0.3)
         assert any(isinstance(layer, Dropout) for layer in mlp.body)
+
+    def test_default_constructed_linears_initialise_distinct_weights(self):
+        # Regression: two default-constructed Linear layers used to share
+        # one np.random.default_rng(0) stream and thus identical weights.
+        assert not np.array_equal(Linear(8, 8).weight.data, Linear(8, 8).weight.data)
+
+    def test_mlp_dropout_layers_have_independent_streams(self):
+        mlp = MLP(6, [8, 8], 3, dropout=0.5, rng=np.random.default_rng(0))
+        dropouts = [layer for layer in mlp.body if isinstance(layer, Dropout)]
+        assert len(dropouts) == 2
+        # Per-layer streams are derived from the construction generator, so
+        # equal-shape draws from the two layers must differ...
+        x = np.ones((32, 8))
+        first = dropouts[0](Tensor(x)).data
+        second = dropouts[1](Tensor(x)).data
+        assert not np.array_equal(first, second)
+        # ...and the whole network stays reproducible from the seed.
+        clone = MLP(6, [8, 8], 3, dropout=0.5, rng=np.random.default_rng(0))
+        clone_dropouts = [layer for layer in clone.body if isinstance(layer, Dropout)]
+        np.testing.assert_array_equal(first, clone_dropouts[0](Tensor(x)).data)
 
     def test_repr_mentions_structure(self):
         assert "hidden=[16, 8]" in repr(MLP(6, [16, 8], 4))
