@@ -18,6 +18,17 @@ Subcommand families:
 
       python -m repro serve muffin.json --port 8000 --batch-window-ms 5 --max-batch 64
 
+* ``master`` / ``submit`` / ``status`` / ``watch`` / ``cancel`` — the
+  distributed-search daemon and its clients: a master owns a persistent run
+  database and executes submitted specs in priority order on supervised
+  worker subprocesses, with per-run episode journals making interrupted
+  searches resume bit-identically::
+
+      python -m repro master --db .repro_master
+      python -m repro submit spec.json --priority 5
+      python -m repro watch 1
+      python -m repro cancel 1
+
 * ``components`` — list every registered component (datasets, controllers,
   rewards, proxy builders, selection strategies, architectures, experiments).
 
@@ -89,27 +100,31 @@ def _run_command(argv: Sequence[str]) -> int:
         help="disable the fused head-training fast path (results are "
         "bit-identical either way; this forces the autograd reference loop)",
     )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append every completed episode batch to this journal file; an "
+        "interrupted run resumes from it bit-identically",
+    )
     parser.add_argument("--output", default=None, help="write the report JSON to this file")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(list(argv))
 
     try:
         spec = RunSpec.from_json(args.spec)
-        if (
-            args.executor is not None
-            or args.max_workers is not None
-            or args.no_memoize
-            or args.no_fused
-        ):
-            overrides = {}
-            if args.executor is not None:
-                overrides["executor"] = args.executor
-            if args.max_workers is not None:
-                overrides["max_workers"] = args.max_workers
-            if args.no_memoize:
-                overrides["memoize"] = False
-            if args.no_fused:
-                overrides["use_fused"] = False
+        overrides = {}
+        if args.executor is not None:
+            overrides["executor"] = args.executor
+        if args.max_workers is not None:
+            overrides["max_workers"] = args.max_workers
+        if args.no_memoize:
+            overrides["memoize"] = False
+        if args.no_fused:
+            overrides["use_fused"] = False
+        if args.journal is not None:
+            overrides["journal"] = args.journal
+        if overrides:
             # The execution section never enters stage hashes, so overriding
             # it keeps every cached artifact valid.
             spec.execution = dataclasses.replace(spec.execution, **overrides)
@@ -124,9 +139,24 @@ def _run_command(argv: Sequence[str]) -> int:
     else:
         cache_dir = MuffinPipeline.default_cache_dir(spec)
 
+    from .core import SearchInterrupted
+    from .utils.signals import GracefulShutdown
+
     try:
-        pipeline = MuffinPipeline(spec, cache_dir=cache_dir, verbose=not args.quiet)
-        result = pipeline.run(resume=not args.fresh, rerun_from=args.rerun_from)
+        with GracefulShutdown(note="draining the current episode batch") as shutdown:
+            pipeline = MuffinPipeline(
+                spec,
+                cache_dir=cache_dir,
+                verbose=not args.quiet,
+                should_stop=shutdown.should_stop,
+            )
+            result = pipeline.run(resume=not args.fresh, rerun_from=args.rerun_from)
+    except SearchInterrupted as exc:
+        journal_hint = (
+            f"; rerun with --journal {args.journal} to resume" if args.journal else ""
+        )
+        print(f"interrupted: {exc}{journal_hint}", file=sys.stderr)
+        return 130
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -303,6 +333,202 @@ def _serve_command(argv: Sequence[str]) -> int:
     return 0
 
 
+def _master_command(argv: Sequence[str]) -> int:
+    from .core import EXECUTORS
+    from .master import MasterConfig, MasterServer
+    from .utils.signals import GracefulShutdown
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro master",
+        description="Run the distributed-search master daemon (persistent run "
+        "database, priority queue, supervised workers)",
+    )
+    parser.add_argument(
+        "--db",
+        default=".repro_master",
+        help="run-database root (specs, statuses, journals; default: .repro_master)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="client port (default: 0 = pick a free port, written to <db>/master.json)",
+    )
+    parser.add_argument(
+        "--executor",
+        default="distributed",
+        choices=EXECUTORS.names(),
+        help="executor applied to every run (default: distributed)",
+    )
+    parser.add_argument("--max-workers", type=int, default=None, metavar="N")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(list(argv))
+
+    server = MasterServer(
+        MasterConfig(
+            db_root=args.db,
+            host=args.host,
+            port=args.port,
+            executor=args.executor,
+            max_workers=args.max_workers,
+            verbose=not args.quiet,
+        )
+    )
+    with GracefulShutdown(note="draining the in-flight batch and requeueing") as shutdown:
+        server.start()
+        print(
+            f"master listening on {server.host}:{server.port} (db: {args.db}) — "
+            f"Ctrl-C to stop"
+        )
+        try:
+            shutdown.stop_event.wait()
+        finally:
+            server.stop()
+    return 0
+
+
+def _client(args):
+    """Build a MasterClient from the shared --db/--host/--port arguments."""
+    from .master import MasterClient
+
+    if args.host is not None and args.port is not None:
+        return MasterClient(host=args.host, port=args.port)
+    return MasterClient(db=args.db)
+
+
+def _add_endpoint_arguments(parser) -> None:
+    parser.add_argument(
+        "--db",
+        default=".repro_master",
+        help="run-database root; the master's address is read from "
+        "<db>/master.json (default: .repro_master)",
+    )
+    parser.add_argument("--host", default=None, help="master host (overrides --db discovery)")
+    parser.add_argument("--port", type=int, default=None, help="master port")
+
+
+def _submit_command(argv: Sequence[str]) -> int:
+    from .api import SpecError
+    from .master import MasterError
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro submit",
+        description="Submit a run spec to a running master",
+    )
+    parser.add_argument("spec", help="path to a RunSpec JSON file")
+    parser.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="queue priority (higher runs first; default: 0)",
+    )
+    _add_endpoint_arguments(parser)
+    args = parser.parse_args(list(argv))
+    try:
+        rid = _client(args).submit(args.spec, priority=args.priority)
+    except (MasterError, SpecError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"submitted run {rid} (priority {args.priority})")
+    print(f"watch it with: python -m repro watch {rid} --db {args.db}")
+    return 0
+
+
+def _format_run_line(entry) -> str:
+    rid = entry.get("rid", "?")
+    status = entry.get("status", "?")
+    name = entry.get("name", "")
+    extra = ""
+    journal = entry.get("journal") or {}
+    if journal.get("episodes"):
+        extra = f" [{journal['batches']} batches / {journal['episodes']} episodes journalled]"
+    if entry.get("result_hash"):
+        extra += f" result={entry['result_hash']}"
+    if entry.get("error"):
+        extra += f" error={entry['error']}"
+    return f"  {rid:>5}  {status:<10} {name}{extra}"
+
+
+def _status_command(argv: Sequence[str]) -> int:
+    from .master import MasterError
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro status",
+        description="Show the status of one run (or every run) on a master",
+    )
+    parser.add_argument("rid", nargs="?", type=int, default=None)
+    _add_endpoint_arguments(parser)
+    args = parser.parse_args(list(argv))
+    try:
+        client = _client(args)
+        if args.rid is None:
+            runs = client.status()
+            if not runs:
+                print("no runs submitted")
+                return 0
+            print(f"{'rid':>7}  {'status':<10} name")
+            for entry in runs:
+                print(_format_run_line(entry))
+            return 0
+        entry = client.status(args.rid)
+    except MasterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(_format_run_line(entry).strip())
+    return 0
+
+
+def _watch_command(argv: Sequence[str]) -> int:
+    from .master import MasterError
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro watch",
+        description="Follow a run until it reaches a terminal status",
+    )
+    parser.add_argument("rid", type=int)
+    parser.add_argument("--poll", type=float, default=1.0, metavar="SECONDS")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS")
+    _add_endpoint_arguments(parser)
+    args = parser.parse_args(list(argv))
+
+    last_line = [""]
+
+    def on_progress(status) -> None:
+        line = _format_run_line(status).strip()
+        if line != last_line[0]:
+            print(line, flush=True)
+            last_line[0] = line
+
+    try:
+        final = _client(args).watch(
+            args.rid, poll_seconds=args.poll, timeout=args.timeout, on_progress=on_progress
+        )
+    except MasterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0 if final.get("status") == "done" else 1
+
+
+def _cancel_command(argv: Sequence[str]) -> int:
+    from .master import MasterError
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cancel",
+        description="Cancel a queued or running run",
+    )
+    parser.add_argument("rid", type=int)
+    _add_endpoint_arguments(parser)
+    args = parser.parse_args(list(argv))
+    try:
+        outcome = _client(args).cancel(args.rid)
+    except MasterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"run {outcome['rid']}: {outcome['outcome']}")
+    return 0 if outcome["outcome"] in ("dequeued", "flagged") else 1
+
+
 def _components_command(argv: Sequence[str]) -> int:
     from .api import ALL_REGISTRIES
 
@@ -330,6 +556,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _export_command(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_command(argv[1:])
+    if argv and argv[0] == "master":
+        return _master_command(argv[1:])
+    if argv and argv[0] == "submit":
+        return _submit_command(argv[1:])
+    if argv and argv[0] == "status":
+        return _status_command(argv[1:])
+    if argv and argv[0] == "watch":
+        return _watch_command(argv[1:])
+    if argv and argv[0] == "cancel":
+        return _cancel_command(argv[1:])
     if argv and argv[0] == "components":
         return _components_command(argv[1:])
     # Legacy interface: experiment ids for the paper harness.

@@ -170,9 +170,14 @@ class MuffinPipeline:
         spec: RunSpec,
         cache_dir: Optional[PathLike] = None,
         verbose: bool = False,
+        should_stop=None,
     ) -> None:
         self.spec = spec
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        #: zero-argument callable polled at search batch boundaries; returning
+        #: True raises :class:`~repro.core.SearchInterrupted` (graceful
+        #: shutdown / cancellation hook — the master and the CLI wire it)
+        self.should_stop = should_stop
         self.logger = RunLogger(name=f"pipeline:{spec.name}", verbose=verbose)
         self.timings: List[StageTiming] = []
         self.body_cache: Optional[BodyOutputCache] = None
@@ -389,7 +394,22 @@ class MuffinPipeline:
         return self._search
 
     def _stage_search(self) -> MuffinSearchResult:
-        return self._build_search().run()
+        journal = None
+        if self.spec.execution.journal is not None:
+            from ..master.db import EpisodeJournal
+
+            # The fingerprint ties the journal to the result-determining
+            # sub-specs; a journal written by a different spec resets itself
+            # instead of replaying foreign batches.
+            journal = EpisodeJournal(
+                self.spec.execution.journal,
+                fingerprint={"search": self.spec.stage_hash("search")},
+            )
+        try:
+            return self._build_search().run(journal=journal, should_stop=self.should_stop)
+        finally:
+            if journal is not None:
+                journal.close()
 
     def _stage_finalize(self) -> MuffinNet:
         spec = self.spec.finalize

@@ -130,6 +130,12 @@ class SearchSpec:
                 "executor": execution.executor,
                 "max_workers": execution.max_workers,
                 "memoize": execution.memoize,
+                # Forwarded only to factories that accept them (the
+                # distributed executor); see build_executor's filtering.
+                "executor_options": {
+                    "task_retries": execution.task_retries,
+                    "heartbeat_seconds": execution.heartbeat_seconds,
+                },
             }
         return SearchConfig(
             episodes=self.episodes,
@@ -164,7 +170,7 @@ class ExecutionSpec:
     """
 
     #: registered executor name (:data:`repro.core.EXECUTORS`):
-    #: 'serial', 'thread' or 'process'
+    #: 'serial', 'thread', 'process' or 'distributed'
     executor: str = "serial"
     #: worker count for parallel executors (``None`` = one per CPU core)
     max_workers: Optional[int] = None
@@ -174,6 +180,14 @@ class ExecutionSpec:
     #: (bit-identical to the autograd path, much faster); ``False`` restores
     #: the per-candidate autograd loop dispatched through the executor
     use_fused: bool = True
+    #: path of the run's episode journal (``None`` = not journalled); the
+    #: search appends every completed batch there and resumes from it
+    journal: Optional[str] = None
+    #: distributed executor: re-dispatches allowed per lost task before the
+    #: run fails
+    task_retries: int = 2
+    #: distributed executor: worker heartbeat interval (seconds)
+    heartbeat_seconds: float = 0.5
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -187,6 +201,14 @@ class ExecutionSpec:
             self.max_workers = int(self.max_workers)
             if self.max_workers <= 0:
                 raise SpecError("execution.max_workers must be positive (or null for auto)")
+        if self.journal is not None:
+            self.journal = str(self.journal)
+        self.task_retries = int(self.task_retries)
+        if self.task_retries < 0:
+            raise SpecError("execution.task_retries must be non-negative")
+        self.heartbeat_seconds = float(self.heartbeat_seconds)
+        if self.heartbeat_seconds <= 0:
+            raise SpecError("execution.heartbeat_seconds must be positive")
 
 
 @dataclass

@@ -24,9 +24,11 @@ Plugins can register additional executors (e.g. a cluster dispatcher) in
 
 from __future__ import annotations
 
+import inspect
 import os
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from ..registry import Registry
@@ -38,6 +40,15 @@ R = TypeVar("R")
 #: ``(max_workers: Optional[int]) -> executor`` where the returned object
 #: implements ``map`` (order-preserving) and ``shutdown``.
 EXECUTORS: Registry = Registry("executor")
+
+
+class ExecutorWorkerError(RuntimeError):
+    """A worker process died (or kept dying) while evaluating a task.
+
+    Raised instead of the raw pool internals (``BrokenProcessPool``) so the
+    message can name the failed task and point at the ``serial`` executor,
+    which runs the same task in the calling process for a real traceback.
+    """
 
 
 def default_max_workers() -> int:
@@ -134,10 +145,56 @@ class ProcessExecutor(_PooledExecutor):
     def _make_pool(self) -> _FuturesExecutor:
         return ProcessPoolExecutor(max_workers=self.max_workers)
 
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if len(items) <= 1 or self.max_workers == 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = self._make_pool()
+        # Submit individually (still gathered in submission order) so a
+        # crashed worker can be reported against the task it was running
+        # instead of surfacing as a bare BrokenProcessPool.
+        futures = [self._pool.submit(fn, item) for item in items]
+        results: List[R] = []
+        try:
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result())
+                except BrokenProcessPool as exc:
+                    raise ExecutorWorkerError(
+                        f"a process-pool worker died while evaluating task {index} of "
+                        f"{len(items)} (often an out-of-memory kill or a crash in a "
+                        f"native extension); rerun with --executor serial to see the "
+                        f"real traceback"
+                    ) from exc
+        except ExecutorWorkerError:
+            # The pool is unusable once broken; reset so a retry can rebuild it.
+            self._pool.shutdown(wait=False)
+            self._pool = None
+            raise
+        return results
 
-def build_executor(name: str, max_workers: Optional[int] = None):
-    """Instantiate a registered executor by name."""
-    return EXECUTORS.get(name)(max_workers=max_workers)
+
+def build_executor(name: str, max_workers: Optional[int] = None, **options):
+    """Instantiate a registered executor by name.
+
+    Extra keyword ``options`` are forwarded only when the factory accepts
+    them, so distributed-only knobs (``task_retries``, ``heartbeat_seconds``,
+    ``logger``, ...) can ride along in a config without breaking the
+    serial/thread/process executors.
+    """
+    factory = EXECUTORS.get(name)
+    if options:
+        try:
+            parameters = inspect.signature(factory).parameters
+        except (TypeError, ValueError):
+            parameters = {}
+        accepts_kwargs = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
+        if not accepts_kwargs:
+            options = {key: value for key, value in options.items() if key in parameters}
+    return factory(max_workers=max_workers, **options)
 
 
 def executor_names() -> Sequence[str]:
@@ -145,6 +202,14 @@ def executor_names() -> Sequence[str]:
     return EXECUTORS.names()
 
 
+def _distributed_factory(max_workers: Optional[int] = None, **options):
+    """Late-bound factory: breaks the core → master import cycle."""
+    from ..master.worker import DistributedExecutor
+
+    return DistributedExecutor(max_workers=max_workers, **options)
+
+
 EXECUTORS.register("serial", SerialExecutor, aliases=("sync", "inline"))
 EXECUTORS.register("thread", ThreadExecutor, aliases=("threads", "threadpool"))
 EXECUTORS.register("process", ProcessExecutor, aliases=("processes", "multiprocessing"))
+EXECUTORS.register("distributed", _distributed_factory, aliases=("workers", "supervised"))

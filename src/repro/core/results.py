@@ -352,6 +352,28 @@ class MuffinSearchResult:
             payload["execution_stats"] = self.execution_stats.to_dict()
         return payload
 
+    def result_hash(self) -> str:
+        """Stable short hash of everything the search *computed*.
+
+        Covers the full episode history (head weights included), the
+        controller updates and the search space — but none of the
+        timing-bearing :class:`ExecutionStats` — so two runs of the same
+        seeded spec hash identically regardless of executor, worker count,
+        interruptions or journal replays.  This is the equality the
+        distributed subsystem's bit-identity guarantees are asserted on.
+        """
+        import hashlib
+        import json
+
+        payload = {
+            "attributes": list(self.attributes),
+            "search_space": dict(self.search_space_description),
+            "records": [record.to_dict(include_state=True) for record in self.records],
+            "controller_history": [dict(h) for h in self.controller_history],
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "MuffinSearchResult":
         """Rebuild a result serialised by ``to_dict(include_state=True)``."""

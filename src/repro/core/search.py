@@ -76,6 +76,21 @@ from .trainer import (
 VALID_PARTITIONS = ("train", "val", "test")
 
 
+class SearchInterrupted(RuntimeError):
+    """A search stopped at a batch boundary by a ``should_stop`` hook.
+
+    Raised *between* batches — after the previous batch's records were
+    scored, journalled and fed to the controller — so an interrupted search
+    loses no completed work: re-running with the same journal resumes from
+    the next batch, bit-identical to a run that was never interrupted.
+    """
+
+    def __init__(self, message: str, completed_episodes: int = 0) -> None:
+        super().__init__(message)
+        #: episodes fully completed before the stop was honoured
+        self.completed_episodes = completed_episodes
+
+
 @dataclass
 class SearchConfig:
     """Top-level knobs of the Muffin search."""
@@ -111,6 +126,10 @@ class SearchConfig:
     #: candidate itself, making the reward a stationary function of the
     #: candidate so re-sampled structures hit the evaluation memo
     candidate_seeds: str = "episode"
+    #: extra keyword arguments for the executor factory (distributed-only
+    #: knobs like ``task_retries`` / ``heartbeat_seconds``); factories that
+    #: don't accept an option simply don't receive it
+    executor_options: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         if self.episodes <= 0:
@@ -150,6 +169,8 @@ class SearchConfig:
                 f"candidate_seeds must be 'episode' or 'derived', got "
                 f"'{self.candidate_seeds}'"
             )
+        if self.executor_options is not None:
+            self.executor_options = dict(self.executor_options)
 
     @property
     def effective_proxy_builder(self) -> str:
@@ -756,13 +777,31 @@ class MuffinSearch:
             seeds.append(int(self._rng.integers(0, 2**31)))
         return episodes, seeds
 
-    def run(self, episodes: Optional[int] = None) -> MuffinSearchResult:
+    def run(
+        self,
+        episodes: Optional[int] = None,
+        journal=None,
+        should_stop=None,
+    ) -> MuffinSearchResult:
         """Run the reinforcement-learning search and return its history.
 
         Each controller batch is sampled up front and its candidates are
         evaluated concurrently through the configured executor; the
         REINFORCE update then sees the whole rewarded batch, exactly as in
         the serial formulation of Equation 4.
+
+        ``journal`` (an :class:`~repro.master.db.EpisodeJournal`) makes the
+        run durable: every completed batch is appended (records, keyed by
+        the batch's ``(candidate, seed)`` pairs) before the controller
+        update, and batches the journal already holds are replayed from disk
+        instead of retrained.  Sampling is cheap and deterministic, so a
+        resumed run replays its prefix in milliseconds and continues
+        bit-identically to an uninterrupted one.
+
+        ``should_stop`` (a zero-argument callable) is polled at every batch
+        boundary; returning True raises :class:`SearchInterrupted` *before*
+        the next batch starts, so a graceful shutdown or cancellation never
+        loses completed work.
         """
         total_episodes = episodes if episodes is not None else self.search_config.episodes
         config = self.search_config
@@ -776,24 +815,53 @@ class MuffinSearch:
         cache_misses_before = self._cache.misses + self._cache.concat_misses
         start_time = time.perf_counter()
 
-        executor = build_executor(config.executor, config.max_workers)
+        executor = build_executor(
+            config.executor, config.max_workers, **(config.executor_options or {})
+        )
         try:
             episode_index = 0
+            batch_counter = 0
             while episode_index < total_episodes:
+                if should_stop is not None and should_stop():
+                    raise SearchInterrupted(
+                        f"search stopped at the batch boundary after "
+                        f"{episode_index}/{total_episodes} episodes",
+                        completed_episodes=episode_index,
+                    )
                 batch_size = min(config.episode_batch, total_episodes - episode_index)
                 batch_episodes, batch_seeds = self._sample_episode_batch(batch_size)
                 batch_candidates = [
                     self.search_space.decode(episode.actions) for episode in batch_episodes
                 ]
-                batch_records = self.evaluate_batch(
-                    batch_candidates,
-                    seeds=batch_seeds,
-                    episodes=range(episode_index, episode_index + batch_size),
-                    executor=executor,
-                    # Fresh per-episode seeds can never repeat a memo key;
-                    # storing every record would be pure memory overhead.
-                    memoize=config.candidate_seeds == "derived",
-                )
+                batch_keys = None
+                batch_records = None
+                if journal is not None:
+                    # The journal key pins exactly what determines a batch's
+                    # records: the candidates and their resolved seeds.  A
+                    # mismatch (different spec/seed wrote the journal) makes
+                    # lookup() discard the stale tail and fall through to
+                    # live evaluation.
+                    resolved_seeds = [
+                        seed if seed is not None else self.candidate_seed(candidate)
+                        for candidate, seed in zip(batch_candidates, batch_seeds)
+                    ]
+                    batch_keys = [
+                        {"candidate": candidate.to_dict(), "seed": int(seed)}
+                        for candidate, seed in zip(batch_candidates, resolved_seeds)
+                    ]
+                    batch_records = journal.lookup(batch_counter, batch_keys)
+                if batch_records is None:
+                    batch_records = self.evaluate_batch(
+                        batch_candidates,
+                        seeds=batch_seeds,
+                        episodes=range(episode_index, episode_index + batch_size),
+                        executor=executor,
+                        # Fresh per-episode seeds can never repeat a memo key;
+                        # storing every record would be pure memory overhead.
+                        memoize=config.candidate_seeds == "derived",
+                    )
+                    if journal is not None:
+                        journal.append(batch_counter, batch_keys, batch_records)
                 for episode, record in zip(batch_episodes, batch_records):
                     episode.reward = record.reward
                     records.append(record)
@@ -809,6 +877,7 @@ class MuffinSearch:
                     )
                 self.controller.update(batch_episodes)
                 episode_index += batch_size
+                batch_counter += 1
         finally:
             executor.shutdown()
 

@@ -1,0 +1,52 @@
+"""Distributed search: master daemon, run database, workers and clients.
+
+The master subsystem turns a single-process search into a supervised,
+resumable, multi-process one:
+
+* :mod:`repro.master.db` — the persistent run database (on-disk RID
+  counter, submitted :class:`~repro.api.RunSpec`\\ s, status transitions,
+  results) and the append-only per-run :class:`EpisodeJournal` that lets an
+  interrupted search resume from its last completed batch bit-identically;
+* :mod:`repro.master.protocol` — the length-prefixed JSON message framing
+  every socket in the subsystem speaks;
+* :mod:`repro.master.worker` — the worker subprocess entry point plus the
+  ``distributed`` executor (registered in :data:`repro.core.EXECUTORS`)
+  that spawns, feeds and watchdog-supervises those workers;
+* :mod:`repro.master.scheduler` — the priority run queue with cancellation
+  and the :class:`MasterServer` daemon driving it;
+* :mod:`repro.master.client` — the client used by ``python -m repro
+  submit/status/watch/cancel``.
+"""
+
+from .client import MasterClient, MasterError, resolve_endpoint
+from .db import (
+    RUN_STATUSES,
+    TERMINAL_STATUSES,
+    EpisodeJournal,
+    RunDatabase,
+    StatusTransitionError,
+)
+from .protocol import ProtocolError, decode_payload, encode_payload, recv_message, send_message
+from .scheduler import MasterConfig, MasterServer, RunScheduler
+from .worker import DistributedExecutor, worker_main
+
+__all__ = [
+    "DistributedExecutor",
+    "EpisodeJournal",
+    "MasterClient",
+    "MasterConfig",
+    "MasterError",
+    "MasterServer",
+    "ProtocolError",
+    "RUN_STATUSES",
+    "RunDatabase",
+    "RunScheduler",
+    "StatusTransitionError",
+    "TERMINAL_STATUSES",
+    "decode_payload",
+    "encode_payload",
+    "recv_message",
+    "resolve_endpoint",
+    "send_message",
+    "worker_main",
+]

@@ -1,0 +1,140 @@
+"""Client for talking to a running :class:`~repro.master.scheduler.MasterServer`.
+
+Backs the ``python -m repro submit/status/watch/cancel`` subcommands.  The
+endpoint is resolved from an explicit ``host``/``port``, or discovered from
+the database root: a running master writes ``<db>/master.json`` with its
+address (see :data:`~repro.master.scheduler.ENDPOINT_FILE`), so every client
+command only needs ``--db``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..api.spec import RunSpec
+from ..utils.serialization import load_json
+from .db import TERMINAL_STATUSES
+from .protocol import ProtocolError, connect, recv_message, send_message
+from .scheduler import ENDPOINT_FILE
+
+PathLike = Union[str, Path]
+
+
+class MasterError(RuntimeError):
+    """A master that cannot be reached, or a request it rejected."""
+
+
+def resolve_endpoint(db_root: PathLike) -> Tuple[str, int]:
+    """Read a running master's address from its database root."""
+    path = Path(db_root) / ENDPOINT_FILE
+    if not path.exists():
+        raise MasterError(
+            f"no master endpoint file at '{path}' — is a master running on this "
+            f"database? Start one with: python -m repro master --db {db_root}"
+        )
+    try:
+        payload = load_json(path)
+        return str(payload["host"]), int(payload["port"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise MasterError(f"endpoint file '{path}' is corrupt: {exc}") from exc
+
+
+class MasterClient:
+    """Thin request/response client over the length-prefixed JSON protocol."""
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        db: Optional[PathLike] = None,
+        timeout: float = 10.0,
+    ) -> None:
+        if host is None or port is None:
+            if db is None:
+                raise MasterError("MasterClient needs host+port or a database root (db=...)")
+            host, port = resolve_endpoint(db)
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _request(self, message: Dict[str, object]) -> Dict[str, object]:
+        """One connect → request → response round trip.
+
+        Per-request connections keep the client stateless: a master restart
+        between two ``watch`` polls is invisible to the caller.
+        """
+        try:
+            sock = connect(self.host, self.port, timeout=self.timeout)
+        except OSError as exc:
+            raise MasterError(
+                f"cannot reach master at {self.host}:{self.port} ({exc})"
+            ) from exc
+        try:
+            send_message(sock, message)
+            response = recv_message(sock)
+        except (OSError, ProtocolError) as exc:
+            raise MasterError(f"master connection failed mid-request: {exc}") from exc
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if response is None:
+            raise MasterError("master closed the connection without answering")
+        if response.get("type") == "error":
+            raise MasterError(str(response.get("error", "unknown master error")))
+        return response
+
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        return self._request({"type": "ping"})
+
+    def submit(self, spec: Union[RunSpec, PathLike], priority: int = 0) -> int:
+        """Submit a run spec (object, JSON string or file path); returns the RID."""
+        if not isinstance(spec, RunSpec):
+            spec = RunSpec.from_json(spec)
+        response = self._request(
+            {"type": "submit", "spec": spec.to_dict(), "priority": int(priority)}
+        )
+        return int(response["rid"])
+
+    def status(self, rid: Optional[int] = None):
+        """One run's status document, or every run's when ``rid`` is None."""
+        if rid is None:
+            response = self._request({"type": "status"})
+            return list(response.get("runs", []))
+        response = self._request({"type": "status", "rid": int(rid)})
+        return dict(response["run"])
+
+    def cancel(self, rid: int) -> Dict[str, object]:
+        response = self._request({"type": "cancel", "rid": int(rid)})
+        return {"rid": int(response["rid"]), "outcome": str(response["outcome"])}
+
+    def watch(
+        self,
+        rid: int,
+        poll_seconds: float = 1.0,
+        timeout: Optional[float] = None,
+        on_progress=None,
+    ) -> Dict[str, object]:
+        """Poll ``rid`` until it reaches a terminal status; returns the last one.
+
+        ``on_progress`` (if given) is called with each polled status document
+        — the CLI uses it to print journal progress lines.
+        """
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
+        while True:
+            status = self.status(rid)
+            if on_progress is not None:
+                on_progress(status)
+            if status.get("status") in TERMINAL_STATUSES:
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise MasterError(
+                    f"run {rid} did not finish within {timeout:.0f}s "
+                    f"(last status: {status.get('status')})"
+                )
+            time.sleep(max(float(poll_seconds), 0.05))

@@ -158,7 +158,17 @@ def serve_forever(
     port: int = 8000,
     verbose: bool = True,
 ) -> None:
-    """Blocking CLI entry: serve until interrupted, then shut down cleanly."""
+    """Blocking CLI entry: serve until interrupted, then shut down cleanly.
+
+    The HTTP loop runs on a background thread while the main thread waits on
+    a :class:`~repro.utils.signals.GracefulShutdown` event — calling
+    ``httpd.shutdown()`` from inside a signal handler running on the serving
+    thread would deadlock, so the handler only sets the event.  Open
+    requests drain, the monitor's final window stays queryable until the
+    server closes, and a second signal force-exits.
+    """
+    from ..utils.signals import GracefulShutdown
+
     httpd = ServeHTTPServer(inference, host=host, port=port, verbose=verbose)
     inference.start()
     bound_host, bound_port = httpd.address
@@ -167,10 +177,18 @@ def serve_forever(
         f"(batch_window={inference.config.batch_window_ms}ms, "
         f"max_batch={inference.config.max_batch}) — Ctrl-C to stop"
     )
+    thread = threading.Thread(
+        target=httpd.serve_forever, name="muffin-serve-http", daemon=True
+    )
+    thread.start()
     try:
-        httpd.serve_forever()
+        with GracefulShutdown(note="finishing open requests") as shutdown:
+            shutdown.stop_event.wait()
     except KeyboardInterrupt:
-        print("\nshutting down...")
+        pass  # signal handlers unavailable (embedded use): plain Ctrl-C
     finally:
+        print("\nshutting down...")
+        httpd.shutdown()
+        thread.join(timeout=10.0)
         httpd.server_close()
         inference.stop()

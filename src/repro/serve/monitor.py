@@ -170,13 +170,14 @@ class FairnessMonitor:
         if metrics is None:
             return None
         row: Dict[str, object] = {
-            "event": "fairness-window",
             "samples": self.labelled_samples,
             "window_size": metrics["size"],
-            "accuracy": round(float(metrics["accuracy"]), 4),
+            "accuracy": float(metrics["accuracy"]),
         }
         for name, value in metrics["unfairness_score"].items():
-            row[f"U({name})"] = round(float(value), 4)
+            row[f"U({name})"] = float(value)
         for name, value in metrics["accuracy_gap"].items():
-            row[f"gap({name})"] = round(float(value), 4)
-        return self.logger.log(**row)
+            row[f"gap({name})"] = float(value)
+        # Shared structured-event row shape (float rounding included) with
+        # the master's run-lifecycle events.
+        return self.logger.event("fairness-window", **row)

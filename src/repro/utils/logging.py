@@ -36,6 +36,20 @@ class RunLogger:
             print(f"[{self.name}] {printable}", file=self.stream)
         return row
 
+    def event(self, event: str, **fields: object) -> Dict[str, object]:
+        """Record one structured event row (``event`` key first).
+
+        The shared row shape for operational events — the serve monitor's
+        fairness windows and the master's run lifecycle (run submitted /
+        claimed / heartbeat-missed / requeued / finished) all land in the
+        same table and CSV export.  Floats are rounded to four decimals so
+        rows stay diffable across runs.
+        """
+        row: Dict[str, object] = {"event": str(event)}
+        for key, value in fields.items():
+            row[key] = round(value, 4) if isinstance(value, float) else value
+        return self.log(**row)
+
     def column(self, key: str) -> List[object]:
         """Return the values of ``key`` across all rows that define it."""
         return [row[key] for row in self.rows if key in row]

@@ -1,0 +1,90 @@
+"""Graceful SIGINT/SIGTERM handling for the long-running CLI commands.
+
+``python -m repro run/master/serve`` all follow the same contract:
+
+* the **first** signal requests a graceful stop — the search drains its
+  in-flight episode batch (journal fsynced, controller updated), the master
+  requeues its run, the server finishes open requests — and the process
+  exits through its normal cleanup paths;
+* a **second** signal means "now": the process exits immediately with
+  status 130, the shell convention for death-by-interrupt.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+from typing import Callable, Optional
+
+
+class ShutdownRequested(RuntimeError):
+    """Raised by code that wants to unwind promptly after a stop request."""
+
+
+class GracefulShutdown:
+    """Context manager installing two-phase SIGINT/SIGTERM handlers.
+
+    Usage::
+
+        with GracefulShutdown(note="draining current batch") as shutdown:
+            run_long_thing(should_stop=shutdown.should_stop)
+
+    ``should_stop`` is safe to poll from any thread; ``on_first`` (if given)
+    runs inside the signal handler on the first signal — keep it tiny and
+    non-blocking (set an event, never join a thread).
+    """
+
+    #: exit status used on a forced (second-signal) exit
+    FORCED_EXIT_CODE = 130
+
+    def __init__(
+        self,
+        note: str = "finishing the current batch",
+        on_first: Optional[Callable[[], None]] = None,
+        signals=(signal.SIGINT, signal.SIGTERM),
+    ) -> None:
+        self.note = note
+        self.on_first = on_first
+        self.signals = tuple(signals)
+        self.stop_event = threading.Event()
+        self._previous = {}
+
+    # ------------------------------------------------------------------
+    def should_stop(self) -> bool:
+        return self.stop_event.is_set()
+
+    def _handler(self, signum, frame) -> None:
+        if self.stop_event.is_set():
+            # Second signal: the user means it.  os._exit skips atexit and
+            # GC so a wedged worker/socket cannot block the exit.
+            os._exit(self.FORCED_EXIT_CODE)
+        self.stop_event.set()
+        name = signal.Signals(signum).name
+        print(
+            f"\n[{name}] graceful shutdown: {self.note} (signal again to force quit)",
+            file=sys.stderr,
+            flush=True,
+        )
+        if self.on_first is not None:
+            self.on_first()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "GracefulShutdown":
+        for signum in self.signals:
+            try:
+                self._previous[signum] = signal.signal(signum, self._handler)
+            except (ValueError, OSError):
+                # Not the main thread (tests, embedded use): polling
+                # stop_event still works, signals just aren't intercepted.
+                pass
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+        self._previous = {}

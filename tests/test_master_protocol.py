@@ -1,0 +1,116 @@
+"""Wire-protocol tests: framing, payload codec, EOF and error handling."""
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.master.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    recv_message,
+    send_message,
+)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_roundtrip(self, pair):
+        a, b = pair
+        message = {"type": "task", "task_id": 3, "fn": "m:f", "nested": {"x": [1, 2, 3]}}
+        send_message(a, message)
+        assert recv_message(b) == message
+
+    def test_multiple_messages_in_order(self, pair):
+        a, b = pair
+        for index in range(5):
+            send_message(a, {"i": index})
+        assert [recv_message(b)["i"] for _ in range(5)] == list(range(5))
+
+    def test_clean_eof_returns_none(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_message(b) is None
+
+    def test_eof_mid_frame_raises(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 100) + b'{"partial"')
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame|header and body"):
+            recv_message(b)
+
+    def test_oversized_announcement_raises(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", MAX_MESSAGE_BYTES + 1))
+        with pytest.raises(ProtocolError, match="limit"):
+            recv_message(b)
+
+    def test_garbage_body_raises(self, pair):
+        a, b = pair
+        body = b"not json at all"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            recv_message(b)
+
+    def test_non_object_frame_raises(self, pair):
+        a, b = pair
+        body = b"[1, 2, 3]"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="JSON object"):
+            recv_message(b)
+
+    def test_concurrent_sends_do_not_interleave(self, pair):
+        """Framing survives many threads writing to one socket (worker
+        heartbeats share the socket with task replies under a lock; this
+        guards the weaker no-lock assumption for small frames)."""
+        a, b = pair
+        lock = threading.Lock()
+
+        def sender(value):
+            with lock:
+                send_message(a, {"v": value})
+
+        threads = [threading.Thread(target=sender, args=(i,)) for i in range(20)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seen = sorted(recv_message(b)["v"] for _ in range(20))
+        assert seen == list(range(20))
+
+
+class TestPayloadCodec:
+    def test_numpy_bit_exact(self):
+        rng = np.random.default_rng(0)
+        arrays = {
+            "f64": rng.normal(size=(7, 3)),
+            "f32": rng.normal(size=(4,)).astype(np.float32),
+            "i64": rng.integers(0, 100, size=(5,)),
+            "tiny": np.array([np.nextafter(0.1, 1.0), -0.0, np.inf]),
+        }
+        decoded = decode_payload(encode_payload(arrays))
+        for key, original in arrays.items():
+            assert decoded[key].dtype == original.dtype
+            np.testing.assert_array_equal(decoded[key], original)
+
+    def test_roundtrip_inside_json_frame(self, pair):
+        a, b = pair
+        payload = np.linspace(0, 1, 17)
+        send_message(a, {"type": "result", "payload": encode_payload(payload)})
+        received = recv_message(b)
+        np.testing.assert_array_equal(decode_payload(received["payload"]), payload)
+
+    def test_corrupt_payload_raises(self):
+        with pytest.raises(ProtocolError, match="decode"):
+            decode_payload("definitely-not-base64-pickle!")

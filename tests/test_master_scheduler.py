@@ -1,0 +1,88 @@
+"""RunScheduler unit tests: priority ordering, cancellation, claiming."""
+
+import threading
+
+from repro.master.scheduler import RunScheduler
+
+
+class TestClaimOrder:
+    def test_priority_descending(self):
+        scheduler = RunScheduler()
+        scheduler.submit(1, priority=0)
+        scheduler.submit(2, priority=5)
+        scheduler.submit(3, priority=2)
+        order = [scheduler.claim(timeout=0) for _ in range(3)]
+        assert order == [2, 3, 1]
+
+    def test_fifo_within_priority_level(self):
+        scheduler = RunScheduler()
+        for rid in (7, 3, 9):
+            scheduler.submit(rid, priority=1)
+        # Same priority: RID ascending, i.e. submission order for a
+        # monotonic RID counter.
+        assert [scheduler.claim(timeout=0) for _ in range(3)] == [3, 7, 9]
+
+    def test_claim_empty_times_out(self):
+        scheduler = RunScheduler()
+        assert scheduler.claim(timeout=0.01) is None
+
+    def test_claim_blocks_until_submit(self):
+        scheduler = RunScheduler()
+        claimed = []
+
+        def claimer():
+            claimed.append(scheduler.claim(timeout=5.0))
+
+        thread = threading.Thread(target=claimer)
+        thread.start()
+        scheduler.submit(42)
+        thread.join(timeout=5.0)
+        assert claimed == [42]
+
+    def test_duplicate_submit_ignored(self):
+        scheduler = RunScheduler()
+        scheduler.submit(1)
+        scheduler.submit(1)
+        assert len(scheduler) == 1
+        assert scheduler.claim(timeout=0) == 1
+        assert scheduler.claim(timeout=0) is None
+
+
+class TestCancel:
+    def test_cancel_before_claim_dequeues(self):
+        scheduler = RunScheduler()
+        scheduler.submit(1, priority=0)
+        scheduler.submit(2, priority=9)
+        assert scheduler.cancel(2) == "dequeued"
+        assert scheduler.pending() == [1]
+        assert scheduler.claim(timeout=0) == 1
+
+    def test_cancel_mid_run_flags(self):
+        scheduler = RunScheduler()
+        scheduler.submit(5)
+        assert scheduler.claim(timeout=0) == 5
+        assert scheduler.cancel(5) == "flagged"
+        assert scheduler.is_cancelled(5)
+
+    def test_cancel_unknown(self):
+        scheduler = RunScheduler()
+        assert scheduler.cancel(99) == "unknown"
+
+    def test_release_clears_cancel_flag(self):
+        scheduler = RunScheduler()
+        scheduler.submit(5)
+        scheduler.claim(timeout=0)
+        scheduler.cancel(5)
+        scheduler.release(5)
+        assert not scheduler.is_cancelled(5)
+        # Resubmission after a requeue starts with a clean slate.
+        scheduler.submit(5)
+        assert scheduler.claim(timeout=0) == 5
+        assert not scheduler.is_cancelled(5)
+
+    def test_cancel_does_not_disturb_heap_order(self):
+        scheduler = RunScheduler()
+        for rid, priority in [(1, 3), (2, 7), (3, 5), (4, 1)]:
+            scheduler.submit(rid, priority=priority)
+        assert scheduler.cancel(3) == "dequeued"
+        assert [scheduler.claim(timeout=0) for _ in range(3)] == [2, 1, 4]

@@ -1,0 +1,229 @@
+"""End-to-end MasterServer tests: submit → execute → done, cancellation,
+restart-with-resume, and the client protocol over real sockets."""
+
+import time
+
+import pytest
+
+from repro.api import (
+    DatasetSpec,
+    ExecutionSpec,
+    MuffinPipeline,
+    PoolSpec,
+    RunSpec,
+    SearchSpec,
+)
+from repro.master import (
+    EpisodeJournal,
+    MasterClient,
+    MasterConfig,
+    MasterError,
+    MasterServer,
+    resolve_endpoint,
+)
+
+ARCHS = ("MobileNet_V3_Small", "ResNet-18")
+
+
+def tiny_spec(name="master-test", episodes=4, head_epochs=4, use_fused=True, samples=800):
+    return RunSpec(
+        name=name,
+        dataset=DatasetSpec(name="synthetic_isic", num_samples=samples, seed=11, split_seed=2),
+        pool=PoolSpec(architectures=ARCHS, epochs=6, batch_size=256, seed=4),
+        search=SearchSpec(
+            attributes=("age", "site"),
+            base_model="MobileNet_V3_Small",
+            episodes=episodes,
+            episode_batch=2,
+            head_epochs=head_epochs,
+            seed=0,
+        ),
+        execution=ExecutionSpec(use_fused=use_fused),
+    )
+
+
+def slow_spec(name="master-slow"):
+    """~6s of search spread over 30 batches: enough runway to intervene."""
+    return tiny_spec(name=name, episodes=60, head_epochs=30, use_fused=False, samples=2000)
+
+
+def make_server(tmp_path, **overrides):
+    options = dict(db_root=tmp_path / "db", executor=None, verbose=False)
+    options.update(overrides)
+    return MasterServer(MasterConfig(**options))
+
+
+def wait_for(predicate, timeout=60.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"condition not met within {timeout}s")
+
+
+class TestSubmitToDone:
+    def test_run_completes_and_matches_local_pipeline(self, tmp_path):
+        spec = tiny_spec()
+        with make_server(tmp_path) as server:
+            client = MasterClient(db=server.config.db_root)
+            rid = client.submit(spec)
+            final = client.watch(rid, poll_seconds=0.05, timeout=120)
+        assert final["status"] == "done"
+        local = MuffinPipeline(spec, cache_dir=tmp_path / "local-cache").run()
+        assert final["result_hash"] == local.result.result_hash()
+        assert final["result"]["episodes"] == 4
+        # The journal recorded every batch of the completed run.
+        assert final["journal"] == {"batches": 2, "episodes": 4}
+
+    def test_distributed_run_matches_serial(self, tmp_path):
+        """One master + two workers produce the serial run's exact result."""
+        spec = tiny_spec(name="master-dist", use_fused=False)
+        with make_server(tmp_path, executor="distributed", max_workers=2) as server:
+            rid = server.submit(spec)
+            final = MasterClient(db=server.config.db_root).watch(
+                rid, poll_seconds=0.05, timeout=300
+            )
+        assert final["status"] == "done"
+        serial = MuffinPipeline(spec, cache_dir=tmp_path / "serial-cache").run()
+        assert final["result_hash"] == serial.result.result_hash()
+
+    def test_priority_order_respected(self, tmp_path):
+        server = make_server(tmp_path)
+        # Submit before starting the run loop so ordering is deterministic.
+        low = server.db.submit(tiny_spec("low"), priority=0)
+        high = server.db.submit(tiny_spec("high"), priority=5)
+        finished = {}
+        with server:
+            client = MasterClient(host=server.host, port=server.port)
+            for rid in (low, high):
+                finished[rid] = client.watch(rid, poll_seconds=0.05, timeout=120)
+        assert finished[high]["status"] == "done"
+        assert finished[low]["status"] == "done"
+        assert finished[high]["finished_at"] < finished[low]["finished_at"]
+
+
+class TestCancellation:
+    def test_cancel_queued_run(self, tmp_path):
+        with make_server(tmp_path) as server:
+            client = MasterClient(db=server.config.db_root)
+            blocker = client.submit(slow_spec("blocker"))
+            queued = client.submit(tiny_spec("victim"))
+            outcome = client.cancel(queued)
+            # Normally dequeued; "flagged" only if the run loop won the race.
+            assert outcome["outcome"] in ("dequeued", "flagged")
+            final = client.watch(queued, poll_seconds=0.05, timeout=120)
+            assert final["status"] == "cancelled"
+            assert client.watch(blocker, poll_seconds=0.05, timeout=120)["status"] == "done"
+
+    def test_cancel_mid_run_stops_at_batch_boundary(self, tmp_path):
+        with make_server(tmp_path) as server:
+            client = MasterClient(db=server.config.db_root)
+            rid = client.submit(slow_spec())
+            wait_for(
+                lambda: client.status(rid)["status"] == "running"
+                and client.status(rid)["journal"]["batches"] >= 1
+            )
+            assert client.cancel(rid)["outcome"] == "flagged"
+            final = client.watch(rid, poll_seconds=0.05, timeout=120)
+        assert final["status"] == "cancelled"
+        # Stopped partway: some batches journalled, but not all 30.
+        assert 1 <= final["journal"]["batches"] < 30
+
+    def test_cancel_pending_run_without_run_loop(self, tmp_path):
+        """A run that is pending on disk but absent from the live queue is
+        cancelled directly (covers takeover of an older master's database)."""
+        server = make_server(tmp_path)  # never started: no run loop
+        rid = server.db.submit(tiny_spec())
+        assert server.cancel(rid)["outcome"] == "dequeued"
+        assert server.db.status(rid)["status"] == "cancelled"
+
+    def test_cancel_terminal_and_unknown(self, tmp_path):
+        server = make_server(tmp_path)
+        rid = server.db.submit(tiny_spec())
+        server.db.set_status(rid, "cancelled")
+        assert server.cancel(rid)["outcome"] == "already-cancelled"
+        assert server.cancel(999)["outcome"] == "unknown"
+
+
+class TestRestartResume:
+    def test_graceful_stop_requeues_and_resume_is_bit_identical(self, tmp_path):
+        """Stop the master mid-run; a fresh master over the same database
+        finishes the run and the result matches an uninterrupted one."""
+        spec = slow_spec("resumable")
+        db_root = tmp_path / "db"
+        first = MasterServer(MasterConfig(db_root=db_root, executor=None, verbose=False))
+        first.start()
+        rid = first.submit(spec)
+        client = MasterClient(db=db_root)
+        wait_for(lambda: client.status(rid)["journal"]["batches"] >= 2)
+        first.stop()  # drains the in-flight batch and requeues
+
+        from repro.master import RunDatabase
+
+        status = RunDatabase(db_root).status(rid)
+        assert status["status"] == "pending"
+        assert status["requeued"] is True
+        progress = EpisodeJournal.progress(db_root / "runs" / str(rid) / "journal.jsonl")
+        assert 2 <= progress["batches"] < 30
+
+        with MasterServer(MasterConfig(db_root=db_root, executor=None, verbose=False)) as second:
+            final = MasterClient(db=db_root).watch(rid, poll_seconds=0.05, timeout=300)
+        assert final["status"] == "done"
+        assert final["journal"]["batches"] == 30
+        uninterrupted = MuffinPipeline(spec, cache_dir=tmp_path / "ref-cache").run()
+        assert final["result_hash"] == uninterrupted.result.result_hash()
+
+    def test_crashed_master_requeues_running_runs(self, tmp_path):
+        """A 'running' status left behind by a dead master is requeued on start."""
+        server = make_server(tmp_path)
+        rid = server.db.submit(tiny_spec())
+        server.db.set_status(rid, "running")  # simulate the stale state
+        with server:
+            final = MasterClient(db=server.config.db_root).watch(
+                rid, poll_seconds=0.05, timeout=120
+            )
+        assert final["status"] == "done"
+
+
+class TestClientProtocol:
+    def test_ping_and_endpoint_discovery(self, tmp_path):
+        with make_server(tmp_path) as server:
+            host, port = resolve_endpoint(server.config.db_root)
+            assert (host, port) == (server.host, server.port)
+            pong = MasterClient(host=host, port=port).ping()
+            assert pong["type"] == "pong"
+            assert pong["queued"] == 0
+        # The endpoint file is removed on shutdown.
+        with pytest.raises(MasterError, match="is a master running"):
+            resolve_endpoint(server.config.db_root)
+
+    def test_status_all_runs(self, tmp_path):
+        with make_server(tmp_path) as server:
+            client = MasterClient(db=server.config.db_root)
+            first = client.submit(tiny_spec("one"))
+            second = client.submit(tiny_spec("two"))
+            runs = client.status()
+            assert {entry["rid"] for entry in runs} == {first, second}
+
+    def test_unknown_rid_is_a_master_error(self, tmp_path):
+        with make_server(tmp_path) as server:
+            client = MasterClient(db=server.config.db_root)
+            with pytest.raises(MasterError, match="unknown run"):
+                client.status(424242)
+            assert client.cancel(424242)["outcome"] == "unknown"
+
+    def test_malformed_spec_rejected(self, tmp_path):
+        with make_server(tmp_path) as server:
+            client = MasterClient(db=server.config.db_root)
+            with pytest.raises(MasterError):
+                client._request({"type": "submit", "spec": {"search": {"episodes": -3}}})
+            with pytest.raises(MasterError, match="unknown request type"):
+                client._request({"type": "explode"})
+
+    def test_client_without_endpoint_raises(self, tmp_path):
+        with pytest.raises(MasterError):
+            MasterClient(db=tmp_path / "nowhere")
+        with pytest.raises(MasterError):
+            MasterClient()

@@ -1,0 +1,114 @@
+"""Episode-journal resume tests: a search interrupted after any number of
+batches and resumed from its journal is bit-identical to an uninterrupted
+run — the durability claim behind the master's crash story."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HeadTrainConfig,
+    MuffinSearch,
+    SearchConfig,
+    SearchInterrupted,
+)
+from repro.master import EpisodeJournal
+
+
+def _search(pool, **config_overrides):
+    config = dict(episodes=9, episode_batch=3, seed=0)
+    config.update(config_overrides)
+    return MuffinSearch(
+        pool,
+        attributes=["age", "site"],
+        base_model="MobileNet_V3_Small",
+        search_config=SearchConfig(**config),
+        head_config=HeadTrainConfig(epochs=4, seed=0),
+    )
+
+
+class TestJournalPassThrough:
+    def test_journalled_run_matches_plain_run(self, pool, tmp_path):
+        plain = _search(pool).run()
+        with EpisodeJournal(tmp_path / "journal.jsonl") as journal:
+            journalled = _search(pool).run(journal=journal)
+        assert journalled.result_hash() == plain.result_hash()
+        assert journal.batches == 3
+        assert journal.episodes == 9
+
+    def test_completed_journal_replays_without_reevaluation(self, pool, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with EpisodeJournal(path) as journal:
+            first = _search(pool).run(journal=journal)
+        with EpisodeJournal(path) as journal:
+            replayed = _search(pool).run(journal=journal)
+            assert journal.replayed_batches == 3  # answered from disk, batch for batch
+        assert replayed.result_hash() == first.result_hash()
+
+
+class TestInterruptAndResume:
+    @pytest.mark.parametrize("stop_after", [1, 2])
+    @pytest.mark.parametrize("candidate_seeds", ["episode", "derived"])
+    def test_resume_is_bit_identical(self, pool, tmp_path, stop_after, candidate_seeds):
+        """Kill the search at an arbitrary batch boundary; the resumed search
+        must reproduce the uninterrupted result bit for bit."""
+        reference = _search(pool, candidate_seeds=candidate_seeds).run()
+        path = tmp_path / "journal.jsonl"
+
+        checks = {"count": 0}
+
+        def stop_after_n_batches() -> bool:
+            checks["count"] += 1
+            return checks["count"] > stop_after
+
+        with EpisodeJournal(path) as journal:
+            with pytest.raises(SearchInterrupted) as excinfo:
+                _search(pool, candidate_seeds=candidate_seeds).run(
+                    journal=journal, should_stop=stop_after_n_batches
+                )
+        assert excinfo.value.completed_episodes == stop_after * 3
+        assert EpisodeJournal.progress(path) == {
+            "batches": stop_after,
+            "episodes": stop_after * 3,
+        }
+
+        with EpisodeJournal(path) as journal:
+            resumed = _search(pool, candidate_seeds=candidate_seeds).run(journal=journal)
+            # Journalled batches were answered from disk; the rest ran live.
+            assert journal.replayed_batches == stop_after
+            assert journal.batches == 3
+
+        assert resumed.result_hash() == reference.result_hash()
+        for record_a, record_b in zip(reference.records, resumed.records):
+            assert record_a.candidate == record_b.candidate
+            assert record_a.reward == record_b.reward
+            assert record_a.train_losses == record_b.train_losses
+            for key in record_a.head_state:
+                np.testing.assert_array_equal(record_a.head_state[key], record_b.head_state[key])
+
+    def test_stale_journal_from_other_config_is_discarded(self, pool, tmp_path):
+        """Resuming with a journal written by a different search truncates the
+        mismatching tail instead of serving wrong records."""
+        path = tmp_path / "journal.jsonl"
+        with EpisodeJournal(path) as journal:
+            _search(pool, seed=123).run(journal=journal)
+        with EpisodeJournal(path) as journal:
+            resumed = _search(pool).run(journal=journal)
+            assert journal.replayed_batches == 0
+        assert resumed.result_hash() == _search(pool).run().result_hash()
+
+    def test_should_stop_before_first_batch(self, pool, tmp_path):
+        with EpisodeJournal(tmp_path / "j.jsonl") as journal:
+            with pytest.raises(SearchInterrupted) as excinfo:
+                _search(pool).run(journal=journal, should_stop=lambda: True)
+        assert excinfo.value.completed_episodes == 0
+        assert journal.batches == 0
+
+    def test_interrupt_without_journal_still_raises(self, pool):
+        checks = {"count": 0}
+
+        def stop_after_one() -> bool:
+            checks["count"] += 1
+            return checks["count"] > 1
+
+        with pytest.raises(SearchInterrupted):
+            _search(pool).run(should_stop=stop_after_one)
