@@ -3,11 +3,22 @@
 Ensures ``src/`` is importable even when the package has not been installed
 (e.g. running the test suite in a fresh offline environment), and registers
 the shared fixtures defined in ``tests/fixtures.py``.
+
+With ``REPRO_TSAN=1`` in the environment, the runtime concurrency checker
+is installed **before any test module imports the library**, so every lock
+the serve/master stacks create is instrumented; a session fixture in
+``tests/conftest.py`` asserts the recorded evidence is clean at exit.
 """
 
+import os
 import sys
 from pathlib import Path
 
 SRC = Path(__file__).parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+if os.environ.get("REPRO_TSAN") == "1":
+    from repro.analysis import runtime as _tsan_runtime
+
+    _tsan_runtime.install()

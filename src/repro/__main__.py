@@ -30,7 +30,16 @@ Subcommand families:
       python -m repro cancel 1
 
 * ``components`` — list every registered component (datasets, controllers,
-  rewards, proxy builders, selection strategies, architectures, experiments).
+  rewards, proxy builders, selection strategies, architectures, experiments);
+  ``--check`` also audits registry consistency.
+
+* ``lint`` — repo-specific static analysis (rules RL1-RL6: determinism,
+  hash contract, executor safety, atomic persistence, registry consistency,
+  lock hygiene)::
+
+      python -m repro lint
+      python -m repro lint --format json --select RL1,RL4
+      python -m repro lint --scope examples
 
 Anything else is treated as experiment ids and delegated to the experiment
 runner, preserving the historical interface::
@@ -530,22 +539,41 @@ def _cancel_command(argv: Sequence[str]) -> int:
 
 
 def _components_command(argv: Sequence[str]) -> int:
-    from .api import ALL_REGISTRIES
+    from .analysis.registry_audit import audit_registries, registry_summary
 
     parser = argparse.ArgumentParser(
         prog="python -m repro components",
         description="List every registered pipeline component",
     )
-    parser.parse_args(list(argv))
-    for family, registry in ALL_REGISTRIES.items():
-        print(f"{family} ({len(registry)}):")
-        aliases = {}
-        for alias, target in registry.aliases().items():
-            aliases.setdefault(target, []).append(alias)
-        for name in registry.names():
-            suffix = f" (aliases: {', '.join(sorted(aliases[name]))})" if name in aliases else ""
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also audit registry consistency (alias targets, case-twin "
+        "names) and exit nonzero on problems",
+    )
+    args = parser.parse_args(list(argv))
+    for family, names in registry_summary().items():
+        print(f"{family} ({len(names)}):")
+        for name, aliases in names.items():
+            suffix = f" (aliases: {', '.join(aliases)})" if aliases else ""
             print(f"  {name}{suffix}")
+    if args.check:
+        issues = audit_registries(include_experiments=True)
+        for issue in issues:
+            line = f"problem: {issue.message}"
+            if issue.hint:
+                line += f"  [{issue.hint}]"
+            print(line)
+        if issues:
+            return 1
+        print("registries consistent")
     return 0
+
+
+def _lint_command(argv: Sequence[str]) -> int:
+    from .analysis.cli import main as lint_main
+
+    return lint_main(argv)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -568,6 +596,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cancel_command(argv[1:])
     if argv and argv[0] == "components":
         return _components_command(argv[1:])
+    if argv and argv[0] == "lint":
+        return _lint_command(argv[1:])
     # Legacy interface: experiment ids for the paper harness.
     from .experiments.runner import main as experiments_main
 

@@ -1,0 +1,50 @@
+"""Static analysis and runtime concurrency checking for the repro stack.
+
+Two halves:
+
+* the **linter** (:func:`repro.analysis.run_lint`, ``python -m repro lint``)
+  — AST/introspection rules RL1-RL6 enforcing the repo's standing
+  invariants (seeded randomness, the spec hash contract, picklable executor
+  tasks, atomic persistence, registry consistency, lock hygiene);
+* the **runtime checker** (:mod:`repro.analysis.runtime`) — a
+  ``REPRO_TSAN=1`` lock instrumentation layer recording acquisition order
+  across serve/master threads and flagging lock-order cycles and
+  unsynchronised shared-state mutation during the test suite.
+
+Attribute access is lazy: ``repro.serve``/``repro.master`` import
+:mod:`repro.analysis.runtime` (stdlib-only) at module load, and eagerly
+importing the rule modules here would drag the spec/registry layers into
+that path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from .core import Finding, LintReport, run_lint  # noqa: F401
+
+_CORE_EXPORTS = (
+    "run_lint",
+    "LintEngine",
+    "LintReport",
+    "LintConfigError",
+    "Finding",
+    "LINT_RULES",
+    "PARSE_ERROR_CODE",
+    "REPORT_SCHEMA_VERSION",
+)
+
+__all__ = list(_CORE_EXPORTS) + ["runtime"]
+
+
+def __getattr__(name: str):
+    if name in _CORE_EXPORTS:
+        from . import core
+
+        return getattr(core, name)
+    if name == "runtime":
+        from . import runtime
+
+        return runtime
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,91 @@
+"""Argument handling for ``python -m repro lint``.
+
+Kept separate from :mod:`repro.__main__` so the lint CLI is importable and
+testable without going through the top-level dispatcher, and so the
+dispatcher stays a thin table of subcommands.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .core import LintConfigError, run_lint
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` options to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="specific files to lint (default: the whole tree per --scope); "
+        ".json paths are treated as run-spec files",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all); "
+        "repeatable",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to skip; applied after --select",
+    )
+    parser.add_argument(
+        "--scope",
+        choices=("all", "src", "examples"),
+        default="all",
+        help="what to lint: python sources, example specs, or both (default)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root (default: derived from the package location)",
+    )
+
+
+def lint_command(args: argparse.Namespace) -> int:
+    """Run the linter per parsed CLI args; returns the process exit code."""
+    try:
+        report = run_lint(
+            root=args.root,
+            select=args.select,
+            ignore=args.ignore,
+            scope=args.scope,
+            paths=args.paths or None,
+        )
+    except LintConfigError as exc:
+        print(f"repro lint: {exc}")
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="repo-specific static analysis: determinism, hash "
+        "contract, executor safety, atomic persistence, registry "
+        "consistency, lock hygiene",
+    )
+    add_lint_arguments(parser)
+    return lint_command(parser.parse_args(list(argv) if argv is not None else None))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,361 @@
+"""The ``repro lint`` rule engine.
+
+A lint run is deliberately boring machinery so the interesting parts — the
+rules in :mod:`repro.analysis.rules`, :mod:`repro.analysis.hash_contract`
+and :mod:`repro.analysis.registry_audit` — stay small:
+
+* every python file under ``src/repro`` is parsed once into a
+  :class:`SourceFile` (AST + per-line suppression table);
+* **file rules** (:class:`FileRule`) visit each file's AST and yield
+  :class:`Finding`\\ s;
+* **project rules** (:class:`ProjectRule`) see the whole :class:`Project`
+  at once — the hash-contract check introspects the live spec dataclasses,
+  the registry audit resolves every ``examples/specs/*.json``;
+* findings pass through suppression (``# repro-lint: disable=CODE`` on the
+  reported line, ``# repro-lint: disable-file=CODE`` anywhere in the file)
+  and ``--select`` / ``--ignore`` filtering, then come back sorted in one
+  :class:`LintReport` that renders as human text or stable JSON.
+
+Selection semantics (mirroring flake8): ``--select`` first narrows the rule
+set to exactly the listed codes, then ``--ignore`` removes codes — so a
+code in both lists is ignored.  Rules outside the selection never run at
+all, which keeps ``--select RL1`` fast even though RL2/RL5 import the spec
+layer.
+
+The rule table itself is a :class:`repro.registry.Registry`, the same
+component-registry machinery the linter audits — the linter is a client of
+the code it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..registry import Registry
+
+PathLike = Union[str, Path]
+
+#: JSON report schema version; bump when the payload shape changes.
+REPORT_SCHEMA_VERSION = 1
+
+#: code reported for files the engine cannot parse at all
+PARSE_ERROR_CODE = "RL0"
+
+#: registry of lint-rule classes, keyed by error code
+LINT_RULES: Registry = Registry("lint rule")
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, sortable into a stable report order."""
+
+    path: str  #: repo-relative posix path
+    line: int
+    col: int
+    code: str
+    message: str
+    #: the fix-it: what to change (or how to suppress with justification)
+    hint: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if self.hint:
+            text += f"  [{self.hint}]"
+        return text
+
+
+class SourceFile:
+    """One parsed python file plus its suppression table."""
+
+    def __init__(self, path: Path, rel: str, text: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.rel = rel
+        self.text = self.path.read_text() if text is None else text
+        self.lines = self.text.splitlines()
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.AST] = ast.parse(self.text, filename=str(path))
+        except SyntaxError as exc:
+            self.tree = None
+            self.parse_error = exc
+        self.line_suppressions: Dict[int, Set[str]] = {}
+        self.file_suppressions: Set[str] = set()
+        for lineno, line in enumerate(self.lines, start=1):
+            if "repro-lint" not in line:
+                continue
+            match = _SUPPRESSION_RE.search(line)
+            if match is None:
+                continue
+            codes = {
+                token.strip().upper()
+                for token in match.group(2).split(",")
+                if token.strip()
+            }
+            if match.group(1) == "disable-file":
+                self.file_suppressions |= codes
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(codes)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether ``code`` is disabled for ``line`` (or the whole file)."""
+        if code in self.file_suppressions or "ALL" in self.file_suppressions:
+            return True
+        codes = self.line_suppressions.get(line, ())
+        return code in codes or "ALL" in codes
+
+
+@dataclass
+class Project:
+    """What a project rule sees: the repo root plus the scanned file sets."""
+
+    root: Path
+    files: List[SourceFile] = field(default_factory=list)
+    spec_paths: List[Path] = field(default_factory=list)
+
+    def rel(self, path: PathLike) -> str:
+        path = Path(path).resolve()
+        try:
+            return path.relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+
+class Rule:
+    """Base of all lint rules; subclasses set the class attributes."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+
+class FileRule(Rule):
+    """A rule that inspects one python file at a time."""
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole project (spec layer, registries, specs)."""
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def _normalise_codes(codes: Optional[Sequence[str]]) -> Optional[Tuple[str, ...]]:
+    if codes is None:
+        return None
+    flat: List[str] = []
+    for chunk in codes:
+        flat.extend(token.strip().upper() for token in str(chunk).split(",") if token.strip())
+    return tuple(flat)
+
+
+class LintConfigError(ValueError):
+    """A lint invocation that cannot be honoured (unknown code, bad scope)."""
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding]
+    files_checked: int
+    specs_checked: int
+    codes_run: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "codes_run": list(self.codes_run),
+            "files_checked": self.files_checked,
+            "specs_checked": self.specs_checked,
+            "counts": self.counts(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        checked = f"{self.files_checked} file(s), {self.specs_checked} spec(s)"
+        if self.findings:
+            summary = ", ".join(f"{code}: {n}" for code, n in self.counts().items())
+            lines.append(f"{len(self.findings)} finding(s) in {checked} ({summary})")
+        else:
+            lines.append(f"clean: 0 findings in {checked}")
+        return "\n".join(lines)
+
+
+class LintEngine:
+    """Collect files, run the selected rules, filter, sort, report."""
+
+    def __init__(
+        self,
+        root: Optional[PathLike] = None,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+        scope: str = "all",
+        paths: Optional[Sequence[PathLike]] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_root()
+        self.scope = scope
+        if scope not in ("all", "src", "examples"):
+            raise LintConfigError(
+                f"unknown scope '{scope}'; expected 'all', 'src' or 'examples'"
+            )
+        self.paths = [Path(p) for p in paths] if paths else None
+        select_codes = _normalise_codes(select)
+        ignore_codes = _normalise_codes(ignore) or ()
+        known = set(LINT_RULES.names()) | {PARSE_ERROR_CODE}
+        for code in (select_codes or ()) + tuple(ignore_codes):
+            if code not in known:
+                suggestions = LINT_RULES.suggest(code)
+                hint = f" (did you mean {suggestions[0]!r}?)" if suggestions else ""
+                raise LintConfigError(
+                    f"unknown rule code '{code}'{hint}; known codes: {sorted(known)}"
+                )
+        # --select narrows first, then --ignore removes: a code in both is off.
+        selected = select_codes if select_codes is not None else tuple(LINT_RULES.names())
+        self.codes: Tuple[str, ...] = tuple(
+            code for code in selected if code not in ignore_codes
+        )
+        self.report_parse_errors = PARSE_ERROR_CODE not in ignore_codes and (
+            select_codes is None or PARSE_ERROR_CODE in select_codes
+        )
+
+    # ------------------------------------------------------------------
+    # File collection
+    # ------------------------------------------------------------------
+    def _collect(self) -> Tuple[List[SourceFile], List[Path]]:
+        sources: List[SourceFile] = []
+        specs: List[Path] = []
+        if self.paths is not None:
+            for path in self.paths:
+                resolved = (self.root / path if not path.is_absolute() else path).resolve()
+                if not resolved.exists():
+                    raise LintConfigError(f"path '{path}' does not exist")
+                if resolved.suffix == ".json":
+                    specs.append(resolved)
+                else:
+                    sources.append(
+                        SourceFile(resolved, self._rel(resolved))
+                    )
+            return sources, specs
+        if self.scope in ("all", "src"):
+            package_dir = self.root / "src" / "repro"
+            for path in sorted(package_dir.rglob("*.py")):
+                if "__pycache__" in path.parts:
+                    continue
+                sources.append(SourceFile(path, self._rel(path)))
+        if self.scope in ("all", "examples"):
+            specs_dir = self.root / "examples" / "specs"
+            if specs_dir.is_dir():
+                specs.extend(sorted(specs_dir.glob("*.json")))
+        return sources, specs
+
+    def _rel(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self) -> LintReport:
+        sources, spec_paths = self._collect()
+        project = Project(root=self.root.resolve(), files=sources, spec_paths=spec_paths)
+        findings: List[Finding] = []
+        for source in sources:
+            if source.parse_error is not None and self.report_parse_errors:
+                exc = source.parse_error
+                findings.append(
+                    Finding(
+                        path=source.rel,
+                        line=int(exc.lineno or 1),
+                        col=int(exc.offset or 1),
+                        code=PARSE_ERROR_CODE,
+                        message=f"file does not parse: {exc.msg}",
+                        hint="fix the syntax error; no other rule can run on this file",
+                    )
+                )
+        by_file: Dict[str, SourceFile] = {source.rel: source for source in sources}
+        for code in self.codes:
+            rule = LINT_RULES.get(code)()
+            if isinstance(rule, FileRule):
+                for source in sources:
+                    if source.tree is None:
+                        continue
+                    findings.extend(rule.check_file(source, project))
+            elif isinstance(rule, ProjectRule):
+                findings.extend(rule.check_project(project))
+        kept = []
+        for finding in findings:
+            source = by_file.get(finding.path)
+            if source is not None and source.is_suppressed(finding.code, finding.line):
+                continue
+            kept.append(finding)
+        return LintReport(
+            findings=sorted(set(kept)),
+            files_checked=len(sources),
+            specs_checked=len(spec_paths),
+            codes_run=self.codes,
+        )
+
+
+def default_root() -> Path:
+    """The repository root, derived from the installed package location.
+
+    ``src/repro/analysis/core.py`` → three parents up is the repo root; this
+    keeps ``python -m repro lint`` working from any working directory of a
+    source checkout.
+    """
+    return Path(__file__).resolve().parent.parent.parent.parent
+
+
+def run_lint(
+    root: Optional[PathLike] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    scope: str = "all",
+    paths: Optional[Sequence[PathLike]] = None,
+) -> LintReport:
+    """Run the linter programmatically (the pytest-importable entry point)."""
+    _ensure_rules_registered()
+    return LintEngine(root=root, select=select, ignore=ignore, scope=scope, paths=paths).run()
+
+
+def _ensure_rules_registered() -> None:
+    """Import the rule modules so their ``@LINT_RULES.register`` calls run."""
+    from . import hash_contract, registry_audit, rules  # noqa: F401

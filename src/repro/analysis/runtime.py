@@ -1,0 +1,319 @@
+"""Runtime concurrency checking (``REPRO_TSAN=1``) for serve/master threads.
+
+Static lock hygiene (lint rule RL6) catches blocking calls *inside* critical
+sections; what it cannot see is the dynamic interaction of several locks —
+the order threads actually acquire them in, and whether state documented as
+lock-protected is really only touched with the lock held.  This module is
+the dynamic half:
+
+* :func:`install` replaces ``threading.Lock`` with :class:`TsanLock`, a
+  recording wrapper.  Every lock gets a lockdep-style **lock class** keyed
+  by its creation site (``file:line``), so the two ``RunScheduler`` locks of
+  two different test servers count as one class and ordering evidence
+  accumulates across instances.
+* Each acquisition while other locks are held records a directed
+  ``held-class -> acquired-class`` edge; :func:`report` runs a cycle search
+  over that graph.  A cycle (A taken under B somewhere, B taken under A
+  somewhere else) is a latent deadlock even if the schedule never actually
+  interleaved — exactly the bug class unit tests cannot catch by timing.
+* :func:`register_shared_state` / :func:`touch_shared_state` let a class
+  declare its mutation discipline: ``lock=...`` means *every* touch must
+  hold that lock; no lock means **single-writer** — only one thread (the
+  first toucher, e.g. the micro-batcher worker) may ever mutate it.
+
+Everything is a no-op until :func:`install` runs, and every hook starts
+with one boolean check — the instrumented classes in ``repro.serve`` and
+``repro.master`` pay nothing in production.  The module is deliberately
+stdlib-only: it is imported by the serving stack at module load.
+
+Wiring: the root ``conftest.py`` calls :func:`install` when ``REPRO_TSAN=1``
+and a session fixture in ``tests/conftest.py`` asserts :func:`report`
+returns no problems at the end of the run.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "TsanLock",
+    "install",
+    "uninstall",
+    "is_active",
+    "reset",
+    "report",
+    "register_shared_state",
+    "touch_shared_state",
+]
+
+#: the real lock factory, captured before any monkeypatching
+_REAL_LOCK_FACTORY = threading.Lock
+
+_ACTIVE = False
+#: guards the recorder's cross-thread structures (a *real* lock, never a
+#: TsanLock — instrumenting the instrumentation would recurse)
+_STATE_LOCK = _REAL_LOCK_FACTORY()
+
+_THIS_FILE = __file__
+
+
+class _Recorder:
+    """Everything observed since the last :func:`reset`."""
+
+    def __init__(self) -> None:
+        #: (held-class, acquired-class) -> human-readable example
+        self.edges: Dict[Tuple[str, str], str] = {}
+        #: immediate violations (shared-state discipline breaches)
+        self.violations: List[str] = []
+        #: per-thread stack of currently held TsanLocks
+        self.held = threading.local()
+        #: (state-name, id(owner)) -> {"lock": Optional[TsanLock],
+        #:                              "writer": Optional[(ident, name)]}
+        self.shared: Dict[Tuple[str, int], Dict[str, object]] = {}
+
+    def held_stack(self) -> List["TsanLock"]:
+        stack = getattr(self.held, "stack", None)
+        if stack is None:
+            stack = []
+            self.held.stack = stack
+        return stack
+
+
+_RECORDER = _Recorder()
+
+
+def _creation_site() -> str:
+    """``file:line`` of the first caller frame outside this module.
+
+    This is the lock's *class* in the lockdep sense: every
+    ``InferenceServer._lock`` shares one site, so ordering evidence from
+    different instances (and different tests) composes.
+    """
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename != _THIS_FILE:
+            return f"{filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class TsanLock:
+    """Drop-in ``threading.Lock`` recording acquisition order and ownership.
+
+    Implements the full duck type ``threading.Condition`` relies on
+    (``acquire``/``release``/``locked``/``_is_owned``/``_at_fork_reinit``),
+    so conditions and events built on instrumented locks keep working.
+    """
+
+    __slots__ = ("_inner", "site", "_owner")
+
+    def __init__(self, site: Optional[str] = None) -> None:
+        self._inner = _REAL_LOCK_FACTORY()
+        self.site = site if site is not None else _creation_site()
+        self._owner: Optional[int] = None
+
+    # -- the Lock protocol ---------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            if _ACTIVE:
+                _note_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        if _ACTIVE:
+            _note_release(self)
+        self._owner = None
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        self.acquire()
+        return True
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    # -- the extras Condition / fork handling probe for ----------------
+    def _is_owned(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def _at_fork_reinit(self) -> None:
+        reinit = getattr(self._inner, "_at_fork_reinit", None)
+        if reinit is not None:
+            reinit()
+        else:  # pragma: no cover - ancient interpreters
+            self._inner = _REAL_LOCK_FACTORY()
+        self._owner = None
+
+    def __repr__(self) -> str:
+        state = "locked" if self.locked() else "unlocked"
+        return f"<TsanLock {state} site={self.site}>"
+
+
+def _note_acquire(lock: TsanLock) -> None:
+    stack = _RECORDER.held_stack()
+    for held in stack:
+        if held.site == lock.site:
+            continue
+        key = (held.site, lock.site)
+        if key not in _RECORDER.edges:
+            with _STATE_LOCK:
+                _RECORDER.edges.setdefault(
+                    key,
+                    f"thread '{threading.current_thread().name}' took "
+                    f"{lock.site} while holding {held.site}",
+                )
+    stack.append(lock)
+
+
+def _note_release(lock: TsanLock) -> None:
+    # Releases are not always LIFO (Condition.wait releases its lock while
+    # later-acquired locks stay held), so remove by identity.
+    stack = _RECORDER.held_stack()
+    for index in range(len(stack) - 1, -1, -1):
+        if stack[index] is lock:
+            del stack[index]
+            break
+
+
+# ----------------------------------------------------------------------
+# Shared-state discipline
+# ----------------------------------------------------------------------
+def register_shared_state(name: str, owner: object, lock: Optional[TsanLock] = None) -> None:
+    """Declare ``owner``'s mutation discipline for the state called ``name``.
+
+    With ``lock``, every :func:`touch_shared_state` must hold it
+    (*lock-protected* mode).  Without, the first touching thread becomes the
+    only thread allowed to mutate (*single-writer* mode — the micro-batcher
+    pattern).  No-op unless the checker is installed.
+    """
+    if not _ACTIVE:
+        return
+    with _STATE_LOCK:
+        # Keyed by id(owner): re-registration on construction also resets a
+        # recycled id left behind by a garbage-collected previous owner.
+        _RECORDER.shared[(name, id(owner))] = {"lock": lock, "writer": None}
+
+
+def touch_shared_state(name: str, owner: object) -> None:
+    """Record one mutation of registered state; flags discipline breaches."""
+    if not _ACTIVE:
+        return
+    entry = _RECORDER.shared.get((name, id(owner)))
+    if entry is None:
+        return
+    lock = entry["lock"]
+    if lock is not None:
+        if isinstance(lock, TsanLock) and not lock._is_owned():
+            _violation(
+                f"state '{name}' of {type(owner).__name__} mutated by thread "
+                f"'{threading.current_thread().name}' without holding its "
+                f"declared lock ({lock.site})"
+            )
+        return
+    ident = threading.get_ident()
+    writer = entry["writer"]
+    if writer is None:
+        with _STATE_LOCK:
+            if entry["writer"] is None:
+                entry["writer"] = (ident, threading.current_thread().name)
+            writer = entry["writer"]
+    if writer[0] != ident:
+        _violation(
+            f"single-writer state '{name}' of {type(owner).__name__} mutated "
+            f"by thread '{threading.current_thread().name}' but owned by "
+            f"thread '{writer[1]}'"
+        )
+
+
+def _violation(message: str) -> None:
+    with _STATE_LOCK:
+        if message not in _RECORDER.violations:
+            _RECORDER.violations.append(message)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle and reporting
+# ----------------------------------------------------------------------
+def install() -> None:
+    """Replace ``threading.Lock`` with the recording wrapper (idempotent)."""
+    global _ACTIVE
+    threading.Lock = TsanLock  # type: ignore[misc]
+    _ACTIVE = True
+
+
+def uninstall() -> None:
+    """Restore the real ``threading.Lock`` and stop recording."""
+    global _ACTIVE
+    _ACTIVE = False
+    threading.Lock = _REAL_LOCK_FACTORY  # type: ignore[misc]
+
+
+def is_active() -> bool:
+    return _ACTIVE
+
+
+def reset() -> None:
+    """Drop all recorded evidence (edges, violations, shared-state table)."""
+    global _RECORDER
+    with _STATE_LOCK:
+        _RECORDER = _Recorder()
+
+
+def _lock_cycles() -> List[List[str]]:
+    """Elementary cycles in the held->acquired lock-class graph."""
+    adjacency: Dict[str, List[str]] = {}
+    for before, after in _RECORDER.edges:
+        adjacency.setdefault(before, []).append(after)
+    cycles: List[List[str]] = []
+    seen_keys: set = set()
+
+    def dfs(node: str, path: List[str], on_path: set) -> None:
+        for successor in adjacency.get(node, ()):
+            if successor in on_path:
+                cycle = path[path.index(successor):] + [successor]
+                # canonicalise so each rotation reports once
+                body = cycle[:-1]
+                pivot = body.index(min(body))
+                key = tuple(body[pivot:] + body[:pivot])
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    cycles.append(cycle)
+            elif successor not in visited:
+                path.append(successor)
+                on_path.add(successor)
+                dfs(successor, path, on_path)
+                on_path.discard(successor)
+                path.pop()
+        visited.add(node)
+
+    visited: set = set()
+    for start in sorted(adjacency):
+        if start not in visited:
+            dfs(start, [start], {start})
+    return cycles
+
+
+def report(reset_after: bool = False) -> List[str]:
+    """Every problem observed so far: lock-order cycles + state violations."""
+    with _STATE_LOCK:
+        problems = list(_RECORDER.violations)
+        edges = dict(_RECORDER.edges)
+    for cycle in _lock_cycles():
+        steps = " -> ".join(cycle)
+        examples = "; ".join(
+            edges[(cycle[i], cycle[i + 1])]
+            for i in range(len(cycle) - 1)
+            if (cycle[i], cycle[i + 1]) in edges
+        )
+        problems.append(f"lock-order cycle (potential deadlock): {steps}  [{examples}]")
+    if reset_after:
+        reset()
+    return problems

@@ -369,6 +369,79 @@ class RunSpec:
         return _hash_payload(payload)
 
 
+#: The **hash-contract manifest**: every field of every spec section,
+#: explicitly marked ``"hashed"`` (it enters the stage hashes and therefore
+#: invalidates cached artifacts when edited) or ``"excluded"`` (execution-
+#: only: it may change *how* a run computes, never *what*).
+#:
+#: ``repro lint`` (rule RL2, :mod:`repro.analysis.hash_contract`) checks this
+#: table against the dataclasses above — adding a spec field without
+#: declaring it here is a lint error, which forces every new knob through
+#: the same question PR 6's ``task_retries`` had to answer: does this belong
+#: in the cache key?  Two invariants are enforced on top of coverage:
+#: every ``execution`` field must be ``"excluded"`` (the whole section is
+#: popped from :meth:`RunSpec.spec_hash`), and every other section's field
+#: must be ``"hashed"`` (result-affecting knobs may not dodge the cache key;
+#: an execution-only knob belongs in :class:`ExecutionSpec`).
+HASH_MANIFEST: Dict[str, Dict[str, str]] = {
+    "dataset": {
+        "name": "hashed",
+        "num_samples": "hashed",
+        "seed": "hashed",
+        "params": "hashed",
+        "split_fractions": "hashed",
+        "split_seed": "hashed",
+    },
+    "pool": {
+        "architectures": "hashed",
+        "epochs": "hashed",
+        "batch_size": "hashed",
+        "lr": "hashed",
+        "seed": "hashed",
+    },
+    "search": {
+        "attributes": "hashed",
+        "base_model": "hashed",
+        "num_paired": "hashed",
+        "episodes": "hashed",
+        "episode_batch": "hashed",
+        "controller": "hashed",
+        "proxy": "hashed",
+        "reward": "hashed",
+        "eval_partition": "hashed",
+        "head_epochs": "hashed",
+        "head_batch_size": "hashed",
+        "store_heads": "hashed",
+        "seed": "hashed",
+        "candidate_seeds": "hashed",
+    },
+    "execution": {
+        "executor": "excluded",
+        "max_workers": "excluded",
+        "memoize": "excluded",
+        "use_fused": "excluded",
+        "journal": "excluded",
+        "task_retries": "excluded",
+        "heartbeat_seconds": "excluded",
+    },
+    "finalize": {
+        "selection": "hashed",
+        "name": "hashed",
+        "reference_model": "hashed",
+        "evaluate_on_test": "hashed",
+    },
+    "export": {
+        "enabled": "hashed",
+        "filename": "hashed",
+    },
+    "report": {
+        "include_pool": "hashed",
+        "include_search": "hashed",
+        "top_k": "hashed",
+    },
+}
+
+
 def _section_from_dict(section: str, payload: object):
     section_type = _SECTION_TYPES[section]
     if isinstance(payload, section_type):

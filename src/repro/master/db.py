@@ -37,7 +37,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..api.spec import RunSpec
 from ..core.results import EpisodeRecord
-from ..utils.serialization import load_json, save_json
+from ..utils.serialization import atomic_write_text, load_json, save_json
 
 PathLike = Union[str, Path]
 
@@ -260,17 +260,9 @@ class EpisodeJournal:
     def _rewrite(self) -> None:
         """Atomically rewrite the file as header + trusted entries."""
         self.close()
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(
-                json.dumps({"format": JOURNAL_FORMAT, "fingerprint": self.fingerprint})
-                + "\n"
-            )
-            for entry in self._entries:
-                handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
+        lines = [json.dumps({"format": JOURNAL_FORMAT, "fingerprint": self.fingerprint})]
+        lines.extend(json.dumps(entry, separators=(",", ":")) for entry in self._entries)
+        atomic_write_text(self.path, "\n".join(lines) + "\n", fsync=True)
 
     # ------------------------------------------------------------------
     @property

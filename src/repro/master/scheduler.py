@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Union
 
+from ..analysis.runtime import register_shared_state, touch_shared_state
 from ..api.pipeline import MuffinPipeline
 from ..api.spec import RunSpec, SpecError
 from ..core.search import SearchInterrupted
@@ -67,11 +68,15 @@ class RunScheduler:
         self._queued: Set[int] = set()
         self._cancelled: Set[int] = set()
         self._active: Optional[int] = None
+        # REPRO_TSAN contract: every queue mutation holds _lock (directly or
+        # through the _available condition wrapping it).
+        register_shared_state("run-queue", self, lock=self._lock)
 
     def submit(self, rid: int, priority: int = 0) -> None:
         with self._available:
             if rid in self._queued:
                 return
+            touch_shared_state("run-queue", self)
             heapq.heappush(self._heap, (-int(priority), int(rid)))
             self._queued.add(int(rid))
             self._available.notify()
@@ -83,6 +88,7 @@ class RunScheduler:
                 self._available.wait(timeout)
             if not self._heap:
                 return None
+            touch_shared_state("run-queue", self)
             _, rid = heapq.heappop(self._heap)
             self._queued.discard(rid)
             self._active = rid
@@ -91,6 +97,7 @@ class RunScheduler:
     def release(self, rid: int) -> None:
         """Mark ``rid`` as no longer executing (done, failed or requeued)."""
         with self._lock:
+            touch_shared_state("run-queue", self)
             if self._active == rid:
                 self._active = None
             self._cancelled.discard(rid)
@@ -99,6 +106,7 @@ class RunScheduler:
         """Cancel ``rid``: ``'dequeued'`` | ``'flagged'`` | ``'unknown'``."""
         rid = int(rid)
         with self._available:
+            touch_shared_state("run-queue", self)
             if rid in self._queued:
                 self._heap = [entry for entry in self._heap if entry[1] != rid]
                 heapq.heapify(self._heap)

@@ -68,11 +68,13 @@ def _resolve_function(spec: str) -> Callable:
 
 
 def _heartbeat_loop(
-    sock: socket.socket, lock: threading.Lock, interval: float, stop: threading.Event
+    sock: socket.socket, send_lock: threading.Lock, interval: float, stop: threading.Event
 ) -> None:
+    # ``send_lock`` serialises socket writes with the main loop; holding it
+    # across send_message is the lock's declared purpose (RL6 IO-lock idiom).
     while not stop.wait(interval):
         try:
-            with lock:
+            with send_lock:
                 send_message(sock, {"type": "heartbeat", "pid": os.getpid()})
         except OSError:
             return  # connection gone; the main loop is exiting too

@@ -28,6 +28,7 @@ from typing import Deque, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.runtime import register_shared_state, touch_shared_state
 from ..data.schema import FeatureSchema
 from ..fairness.engine import EvaluationEngine
 from ..utils.logging import RunLogger
@@ -77,6 +78,8 @@ class FairnessMonitor:
         self.total_samples = 0
         self.labelled_samples = 0
         self._since_last_log = 0
+        # REPRO_TSAN contract: every window/counter mutation holds _lock.
+        register_shared_state("fairness-window", self, lock=self._lock)
 
     # ------------------------------------------------------------------
     def observe(
@@ -89,6 +92,7 @@ class FairnessMonitor:
         predictions = np.asarray(predictions, dtype=np.int64).reshape(-1)
         groups = groups or {}
         with self._lock:
+            touch_shared_state("fairness-window", self)
             self.total_samples += int(predictions.shape[0])
             for name, counts in self._group_counts.items():
                 ids = groups.get(name)
@@ -165,6 +169,7 @@ class FairnessMonitor:
         with self._lock:
             if self._since_last_log < self.log_every:
                 return None
+            touch_shared_state("fairness-window", self)
             self._since_last_log = 0
             metrics = self._window_metrics()
         if metrics is None:

@@ -34,6 +34,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from ..analysis.runtime import register_shared_state, touch_shared_state
 from ..core.execution import build_executor
 from ..core.fusing import FusedModel
 from ..utils.logging import RunLogger
@@ -149,6 +150,10 @@ class InferenceServer:
         self.samples_served = 0
         self.batches_served = 0
         self.errors = 0
+        # REPRO_TSAN contracts: lifecycle fields flip only under _lock; the
+        # serving counters are single-writer (the micro-batcher thread).
+        register_shared_state("serve-lifecycle", self, lock=self._lock)
+        register_shared_state("serve-counters", self)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -160,6 +165,7 @@ class InferenceServer:
                 raise RuntimeError("a stopped inference server cannot be restarted")
             if self._thread is not None and self._thread.is_alive():
                 return self
+            touch_shared_state("serve-lifecycle", self)
             self.started_at = time.time()
             self._thread = threading.Thread(
                 target=self._serve_loop, name="muffin-serve", daemon=True
@@ -172,6 +178,7 @@ class InferenceServer:
         with self._lock:
             if self._stopped:
                 return
+            touch_shared_state("serve-lifecycle", self)
             self._stopped = True
             thread = self._thread
             self._thread = None
@@ -264,6 +271,7 @@ class InferenceServer:
                 break
 
     def _process_batch(self, batch: List["_PendingRequest"]) -> None:
+        touch_shared_state("serve-counters", self)
         features = [request.features for request in batch]
         stacked = features[0] if len(features) == 1 else np.concatenate(features, axis=0)
         batch_id = self.batches_served

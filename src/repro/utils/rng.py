@@ -40,8 +40,15 @@ def spawn_rng(rng: np.random.Generator, label: str) -> np.random.Generator:
 
 
 def seed_everything(seed: int) -> np.random.Generator:
-    """Seed numpy's legacy global state as well and return a fresh generator."""
-    np.random.seed(seed % (2**32 - 1))
+    """Seed numpy's legacy global state as well and return a fresh generator.
+
+    The library itself only draws from explicit generators; the legacy
+    global seed exists solely so user code (notebooks, third-party model
+    builders) that still calls ``np.random.*`` becomes reproducible too.
+    That compatibility shim is exactly what RL1 forbids elsewhere, hence
+    the explicit allow-listing below.
+    """
+    np.random.seed(seed % (2**32 - 1))  # repro-lint: disable=RL1
     return np.random.default_rng(seed)
 
 

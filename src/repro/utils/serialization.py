@@ -59,19 +59,22 @@ def _read_umask() -> int:
 _PROCESS_UMASK = _read_umask()
 
 
-def save_json(obj: Any, path: PathLike, indent: int = 2) -> Path:
-    """Serialise ``obj`` to a JSON file, creating parent directories.
+def atomic_write_text(path: PathLike, text: str, fsync: bool = False) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
 
-    The write is **atomic**: the payload goes to a temporary file in the
-    target directory which is then ``os.replace``'d over ``path``.  A crash
-    mid-write (killed pipeline run, out-of-disk during an export) therefore
-    never leaves a truncated artifact behind for the inference server or a
-    cache resume to choke on — readers see either the old file or the new
-    one, never a half-written JSON document.
+    The payload goes to a temporary file in the target directory which is
+    then ``os.replace``'d over ``path`` — readers see either the old file or
+    the new one, never a half-written document.  ``fsync=True`` additionally
+    flushes the payload to stable storage before the replace; durable stores
+    (the master's episode journals) want that, artifact caches that can be
+    recomputed usually do not need the extra syscall per write.
+
+    This is the single fsync-capable rewrite idiom the RL4 lint rule points
+    at; every durable-path truncating write must route through here or
+    :func:`save_json`.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    text = json.dumps(to_jsonable(obj), indent=indent, sort_keys=False)
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
@@ -80,8 +83,11 @@ def save_json(obj: Any, path: PathLike, indent: int = 2) -> Path:
         # plain open() would have used, so artifacts written by one user
         # (e.g. a root build step) stay readable by the serving user.
         os.fchmod(fd, 0o666 & ~_PROCESS_UMASK)
-        with os.fdopen(fd, "w") as handle:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -90,6 +96,19 @@ def save_json(obj: Any, path: PathLike, indent: int = 2) -> Path:
             pass
         raise
     return path
+
+
+def save_json(obj: Any, path: PathLike, indent: int = 2) -> Path:
+    """Serialise ``obj`` to a JSON file, creating parent directories.
+
+    The write is **atomic** (see :func:`atomic_write_text`): a crash
+    mid-write (killed pipeline run, out-of-disk during an export) never
+    leaves a truncated artifact behind for the inference server or a cache
+    resume to choke on.
+    """
+    return atomic_write_text(
+        path, json.dumps(to_jsonable(obj), indent=indent, sort_keys=False)
+    )
 
 
 def load_json(path: PathLike) -> Any:

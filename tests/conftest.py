@@ -7,6 +7,8 @@ Tests that need to mutate models clone them instead.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -29,6 +31,21 @@ TEST_POOL_ARCHS = (
 )
 
 FITZ_POOL_ARCHS = ("ShuffleNet_V2_X1_0", "MobileNet_V3_Large", "ResNet-18")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _tsan_session_guard():
+    """Under ``REPRO_TSAN=1``, fail the session if the runtime checker saw
+    lock-order cycles or shared-state discipline violations."""
+    yield
+    if os.environ.get("REPRO_TSAN") != "1":
+        return
+    from repro.analysis import runtime
+
+    if not runtime.is_active():
+        return
+    problems = runtime.report()
+    assert not problems, "REPRO_TSAN found concurrency problems:\n" + "\n".join(problems)
 
 
 @pytest.fixture(scope="session")

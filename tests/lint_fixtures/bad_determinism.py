@@ -1,0 +1,33 @@
+"""RL1 fixture: every way the determinism rule should fire (and one allowed)."""
+
+import random
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # line 11: unseeded
+
+
+def global_state():
+    np.random.seed(0)  # line 15: hidden global RandomState
+    return np.random.rand(3)  # line 16: hidden global RandomState
+
+
+def stdlib_random():
+    return random.random()  # line 20: stdlib random
+
+
+def wallclock_seed():
+    return default_rng(int(time.time()))  # line 24: wall-clock seed
+
+
+def suppressed_with_justification():
+    # the shim pattern: justified + explicitly allow-listed
+    np.random.seed(1)  # repro-lint: disable=RL1
+
+
+def seeded_is_fine(seed: int):
+    return np.random.default_rng(seed)

@@ -1,0 +1,28 @@
+"""RL3 fixture: unpicklable callables handed to executor map()/submit()."""
+
+
+def _square(x):
+    return x * x
+
+
+def dispatch_lambda(executor):
+    return executor.map(lambda x: x * x, [1, 2, 3])  # lambda task
+
+
+def dispatch_closure(executor, factor):
+    def scaled(x):
+        return x * factor
+
+    return executor.submit(scaled, 4)  # closure task
+
+
+class Runner:
+    def _task(self, x):
+        return x
+
+    def dispatch_bound(self, executor):
+        return executor.submit(self._task, 5)  # bound-method task
+
+
+def dispatch_module_level(executor):
+    return executor.map(_square, [1, 2, 3])  # fine: module-level function

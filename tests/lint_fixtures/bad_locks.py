@@ -1,0 +1,46 @@
+"""RL6 fixture: blocking calls under held locks (checked under a serve/ rel path)."""
+
+import os
+import threading
+import time
+
+_lock = threading.Lock()
+_send_lock = threading.Lock()
+
+
+def sleep_under_lock():
+    with _lock:
+        time.sleep(0.5)  # blocking sleep in the critical section
+
+
+def fsync_under_lock(fd):
+    with _lock:
+        os.fsync(fd)  # blocking fsync in the critical section
+
+
+def socket_under_lock(sock, payload):
+    with _lock:
+        sock.sendall(payload)  # blocking socket write
+
+
+def wait_for_worker(process):
+    with _lock:
+        process.wait()  # blocking process wait
+
+
+def io_lock_is_exempt(sock, payload):
+    with _send_lock:
+        sock.sendall(payload)  # exempt: the lock's purpose IS serialising I/O
+
+
+def deferred_is_fine():
+    with _lock:
+        def later():
+            time.sleep(1.0)  # only defined here, not executed under the lock
+
+        return later
+
+
+def condition_wait_is_fine(cond: threading.Condition):
+    with _lock:
+        cond.wait(timeout=0.1)  # Condition.wait releases the lock

@@ -1,0 +1,20 @@
+"""RL4 fixture: non-atomic truncating writes (checked under a durable rel path)."""
+
+import json
+from pathlib import Path
+
+
+def bare_truncate(path, payload):
+    with open(path, "w") as handle:  # bare truncating open
+        handle.write(payload)
+
+
+def torn_dump(path, payload):
+    with open(path) as handle:  # reads are fine
+        json.load(handle)
+    with open(path, mode="w+") as handle:  # keyword mode still truncates
+        json.dump(payload, handle)  # json.dump into truncated handle
+
+
+def path_write(path: Path, text: str):
+    path.write_text(text)  # non-atomic Path write

@@ -1,0 +1,4 @@
+"""RL0 fixture: a file the engine cannot parse at all."""
+
+def broken(:
+    return 1

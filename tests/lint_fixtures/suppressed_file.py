@@ -1,0 +1,9 @@
+"""Suppression fixture: a file-wide disable silences RL1 everywhere in it."""
+# repro-lint: disable-file=RL1
+
+import numpy as np
+
+
+def all_quiet():
+    np.random.seed(3)
+    return np.random.default_rng()

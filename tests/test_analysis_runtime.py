@@ -1,0 +1,253 @@
+"""The REPRO_TSAN runtime concurrency checker.
+
+These tests install/uninstall the checker themselves, so they are skipped
+when the whole session already runs under ``REPRO_TSAN=1`` (the deliberate
+violations staged here would otherwise tear down the session guard's
+evidence — and vice versa).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.analysis import runtime
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_TSAN") == "1",
+    reason="session-wide REPRO_TSAN owns the recorder; staged violations would collide",
+)
+
+
+@pytest.fixture()
+def tsan():
+    runtime.install()
+    runtime.reset()
+    try:
+        yield runtime
+    finally:
+        runtime.uninstall()
+        runtime.reset()
+
+
+def make_lock_a():
+    return threading.Lock()
+
+
+def make_lock_b():
+    return threading.Lock()
+
+
+class TestInstallation:
+    def test_install_swaps_the_lock_factory(self, tsan):
+        assert threading.Lock is runtime.TsanLock
+        assert isinstance(threading.Lock(), runtime.TsanLock)
+        assert tsan.is_active()
+
+    def test_uninstall_restores_it(self):
+        runtime.install()
+        runtime.uninstall()
+        assert threading.Lock is not runtime.TsanLock
+        assert not runtime.is_active()
+
+    def test_inactive_hooks_are_noops(self):
+        owner = object()
+        runtime.register_shared_state("x", owner)
+        runtime.touch_shared_state("x", owner)
+        assert runtime.report() == []
+
+
+class TestTsanLockSemantics:
+    def test_basic_lock_protocol(self, tsan):
+        lock = threading.Lock()
+        assert not lock.locked()
+        assert lock.acquire()
+        assert lock.locked()
+        assert not lock.acquire(blocking=False)
+        lock.release()
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+            assert lock._is_owned()
+        assert not lock._is_owned()
+
+    def test_condition_and_event_still_work(self, tsan):
+        cond = threading.Condition(threading.Lock())
+        hits = []
+
+        def waiter():
+            with cond:
+                while not hits:
+                    cond.wait(timeout=5.0)
+                hits.append("woke")
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        with cond:
+            hits.append("set")
+            cond.notify_all()
+        thread.join(timeout=5.0)
+        assert hits == ["set", "woke"]
+
+        event = threading.Event()
+        event.set()
+        assert event.wait(timeout=1.0)
+
+    def test_clean_nesting_reports_nothing(self, tsan):
+        a, b = make_lock_a(), make_lock_b()
+        for _ in range(3):  # consistent order: never a cycle
+            with a:
+                with b:
+                    pass
+        assert tsan.report() == []
+
+
+class TestLockOrderCycles:
+    def test_inverted_order_is_a_cycle(self, tsan):
+        a, b = make_lock_a(), make_lock_b()
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        problems = tsan.report()
+        assert len(problems) == 1
+        assert "lock-order cycle" in problems[0]
+        assert "test_analysis_runtime" in problems[0]
+
+    def test_cycle_evidence_composes_across_instances(self, tsan):
+        # different *instances* from the same creation sites share a class:
+        # one order observed on pair 1, the inverse on pair 2 → still a cycle
+        a1, b1 = make_lock_a(), make_lock_b()
+        a2, b2 = make_lock_a(), make_lock_b()
+        with a1:
+            with b1:
+                pass
+        with b2:
+            with a2:
+                pass
+        assert any("cycle" in p for p in tsan.report())
+
+    def test_cycle_across_threads(self, tsan):
+        a, b = make_lock_a(), make_lock_b()
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        for target in (forward, backward):  # sequential: evidence, no deadlock
+            thread = threading.Thread(target=target)
+            thread.start()
+            thread.join(timeout=5.0)
+        assert any("cycle" in p for p in tsan.report())
+
+    def test_reset_clears_evidence(self, tsan):
+        a, b = make_lock_a(), make_lock_b()
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        tsan.reset()
+        assert tsan.report() == []
+
+
+class TestSharedStateDiscipline:
+    class Owner:
+        pass
+
+    def test_single_writer_same_thread_is_clean(self, tsan):
+        owner = self.Owner()
+        tsan.register_shared_state("counters", owner)
+        for _ in range(5):
+            tsan.touch_shared_state("counters", owner)
+        assert tsan.report() == []
+
+    def test_single_writer_second_thread_is_flagged(self, tsan):
+        owner = self.Owner()
+        tsan.register_shared_state("counters", owner)
+        tsan.touch_shared_state("counters", owner)
+        thread = threading.Thread(
+            target=tsan.touch_shared_state, args=("counters", owner)
+        )
+        thread.start()
+        thread.join(timeout=5.0)
+        problems = tsan.report()
+        assert len(problems) == 1
+        assert "single-writer" in problems[0]
+        assert "Owner" in problems[0]
+
+    def test_locked_mode_requires_the_lock(self, tsan):
+        owner = self.Owner()
+        guard = threading.Lock()
+        tsan.register_shared_state("table", owner, lock=guard)
+        with guard:
+            tsan.touch_shared_state("table", owner)  # disciplined
+        assert tsan.report() == []
+        tsan.touch_shared_state("table", owner)  # undisciplined
+        problems = tsan.report()
+        assert len(problems) == 1
+        assert "without holding its declared lock" in problems[0]
+
+    def test_unregistered_state_is_ignored(self, tsan):
+        tsan.touch_shared_state("never-registered", self.Owner())
+        assert tsan.report() == []
+
+    def test_reregistration_resets_the_writer(self, tsan):
+        owner = self.Owner()
+        tsan.register_shared_state("counters", owner)
+        thread = threading.Thread(
+            target=tsan.touch_shared_state, args=("counters", owner)
+        )
+        thread.start()
+        thread.join(timeout=5.0)
+        tsan.register_shared_state("counters", owner)  # e.g. a new __init__
+        tsan.touch_shared_state("counters", owner)  # main thread now owns it
+        assert tsan.report() == []
+
+
+class TestInstrumentedClasses:
+    def test_run_scheduler_discipline_is_clean(self, tsan):
+        from repro.master.scheduler import RunScheduler
+
+        scheduler = RunScheduler()
+        scheduler.submit(1, priority=2)
+        scheduler.submit(2, priority=1)
+        assert scheduler.claim(timeout=0.1) == 1
+        assert scheduler.cancel(2) == "dequeued"
+        scheduler.release(1)
+        assert tsan.report() == []
+
+    def test_run_scheduler_bypass_is_flagged(self, tsan):
+        from repro.master.scheduler import RunScheduler
+
+        scheduler = RunScheduler()
+        # mutating queue state without the lock trips the declared contract
+        tsan.touch_shared_state("run-queue", scheduler)
+        problems = tsan.report()
+        assert len(problems) == 1
+        assert "run-queue" in problems[0]
+        assert "RunScheduler" in problems[0]
+
+    def test_fairness_monitor_observe_is_clean(self, tsan):
+        import numpy as np
+
+        from repro.data import SyntheticISIC2019
+        from repro.data.schema import FeatureSchema
+        from repro.serve.monitor import FairnessMonitor
+
+        schema = FeatureSchema.from_dataset(SyntheticISIC2019(num_samples=64, seed=0))
+        monitor = FairnessMonitor(schema, window=16)
+        monitor.observe(np.zeros(4, dtype=np.int64))
+        monitor.snapshot()
+        assert tsan.report() == []
