@@ -12,9 +12,14 @@ multi-attribute workload (the shape of one Muffin search episode batch):
   every candidate, attribute and group;
 * the engine is measurably faster.
 
-Setting ``METRICS_BENCH_IDENTITY_ONLY=1`` (the CI smoke step) skips the
-wall-clock assertion while keeping the identity check, so constrained or
-noisy runners still verify correctness.
+Setting ``REPRO_BENCH_IDENTITY_ONLY=1`` (the CI smoke step; the legacy
+``METRICS_BENCH_IDENTITY_ONLY`` still works) skips the wall-clock
+assertion while keeping the identity check, so constrained or noisy
+runners still verify correctness.
+
+A second pass re-runs the engine on the ``numpy-float32`` backend.  On
+hard 0/1 predictions its counting GEMMs are exact below 2^24 per partial
+sum, so even the reduced-precision engine must stay bit-identical here.
 """
 
 import os
@@ -22,6 +27,7 @@ import time
 
 import numpy as np
 
+from repro.bench import identity_only
 from repro.data import SyntheticISIC2019
 from repro.fairness import EvaluationEngine, FairnessEvaluation
 
@@ -119,7 +125,7 @@ def test_bench_metrics_engine_identity_and_speed():
         f"engine {engine_seconds:.4f}s, speedup x{speedup:.1f}"
     )
 
-    if os.environ.get("METRICS_BENCH_IDENTITY_ONLY"):
+    if identity_only():
         return  # constrained runner: identity verified, timing skipped
     # The scalar loop allocates one mask per group per candidate; the engine
     # does a few matmuls.  The gap is an order of magnitude on any hardware,
@@ -127,4 +133,31 @@ def test_bench_metrics_engine_identity_and_speed():
     assert engine_seconds < legacy_seconds * 0.7, (
         f"engine ({engine_seconds:.4f}s) not measurably faster than the seed "
         f"scalar loop ({legacy_seconds:.4f}s)"
+    )
+
+
+def test_bench_metrics_engine_float32_backend_identity():
+    """Float32 scoring GEMMs are exact on 0/1 counts — bit-identical output."""
+    dataset = SyntheticISIC2019(num_samples=NUM_SAMPLES, seed=2019)
+    stacked = _candidate_predictions(dataset, NUM_CANDIDATES)
+
+    reference = EvaluationEngine.for_dataset(dataset).evaluate(stacked).evaluations()
+
+    engine32 = EvaluationEngine.for_dataset(dataset, backend="numpy-float32")
+    seconds = float("inf")
+    evaluations = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        evaluations = engine32.evaluate(stacked).evaluations()
+        seconds = min(seconds, time.perf_counter() - start)
+
+    for expected, got in zip(reference, evaluations):
+        assert got.accuracy == expected.accuracy
+        assert got.unfairness == expected.unfairness
+        assert got.group_accuracy == expected.group_accuracy
+        assert got.gaps == expected.gaps
+
+    print(
+        f"\n[bench] float32 engine, {NUM_CANDIDATES} candidates x "
+        f"{NUM_SAMPLES} samples: {seconds:.4f}s, bit-identical to float64"
     )

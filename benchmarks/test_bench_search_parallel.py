@@ -9,15 +9,20 @@ load-bearing claims of that design:
   process executors (parallelism changes wall-clock, never results);
 * on a multi-core runner the process executor is measurably faster than
   serial at ``episode_batch >= 4`` (single-core machines skip the speedup
-  assertion — there is nothing to parallelise onto).
+  assertion — there is nothing to parallelise onto);
+* the shared-memory task transport ships at least **10x** fewer bytes per
+  dispatch than pickling the task arrays would have, and leaves no
+  ``/dev/shm`` segment behind after the run.
 """
 
+import glob
 import os
 import time
 
 import pytest
 
 from repro.core import HeadTrainConfig, MuffinSearch, SearchConfig
+from repro.core.sharedmem import SEGMENT_PREFIX
 from repro.data import SyntheticISIC2019, split_dataset
 from repro.zoo import ModelPool, TrainConfig
 
@@ -85,11 +90,31 @@ def test_bench_parallel_episode_batch(bench_pool):
         r.candidate for r in parallel_result.records
     ]
 
+    # Transport accounting: the process executor must have shipped
+    # shared-memory descriptors, not pickled matrices, and the serial run
+    # must not have shipped anything at all.
+    serial_stats = serial_result.execution_stats
+    assert serial_stats.task_bytes_raw == 0
+    assert serial_stats.task_bytes_shipped == 0
+    stats = parallel_result.execution_stats
+    assert stats.task_bytes_shipped > 0
+    transport_saving = stats.task_bytes_raw / max(stats.task_bytes_shipped, 1)
+    assert transport_saving >= 10.0, (
+        f"shared-memory transport only saved x{transport_saving:.1f} over "
+        f"pickling (raw {stats.task_bytes_raw} bytes, shipped "
+        f"{stats.task_bytes_shipped} bytes; expected >= 10x)"
+    )
+    # And the master released every segment when the run shut down.
+    leaked = glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+    assert leaked == [], f"leaked shared-memory segments: {leaked}"
+
     speedup = serial_seconds / max(parallel_seconds, 1e-9)
     print(
         f"\n[bench] episode_batch={EPISODE_BATCH}: serial {serial_seconds:.3f}s, "
         f"process {parallel_seconds:.3f}s, speedup x{speedup:.2f} "
-        f"({os.cpu_count()} CPUs)"
+        f"({os.cpu_count()} CPUs); transport shipped "
+        f"{stats.task_bytes_shipped} bytes vs {stats.task_bytes_raw} raw "
+        f"(x{transport_saving:.0f} saved)"
     )
 
     cpus = os.cpu_count() or 1

@@ -10,16 +10,17 @@ The serving subsystem's load-bearing claims:
   predicted labels are asserted identical first — batching changes
   throughput, never answers).
 
-Set ``SERVE_BENCH_IDENTITY_ONLY=1`` to skip the wall-clock assertion on
-heavily shared runners; the identity checks always run.
+Set ``REPRO_BENCH_IDENTITY_ONLY=1`` (the legacy ``SERVE_BENCH_IDENTITY_ONLY``
+still works) to skip the wall-clock assertion on heavily shared runners;
+the identity checks always run.
 """
 
-import os
 import time
 
 import numpy as np
 import pytest
 
+from repro.bench import identity_only
 from repro.core import FusedModel
 from repro.core.search_space import FusingCandidate
 from repro.data import FeatureSchema, SyntheticISIC2019, split_dataset
@@ -28,7 +29,6 @@ from repro.zoo import ModelPool, TrainConfig, load_fused_model, save_fused_model
 
 BURST = 64  # concurrent single-sample requests in the measured burst
 ROUNDS = 3  # best-of-N guards against scheduler noise
-IDENTITY_ONLY = os.environ.get("SERVE_BENCH_IDENTITY_ONLY") == "1"
 
 
 @pytest.fixture(scope="module")
@@ -117,8 +117,8 @@ def test_microbatched_burst_is_5x_faster(serving_setup):
         f"\n[serve-throughput] sequential: {sequential_rps:,.0f} req/s, "
         f"micro-batched: {batched_rps:,.0f} req/s, speedup: {speedup:.1f}x"
     )
-    if IDENTITY_ONLY:
-        pytest.skip("SERVE_BENCH_IDENTITY_ONLY=1: wall-clock assertion skipped")
+    if identity_only():
+        pytest.skip("REPRO_BENCH_IDENTITY_ONLY=1: wall-clock assertion skipped")
     assert speedup >= 5.0, (
         f"micro-batching delivered only {speedup:.1f}x the sequential "
         f"requests/sec (expected >= 5x)"

@@ -30,12 +30,18 @@ Subcommand families:
       python -m repro cancel 1
 
 * ``components`` — list every registered component (datasets, controllers,
-  rewards, proxy builders, selection strategies, architectures, experiments);
-  ``--check`` also audits registry consistency.
+  rewards, proxy builders, selection strategies, architectures, executors,
+  backends, experiments); ``--check`` also audits registry consistency.
 
-* ``lint`` — repo-specific static analysis (rules RL1-RL6: determinism,
+* ``bench`` — run the hot-path micro-benchmarks (head training, metrics
+  engine) once per array backend and emit machine-readable records::
+
+      python -m repro bench --json bench.json
+      python -m repro bench --backend numpy-float32 --rounds 5
+
+* ``lint`` — repo-specific static analysis (rules RL1-RL7: determinism,
   hash contract, executor safety, atomic persistence, registry consistency,
-  lock hygiene)::
+  lock hygiene, dtype discipline)::
 
       python -m repro lint
       python -m repro lint --format json --select RL1,RL4
@@ -104,6 +110,20 @@ def _run_command(argv: Sequence[str]) -> int:
         help="disable the (candidate, seed) evaluation memo",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="override the spec's array backend for the fused hot paths "
+        "('numpy-float64' is bit-identical; 'numpy-float32' runs float32 "
+        "GEMMs under the documented tolerance contract)",
+    )
+    parser.add_argument(
+        "--dtype",
+        default=None,
+        choices=("float64", "float32"),
+        help="shorthand for --backend numpy-<dtype>",
+    )
+    parser.add_argument(
         "--no-fused",
         action="store_true",
         help="disable the fused head-training fast path (results are "
@@ -137,6 +157,13 @@ def _run_command(argv: Sequence[str]) -> int:
             # The execution section never enters stage hashes, so overriding
             # it keeps every cached artifact valid.
             spec.execution = dataclasses.replace(spec.execution, **overrides)
+        if args.backend is not None and args.dtype is not None:
+            raise SpecError("pass --backend or --dtype, not both")
+        backend_name = args.backend or (f"numpy-{args.dtype}" if args.dtype else None)
+        if backend_name is not None:
+            # Like execution, the backend section is hash-excluded, so a
+            # precision override also keeps every cached artifact valid.
+            spec.backend = dataclasses.replace(spec.backend, name=backend_name)
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -187,10 +214,18 @@ def _run_command(argv: Sequence[str]) -> int:
             suffix = " [from cached search artifact]" if search_cached else ""
             print(
                 f"search executor: {stats.executor} (workers={stats.max_workers}), "
+                f"backend {stats.backend}, "
                 f"memo {stats.memo_hits} hits / {stats.memo_misses} misses, "
                 f"metrics {stats.metrics_seconds:.3f}s, "
                 f"training {stats.train_seconds:.3f}s{suffix}"
             )
+            if stats.task_bytes_raw:
+                ratio = stats.task_bytes_raw / max(stats.task_bytes_shipped, 1)
+                print(
+                    f"task transport: {stats.task_bytes_shipped} bytes shipped "
+                    f"(raw {stats.task_bytes_raw} bytes, {ratio:.1f}x saved via "
+                    f"shared memory)"
+                )
         if cache_dir is not None:
             print(f"cache: {cache_dir}")
         if muffin.test_evaluation is not None:
@@ -321,6 +356,13 @@ def _serve_command(argv: Sequence[str]) -> int:
         default=100,
         help="labelled samples between fairness log lines (0 disables; default: 100)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="array backend for the feature batch ('numpy-float64' default; "
+        "'numpy-float32' serves under the tolerance contract)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(list(argv))
 
@@ -333,9 +375,10 @@ def _serve_command(argv: Sequence[str]) -> int:
             max_workers=args.max_workers,
             monitor_window=args.monitor_window,
             log_every=args.log_every,
+            **({"backend": args.backend} if args.backend else {}),
         )
         server = InferenceServer(fused, config, verbose=not args.quiet)
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     serve_forever(server, host=args.host, port=args.port, verbose=not args.quiet)
@@ -576,6 +619,12 @@ def _lint_command(argv: Sequence[str]) -> int:
     return lint_main(argv)
 
 
+def _bench_command(argv: Sequence[str]) -> int:
+    from .bench import main as bench_main
+
+    return bench_main(argv)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv if argv is not None else sys.argv[1:])
     if argv and argv[0] == "run":
@@ -598,6 +647,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _components_command(argv[1:])
     if argv and argv[0] == "lint":
         return _lint_command(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_command(argv[1:])
     # Legacy interface: experiment ids for the paper harness.
     from .experiments.runner import main as experiments_main
 

@@ -35,6 +35,13 @@ SPEC_MODULE_REL = "src/repro/api/spec.py"
 
 _VALID_STATUSES = ("hashed", "excluded")
 
+#: spec sections popped wholesale from ``spec_hash`` — every field of these
+#: must be 'excluded', every field elsewhere must be 'hashed'.  ``backend``
+#: joined ``execution`` when the precision seam landed: which dtype the
+#: GEMMs run in is a performance knob with a tolerance contract, not a
+#: semantic change, so it must not invalidate cached artifacts.
+EXCLUDED_SECTIONS = ("execution", "backend")
+
 
 def _manifest_line(project: Project, needle: str) -> int:
     """Best-effort line anchor inside ``api/spec.py`` for a finding."""
@@ -117,7 +124,7 @@ class HashContractRule(ProjectRule):
                         f"spec field '{section}.{field_name}' is not declared in "
                         "HASH_MANIFEST — is it part of the cache key or not?",
                         f"add '{field_name}': "
-                        f"'{'excluded' if section == 'execution' else 'hashed'}' "
+                        f"'{'excluded' if section in EXCLUDED_SECTIONS else 'hashed'}' "
                         f"to HASH_MANIFEST['{section}']",
                     )
                 )
@@ -142,26 +149,26 @@ class HashContractRule(ProjectRule):
                             f"use one of {list(_VALID_STATUSES)}",
                         )
                     )
-                elif section == "execution" and status != "excluded":
+                elif section in EXCLUDED_SECTIONS and status != "excluded":
                     findings.append(
                         self._finding(
                             project,
                             f'"{field_name}"',
-                            f"'execution.{field_name}' is marked 'hashed' but the "
-                            "whole execution section is popped from spec_hash()",
-                            "execution fields are excluded by construction; move "
+                            f"'{section}.{field_name}' is marked 'hashed' but the "
+                            f"whole {section} section is popped from spec_hash()",
+                            f"{section} fields are excluded by construction; move "
                             "result-affecting knobs to another section",
                         )
                     )
-                elif section != "execution" and status != "hashed":
+                elif section not in EXCLUDED_SECTIONS and status != "hashed":
                     findings.append(
                         self._finding(
                             project,
                             f'"{field_name}"',
                             f"'{section}.{field_name}' is marked 'excluded' but "
                             f"every '{section}' field enters the stage hashes",
-                            "execution-only knobs belong in ExecutionSpec; "
-                            "anything else must be hashed",
+                            "execution-only knobs belong in ExecutionSpec (or "
+                            "BackendSpec); anything else must be hashed",
                         )
                     )
 
@@ -182,6 +189,12 @@ class HashContractRule(ProjectRule):
                     executor="thread" if base.execution.executor != "thread" else "serial",
                     memoize=not base.execution.memoize,
                 ),
+                backend=dataclasses.replace(
+                    base.backend,
+                    name="numpy-float32"
+                    if base.backend.name != "numpy-float32"
+                    else "numpy-float64",
+                ),
             )
             hashed_variant = dataclasses.replace(
                 base,
@@ -194,10 +207,11 @@ class HashContractRule(ProjectRule):
                 return self._finding(
                     project,
                     "def spec_hash",
-                    "editing only execution fields changed a spec/stage hash — "
-                    "the manifest says execution is excluded but the "
-                    "implementation hashes it",
-                    "keep the execution section popped from every hash payload",
+                    "editing only execution/backend fields changed a spec/stage "
+                    "hash — the manifest says those sections are excluded but "
+                    "the implementation hashes them",
+                    "keep the execution and backend sections popped from every "
+                    "hash payload",
                 )
             if (
                 base.spec_hash() == hashed_variant.spec_hash()

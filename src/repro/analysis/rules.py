@@ -1,4 +1,4 @@
-"""AST rule families RL1/RL3/RL4/RL6 — the repo-specific invariants.
+"""AST rule families RL1/RL3/RL4/RL6/RL7 — the repo-specific invariants.
 
 Each rule encodes a contract the fast paths of PRs 2–6 are sold on but the
 interpreter cannot enforce:
@@ -19,6 +19,12 @@ interpreter cannot enforce:
   declares them I/O-serialisation guards (``send_lock``, ``io_lock``,
   ``write_lock``) are exempt — serialising writes on one socket is exactly
   what such a lock is for.
+* **RL7 dtype discipline** — the precision-critical hot modules (the fused
+  kernels, the metrics engine, the backend layer itself) promise their
+  results per array backend: float64 bit-identity or the float32 tolerance
+  contract.  ``np.asarray``/``np.zeros``/``np.empty`` without an explicit
+  ``dtype`` inherits whatever dtype the caller happened to pass and
+  silently drifts a hot path out of its contract.
 
 All rules are purely syntactic (no imports of the checked code), so they
 run on broken trees, fixtures and work-in-progress branches alike.
@@ -36,6 +42,7 @@ __all__ = [
     "ExecutorSafetyRule",
     "AtomicPersistenceRule",
     "LockHygieneRule",
+    "DtypeDisciplineRule",
 ]
 
 
@@ -509,3 +516,67 @@ class LockHygieneRule(FileRule):
                 if any(marker in lowered for marker in self._WAIT_RECEIVER_MARKERS):
                     return f"blocking {receiver}.{func.attr}()"
         return None
+
+
+# ----------------------------------------------------------------------
+# RL7 — dtype discipline
+# ----------------------------------------------------------------------
+@LINT_RULES.register("RL7")
+class DtypeDisciplineRule(FileRule):
+    """Array factories without an explicit dtype in the precision hot paths."""
+
+    code = "RL7"
+    name = "dtype-discipline"
+    description = (
+        "np.asarray/np.zeros/np.empty in the precision-critical hot modules "
+        "(fused kernels, metrics engine, backend layer) must pin an explicit "
+        "dtype= so results stay inside the per-backend precision contract"
+    )
+
+    #: modules whose numeric results are promised per array backend —
+    #: float64 bit-identity or the float32 tolerance contract
+    HOT_MODULES = (
+        "src/repro/nn/fused.py",
+        "src/repro/fairness/engine.py",
+        "src/repro/core/backend.py",
+    )
+
+    #: dtype-inheriting factories: the result dtype silently follows the
+    #: input (asarray) or defaults to float64 regardless of backend
+    _FACTORIES = {"numpy.asarray", "numpy.zeros", "numpy.empty"}
+
+    _HINT = (
+        "pass dtype= explicitly (backend.compute_dtype for hot-path compute, "
+        "np.float64 for accumulators), or route through the ArrayBackend "
+        "helpers; add '# repro-lint: disable=RL7' with a reason if the dtype "
+        "is genuinely dynamic"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        if not any(source.rel.endswith(module) or source.rel == module
+                   for module in self.HOT_MODULES):
+            return []
+        aliases = collect_import_aliases(source.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, aliases)
+            if dotted not in self._FACTORIES:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if len(node.args) >= 2:  # dtype passed positionally
+                continue
+            tail = dotted.rsplit(".", 1)[-1]
+            findings.append(
+                _finding(
+                    source, node, self.code,
+                    f"np.{tail}() without an explicit dtype in a "
+                    "precision-critical hot module; the result dtype follows "
+                    "the input and can drift the path out of its backend "
+                    "precision contract",
+                    self._HINT,
+                )
+            )
+        return findings

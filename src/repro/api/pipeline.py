@@ -311,7 +311,15 @@ class MuffinPipeline:
             if stage == "search":
                 stats = getattr(self._artifacts["search"], "execution_stats", None)
                 if stats is not None:
-                    memo = f"executor={stats.executor} memo={stats.memo_hits}h/{stats.memo_misses}m"
+                    memo = (
+                        f"executor={stats.executor} backend={stats.backend} "
+                        f"memo={stats.memo_hits}h/{stats.memo_misses}m"
+                    )
+                    if stats.task_bytes_shipped and stats.task_bytes_raw:
+                        memo += (
+                            f" shipped={stats.task_bytes_shipped}B"
+                            f"/{stats.task_bytes_raw}B raw"
+                        )
                     detail = f"{detail}; {memo}" if detail else memo
         seconds = time.perf_counter() - start
         self.timings.append(
@@ -340,7 +348,8 @@ class MuffinPipeline:
                         seconds=float(stats.train_seconds),
                         hash=stage_hash,
                         detail="muffin-head training inside the search stage "
-                        "(fused batched kernels unless use_fused is disabled)",
+                        "(fused batched kernels unless use_fused is disabled; "
+                        f"backend={stats.backend})",
                     )
                 )
         self._manifest[stage] = {
@@ -387,7 +396,7 @@ class MuffinPipeline:
                 num_paired=spec.num_paired,
                 search_config=spec.search_config(self.spec.execution),
                 reward_config=spec.reward_config(),
-                head_config=spec.head_config(self.spec.execution),
+                head_config=spec.head_config(self.spec.execution, self.spec.backend),
                 reward_builder=spec.reward,
                 body_cache=self.body_cache,
             )

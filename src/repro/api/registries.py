@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..core.backend import BACKENDS
 from ..core.controller import CONTROLLERS
 from ..core.execution import EXECUTORS
 from ..core.proxy import PROXY_BUILDERS
@@ -36,6 +37,7 @@ _CORE_REGISTRIES: Dict[str, Registry] = {
     "rewards": REWARDS,
     "selection_strategies": SELECTION_STRATEGIES,
     "executors": EXECUTORS,
+    "backends": BACKENDS,
 }
 
 
@@ -61,6 +63,7 @@ __all__ = [
     "DATASETS",
     "ARCHITECTURES",
     "ARCHITECTURE_REGISTRY",
+    "BACKENDS",
     "CONTROLLERS",
     "EXECUTORS",
     "PROXY_BUILDERS",

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple, Union
 
 from ..core import EXECUTORS, HeadTrainConfig, RewardConfig, SearchConfig
+from ..core.backend import BACKENDS, DEFAULT_BACKEND
 from ..data.splits import PAPER_SPLIT
 from ..zoo import TrainConfig
 
@@ -149,11 +150,16 @@ class SearchSpec:
             **kwargs,
         )
 
-    def head_config(self, execution: Optional["ExecutionSpec"] = None) -> HeadTrainConfig:
+    def head_config(
+        self,
+        execution: Optional["ExecutionSpec"] = None,
+        backend: Optional["BackendSpec"] = None,
+    ) -> HeadTrainConfig:
         return HeadTrainConfig(
             epochs=self.head_epochs,
             batch_size=self.head_batch_size,
             use_fused=execution.use_fused if execution is not None else True,
+            backend=backend.name if backend is not None else DEFAULT_BACKEND,
         )
 
     def reward_config(self) -> RewardConfig:
@@ -212,6 +218,34 @@ class ExecutionSpec:
 
 
 @dataclass
+class BackendSpec:
+    """Which array backend the hot paths (fused kernels, metrics engine) use.
+
+    The default ``numpy-float64`` backend is bit-identical to the autograd
+    oracle; ``numpy-float32`` trades bit-identity for float32 GEMMs under
+    the tolerance contract of :data:`repro.core.backend.TOLERANCES`.  Like
+    ``execution``, this section is a precision/performance knob rather than
+    a semantic one, so it is excluded from every stage hash: a float32 rerun
+    reuses the float64 run's cached pool and dataset artifacts.
+    """
+
+    #: registered backend name (:data:`repro.core.backend.BACKENDS`) or one
+    #: of its aliases ('float64'/'fp64', 'float32'/'fp32', ...)
+    name: str = DEFAULT_BACKEND
+
+    def __post_init__(self) -> None:
+        if self.name not in BACKENDS:
+            suggestions = BACKENDS.suggest(self.name)
+            hint = f" (did you mean {suggestions[0]!r}?)" if suggestions else ""
+            raise SpecError(
+                f"backend.name must be one of {BACKENDS.names()}, got "
+                f"'{self.name}'{hint}"
+            )
+        # Canonicalise aliases so specs hash and report consistently.
+        self.name = BACKENDS.canonical_name(self.name)
+
+
+@dataclass
 class FinalizeSpec:
     """How to pick and materialise the reported Muffin-Net."""
 
@@ -258,6 +292,7 @@ _SECTION_TYPES = {
     "pool": PoolSpec,
     "search": SearchSpec,
     "execution": ExecutionSpec,
+    "backend": BackendSpec,
     "finalize": FinalizeSpec,
     "export": ExportSpec,
     "report": ReportSpec,
@@ -273,6 +308,7 @@ class RunSpec:
     pool: PoolSpec = field(default_factory=PoolSpec)
     search: SearchSpec = field(default_factory=SearchSpec)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+    backend: BackendSpec = field(default_factory=BackendSpec)
     finalize: FinalizeSpec = field(default_factory=FinalizeSpec)
     export: ExportSpec = field(default_factory=ExportSpec)
     report: ReportSpec = field(default_factory=ReportSpec)
@@ -344,10 +380,14 @@ class RunSpec:
 
         The ``execution`` section only changes *how fast* a run computes,
         never what it computes, so it is excluded — two specs differing only
-        in executor share one default cache directory.
+        in executor share one default cache directory.  The ``backend``
+        section is excluded for the same reason: precision is an
+        execution-style knob with a documented tolerance contract, not a
+        semantic change, so a float32 rerun reuses the float64 caches.
         """
         payload = self.to_dict()
         payload.pop("execution", None)
+        payload.pop("backend", None)
         return _hash_payload(payload)
 
     def stage_hash(self, stage: str) -> str:
@@ -423,6 +463,9 @@ HASH_MANIFEST: Dict[str, Dict[str, str]] = {
         "journal": "excluded",
         "task_retries": "excluded",
         "heartbeat_seconds": "excluded",
+    },
+    "backend": {
+        "name": "excluded",
     },
     "finalize": {
         "selection": "hashed",

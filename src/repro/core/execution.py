@@ -60,6 +60,9 @@ class SerialExecutor:
     """Evaluate tasks inline, in the calling thread (the reference executor)."""
 
     name = "serial"
+    #: in-process executors receive task arrays by reference; only executors
+    #: flagging True get the shared-memory descriptor transport
+    ships_tasks_across_processes = False
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         # ``max_workers`` is accepted for interface uniformity; serial
@@ -89,6 +92,7 @@ class _PooledExecutor:
     """
 
     name = "pooled"
+    ships_tasks_across_processes = False
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         if max_workers is not None and max_workers <= 0:
@@ -141,6 +145,9 @@ class ProcessExecutor(_PooledExecutor):
     """
 
     name = "process"
+    #: tasks are pickled into worker processes, so the search swaps their
+    #: array payloads for zero-copy shared-memory descriptors
+    ships_tasks_across_processes = True
 
     def _make_pool(self) -> _FuturesExecutor:
         return ProcessPoolExecutor(max_workers=self.max_workers)

@@ -196,6 +196,16 @@ class BodyOutputCache:
     cache can be shared across searches and pipeline stages with different
     proxy builders or evaluation partitions without ever returning stale
     probabilities for the wrong index set.
+
+    With :meth:`enable_shared_transport` the cache additionally owns a
+    :class:`~repro.core.sharedmem.SharedSegmentRegistry`: cached matrices can
+    be exported once into POSIX shared memory (:meth:`share_array`) so
+    process-crossing executors ship ``(name, shape, dtype)`` descriptors
+    instead of pickling the matrices into every task.  Segments follow the
+    entries they mirror — evicting a concatenated matrix releases its
+    segment, :meth:`release_shared_segments` (executor shutdown) unlinks
+    them all — and the cache stays usable afterwards: the next shipment
+    simply re-exports.
     """
 
     #: LRU bound on memoised concatenated matrices (re-derivable from the
@@ -210,6 +220,13 @@ class BodyOutputCache:
         )
         #: per-model argmax labels, derived from the probability entries
         self._labels: Dict[Tuple[str, str, str], np.ndarray] = {}
+        #: stacked member-label matrices, memoised so repeat callers (and the
+        #: shared-memory transport, which keys segments on array identity)
+        #: see one stable array per (models, dataset, indices) triple
+        self._stacked_labels: Dict[Tuple[Tuple[str, ...], str, str], np.ndarray] = {}
+        # Shared-memory export state (None until enable_shared_transport).
+        self._shm_registry = None
+        self._shm_refs: Dict[int, object] = {}
         #: per-model matrix lookups (one count per probabilities() call)
         self.hits = 0
         self.misses = 0
@@ -266,7 +283,8 @@ class BodyOutputCache:
                 axis=1,
             )
             while len(self._concatenated) > self.MAX_CONCATENATED_ENTRIES:
-                self._concatenated.pop(next(iter(self._concatenated)))
+                evicted = self._concatenated.pop(next(iter(self._concatenated)))
+                self._release_shared(evicted)
         else:
             self.concat_hits += 1
             self._concatenated.move_to_end(key)
@@ -287,6 +305,10 @@ class BodyOutputCache:
         """
         ds_fp = dataset_fingerprint(dataset)
         idx_fp = _indices_fingerprint(indices)
+        stacked_key = (tuple(model_names), ds_fp, idx_fp)
+        memoised = self._stacked_labels.get(stacked_key)
+        if memoised is not None:
+            return memoised
         stacked = []
         for name in model_names:
             key = (name, ds_fp, idx_fp)
@@ -295,7 +317,51 @@ class BodyOutputCache:
                 labels = self.probabilities(name, dataset, indices).argmax(axis=-1)
                 self._labels[key] = labels
             stacked.append(labels)
-        return np.stack(stacked, axis=0)
+        result = np.stack(stacked, axis=0)
+        self._stacked_labels[stacked_key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Shared-memory export (process/distributed executors)
+    # ------------------------------------------------------------------
+    def enable_shared_transport(self) -> None:
+        """Create the shared-segment registry (idempotent)."""
+        if self._shm_registry is None:
+            from .sharedmem import SharedSegmentRegistry
+
+            self._shm_registry = SharedSegmentRegistry()
+
+    @property
+    def shared_transport_enabled(self) -> bool:
+        return self._shm_registry is not None
+
+    def share_array(self, array: np.ndarray):
+        """A :class:`~repro.core.sharedmem.SharedArrayRef` for ``array``.
+
+        Memoised on array identity, so each cached matrix is copied into
+        shared memory exactly once however many tasks reference it.
+        """
+        if self._shm_registry is None:
+            raise RuntimeError("call enable_shared_transport() first")
+        ref = self._shm_refs.get(id(array))
+        if ref is None:
+            ref = self._shm_registry.share(array)
+            self._shm_refs[id(array)] = ref
+        return ref
+
+    def _release_shared(self, array: np.ndarray) -> None:
+        """Unlink the segment mirroring an evicted cache entry (if any)."""
+        if self._shm_registry is None:
+            return
+        if self._shm_refs.pop(id(array), None) is not None:
+            self._shm_registry.release(array)
+
+    def release_shared_segments(self) -> None:
+        """Unlink every exported segment (executor shutdown); cache survives."""
+        if self._shm_registry is None:
+            return
+        self._shm_registry.close_all()
+        self._shm_refs.clear()
 
     def stats(self) -> Dict[str, int]:
         return {
@@ -345,6 +411,63 @@ class EvaluationOutcome:
     head_parameters: int
 
 
+#: ndarray fields of :class:`EvaluationTask` the shared-memory transport may
+#: replace with :class:`~repro.core.sharedmem.SharedArrayRef` descriptors
+TASK_ARRAY_FIELDS = (
+    "proxy_outputs",
+    "proxy_labels",
+    "proxy_weights",
+    "eval_outputs",
+    "eval_member_labels",
+)
+
+#: generous pickled-size estimate of one shared-array descriptor, used by
+#: the bytes-shipped accounting (the real pickle is smaller)
+REF_DESCRIPTOR_BYTES = 128
+
+
+def resolve_task_arrays(task: EvaluationTask) -> EvaluationTask:
+    """Replace any shared-array descriptors in ``task`` with attached views.
+
+    Runs at the top of every evaluation entry point, so tasks are valid
+    whether their arrays travelled inline (serial/thread executors) or as
+    shared-memory descriptors (process/distributed executors).  Attached
+    views are read-only aliases of the master's segments; every consumer
+    below only reads them.
+    """
+    from .sharedmem import SharedArrayRef, attach_shared_array
+
+    updates = {}
+    for name in TASK_ARRAY_FIELDS:
+        value = getattr(task, name)
+        if isinstance(value, SharedArrayRef):
+            updates[name] = attach_shared_array(value)
+    return replace(task, **updates) if updates else task
+
+
+def task_payload_bytes(task: EvaluationTask) -> Tuple[int, int]:
+    """``(raw, shipped)`` payload sizes of one (possibly shipped) task.
+
+    ``raw`` counts every array field at full ndarray size; ``shipped``
+    counts descriptors at :data:`REF_DESCRIPTOR_BYTES` and inline arrays at
+    full size — so ``raw == shipped`` for an unshipped task and the ratio of
+    the two is the transport's saving.
+    """
+    from .sharedmem import SharedArrayRef
+
+    raw = 0
+    shipped = 0
+    for name in TASK_ARRAY_FIELDS:
+        value = getattr(task, name)
+        if isinstance(value, SharedArrayRef):
+            raw += value.nbytes
+            shipped += REF_DESCRIPTOR_BYTES
+        else:
+            raw += int(value.nbytes)
+            shipped += int(value.nbytes)
+    return raw, shipped
+
+
 def _build_task_head(task: EvaluationTask) -> MuffinHead:
     """The fresh, seeded head a task's evaluation trains."""
     return MuffinHead(
@@ -384,6 +507,7 @@ def evaluate_task(task: EvaluationTask) -> EvaluationOutcome:
     :func:`~repro.core.fusing.consensus_arbitrate_labels` using the member
     labels precomputed once for the whole batch.
     """
+    task = resolve_task_arrays(task)
     head = _build_task_head(task)
     train_result = train_head_on_outputs(
         head,
@@ -408,6 +532,7 @@ def evaluate_task_batch(tasks: Sequence[EvaluationTask]) -> List[EvaluationOutco
     per-task path inside the batched trainer.  Outcomes are **bit-identical**
     to mapping :func:`evaluate_task` over the tasks, in input order.
     """
+    tasks = [resolve_task_arrays(task) for task in tasks]
     outcomes: List[Optional[EvaluationOutcome]] = [None] * len(tasks)
     group_indices: List[List[int]] = []
     for index, task in enumerate(tasks):
@@ -484,7 +609,16 @@ class MuffinSearch:
         self._cache = body_cache if body_cache is not None else BodyOutputCache(pool)
         # One vectorized engine scores every candidate of an episode batch
         # on every attribute in a single call (group matrices precomputed).
-        self._eval_engine = EvaluationEngine.for_dataset(self.eval_dataset, self.attributes)
+        # The engine shares the head config's array backend so the whole hot
+        # path (training GEMMs and scoring GEMMs) runs one precision choice.
+        self._eval_engine = EvaluationEngine.for_dataset(
+            self.eval_dataset, self.attributes, backend=self.head_config.backend
+        )
+        # Proxy labels/weights are assembled once: every task of the search
+        # shares these exact arrays, which also gives the shared-memory
+        # transport (keyed on array identity) one stable segment per array.
+        self._proxy_labels = self.proxy.dataset.labels[self.proxy.indices]
+        self._proxy_weights = np.asarray(self.proxy.sample_weights, dtype=np.float64)
         #: cumulative wall-clock spent scoring predictions in the engine
         self.metrics_seconds = 0.0
         #: cumulative wall-clock of candidate-evaluation work: head training
@@ -497,6 +631,11 @@ class MuffinSearch:
         self._memo: Dict[Tuple[FusingCandidate, int], EpisodeRecord] = {}
         self.memo_hits = 0
         self.memo_misses = 0
+        #: cumulative task-payload bytes for process-crossing dispatches:
+        #: ``task_bytes_raw`` is what pickling the arrays would have shipped,
+        #: ``task_bytes_shipped`` what actually crossed the boundary
+        self.task_bytes_raw = 0
+        self.task_bytes_shipped = 0
 
     # ------------------------------------------------------------------
     # Candidate evaluation
@@ -554,10 +693,21 @@ class MuffinSearch:
             head_config=self.head_config,
             num_classes=self.eval_dataset.num_classes,
             proxy_outputs=proxy_outputs,
-            proxy_labels=self.proxy.dataset.labels[self.proxy.indices],
-            proxy_weights=np.asarray(self.proxy.sample_weights, dtype=np.float64),
+            proxy_labels=self._proxy_labels,
+            proxy_weights=self._proxy_weights,
             eval_outputs=eval_outputs,
             eval_member_labels=eval_member_labels,
+        )
+
+    def _ship_task(self, task: EvaluationTask) -> EvaluationTask:
+        """The shared-memory form of ``task``: arrays become descriptors."""
+        self._cache.enable_shared_transport()
+        return replace(
+            task,
+            **{
+                name: self._cache.share_array(getattr(task, name))
+                for name in TASK_ARRAY_FIELDS
+            },
         )
 
     def _records_from_outcomes(
@@ -692,13 +842,22 @@ class MuffinSearch:
                     executor = build_executor(
                         self.search_config.executor, self.search_config.max_workers
                     )
+                send_tasks = [tasks[i] for i in other_indices]
+                # Process-crossing executors advertise it; their tasks swap
+                # ndarray payloads for shared-memory descriptors so each
+                # cached matrix crosses the boundary as a ~100-byte triple.
+                if getattr(executor, "ships_tasks_across_processes", False):
+                    send_tasks = [self._ship_task(task) for task in send_tasks]
+                    for task in send_tasks:
+                        raw, shipped = task_payload_bytes(task)
+                        self.task_bytes_raw += raw
+                        self.task_bytes_shipped += shipped
                 try:
-                    mapped = executor.map(
-                        evaluate_task, [tasks[i] for i in other_indices]
-                    )
+                    mapped = executor.map(evaluate_task, send_tasks)
                 finally:
                     if own_executor:
                         executor.shutdown()
+                        self._cache.release_shared_segments()
                 for index, outcome in zip(other_indices, mapped):
                     placed[index] = outcome
             outcomes = [outcome for outcome in placed if outcome is not None]
@@ -810,6 +969,8 @@ class MuffinSearch:
         memo_misses_before = self.memo_misses
         metrics_seconds_before = self.metrics_seconds
         train_seconds_before = self.train_seconds
+        bytes_raw_before = self.task_bytes_raw
+        bytes_shipped_before = self.task_bytes_shipped
         # Request-level cache counters: per-model and concatenated lookups.
         cache_hits_before = self._cache.hits + self._cache.concat_hits
         cache_misses_before = self._cache.misses + self._cache.concat_misses
@@ -880,6 +1041,10 @@ class MuffinSearch:
                 batch_counter += 1
         finally:
             executor.shutdown()
+            # Shared segments live exactly as long as their executor: unlink
+            # on shutdown (no-op when the transport never activated), and a
+            # later run simply re-exports from the still-valid cache.
+            self._cache.release_shared_segments()
 
         stats = ExecutionStats(
             executor=config.executor,
@@ -894,6 +1059,9 @@ class MuffinSearch:
             eval_seconds=time.perf_counter() - start_time,
             metrics_seconds=self.metrics_seconds - metrics_seconds_before,
             train_seconds=self.train_seconds - train_seconds_before,
+            backend=self.head_config.backend,
+            task_bytes_raw=self.task_bytes_raw - bytes_raw_before,
+            task_bytes_shipped=self.task_bytes_shipped - bytes_shipped_before,
         )
         return MuffinSearchResult(
             records=records,

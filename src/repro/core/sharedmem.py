@@ -1,0 +1,263 @@
+"""Zero-copy shared-memory transport for large task arrays.
+
+Process-crossing executors used to *pickle* every body-probability matrix
+into every :class:`~repro.core.search.EvaluationTask` — the same cached
+float64 matrix serialized once per candidate per episode.  This module
+replaces the payload with a descriptor: the master copies an array into a
+POSIX shared-memory segment once, ships the tiny ``(name, shape, dtype)``
+triple, and workers attach a read-only view in place.
+
+Ownership is explicit and master-side:
+
+* :class:`SharedSegmentRegistry` (one per :class:`BodyOutputCache`) owns the
+  segments.  ``share(array)`` memoises by array identity and refcounts;
+  ``release`` unlinks at refcount zero; ``close_all`` unlinks everything
+  (executor shutdown, cache eviction, the SIGKILL-watchdog teardown path).
+* Workers call :func:`attach_shared_array` and must never unlink.  On
+  Python < 3.13 ``SharedMemory`` has no ``track=False``, so attaching would
+  also register the segment with the ``resource_tracker`` — which would
+  unlink the master's live segment when the worker exits, and (under the
+  fork start method every process shares the master's tracker) unbalance
+  the tracker's register/unregister accounting.  The attach helper
+  therefore suppresses the registration entirely; :func:`detach_all`
+  closes the worker-side views (``worker_main``'s ``finally`` block calls
+  it).
+
+Segment names carry the :data:`SEGMENT_PREFIX` so tests can assert that no
+``/dev/shm/repro-boc-*`` entry survives an executor shutdown.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SharedArrayRef",
+    "SharedSegmentRegistry",
+    "attach_shared_array",
+    "detach_all",
+]
+
+#: Prefix of every segment this module creates (leak checks glob for it).
+SEGMENT_PREFIX = "repro-boc-"
+
+#: Process-wide segment-name counter.  Module-level (not per-registry) on
+#: purpose: the attach cache below is keyed by segment *name*, so a name
+#: must never be reused within a process — a fresh registry restarting at 1
+#: would alias a stale cached attachment of an earlier registry's (already
+#: unlinked) segment and serve the wrong bytes.
+_NAME_COUNTER = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """A picklable descriptor of one array living in a shared segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Remove ``shm`` from this process's resource tracker.
+
+    Only needed when a segment vanished without ``unlink()`` running (which
+    unregisters itself); harmless if the registration does not exist.
+    """
+    try:  # pragma: no cover - tracker internals differ across versions
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """``SharedMemory(name)`` without registering in the resource tracker.
+
+    ``track=False`` only exists from Python 3.13, so the registration is
+    suppressed by patching ``resource_tracker.register`` out for the
+    duration of the attach (the caller holds ``_ATTACH_LOCK``).  Sending an
+    ``unregister`` afterwards instead would corrupt the accounting of a
+    fork-shared tracker: the master's own registration for the segment
+    would be removed, and its eventual ``unlink()`` would then KeyError
+    inside the tracker process.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedSegmentRegistry:
+    """Master-side owner of shared segments, refcounted per source array.
+
+    ``share`` is memoised on ``id(array)`` and keeps a strong reference to
+    the source array, so the id cannot be recycled while an entry lives.
+    Thread-safe: the search's thread executor and the watchdog thread may
+    touch the registry concurrently.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # id(array) -> (source array, segment, ref, refcount)
+        self._by_array: Dict[int, Tuple[np.ndarray, shared_memory.SharedMemory, SharedArrayRef, int]] = {}
+        atexit.register(self.close_all)
+
+    # ------------------------------------------------------------------
+    def share(self, array: np.ndarray) -> SharedArrayRef:
+        """Copy ``array`` into a shared segment (memoised) and bump its refcount."""
+        array = np.ascontiguousarray(array)
+        key = id(array)
+        with self._lock:
+            entry = self._by_array.get(key)
+            if entry is not None:
+                source, shm, ref, refcount = entry
+                self._by_array[key] = (source, shm, ref, refcount + 1)
+                return ref
+            name = f"{SEGMENT_PREFIX}{os.getpid()}-{next(_NAME_COUNTER)}"
+            shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, array.nbytes))
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[...] = array
+            del view
+            ref = SharedArrayRef(name=shm.name, shape=tuple(array.shape), dtype=str(array.dtype))
+            self._by_array[key] = (array, shm, ref, 1)
+            return ref
+
+    def release(self, array: np.ndarray) -> None:
+        """Drop one reference to ``array``'s segment; unlink at zero."""
+        key = id(array)
+        with self._lock:
+            entry = self._by_array.get(key)
+            if entry is None:
+                return
+            source, shm, ref, refcount = entry
+            if refcount > 1:
+                self._by_array[key] = (source, shm, ref, refcount - 1)
+                return
+            del self._by_array[key]
+            self._destroy(shm)
+
+    def close_all(self) -> None:
+        """Unlink every live segment (idempotent; the registry stays usable)."""
+        with self._lock:
+            entries = list(self._by_array.values())
+            self._by_array.clear()
+        for _, shm, _, _ in entries:
+            self._destroy(shm)
+
+    @staticmethod
+    def _destroy(shm: shared_memory.SharedMemory) -> None:
+        # An executor running tasks inline (max_workers == 1) attaches
+        # shipped segments in this very process; drop that cached
+        # attachment so the cache never outlives the segment.
+        _detach(shm.name)
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()  # also unregisters from this process's tracker
+        except FileNotFoundError:
+            # Already gone (e.g. an external sweep): unlink skipped its own
+            # unregister, so drop the stale tracker entry ourselves.
+            _untrack(shm)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_array)
+
+    def __repr__(self) -> str:
+        return f"SharedSegmentRegistry(segments={len(self)})"
+
+
+# ----------------------------------------------------------------------
+# Worker-side attach cache
+# ----------------------------------------------------------------------
+_ATTACH_LOCK = threading.Lock()
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def attach_shared_array(ref: SharedArrayRef, *, copy: bool = False) -> np.ndarray:
+    """A read-only ndarray view of ``ref``'s segment (attached views are cached).
+
+    The view aliases shared memory owned by the master; it is marked
+    non-writeable.  Pass ``copy=True`` for a private mutable copy.  The
+    segment stays attached until :func:`detach_all` — cheap, because tasks
+    of one episode reference the same few cached matrices.
+    """
+    with _ATTACH_LOCK:
+        shm = _ATTACHED.get(ref.name)
+        if shm is None:
+            shm = _attach_untracked(ref.name)
+            _ATTACHED[ref.name] = shm
+    view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
+    if copy:
+        return view.copy()
+    view.flags.writeable = False
+    return view
+
+
+def _detach(name: str) -> None:
+    """Close this process's cached attachment of ``name``, if any."""
+    with _ATTACH_LOCK:
+        shm = _ATTACHED.pop(name, None)
+    if shm is not None:
+        try:
+            shm.close()
+        except Exception:
+            pass
+
+
+def detach_all() -> None:
+    """Close every attached view in this process (never unlinks)."""
+    with _ATTACH_LOCK:
+        segments = list(_ATTACHED.values())
+        _ATTACHED.clear()
+    for shm in segments:
+        try:
+            shm.close()
+        except Exception:
+            pass
+
+
+def _after_fork_in_child() -> None:
+    """Reset the attach cache in a freshly forked child.
+
+    Inherited attachments belong to the parent: their names may be
+    unlinked and recreated by the parent while the child runs, so trusting
+    them would serve stale bytes.  The child is single-threaded right after
+    fork, so the lock is replaced rather than acquired (the parent may have
+    been holding it mid-fork).
+    """
+    global _ATTACH_LOCK
+    _ATTACH_LOCK = threading.Lock()
+    for shm in list(_ATTACHED.values()):
+        try:
+            shm.close()
+        except Exception:  # a live exported view keeps the mapping; fine
+            pass
+    _ATTACHED.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX-only guard
+    os.register_at_fork(after_in_child=_after_fork_in_child)

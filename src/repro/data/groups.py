@@ -39,9 +39,24 @@ def validate_group_ids(ids: np.ndarray, spec: AttributeSpec) -> np.ndarray:
 
     Out-of-range ids used to fall silently into *no* group mask, skewing
     every per-group accuracy they should have contributed to; they are now
-    rejected up front with a clear error.
+    rejected up front with a clear error.  Integer inputs of any width
+    (int32 included) are accepted and widened; float inputs must be
+    integral-valued — a fractional group id is a data bug the int64 cast
+    would silently truncate.
     """
-    ids = np.asarray(ids, dtype=np.int64)
+    raw = np.asarray(ids)  # repro-lint: disable=RL7 — dtype inspected before the int64 cast below
+    if raw.dtype == np.object_ or np.issubdtype(raw.dtype, np.complexfloating):
+        raise ValueError(
+            f"group ids of attribute '{spec.name}' must be integer-valued, "
+            f"got dtype {raw.dtype}"
+        )
+    if np.issubdtype(raw.dtype, np.floating):
+        if raw.size and not np.array_equal(raw, np.trunc(raw)):
+            raise ValueError(
+                f"group ids of attribute '{spec.name}' have dtype {raw.dtype} "
+                "with fractional values; pass integer group ids"
+            )
+    ids = raw.astype(np.int64, copy=False) if raw.dtype != np.int64 else raw
     if ids.ndim != 1:
         raise ValueError(
             f"group ids of attribute '{spec.name}' must be 1-D, got shape {ids.shape}"

@@ -39,7 +39,16 @@ from ..data.groups import GroupIndexBank
 from .metrics import FairnessEvaluation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.backend import ArrayBackend
     from ..data.dataset import FairnessDataset
+
+
+def _resolve_backend(backend) -> "ArrayBackend":
+    # Deferred import: ``repro.core`` imports this module (via the search),
+    # so a module-level ``core.backend`` import would be circular.
+    from ..core.backend import get_backend
+
+    return get_backend(backend)
 
 
 @dataclass
@@ -110,8 +119,22 @@ class EvaluationEngine:
         labels: np.ndarray,
         bank: GroupIndexBank,
         attributes: Optional[Sequence[str]] = None,
+        backend: Optional[object] = None,
     ) -> None:
-        self.labels = np.asarray(labels, dtype=np.int64)
+        labels = np.asarray(labels)  # repro-lint: disable=RL7 — dtype inspected before the int64 cast below
+        if labels.dtype == np.object_ or np.issubdtype(labels.dtype, np.complexfloating):
+            raise ValueError(f"labels must be integer-valued, got dtype {labels.dtype}")
+        if np.issubdtype(labels.dtype, np.floating):
+            if labels.size and not np.array_equal(labels, np.trunc(labels)):
+                raise ValueError(
+                    f"labels of dtype {labels.dtype} carry fractional values; "
+                    "pass integer class labels (int32/int64) or integral floats"
+                )
+        self.labels = labels.astype(np.int64, copy=False)
+        self.backend = _resolve_backend(backend)
+        #: compute-dtype copy of the bank's membership matrix, built lazily
+        #: (the identity backend uses the bank's float64 matrix directly)
+        self._membership_compute: Optional[np.ndarray] = None
         if self.labels.ndim != 1:
             raise ValueError("labels must be a 1-D array")
         if self.labels.shape[0] != bank.num_samples:
@@ -136,9 +159,12 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     @classmethod
     def for_dataset(
-        cls, dataset: "FairnessDataset", attributes: Optional[Sequence[str]] = None
+        cls,
+        dataset: "FairnessDataset",
+        attributes: Optional[Sequence[str]] = None,
+        backend: Optional[object] = None,
     ) -> "EvaluationEngine":
-        """Engine over ``dataset`` (memoised per dataset and attribute set).
+        """Engine over ``dataset`` (memoised per dataset, attributes and backend).
 
         The underlying :class:`GroupIndexBank` is the dataset's cached bank,
         so repeated evaluations on the same partition — every controller
@@ -146,18 +172,22 @@ class EvaluationEngine:
         of membership matrices.
         """
         names = tuple(attributes) if attributes is not None else dataset.attributes.names
-        per_dataset: Dict[Tuple[str, ...], EvaluationEngine] = _DATASET_ENGINES.setdefault(
+        resolved = _resolve_backend(backend)
+        key = (names, resolved.name)
+        per_dataset: Dict[Tuple, EvaluationEngine] = _DATASET_ENGINES.setdefault(
             dataset, {}
         )
-        engine = per_dataset.get(names)
+        engine = per_dataset.get(key)
         if engine is None:
             for name in names:
                 dataset.attributes[name]  # KeyError with the available names
             if names:
-                engine = cls(dataset.labels, dataset.group_index_bank(names))
+                engine = cls(dataset.labels, dataset.group_index_bank(names), backend=resolved)
             else:  # accuracy-only evaluation over the dataset's full bank
-                engine = cls(dataset.labels, dataset.group_index_bank(), attributes=())
-            per_dataset[names] = engine
+                engine = cls(
+                    dataset.labels, dataset.group_index_bank(), attributes=(), backend=resolved
+                )
+            per_dataset[key] = engine
         return engine
 
     @classmethod
@@ -178,7 +208,25 @@ class EvaluationEngine:
     def restrict(self, indices: np.ndarray) -> "EvaluationEngine":
         """Engine over the sample subset ``indices`` (bank slice memoised)."""
         indices = np.asarray(indices, dtype=np.int64)
-        return EvaluationEngine(self.labels[indices], self.bank.slice(indices), self.attributes)
+        return EvaluationEngine(
+            self.labels[indices], self.bank.slice(indices), self.attributes,
+            backend=self.backend,
+        )
+
+    def _membership(self) -> np.ndarray:
+        """The bank's membership matrix in the backend's compute dtype.
+
+        The identity backend reads the bank's float64 matrix directly (no
+        copy, no cast — bit-identity); mixed-precision backends cache one
+        compute-dtype copy per engine.
+        """
+        if self.backend.is_identity:
+            return self.bank.membership
+        if self._membership_compute is None:
+            self._membership_compute = self.bank.membership.astype(
+                self.backend.compute_dtype
+            )
+        return self._membership_compute
 
     # ------------------------------------------------------------------
     # Batched metrics
@@ -189,9 +237,17 @@ class EvaluationEngine:
         Accepts ``(num_samples,)`` hard predictions, a stacked
         ``(num_candidates, num_samples)`` matrix, or a probability/logit
         tensor ``(num_candidates, num_samples, num_classes)`` (argmaxed once
-        for the whole batch).
+        for the whole batch).  Probability tensors may be any real float
+        dtype (float32 serving outputs included); *hard* predictions must be
+        integer-valued — a float matrix with fractional entries is almost
+        certainly a probability tensor missing its class axis, and silently
+        truncating it would corrupt every metric, so it is rejected.
         """
-        array = np.asarray(predictions)
+        array = np.asarray(predictions)  # repro-lint: disable=RL7 — dtype inspected below, argmax/int casts follow
+        if array.dtype == np.object_ or np.issubdtype(array.dtype, np.complexfloating):
+            raise ValueError(
+                f"predictions must be real-valued arrays, got dtype {array.dtype}"
+            )
         if array.ndim == 3:
             array = array.argmax(axis=-1)
         elif array.ndim == 1:
@@ -199,8 +255,16 @@ class EvaluationEngine:
         if array.ndim != 2 or array.shape[1] != self.num_samples:
             raise ValueError(
                 f"expected predictions of shape (num_candidates, {self.num_samples}), "
-                f"got {np.asarray(predictions).shape}"
+                f"got {np.asarray(predictions).shape}"  # repro-lint: disable=RL7 — shape probe for the error message, no numeric result
             )
+        if np.issubdtype(array.dtype, np.floating):
+            if array.size and not np.array_equal(array, np.trunc(array)):
+                raise ValueError(
+                    f"hard predictions of dtype {array.dtype} carry fractional "
+                    "values; pass integer class labels, or a 3-D "
+                    "(num_candidates, num_samples, num_classes) probability "
+                    "tensor to be argmaxed"
+                )
         return array.astype(np.int64, copy=False)
 
     def accuracies(self, predictions: np.ndarray) -> np.ndarray:
@@ -208,24 +272,36 @@ class EvaluationEngine:
         batch = self._as_batch(predictions)
         if self.num_samples == 0:
             return np.zeros(batch.shape[0], dtype=np.float64)
-        correct = (batch == self.labels[None, :]).astype(np.float64)
-        return correct.sum(axis=1) / self.num_samples
+        correct = (batch == self.labels[None, :]).astype(self.backend.compute_dtype)
+        # Float64 accumulation either way: on float64 input this is numpy's
+        # plain pairwise sum (identical bits to the pre-backend code).
+        return correct.sum(axis=1, dtype=np.float64) / self.num_samples
 
     def evaluate(self, predictions: np.ndarray) -> BatchEvaluation:
         """Score every candidate on every attribute in a handful of array ops."""
         batch = self._as_batch(predictions)
         num_candidates = batch.shape[0]
-        correct = (batch == self.labels[None, :]).astype(np.float64)
+        correct = (batch == self.labels[None, :]).astype(self.backend.compute_dtype)
         if self.num_samples:
-            # Boolean sums are exact integer counts in float64, so this is
-            # bitwise the scalar ``(preds == labels).mean()``.
-            accuracy = correct.sum(axis=1) / self.num_samples
+            # Boolean sums are exact integer counts accumulated in float64,
+            # so this is bitwise the scalar ``(preds == labels).mean()``
+            # under the identity backend — and still exact under float32
+            # compute, because the accumulator stays float64.
+            accuracy = correct.sum(axis=1, dtype=np.float64) / self.num_samples
         else:
             accuracy = np.zeros(num_candidates, dtype=np.float64)
 
         # One matmul yields every per-group correct count for every
         # candidate and attribute (columns are the bank's group blocks).
-        group_correct = correct @ self.bank.membership if self.attributes else None
+        # This is the backend's GEMM: float32 operands under mixed
+        # precision — the products are 0/1 and every partial sum is an
+        # integer below 2^24, so the counts remain exact — then everything
+        # downstream (divisions, deviations) accumulates in float64.
+        if self.attributes:
+            group_correct = self.backend.matmul(correct, self._membership())
+            group_correct = group_correct.astype(np.float64, copy=False)
+        else:
+            group_correct = None
 
         group_accuracy: Dict[str, np.ndarray] = {}
         unfairness: Dict[str, np.ndarray] = {}

@@ -134,6 +134,14 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
     finally:
         stop.set()
+        # Detach (never unlink) any shared-memory task arrays this worker
+        # attached.  The master owns the segments, which is what keeps the
+        # watchdog's SIGTERM/SIGKILL path safe too: a killed worker skips
+        # this block, but its mappings die with the process and the
+        # master-side registry still unlinks the segments on shutdown.
+        from ..core.sharedmem import detach_all
+
+        detach_all()
         try:
             sock.close()
         except OSError:
@@ -205,6 +213,9 @@ class DistributedExecutor:
     """
 
     name = "distributed"
+    #: task payloads cross a process boundary (pickled over the socket), so
+    #: the search ships large arrays as shared-memory descriptors instead
+    ships_tasks_across_processes = True
 
     def __init__(
         self,

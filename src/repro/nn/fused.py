@@ -40,6 +40,15 @@ import numpy as np
 
 from .modules import MLP, Linear, Module, ReLU, Sequential
 
+
+def _resolve_backend(backend):
+    # Deferred import: ``repro.core`` (which owns the backend registry)
+    # imports this module through the trainer, so a module-level import
+    # would be circular.
+    from ..core.backend import get_backend
+
+    return get_backend(backend)
+
 __all__ = [
     "FusedStack",
     "FusedParamBlock",
@@ -140,7 +149,7 @@ class FusedParamBlock:
     exact buffers the flat optimiser updates — no copies per minibatch.
     """
 
-    def __init__(self, stacks: Sequence[FusedStack]) -> None:
+    def __init__(self, stacks: Sequence[FusedStack], dtype=np.float64) -> None:
         if not stacks:
             raise ValueError("FusedParamBlock needs at least one stack")
         shapes = stacks[0].shapes
@@ -152,12 +161,13 @@ class FusedParamBlock:
                 )
         self.stacks = list(stacks)
         self.shapes = shapes
+        self.dtype = np.dtype(dtype)
         self.num_candidates = len(self.stacks)
         self.num_parameters = sum(fin * fout + fout for fin, fout in shapes)
 
         C, P = self.num_candidates, self.num_parameters
-        self.theta = np.empty((C, P), dtype=np.float64)
-        self.grad = np.zeros((C, P), dtype=np.float64)
+        self.theta = np.empty((C, P), dtype=self.dtype)
+        self.grad = np.zeros((C, P), dtype=self.dtype)
         self.weights: List[np.ndarray] = []
         self.biases: List[np.ndarray] = []
         self.grad_weights: List[np.ndarray] = []
@@ -181,11 +191,18 @@ class FusedParamBlock:
         return len(self.shapes)
 
     def write_back(self) -> None:
-        """Copy the trained flat parameters back into the live modules."""
+        """Copy the trained flat parameters back into the live modules.
+
+        Module parameters stay float64 whatever the training dtype was: for
+        float64 blocks ``astype`` is a plain copy (identical bits to the
+        pre-backend ``.copy()``); mixed-precision blocks widen on the way
+        out so downstream consumers (state dicts, artifacts, the autograd
+        oracle) keep one canonical parameter dtype.
+        """
         for c, stack in enumerate(self.stacks):
             for layer, linear in enumerate(stack.linears):
-                linear.weight.data = self.weights[layer][c].copy()
-                linear.bias.data = self.biases[layer][c, 0].copy()
+                linear.weight.data = self.weights[layer][c].astype(np.float64)
+                linear.bias.data = self.biases[layer][c, 0].astype(np.float64)
 
 
 # ----------------------------------------------------------------------
@@ -206,7 +223,7 @@ def _forward(weights, biases, x: np.ndarray):
         z = np.matmul(a, weights[layer])
         z = z + biases[layer]
         if layer < last:
-            mask = (z > 0).astype(np.float64)
+            mask = (z > 0).astype(z.dtype)
             a = z * mask
             masks.append(mask)
             activations.append(a)
@@ -319,16 +336,17 @@ class FusedAdam:
         betas: Tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        dtype=np.float64,
     ) -> None:
         self.lr = float(lr)
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
         self._step = 0
-        self._m = np.zeros(shape, dtype=np.float64)
-        self._v = np.zeros(shape, dtype=np.float64)
-        self._scratch = np.empty(shape, dtype=np.float64)
-        self._scratch2 = np.empty(shape, dtype=np.float64)
+        self._m = np.zeros(shape, dtype=dtype)
+        self._v = np.zeros(shape, dtype=dtype)
+        self._scratch = np.empty(shape, dtype=dtype)
+        self._scratch2 = np.empty(shape, dtype=dtype)
 
     def step(self, theta: np.ndarray, grad: np.ndarray) -> None:
         self._step += 1
@@ -362,12 +380,13 @@ class FusedSGD:
         lr: float,
         momentum: float = 0.0,
         weight_decay: float = 0.0,
+        dtype=np.float64,
     ) -> None:
         self.lr = float(lr)
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity = np.zeros(shape, dtype=np.float64)
-        self._scratch = np.empty(shape, dtype=np.float64)
+        self._velocity = np.zeros(shape, dtype=dtype)
+        self._scratch = np.empty(shape, dtype=dtype)
 
     def step(self, theta: np.ndarray, grad: np.ndarray) -> None:
         if self.weight_decay:
@@ -401,6 +420,7 @@ def train_linear_relu_stacks(
     optimizer: str = "adam",
     loss: str = "weighted_mse",
     seed: int = 0,
+    backend=None,
 ) -> List[List[float]]:
     """Train ``C`` same-shape stacks simultaneously; returns per-head loss curves.
 
@@ -410,6 +430,14 @@ def train_linear_relu_stacks(
     with ``seed`` — the exact stream the autograd reference draws — so every
     head sees the reference minibatch order and the trained parameters are
     bit-identical to ``C`` independent reference runs.
+
+    ``backend`` (a name or :class:`repro.core.backend.ArrayBackend`) picks
+    the GEMM dtype.  Under the default ``numpy-float64`` backend every array
+    below is the float64 array the pre-backend code built and results stay
+    bit-identical; under ``numpy-float32`` the forward/backward/optimiser
+    math runs in float32 while the recorded loss curves are accumulated in
+    float64 and the trained parameters are widened back to float64 by
+    ``write_back`` (tolerance contract: ``repro.core.backend.TOLERANCES``).
     """
     if loss not in _LOSS_KERNELS:
         raise ValueError(f"loss must be one of {sorted(_LOSS_KERNELS)}, got '{loss}'")
@@ -417,12 +445,14 @@ def train_linear_relu_stacks(
         raise ValueError(f"optimizer must be 'adam' or 'sgd', got '{optimizer}'")
     if len(stacks) != len(inputs):
         raise ValueError("stacks and inputs must align one-to-one")
+    backend = _resolve_backend(backend)
+    dtype = backend.compute_dtype
     labels = np.asarray(labels, dtype=np.int64)
-    weights = np.asarray(sample_weights, dtype=np.float64)
+    weights = np.asarray(sample_weights, dtype=dtype)
     n = labels.shape[0]
     stacked_inputs = []
     for stack, matrix in zip(stacks, inputs):
-        matrix = np.asarray(matrix, dtype=np.float64)
+        matrix = np.asarray(matrix, dtype=dtype)
         expected = (n, stack.shapes[0][0])
         if matrix.shape != expected:
             raise ValueError(f"inputs must have shape {expected}, got {matrix.shape}")
@@ -434,16 +464,15 @@ def train_linear_relu_stacks(
             f"stack output width {stacks[0].shapes[-1][1]} != num_classes {num_classes}"
         )
 
-    block = FusedParamBlock(stacks)
+    block = FusedParamBlock(stacks, dtype=dtype)
     X = np.stack(stacked_inputs)  # (C, n, in)
-    one_hot = np.zeros((n, num_classes), dtype=np.float64)
-    one_hot[np.arange(n), labels] = 1.0
+    one_hot = backend.one_hot(labels, num_classes)
 
     shape = block.theta.shape
     if optimizer == "adam":
-        opt = FusedAdam(shape, lr=lr, weight_decay=weight_decay)
+        opt = FusedAdam(shape, lr=lr, weight_decay=weight_decay, dtype=dtype)
     else:
-        opt = FusedSGD(shape, lr=lr, momentum=0.9, weight_decay=weight_decay)
+        opt = FusedSGD(shape, lr=lr, momentum=0.9, weight_decay=weight_decay, dtype=dtype)
     loss_kernel = _LOSS_KERNELS[loss]
 
     rng = np.random.default_rng(seed)
@@ -470,7 +499,9 @@ def train_linear_relu_stacks(
             )
             _backward(layer_weights, grad_weights, grad_biases, g_logits, activations, masks)
             opt.step(theta, grad)
-            batch_losses.append(losses)
+            # Loss curves accumulate in float64 whatever the compute dtype
+            # (on float64 losses ``astype(copy=False)`` is the identity).
+            batch_losses.append(losses.astype(np.float64, copy=False))
         # Per-head loss curves: a contiguous (num_heads, num_batches) matrix
         # keeps np.mean's pairwise summation identical to the reference's
         # mean over a per-head python list of the same floats.

@@ -35,6 +35,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from ..analysis.runtime import register_shared_state, touch_shared_state
+from ..core.backend import DEFAULT_BACKEND, get_backend
 from ..core.execution import build_executor
 from ..core.fusing import FusedModel
 from ..utils.logging import RunLogger
@@ -63,6 +64,10 @@ class ServeConfig:
     log_every: int = 100
     #: return per-class probabilities with every response
     return_probabilities: bool = True
+    #: registered array backend the stacked feature batch is cast through
+    #: ('numpy-float64' is bit-identical to pre-backend serving;
+    #: 'numpy-float32' halves the feature batch under the tolerance contract)
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -71,6 +76,8 @@ class ServeConfig:
             raise ValueError("max_batch must be positive")
         if self.monitor_window <= 0:
             raise ValueError("monitor_window must be positive")
+        # Resolve aliases eagerly so an unknown backend fails at config time.
+        self.backend = get_backend(self.backend).name
 
 
 @dataclass
@@ -141,6 +148,7 @@ class InferenceServer:
             logger=self.logger,
         )
         self._queue: "queue.Queue" = queue.Queue()
+        self._backend = get_backend(self.config.backend)
         self._executor = build_executor(self.config.executor, self.config.max_workers)
         self._thread: Optional[threading.Thread] = None
         self._stopped = False
@@ -274,6 +282,9 @@ class InferenceServer:
         touch_shared_state("serve-counters", self)
         features = [request.features for request in batch]
         stacked = features[0] if len(features) == 1 else np.concatenate(features, axis=0)
+        # For the float64 backend this cast is a no-op (bit-identical); for
+        # float32 it halves the batch before the member forwards.
+        stacked = self._backend.asarray(stacked)
         batch_id = self.batches_served
         try:
             detailed = self.model.predict_detailed_features(
@@ -336,6 +347,7 @@ class InferenceServer:
                 "batch_window_ms": self.config.batch_window_ms,
                 "max_batch": self.config.max_batch,
                 "executor": self.config.executor,
+                "backend": self.config.backend,
             },
             "fairness": self.monitor.snapshot(),
         }

@@ -10,6 +10,7 @@ including empty groups and probability-tensor inputs.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import MultiFairnessReward, RewardConfig
 from repro.data import AttributeSpec, GroupIndexBank
@@ -264,6 +265,122 @@ class TestRewards:
         evaluation = FairnessEvaluation(accuracy=0.9, unfairness={"age": 0.2})
         with pytest.raises(ValueError, match="unknown attribute"):
             evaluation.reward(["age", "typo"])
+
+
+class TestNonFloat64Inputs:
+    """Non-float64 inputs (float32 serving tensors, int32 labels) are either
+    handled with unchanged results or rejected with a clear ValueError."""
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        num_samples=st.integers(1, 120),
+        num_candidates=st.integers(1, 6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_float32_probability_tensors_match_int64_argmax(
+        self, seed, num_samples, num_candidates
+    ):
+        rng = np.random.default_rng(seed)
+        labels, group_ids, specs = random_problem(rng, num_samples, (3,))
+        engine = EvaluationEngine.from_arrays(labels, group_ids, specs)
+        probs32 = rng.random((num_candidates, num_samples, 4), dtype=np.float32)
+        batch32 = engine.evaluate(probs32)
+        reference = engine.evaluate(probs32.argmax(axis=-1))
+        assert batch32.accuracy.tolist() == reference.accuracy.tolist()
+        for name in reference.unfairness:
+            assert batch32.unfairness[name].tolist() == reference.unfairness[name].tolist()
+            assert batch32.gaps[name].tolist() == reference.gaps[name].tolist()
+
+    @given(seed=st.integers(0, 2**31 - 1), num_samples=st.integers(1, 120))
+    @settings(max_examples=25, deadline=None)
+    def test_int32_labels_and_predictions_match_int64(self, seed, num_samples):
+        rng = np.random.default_rng(seed)
+        labels, group_ids, specs = random_problem(rng, num_samples, (3, 2))
+        predictions = np.where(
+            rng.random(num_samples) < 0.7, labels, rng.integers(0, 4, num_samples)
+        )
+        reference = EvaluationEngine.from_arrays(labels, group_ids, specs)
+        narrow = EvaluationEngine.from_arrays(
+            labels.astype(np.int32), group_ids, specs
+        )
+        got = narrow.evaluate(predictions.astype(np.int32))
+        expected = reference.evaluate(predictions)
+        assert got.accuracy.tolist() == expected.accuracy.tolist()
+        for name in expected.unfairness:
+            assert got.unfairness[name].tolist() == expected.unfairness[name].tolist()
+
+    def test_integral_float_inputs_are_accepted(self):
+        rng = np.random.default_rng(6)
+        labels, group_ids, specs = random_problem(rng, 40, (3,))
+        engine = EvaluationEngine.from_arrays(labels.astype(np.float32), group_ids, specs)
+        batch = engine.evaluate(labels.astype(np.float64))
+        assert batch.evaluation(0).accuracy == 1.0
+
+    def test_fractional_hard_predictions_are_rejected(self):
+        rng = np.random.default_rng(7)
+        labels, group_ids, specs = random_problem(rng, 30, (2,))
+        engine = EvaluationEngine.from_arrays(labels, group_ids, specs)
+        soft = labels.astype(np.float32) + 0.5
+        with pytest.raises(ValueError, match="fractional"):
+            engine.evaluate(soft)
+
+    def test_fractional_labels_are_rejected(self):
+        rng = np.random.default_rng(8)
+        labels, group_ids, specs = random_problem(rng, 30, (2,))
+        with pytest.raises(ValueError, match="fractional"):
+            EvaluationEngine.from_arrays(labels + 0.25, group_ids, specs)
+
+    def test_complex_and_object_dtypes_are_rejected(self):
+        rng = np.random.default_rng(9)
+        labels, group_ids, specs = random_problem(rng, 20, (2,))
+        engine = EvaluationEngine.from_arrays(labels, group_ids, specs)
+        with pytest.raises(ValueError, match="real-valued"):
+            engine.evaluate(labels.astype(np.complex128))
+        with pytest.raises(ValueError, match="integer-valued"):
+            EvaluationEngine.from_arrays(labels.astype(object), group_ids, specs)
+
+
+class TestFloat32Backend:
+    """The float32 engine's group counts are exact (0/1 GEMM below 2^24),
+    so its metrics are *bit-identical* to the float64 engine — the property
+    that justifies the tight 'metrics'/'group_counts' tolerance entries."""
+
+    def _engines(self, rng, num_samples=500):
+        labels, group_ids, specs = random_problem(rng, num_samples, (4, 3))
+        bank = GroupIndexBank(group_ids, specs)
+        oracle = EvaluationEngine(labels, bank)
+        fp32 = EvaluationEngine(labels, bank, backend="numpy-float32")
+        return oracle, fp32, labels
+
+    def test_float32_engine_is_bit_identical_on_hard_predictions(self):
+        rng = np.random.default_rng(31)
+        oracle, fp32, labels = self._engines(rng)
+        stacked = np.stack(
+            [
+                np.where(rng.random(len(labels)) < 0.6 + 0.05 * i, labels, 0)
+                for i in range(6)
+            ]
+        )
+        expected = oracle.evaluate(stacked)
+        got = fp32.evaluate(stacked)
+        assert got.accuracy.tolist() == expected.accuracy.tolist()
+        for name in expected.unfairness:
+            assert got.group_accuracy[name].tolist() == expected.group_accuracy[name].tolist()
+            assert got.unfairness[name].tolist() == expected.unfairness[name].tolist()
+            assert got.gaps[name].tolist() == expected.gaps[name].tolist()
+
+    def test_for_dataset_memoises_per_backend(self, isic_dataset):
+        oracle_a = EvaluationEngine.for_dataset(isic_dataset)
+        oracle_b = EvaluationEngine.for_dataset(isic_dataset, backend="numpy-float64")
+        fp32 = EvaluationEngine.for_dataset(isic_dataset, backend="fp32")
+        assert oracle_a is oracle_b
+        assert fp32 is not oracle_a
+        assert fp32.backend.name == "numpy-float32"
+        assert EvaluationEngine.for_dataset(isic_dataset, backend="numpy-float32") is fp32
+
+    def test_restrict_preserves_the_backend(self, isic_dataset):
+        fp32 = EvaluationEngine.for_dataset(isic_dataset, backend="numpy-float32")
+        assert fp32.restrict(np.arange(40)).backend is fp32.backend
 
 
 class TestGroupIdValidation:

@@ -27,7 +27,11 @@ from repro.analysis.registry_audit import (
     audit_spec_file,
     registry_summary,
 )
-from repro.analysis.rules import AtomicPersistenceRule, LockHygieneRule
+from repro.analysis.rules import (
+    AtomicPersistenceRule,
+    DtypeDisciplineRule,
+    LockHygieneRule,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
@@ -136,6 +140,51 @@ class TestLockHygieneRule:
 
     def test_out_of_scope_paths_are_ignored(self):
         assert self._findings(rel="src/repro/core/search.py") == []
+
+
+class TestDtypeDisciplineRule:
+    def _findings(self, rel="src/repro/nn/fused.py"):
+        source = fixture_source("bad_dtypes.py", rel)
+        project = Project(root=REPO_ROOT)
+        return list(DtypeDisciplineRule().check_file(source, project))
+
+    def test_fires_on_every_dtype_less_factory(self):
+        findings = self._findings()
+        assert all(f.code == "RL7" for f in findings)
+        messages = [f.message for f in findings]
+        assert any("np.asarray()" in m for m in messages)
+        assert any("np.zeros()" in m for m in messages)
+        assert any("np.empty()" in m for m in messages)
+
+    def test_pinned_dtypes_and_untracked_factories_are_fine(self):
+        # every bare factory fires — sloppy() lines 12-16 plus the (later
+        # suppressed) line 24; nothing with a kwarg/positional dtype or an
+        # untracked factory (np.arange) does
+        assert {f.line for f in self._findings()} == {12, 13, 14, 15, 16, 24}
+
+    def test_suppression_comment_is_honoured(self):
+        # line 24 carries ``# repro-lint: disable=RL7``; run_lint's
+        # suppression pass (which check_file bypasses) must drop it
+        source = fixture_source("bad_dtypes.py", "src/repro/nn/fused.py")
+        assert source.is_suppressed("RL7", 24)
+        assert not source.is_suppressed("RL7", 12)
+
+    def test_fixture_path_itself_is_out_of_scope(self):
+        report = run_lint(
+            root=REPO_ROOT,
+            paths=[FIXTURES / "bad_dtypes.py"],
+            select=["RL7"],
+        )
+        # under its real tests/lint_fixtures path the file is not hot
+        assert report.ok
+
+    def test_out_of_scope_paths_are_ignored(self):
+        assert self._findings(rel="src/repro/core/search.py") == []
+
+    def test_live_hot_modules_are_clean(self):
+        for rel in DtypeDisciplineRule.HOT_MODULES:
+            report = run_lint(root=REPO_ROOT, paths=[REPO_ROOT / rel], select=["RL7"])
+            assert report.ok, report.render_text()
 
 
 class TestParseErrors:
@@ -367,7 +416,9 @@ class TestSelfCheck:
     def test_rule_registry_is_complete(self):
         from repro.analysis.core import LINT_RULES
 
-        assert set(LINT_RULES.names()) == {"RL1", "RL2", "RL3", "RL4", "RL5", "RL6"}
+        assert set(LINT_RULES.names()) == {
+            "RL1", "RL2", "RL3", "RL4", "RL5", "RL6", "RL7",
+        }
         for code in LINT_RULES.names():
             rule = LINT_RULES.get(code)()
             assert rule.code == code
