@@ -12,7 +12,10 @@ The full deployment loop of the serving subsystem:
    burst of concurrent labelled requests through the in-process
    :class:`repro.serve.ServeClient`;
 4. read back the windowed fairness statistics the live monitor computed on
-   that traffic.
+   that traffic;
+5. scrape ``GET /metrics`` off the HTTP frontend and check the telemetry
+   layer agrees with the server's own counters (request totals, a
+   well-formed Prometheus latency histogram).
 
 Run with::
 
@@ -26,16 +29,50 @@ the monitor saw the labelled traffic — the CI serving smoke runs it as-is.
 import argparse
 import threading
 from pathlib import Path
+from urllib.request import urlopen
 
 import numpy as np
 
 from repro.api import MuffinPipeline, RunSpec
-from repro.serve import InferenceServer, ServeClient, ServeConfig
+from repro.obs import METRICS
+from repro.serve import InferenceServer, ServeClient, ServeConfig, ServeHTTPServer
 from repro.zoo import load_fused_model
 
 DEFAULT_SPEC = Path(__file__).parent / "specs" / "quickstart.json"
 REQUESTS = 50
 ROWS_PER_REQUEST = 4
+
+
+def check_metrics_exposition(text: str, expected_requests: int) -> None:
+    """Assert the Prometheus exposition is well-formed and counts match."""
+    lines = text.splitlines()
+    values = {}
+    for line in lines:
+        if line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        values[name] = float(value)
+
+    # the request counter equals the requests the burst actually sent
+    assert values['repro_serve_requests_total{outcome="ok"}'] == expected_requests
+
+    # the latency histogram is well-formed: HELP/TYPE present, cumulative
+    # bucket counts monotone, +Inf bucket equals _count
+    assert "# TYPE repro_serve_request_latency_ms histogram" in lines
+    assert any(
+        line.startswith("# HELP repro_serve_request_latency_ms ") for line in lines
+    )
+    buckets = [
+        (name, count)
+        for name, count in values.items()
+        if name.startswith("repro_serve_request_latency_ms_bucket")
+    ]
+    counts = [count for _, count in buckets]
+    assert counts == sorted(counts), "bucket counts must be cumulative"
+    assert buckets[-1][0].endswith('le="+Inf"}')
+    assert counts[-1] == values["repro_serve_request_latency_ms_count"]
+    assert values["repro_serve_request_latency_ms_count"] == expected_requests
+    assert values["repro_serve_request_latency_ms_sum"] >= 0.0
 
 
 def main() -> None:
@@ -63,6 +100,8 @@ def main() -> None:
     print(f"round trip verified: {len(direct)} test predictions bit-identical")
 
     # 3. Serve a concurrent labelled burst through the micro-batcher.
+    # Telemetry is off by default; flip it on so /metrics has data.
+    METRICS.enable()
     groups = {name: test.group_ids(name) for name in test.attributes.names}
     config = ServeConfig(batch_window_ms=args.batch_window_ms, max_batch=64, log_every=50)
     with InferenceServer(fused, config, verbose=True) as server:
@@ -94,6 +133,17 @@ def main() -> None:
 
         # 4. Inspect the live statistics.
         stats = server.stats()
+
+        # 5. Scrape GET /metrics off the HTTP frontend and cross-check the
+        # telemetry layer against the server's own counters.
+        with ServeHTTPServer(server, host="127.0.0.1", port=0) as httpd:
+            host, port = httpd.address
+            with urlopen(f"http://{host}:{port}/metrics", timeout=10) as response:
+                content_type = response.headers.get("Content-Type", "")
+                exposition = response.read().decode("utf-8")
+        assert content_type.startswith("text/plain"), content_type
+        check_metrics_exposition(exposition, expected_requests=REQUESTS)
+        print(f"\nGET /metrics: telemetry agrees with {REQUESTS} requests served")
 
     assert not server.is_running, "server must shut down cleanly"
     assert stats["requests"] == REQUESTS

@@ -39,9 +39,15 @@ Subcommand families:
       python -m repro bench --json bench.json
       python -m repro bench --backend numpy-float32 --rounds 5
 
-* ``lint`` — repo-specific static analysis (rules RL1-RL7: determinism,
+* ``trace`` — render a span trace file (written when a spec sets
+  ``obs.trace_path``) as a tree with total/self times::
+
+      python -m repro trace trace.jsonl
+      python -m repro trace trace.jsonl --json
+
+* ``lint`` — repo-specific static analysis (rules RL1-RL8: determinism,
   hash contract, executor safety, atomic persistence, registry consistency,
-  lock hygiene, dtype discipline)::
+  lock hygiene, dtype discipline, telemetry discipline)::
 
       python -m repro lint
       python -m repro lint --format json --select RL1,RL4
@@ -625,6 +631,12 @@ def _bench_command(argv: Sequence[str]) -> int:
     return bench_main(argv)
 
 
+def _trace_command(argv: Sequence[str]) -> int:
+    from .obs.trace import main as trace_main
+
+    return trace_main(argv)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv if argv is not None else sys.argv[1:])
     if argv and argv[0] == "run":
@@ -649,6 +661,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _lint_command(argv[1:])
     if argv and argv[0] == "bench":
         return _bench_command(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_command(argv[1:])
     # Legacy interface: experiment ids for the paper harness.
     from .experiments.runner import main as experiments_main
 

@@ -3,9 +3,10 @@
 Two halves:
 
 * the **linter** (:func:`repro.analysis.run_lint`, ``python -m repro lint``)
-  — AST/introspection rules RL1-RL6 enforcing the repo's standing
+  — AST/introspection rules RL1-RL8 enforcing the repo's standing
   invariants (seeded randomness, the spec hash contract, picklable executor
-  tasks, atomic persistence, registry consistency, lock hygiene);
+  tasks, atomic persistence, registry consistency, lock hygiene, dtype
+  discipline, telemetry discipline);
 * the **runtime checker** (:mod:`repro.analysis.runtime`) — a
   ``REPRO_TSAN=1`` lock instrumentation layer recording acquisition order
   across serve/master threads and flagging lock-order cycles and

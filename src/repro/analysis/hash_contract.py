@@ -39,8 +39,11 @@ _VALID_STATUSES = ("hashed", "excluded")
 #: must be 'excluded', every field elsewhere must be 'hashed'.  ``backend``
 #: joined ``execution`` when the precision seam landed: which dtype the
 #: GEMMs run in is a performance knob with a tolerance contract, not a
-#: semantic change, so it must not invalidate cached artifacts.
-EXCLUDED_SECTIONS = ("execution", "backend")
+#: semantic change, so it must not invalidate cached artifacts.  ``obs``
+#: joined with the telemetry layer: spans and metrics observe the
+#: computation without shaping it (bit-identity is test-enforced), so
+#: turning tracing on must not invalidate caches either.
+EXCLUDED_SECTIONS = ("execution", "backend", "obs")
 
 
 def _manifest_line(project: Project, needle: str) -> int:
@@ -195,6 +198,11 @@ class HashContractRule(ProjectRule):
                     if base.backend.name != "numpy-float32"
                     else "numpy-float64",
                 ),
+                obs=dataclasses.replace(
+                    base.obs,
+                    trace_path="trace.jsonl",
+                    metrics_enabled=not base.obs.metrics_enabled,
+                ),
             )
             hashed_variant = dataclasses.replace(
                 base,
@@ -207,11 +215,11 @@ class HashContractRule(ProjectRule):
                 return self._finding(
                     project,
                     "def spec_hash",
-                    "editing only execution/backend fields changed a spec/stage "
-                    "hash — the manifest says those sections are excluded but "
-                    "the implementation hashes them",
-                    "keep the execution and backend sections popped from every "
-                    "hash payload",
+                    "editing only execution/backend/obs fields changed a "
+                    "spec/stage hash — the manifest says those sections are "
+                    "excluded but the implementation hashes them",
+                    "keep the execution, backend and obs sections popped from "
+                    "every hash payload",
                 )
             if (
                 base.spec_hash() == hashed_variant.spec_hash()

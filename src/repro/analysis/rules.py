@@ -1,4 +1,4 @@
-"""AST rule families RL1/RL3/RL4/RL6/RL7 — the repo-specific invariants.
+"""AST rule families RL1/RL3/RL4/RL6/RL7/RL8 — the repo-specific invariants.
 
 Each rule encodes a contract the fast paths of PRs 2–6 are sold on but the
 interpreter cannot enforce:
@@ -25,6 +25,13 @@ interpreter cannot enforce:
   contract.  ``np.asarray``/``np.zeros``/``np.empty`` without an explicit
   ``dtype`` inherits whatever dtype the caller happened to pass and
   silently drifts a hot path out of its contract.
+* **RL8 telemetry discipline** — every duration in the tree comes off the
+  monotonic clock (``time.perf_counter``); ``time.time()`` is wall-clock,
+  steps under NTP, and is reserved for row *timestamps*.  And the
+  performance-critical hot modules may not ``print`` or use stdlib
+  ``logging`` directly — operational output routes through ``RunLogger``
+  rows and the :mod:`repro.obs` metrics/span layer, which are structured,
+  off-by-default-cheap and TSAN-audited.
 
 All rules are purely syntactic (no imports of the checked code), so they
 run on broken trees, fixtures and work-in-progress branches alike.
@@ -43,6 +50,7 @@ __all__ = [
     "AtomicPersistenceRule",
     "LockHygieneRule",
     "DtypeDisciplineRule",
+    "TelemetryDisciplineRule",
 ]
 
 
@@ -580,3 +588,104 @@ class DtypeDisciplineRule(FileRule):
                 )
             )
         return findings
+
+
+# ----------------------------------------------------------------------
+# RL8 — telemetry discipline
+# ----------------------------------------------------------------------
+@LINT_RULES.register("RL8")
+class TelemetryDisciplineRule(FileRule):
+    """Wall-clock durations, and print/stdlib-logging in the hot paths."""
+
+    code = "RL8"
+    name = "telemetry-discipline"
+    description = (
+        "durations must come off time.perf_counter(), never the steppable "
+        "wall clock; and the performance hot paths must emit operational "
+        "output through RunLogger/repro.obs, not print() or stdlib logging"
+    )
+
+    #: the telemetry layer itself is exempt — it is the one place that
+    #: measures clocks by design and renders the ``repro trace`` CLI output
+    EXEMPT_PREFIX = "src/repro/obs/"
+
+    #: modules on the measured hot paths (executor dispatch, search inner
+    #: loop, fused forward, fairness kernels, the serve batcher, distributed
+    #: dispatch): a stray print() here costs syscalls per task and bypasses
+    #: the structured RunLogger/metrics surface operators actually watch
+    HOT_MODULES = (
+        "src/repro/core/execution.py",
+        "src/repro/core/search.py",
+        "src/repro/nn/fused.py",
+        "src/repro/fairness/engine.py",
+        "src/repro/serve/server.py",
+        "src/repro/master/worker.py",
+    )
+
+    _STDLIB_LOG_FNS = {
+        "debug", "info", "warning", "warn", "error", "exception", "critical", "log",
+    }
+
+    _DURATION_HINT = (
+        "use time.perf_counter() for durations; time.time() is only for "
+        "row timestamps (submitted_at/finished_at fields)"
+    )
+    _OUTPUT_HINT = (
+        "route operational output through RunLogger.event()/log() or the "
+        "repro.obs metrics and spans (structured, off-by-default-cheap)"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        if source.rel.startswith(self.EXEMPT_PREFIX):
+            return []
+        aliases = collect_import_aliases(source.tree)
+        findings: List[Finding] = []
+        hot = any(source.rel.endswith(module) or source.rel == module
+                  for module in self.HOT_MODULES)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                if self._contains_walltime_call(node, aliases):
+                    findings.append(
+                        _finding(
+                            source, node, self.code,
+                            "time.time() inside a subtraction — this is a "
+                            "duration, and the wall clock steps (NTP) so it "
+                            "can jump or go negative mid-run",
+                            self._DURATION_HINT,
+                        )
+                    )
+            elif hot and isinstance(node, ast.Call):
+                dotted = resolve_dotted(node.func, aliases)
+                if dotted in ("print", "builtins.print"):
+                    findings.append(
+                        _finding(
+                            source, node, self.code,
+                            "print() on a performance hot path; unstructured "
+                            "stdout bypasses RunLogger rows and the metrics "
+                            "surface, and costs a syscall per call",
+                            self._OUTPUT_HINT,
+                        )
+                    )
+                elif dotted is not None and dotted.startswith("logging."):
+                    tail = dotted.rsplit(".", 1)[-1]
+                    if tail in self._STDLIB_LOG_FNS or tail == "getLogger":
+                        findings.append(
+                            _finding(
+                                source, node, self.code,
+                                f"stdlib logging.{tail}() on a performance hot "
+                                "path; the library's operational output is "
+                                "structured RunLogger rows and obs metrics, "
+                                "not the global logging tree",
+                                self._OUTPUT_HINT,
+                            )
+                        )
+        return findings
+
+    @staticmethod
+    def _contains_walltime_call(node: ast.BinOp, aliases: Dict[str, str]) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                dotted = resolve_dotted(sub.func, aliases)
+                if dotted == "time.time":
+                    return True
+        return False

@@ -35,6 +35,7 @@ from ..data.dataset import FairnessDataset
 from ..data.schema import FeatureSchema
 from ..data.splits import DataSplit
 from ..fairness.metrics import FairnessEvaluation
+from ..obs import METRICS, session as obs_session, span
 from ..utils.logging import RunLogger
 from ..utils.serialization import load_json, save_json
 from ..zoo import ModelPool, load_pool, save_pool
@@ -44,6 +45,18 @@ from .spec import PIPELINE_STAGES, RunSpec, SpecError
 PathLike = Union[str, Path]
 
 _MANIFEST = "manifest.json"
+
+#: Stages executed, labelled by stage name and outcome (ran/cached/rebuilt).
+_STAGES_TOTAL = METRICS.counter(
+    "repro_pipeline_stages_total",
+    "Pipeline stages executed, by stage and cache status.",
+    labelnames=("stage", "status"),
+)
+_STAGE_SECONDS = METRICS.histogram(
+    "repro_pipeline_stage_seconds",
+    "Wall time per executed pipeline stage.",
+    labelnames=("stage",),
+)
 
 
 class PipelineError(RuntimeError):
@@ -246,8 +259,15 @@ class MuffinPipeline:
         # so repeated runs are reproducible and never see a stale pool.
         self._search = None
         force_from = self.STAGES.index(rerun_from) if rerun_from is not None else len(self.STAGES)
-        for index, stage in enumerate(self.STAGES):
-            self._execute(stage, use_cache=resume and index < force_from)
+        # Telemetry (spec.obs) is scoped to this run and hash-excluded:
+        # spans/metrics observe the stages without entering any cache key.
+        with obs_session(
+            trace_path=self.spec.obs.trace_path,
+            metrics_enabled=self.spec.obs.metrics_enabled,
+        ):
+            with span("pipeline/run", run=self.spec.name, spec_hash=self.spec.spec_hash()):
+                for index, stage in enumerate(self.STAGES):
+                    self._execute(stage, use_cache=resume and index < force_from)
         artifact = self._artifacts.get("export")
         artifact_path = None
         if artifact is not None and self.cache_dir is not None:
@@ -285,6 +305,10 @@ class MuffinPipeline:
     # ------------------------------------------------------------------
     def _execute(self, stage: str, use_cache: bool) -> None:
         stage_hash = self.spec.stage_hash(stage)
+        with span(f"pipeline/stage/{stage}", hash=stage_hash):
+            self._execute_timed(stage, stage_hash, use_cache)
+
+    def _execute_timed(self, stage: str, stage_hash: str, use_cache: bool) -> None:
         start = time.perf_counter()
         status, detail = "ran", ""
         loader = getattr(self, f"_load_{stage}", None)
@@ -325,6 +349,8 @@ class MuffinPipeline:
         self.timings.append(
             StageTiming(stage=stage, status=status, seconds=seconds, hash=stage_hash, detail=detail)
         )
+        _STAGES_TOTAL.inc(stage=stage, status=status)
+        _STAGE_SECONDS.observe(seconds, stage=stage)
         self.logger.log(stage=stage, status=status, seconds=round(seconds, 3))
         if stage == "search" and status == "ran":
             # Surface the vectorized-engine and head-training shares of the

@@ -246,6 +246,31 @@ class BackendSpec:
 
 
 @dataclass
+class ObsSpec:
+    """Telemetry for the run: tracing sink and the metrics registry switch.
+
+    Observability reads results, it never shapes them: spans and metrics
+    are recorded around the computation on monotonic clocks and touch no
+    RNG state, so a run with telemetry on is bit-identical to the same run
+    with it off (the test suite asserts this on ``result_hash()``).  Like
+    ``execution`` and ``backend``, the section is therefore excluded from
+    every stage hash — turning tracing on reuses all cached artifacts.
+    """
+
+    #: JSONL file the pipeline appends hierarchical spans to
+    #: (``None`` = tracing off); render with ``python -m repro trace``
+    trace_path: Optional[str] = None
+    #: record counters/gauges/histograms into the process-wide registry
+    #: (:data:`repro.obs.METRICS`)
+    metrics_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.trace_path is not None:
+            self.trace_path = str(self.trace_path)
+        self.metrics_enabled = bool(self.metrics_enabled)
+
+
+@dataclass
 class FinalizeSpec:
     """How to pick and materialise the reported Muffin-Net."""
 
@@ -293,6 +318,7 @@ _SECTION_TYPES = {
     "search": SearchSpec,
     "execution": ExecutionSpec,
     "backend": BackendSpec,
+    "obs": ObsSpec,
     "finalize": FinalizeSpec,
     "export": ExportSpec,
     "report": ReportSpec,
@@ -309,6 +335,7 @@ class RunSpec:
     search: SearchSpec = field(default_factory=SearchSpec)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     backend: BackendSpec = field(default_factory=BackendSpec)
+    obs: ObsSpec = field(default_factory=ObsSpec)
     finalize: FinalizeSpec = field(default_factory=FinalizeSpec)
     export: ExportSpec = field(default_factory=ExportSpec)
     report: ReportSpec = field(default_factory=ReportSpec)
@@ -384,10 +411,14 @@ class RunSpec:
         section is excluded for the same reason: precision is an
         execution-style knob with a documented tolerance contract, not a
         semantic change, so a float32 rerun reuses the float64 caches.
+        The ``obs`` section is pure observation — spans and metrics around
+        the computation, bit-identical results either way — so it is
+        excluded too.
         """
         payload = self.to_dict()
         payload.pop("execution", None)
         payload.pop("backend", None)
+        payload.pop("obs", None)
         return _hash_payload(payload)
 
     def stage_hash(self, stage: str) -> str:
@@ -466,6 +497,10 @@ HASH_MANIFEST: Dict[str, Dict[str, str]] = {
     },
     "backend": {
         "name": "excluded",
+    },
+    "obs": {
+        "trace_path": "excluded",
+        "metrics_enabled": "excluded",
     },
     "finalize": {
         "selection": "hashed",

@@ -27,15 +27,19 @@ skip wall-clock assertions on constrained runners: set
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import os
 import sys
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
+
+from .obs import TraceWriter, load_spans, span
+from .obs import trace as _trace
 
 #: the one switch: identity/tolerance checks always run, wall-clock
 #: assertions are skipped when it is set
@@ -83,6 +87,10 @@ class BenchRecord:
     #: documented contract) or "fail" (contract violated; see ``detail``)
     verdict: str
     detail: str = ""
+    #: schema v2: per-phase wall times measured by the obs span layer
+    #: (``{"phases": {phase: seconds}, "total_s": seconds}``); v1 fields
+    #: above are unchanged
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -93,6 +101,7 @@ class BenchRecord:
             "speedup": round(self.speedup, 3),
             "verdict": self.verdict,
             "detail": self.detail,
+            "metrics": self.metrics,
         }
 
 
@@ -135,24 +144,26 @@ def bench_head_training(backend: str, rounds: int) -> BenchRecord:
 
     baseline_s = float("inf")
     oracle_heads, oracle_results = [], []
-    for _ in range(rounds):
-        oracle_heads = fresh_heads()
-        start = time.perf_counter()
-        oracle_results = [
-            train_head_on_outputs(head, matrix, labels, weights, num_classes, oracle_config)
-            for head, matrix in zip(oracle_heads, outputs)
-        ]
-        baseline_s = min(baseline_s, time.perf_counter() - start)
+    with span("bench/phase/baseline", rounds=rounds):
+        for _ in range(rounds):
+            oracle_heads = fresh_heads()
+            start = time.perf_counter()
+            oracle_results = [
+                train_head_on_outputs(head, matrix, labels, weights, num_classes, oracle_config)
+                for head, matrix in zip(oracle_heads, outputs)
+            ]
+            baseline_s = min(baseline_s, time.perf_counter() - start)
 
     fused_s = float("inf")
     fused_heads, fused_results = [], []
-    for _ in range(rounds):
-        fused_heads = fresh_heads()
-        start = time.perf_counter()
-        fused_results = train_heads_batched(
-            fused_heads, outputs, labels, weights, num_classes, fused_config
-        )
-        fused_s = min(fused_s, time.perf_counter() - start)
+    with span("bench/phase/fastpath", rounds=rounds):
+        for _ in range(rounds):
+            fused_heads = fresh_heads()
+            start = time.perf_counter()
+            fused_results = train_heads_batched(
+                fused_heads, outputs, labels, weights, num_classes, fused_config
+            )
+            fused_s = min(fused_s, time.perf_counter() - start)
 
     def checks():
         for oracle_head, oracle_result, fused_head, fused_result in zip(
@@ -167,7 +178,8 @@ def bench_head_training(backend: str, rounds: int) -> BenchRecord:
                     backend, "head_weights", b, a
                 )
 
-    verdict, detail = _verdict(backend, checks())
+    with span("bench/phase/verify"):
+        verdict, detail = _verdict(backend, checks())
     return BenchRecord(
         benchmark="head_training",
         backend=backend,
@@ -225,17 +237,19 @@ def bench_metrics_engine(backend: str, rounds: int) -> BenchRecord:
 
     baseline_s = float("inf")
     oracle = None
-    for _ in range(rounds):
-        start = time.perf_counter()
-        oracle = scalar_loop()
-        baseline_s = min(baseline_s, time.perf_counter() - start)
+    with span("bench/phase/baseline", rounds=rounds):
+        for _ in range(rounds):
+            start = time.perf_counter()
+            oracle = scalar_loop()
+            baseline_s = min(baseline_s, time.perf_counter() - start)
 
     engine_s = float("inf")
     batch = None
-    for _ in range(rounds):
-        start = time.perf_counter()
-        batch = engine.evaluate(stacked)
-        engine_s = min(engine_s, time.perf_counter() - start)
+    with span("bench/phase/fastpath", rounds=rounds):
+        for _ in range(rounds):
+            start = time.perf_counter()
+            batch = engine.evaluate(stacked)
+            engine_s = min(engine_s, time.perf_counter() - start)
 
     oracle_accuracy = np.array([accuracy for accuracy, _ in oracle])
     checks = [
@@ -249,7 +263,8 @@ def bench_metrics_engine(backend: str, rounds: int) -> BenchRecord:
             )
         )
 
-    verdict, detail = _verdict(backend, checks)
+    with span("bench/phase/verify"):
+        verdict, detail = _verdict(backend, checks)
     return BenchRecord(
         benchmark="metrics_engine",
         backend=backend,
@@ -288,8 +303,43 @@ def run_benchmarks(
                 f"unknown benchmark '{name}'; available: {sorted(BENCHMARKS)}"
             )
         for backend in backends:
-            records.append(BENCHMARKS[name](backend, rounds))
+            records.append(_run_traced(name, backend, rounds))
     return records
+
+
+def _run_traced(name: str, backend: str, rounds: int) -> BenchRecord:
+    """Run one benchmark under a span capture and attach phase wall times.
+
+    Each benchmark wraps its baseline / fast-path / verify sections in
+    ``bench/phase/*`` spans; an in-memory trace writer scoped to this call
+    collects them into the record's ``metrics`` sub-object (schema v2).  A
+    writer the caller already installed is restored afterwards.
+    """
+    buffer = io.StringIO()
+    previous = _trace.active_writer()
+    writer = TraceWriter(buffer)
+    _trace.install(writer)
+    try:
+        with span(f"bench/{name}", backend=backend, rounds=rounds):
+            record = BENCHMARKS[name](backend, rounds)
+    finally:
+        if previous is not None:
+            _trace.install(previous)
+        else:
+            _trace.uninstall()
+        writer.close()
+    buffer.seek(0)
+    rows = load_spans(buffer)
+    phases = {
+        row["name"].rsplit("/", 1)[-1]: row["duration_s"]
+        for row in rows
+        if str(row["name"]).startswith("bench/phase/")
+    }
+    total = next(
+        (row["duration_s"] for row in rows if row["name"] == f"bench/{name}"), None
+    )
+    record.metrics = {"phases": phases, "total_s": total}
+    return record
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -337,6 +387,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    # With --json - the document owns stdout; progress lines move to stderr
+    # so the output stays parseable.
+    progress = sys.stderr if args.json == "-" else sys.stdout
     for record in records:
         line = (
             f"[bench] {record.benchmark} backend={record.backend}: "
@@ -345,12 +398,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         if record.detail:
             line += f" ({record.detail})"
-        print(line)
+        print(line, file=progress)
 
     failed = [record for record in records if record.verdict == "fail"]
     if args.json:
+        # v2 adds the per-record span-measured "metrics" sub-object; every
+        # v1 field is preserved unchanged.
         document = {
-            "schema_version": 1,
+            "schema_version": 2,
             "identity_only": identity_only(),
             "records": [record.to_dict() for record in records],
         }

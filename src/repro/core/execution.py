@@ -26,15 +26,37 @@ from __future__ import annotations
 
 import inspect
 import os
+import time
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from ..obs import DEFAULT_SECONDS_BUCKETS, METRICS, span
 from ..registry import Registry
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+_TASKS_TOTAL = METRICS.counter(
+    "repro_executor_tasks_total",
+    "Tasks dispatched through executor.map, by executor.",
+    labelnames=("executor",),
+)
+_MAP_SECONDS = METRICS.histogram(
+    "repro_executor_map_seconds",
+    "Wall time of one executor.map batch.",
+    labelnames=("executor",),
+)
+#: Time between a task's submission and its execution start.  Only the
+#: in-process pools can measure this on one clock; the distributed executor
+#: records its own dispatch queue wait in :mod:`repro.master.worker`.
+_QUEUE_WAIT_SECONDS = METRICS.histogram(
+    "repro_executor_queue_wait_seconds",
+    "Time a task waited between submission and execution start.",
+    labelnames=("executor",),
+    buckets=DEFAULT_SECONDS_BUCKETS,
+)
 
 #: Registry of executor factories.  Each entry is a callable
 #: ``(max_workers: Optional[int]) -> executor`` where the returned object
@@ -70,7 +92,13 @@ class SerialExecutor:
         self.max_workers = 1
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
-        return [fn(item) for item in items]
+        items = list(items)
+        with span("executor/map", executor=self.name, tasks=len(items)):
+            start = time.perf_counter()
+            results = [fn(item) for item in items]
+            _TASKS_TOTAL.inc(len(items), executor=self.name)
+            _MAP_SECONDS.observe(time.perf_counter() - start, executor=self.name)
+            return results
 
     def shutdown(self) -> None:
         pass
@@ -93,6 +121,10 @@ class _PooledExecutor:
 
     name = "pooled"
     ships_tasks_across_processes = False
+    #: queue-wait is measured by a closure wrapping ``fn``; only in-process
+    #: (thread) pools can run it — closures do not pickle into worker
+    #: processes, and cross-process clocks would not be comparable anyway
+    measures_queue_wait = False
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         if max_workers is not None and max_workers <= 0:
@@ -105,13 +137,30 @@ class _PooledExecutor:
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         items = list(items)
-        if len(items) <= 1 or self.max_workers == 1:
-            return [fn(item) for item in items]
-        if self._pool is None:
-            self._pool = self._make_pool()
-        # Executor.map yields results in submission order regardless of
-        # completion order — the property the determinism guarantee rests on.
-        return list(self._pool.map(fn, items))
+        with span("executor/map", executor=self.name, tasks=len(items)):
+            start = time.perf_counter()
+            if len(items) <= 1 or self.max_workers == 1:
+                results = [fn(item) for item in items]
+            else:
+                if self._pool is None:
+                    self._pool = self._make_pool()
+                if self.measures_queue_wait and METRICS.enabled:
+                    submitted = start
+
+                    def timed_fn(item: T, _fn: Callable[[T], R] = fn) -> R:
+                        _QUEUE_WAIT_SECONDS.observe(
+                            time.perf_counter() - submitted, executor=self.name
+                        )
+                        return _fn(item)
+
+                    fn = timed_fn
+                # Executor.map yields results in submission order regardless
+                # of completion order — the property the determinism
+                # guarantee rests on.
+                results = list(self._pool.map(fn, items))
+            _TASKS_TOTAL.inc(len(items), executor=self.name)
+            _MAP_SECONDS.observe(time.perf_counter() - start, executor=self.name)
+            return results
 
     def shutdown(self) -> None:
         if self._pool is not None:
@@ -129,6 +178,7 @@ class ThreadExecutor(_PooledExecutor):
     """Evaluate tasks on a thread pool (shared memory, no pickling)."""
 
     name = "thread"
+    measures_queue_wait = True
 
     def _make_pool(self) -> _FuturesExecutor:
         return ThreadPoolExecutor(
@@ -154,6 +204,14 @@ class ProcessExecutor(_PooledExecutor):
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         items = list(items)
+        with span("executor/map", executor=self.name, tasks=len(items)):
+            start = time.perf_counter()
+            results = self._map_processes(fn, items)
+            _TASKS_TOTAL.inc(len(items), executor=self.name)
+            _MAP_SECONDS.observe(time.perf_counter() - start, executor=self.name)
+            return results
+
+    def _map_processes(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
         if len(items) <= 1 or self.max_workers == 1:
             return [fn(item) for item in items]
         if self._pool is None:

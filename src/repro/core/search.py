@@ -47,6 +47,7 @@ import numpy as np
 from ..data.dataset import FairnessDataset, dataset_fingerprint
 from ..fairness.engine import EvaluationEngine
 from ..fairness.metrics import FairnessEvaluation, evaluate_predictions
+from ..obs import METRICS, span
 from ..utils.logging import RunLogger
 from ..utils.rng import get_rng
 from ..zoo.pool import ModelPool
@@ -74,6 +75,22 @@ from .trainer import (
 
 #: Partitions a :class:`~repro.data.splits.DataSplit` exposes by name.
 VALID_PARTITIONS = ("train", "val", "test")
+
+_BATCHES_TOTAL = METRICS.counter(
+    "repro_search_batches_total",
+    "Controller batches completed, by source (live evaluation vs journal replay).",
+    labelnames=("source",),
+)
+_EPISODES_TOTAL = METRICS.counter(
+    "repro_search_episodes_total",
+    "Search episodes completed.",
+)
+_TASK_BYTES_TOTAL = METRICS.counter(
+    "repro_search_task_bytes_total",
+    "Task payload bytes crossing the process boundary: raw ndarray sizes vs "
+    "what actually ships once shared-memory descriptors replace them.",
+    labelnames=("kind",),
+)
 
 
 class SearchInterrupted(RuntimeError):
@@ -507,17 +524,20 @@ def evaluate_task(task: EvaluationTask) -> EvaluationOutcome:
     :func:`~repro.core.fusing.consensus_arbitrate_labels` using the member
     labels precomputed once for the whole batch.
     """
-    task = resolve_task_arrays(task)
-    head = _build_task_head(task)
-    train_result = train_head_on_outputs(
-        head,
-        task.proxy_outputs,
-        task.proxy_labels,
-        task.proxy_weights,
-        task.num_classes,
-        task.head_config,
-    )
-    return _finish_task(task, head, train_result.losses)
+    # The span is a no-op in worker processes (no writer installed there);
+    # serial/thread executors record one "search/task" child per evaluation.
+    with span("search/task", seed=int(task.seed)):
+        task = resolve_task_arrays(task)
+        head = _build_task_head(task)
+        train_result = train_head_on_outputs(
+            head,
+            task.proxy_outputs,
+            task.proxy_labels,
+            task.proxy_weights,
+            task.num_classes,
+            task.head_config,
+        )
+        return _finish_task(task, head, train_result.losses)
 
 
 def evaluate_task_batch(tasks: Sequence[EvaluationTask]) -> List[EvaluationOutcome]:
@@ -852,6 +872,8 @@ class MuffinSearch:
                         raw, shipped = task_payload_bytes(task)
                         self.task_bytes_raw += raw
                         self.task_bytes_shipped += shipped
+                        _TASK_BYTES_TOTAL.inc(raw, kind="raw")
+                        _TASK_BYTES_TOTAL.inc(shipped, kind="shipped")
                 try:
                     mapped = executor.map(evaluate_task, send_tasks)
                 finally:
@@ -990,53 +1012,59 @@ class MuffinSearch:
                         completed_episodes=episode_index,
                     )
                 batch_size = min(config.episode_batch, total_episodes - episode_index)
-                batch_episodes, batch_seeds = self._sample_episode_batch(batch_size)
-                batch_candidates = [
-                    self.search_space.decode(episode.actions) for episode in batch_episodes
-                ]
-                batch_keys = None
-                batch_records = None
-                if journal is not None:
-                    # The journal key pins exactly what determines a batch's
-                    # records: the candidates and their resolved seeds.  A
-                    # mismatch (different spec/seed wrote the journal) makes
-                    # lookup() discard the stale tail and fall through to
-                    # live evaluation.
-                    resolved_seeds = [
-                        seed if seed is not None else self.candidate_seed(candidate)
-                        for candidate, seed in zip(batch_candidates, batch_seeds)
+                with span("search/batch", batch=batch_counter, episodes=batch_size):
+                    batch_episodes, batch_seeds = self._sample_episode_batch(batch_size)
+                    batch_candidates = [
+                        self.search_space.decode(episode.actions)
+                        for episode in batch_episodes
                     ]
-                    batch_keys = [
-                        {"candidate": candidate.to_dict(), "seed": int(seed)}
-                        for candidate, seed in zip(batch_candidates, resolved_seeds)
-                    ]
-                    batch_records = journal.lookup(batch_counter, batch_keys)
-                if batch_records is None:
-                    batch_records = self.evaluate_batch(
-                        batch_candidates,
-                        seeds=batch_seeds,
-                        episodes=range(episode_index, episode_index + batch_size),
-                        executor=executor,
-                        # Fresh per-episode seeds can never repeat a memo key;
-                        # storing every record would be pure memory overhead.
-                        memoize=config.candidate_seeds == "derived",
-                    )
+                    batch_keys = None
+                    batch_records = None
                     if journal is not None:
-                        journal.append(batch_counter, batch_keys, batch_records)
-                for episode, record in zip(batch_episodes, batch_records):
-                    episode.reward = record.reward
-                    records.append(record)
-                    self.logger.log(
-                        episode=record.episode,
-                        reward=record.reward,
-                        accuracy=record.evaluation.accuracy,
-                        **{
-                            f"U({a})": record.evaluation.unfairness[a]
-                            for a in self.attributes
-                        },
-                        candidate=record.candidate.describe(),
-                    )
-                self.controller.update(batch_episodes)
+                        # The journal key pins exactly what determines a batch's
+                        # records: the candidates and their resolved seeds.  A
+                        # mismatch (different spec/seed wrote the journal) makes
+                        # lookup() discard the stale tail and fall through to
+                        # live evaluation.
+                        resolved_seeds = [
+                            seed if seed is not None else self.candidate_seed(candidate)
+                            for candidate, seed in zip(batch_candidates, batch_seeds)
+                        ]
+                        batch_keys = [
+                            {"candidate": candidate.to_dict(), "seed": int(seed)}
+                            for candidate, seed in zip(batch_candidates, resolved_seeds)
+                        ]
+                        batch_records = journal.lookup(batch_counter, batch_keys)
+                    replayed = batch_records is not None
+                    if batch_records is None:
+                        batch_records = self.evaluate_batch(
+                            batch_candidates,
+                            seeds=batch_seeds,
+                            episodes=range(episode_index, episode_index + batch_size),
+                            executor=executor,
+                            # Fresh per-episode seeds can never repeat a memo
+                            # key; storing every record would be pure memory
+                            # overhead.
+                            memoize=config.candidate_seeds == "derived",
+                        )
+                        if journal is not None:
+                            journal.append(batch_counter, batch_keys, batch_records)
+                    for episode, record in zip(batch_episodes, batch_records):
+                        episode.reward = record.reward
+                        records.append(record)
+                        self.logger.log(
+                            episode=record.episode,
+                            reward=record.reward,
+                            accuracy=record.evaluation.accuracy,
+                            **{
+                                f"U({a})": record.evaluation.unfairness[a]
+                                for a in self.attributes
+                            },
+                            candidate=record.candidate.describe(),
+                        )
+                    self.controller.update(batch_episodes)
+                    _BATCHES_TOTAL.inc(source="journal" if replayed else "live")
+                    _EPISODES_TOTAL.inc(batch_size)
                 episode_index += batch_size
                 batch_counter += 1
         finally:

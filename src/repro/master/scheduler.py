@@ -39,6 +39,7 @@ from ..analysis.runtime import register_shared_state, touch_shared_state
 from ..api.pipeline import MuffinPipeline
 from ..api.spec import RunSpec, SpecError
 from ..core.search import SearchInterrupted
+from ..obs import METRICS
 from ..utils.logging import RunLogger
 from ..utils.serialization import save_json
 from .db import TERMINAL_STATUSES, EpisodeJournal, RunDatabase
@@ -49,6 +50,19 @@ PathLike = Union[str, Path]
 #: name of the endpoint file the master writes inside its database root so
 #: clients can discover the host/port from ``--db`` alone
 ENDPOINT_FILE = "master.json"
+
+#: Run-lifecycle events, labelled exactly like the RunLogger event names
+#: (run-submitted / run-claimed / run-requeued / run-finished / run-failed /
+#: run-cancelled), so log rows and metrics cross-reference one-to-one.
+_RUN_EVENTS_TOTAL = METRICS.counter(
+    "repro_master_runs_total",
+    "Run-lifecycle events processed by the master, by event.",
+    labelnames=("event",),
+)
+_QUEUE_DEPTH = METRICS.gauge(
+    "repro_master_queue_depth",
+    "Pending runs waiting on the master's priority queue.",
+)
 
 
 class RunScheduler:
@@ -181,7 +195,7 @@ class MasterServer:
         if self._started:
             return
         for rid in self.db.requeue_running():
-            self.logger.event("run-requeued", rid=rid, reason="master restart")
+            self._run_event("run-requeued", rid=rid, reason="master restart")
         for entry in self.db.pending_runs():
             self.scheduler.submit(int(entry["rid"]), int(entry.get("priority", 0)))
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -247,10 +261,16 @@ class MasterServer:
     # ------------------------------------------------------------------
     # Submission / queries (used by the listener AND callable in-process)
     # ------------------------------------------------------------------
+    def _run_event(self, event: str, **fields) -> None:
+        """Log one run-lifecycle event and mirror it into the metrics layer."""
+        self.logger.event(event, **fields)
+        _RUN_EVENTS_TOTAL.inc(event=event)
+        _QUEUE_DEPTH.set(len(self.scheduler))
+
     def submit(self, spec: RunSpec, priority: int = 0) -> int:
         rid = self.db.submit(spec, priority=priority)
         self.scheduler.submit(rid, priority)
-        self.logger.event("run-submitted", rid=rid, name=spec.name, priority=priority)
+        self._run_event("run-submitted", rid=rid, name=spec.name, priority=priority)
         return rid
 
     def run_status(self, rid: int) -> Dict[str, object]:
@@ -279,7 +299,7 @@ class MasterServer:
                 outcome = "dequeued"
             else:
                 outcome = f"already-{status}" if status in TERMINAL_STATUSES else outcome
-        self.logger.event("run-cancelled", rid=int(rid), outcome=outcome)
+        self._run_event("run-cancelled", rid=int(rid), outcome=outcome)
         return {"rid": int(rid), "outcome": outcome}
 
     # ------------------------------------------------------------------
@@ -304,10 +324,10 @@ class MasterServer:
             spec = self.db.spec(rid)
         except (KeyError, SpecError) as exc:
             self.db.set_status(rid, "failed", error=str(exc), finished_at=time.time())
-            self.logger.event("run-failed", rid=rid, error=str(exc))
+            self._run_event("run-failed", rid=rid, error=str(exc))
             return
         self.db.set_status(rid, "running", started_at=time.time())
-        self.logger.event("run-claimed", rid=rid, name=spec.name)
+        self._run_event("run-claimed", rid=rid, name=spec.name)
         run_spec = dataclasses.replace(spec, execution=self._execution_spec(spec, rid))
 
         def should_stop() -> bool:
@@ -324,10 +344,10 @@ class MasterServer:
         except SearchInterrupted:
             if self.scheduler.is_cancelled(rid):
                 self.db.set_status(rid, "cancelled", cancelled_at=time.time())
-                self.logger.event("run-cancelled", rid=rid, outcome="interrupted")
+                self._run_event("run-cancelled", rid=rid, outcome="interrupted")
             else:  # master shutting down: the journal makes the requeue cheap
                 self.db.set_status(rid, "pending", requeued=True)
-                self.logger.event("run-requeued", rid=rid, reason="shutdown")
+                self._run_event("run-requeued", rid=rid, reason="shutdown")
             return
         except Exception as exc:
             self.db.set_status(
@@ -337,7 +357,7 @@ class MasterServer:
                 traceback=traceback.format_exc(),
                 finished_at=time.time(),
             )
-            self.logger.event("run-failed", rid=rid, error=f"{type(exc).__name__}: {exc}")
+            self._run_event("run-failed", rid=rid, error=f"{type(exc).__name__}: {exc}")
             return
         finally:
             self.scheduler.release(rid)
@@ -352,7 +372,7 @@ class MasterServer:
             },
         )
         self.db.set_status(rid, "done", finished_at=time.time(), result_hash=result_hash)
-        self.logger.event("run-finished", rid=rid, result_hash=result_hash)
+        self._run_event("run-finished", rid=rid, result_hash=result_hash)
 
     def _run_loop(self) -> None:
         while not self._stopping.is_set():
@@ -366,7 +386,7 @@ class MasterServer:
             try:
                 self._execute_run(rid)
             except Exception as exc:  # _execute_run is defensive; belt and braces
-                self.logger.event("run-failed", rid=rid, error=f"{type(exc).__name__}: {exc}")
+                self._run_event("run-failed", rid=rid, error=f"{type(exc).__name__}: {exc}")
                 self.scheduler.release(rid)
 
     # ------------------------------------------------------------------

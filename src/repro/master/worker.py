@@ -42,11 +42,41 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 from ..core.execution import ExecutorWorkerError, default_max_workers
+from ..obs import DEFAULT_SECONDS_BUCKETS, METRICS, span
 from ..utils.logging import RunLogger
 from .protocol import ProtocolError, decode_payload, encode_payload, recv_message, send_message
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Shares the executor metric family of :mod:`repro.core.execution`
+#: (declarations are get-or-create, so identical schemas unify).
+_TASKS_TOTAL = METRICS.counter(
+    "repro_executor_tasks_total",
+    "Tasks dispatched through executor.map, by executor.",
+    labelnames=("executor",),
+)
+_MAP_SECONDS = METRICS.histogram(
+    "repro_executor_map_seconds",
+    "Wall time of one executor.map batch.",
+    labelnames=("executor",),
+)
+_QUEUE_WAIT_SECONDS = METRICS.histogram(
+    "repro_executor_queue_wait_seconds",
+    "Time a task waited between submission and execution start.",
+    labelnames=("executor",),
+    buckets=DEFAULT_SECONDS_BUCKETS,
+)
+_SUPERVISION_TOTAL = METRICS.counter(
+    "repro_distributed_supervision_total",
+    "Supervision interventions of the distributed executor, by event "
+    "(worker-restarted / task-requeued / heartbeat-missed).",
+    labelnames=("event",),
+)
+_TASK_SHIP_BYTES = METRICS.counter(
+    "repro_distributed_task_bytes_total",
+    "Encoded task-frame bytes shipped to distributed workers.",
+)
 
 
 # ----------------------------------------------------------------------
@@ -323,6 +353,7 @@ class DistributedExecutor:
 
     def _replace_worker(self, worker: _WorkerHandle, reason: str) -> None:
         self.logger.event("worker-restarted", pid=worker.pid, reason=reason)
+        _SUPERVISION_TOTAL.inc(event="worker-restarted")
         index = self._workers.index(worker)
         worker.close()
         self.worker_restarts += 1
@@ -333,6 +364,14 @@ class DistributedExecutor:
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         items = list(items)
+        with span("executor/map", executor=self.name, tasks=len(items)):
+            start = time.perf_counter()
+            results = self._map_supervised(fn, items)
+            _TASKS_TOTAL.inc(len(items), executor=self.name)
+            _MAP_SECONDS.observe(time.perf_counter() - start, executor=self.name)
+            return results
+
+    def _map_supervised(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
         if len(items) <= 1 or self.max_workers == 1:
             return [fn(item) for item in items]
         fn_ref = f"{fn.__module__}:{fn.__qualname__}"
@@ -343,10 +382,18 @@ class DistributedExecutor:
         attempts = [0] * len(items)
         pending: List[int] = list(range(len(items)))
         remaining = len(items)
+        # Queue wait = submission (map entry, or re-entry after a requeue)
+        # to dispatch onto a worker; one clock, master-side only.
+        enqueued_at = [time.perf_counter()] * len(items)
 
         def dispatch(worker: _WorkerHandle, index: int) -> None:
             attempts[index] += 1
             worker.task_index = index
+            _QUEUE_WAIT_SECONDS.observe(
+                time.perf_counter() - enqueued_at[index], executor=self.name
+            )
+            payload = encode_payload(items[index])
+            _TASK_SHIP_BYTES.inc(len(payload))
             worker.conn.setblocking(True)
             try:
                 send_message(
@@ -355,7 +402,7 @@ class DistributedExecutor:
                         "type": "task",
                         "task_id": index,
                         "fn": fn_ref,
-                        "payload": encode_payload(items[index]),
+                        "payload": payload,
                     },
                 )
             finally:
@@ -372,6 +419,8 @@ class DistributedExecutor:
                 return
             self.tasks_requeued += 1
             self.logger.event("task-requeued", task=index, reason=reason)
+            _SUPERVISION_TOTAL.inc(event="task-requeued")
+            enqueued_at[index] = time.perf_counter()
             if attempts[index] > self.task_retries:
                 raise ExecutorWorkerError(
                     f"distributed task {index} of {len(items)} was lost {attempts[index]} "
@@ -444,6 +493,7 @@ class DistributedExecutor:
                                     pid=worker.pid,
                                     silent_seconds=round(now - worker.last_heartbeat, 1),
                                 )
+                                _SUPERVISION_TOTAL.inc(event="heartbeat-missed")
                             worker_died(worker, "exited" if dead else "heartbeat missed")
         except BaseException:
             # A task error or exhausted retries leaves tasks in flight on

@@ -1,0 +1,82 @@
+"""Unified telemetry: metrics registry, hierarchical tracing, exposition.
+
+``repro.obs`` is the one place the library measures itself.  It has two
+halves — :mod:`repro.obs.metrics` (counters, gauges, fixed-bucket
+histograms behind the process-wide :data:`METRICS` registry) and
+:mod:`repro.obs.trace` (hierarchical :func:`span` regions written as
+JSONL) — sharing the same ground rules: off by default and cheap when
+off, monotonic clocks only for durations, no RNG access, and everything
+hash-excluded from ``spec_hash()`` via ``ObsSpec``.  Results with
+telemetry on and off are bit-identical, and the test suite enforces it.
+"""
+
+import contextlib
+from typing import Iterator, Optional
+
+from .metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    LabelCardinalityError,
+    MetricsError,
+    MetricsRegistry,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    DEFAULT_SECONDS_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+)
+from .trace import TraceWriter, active_writer, install, load_spans, render_tree, span, uninstall
+from . import trace as _trace
+
+
+@contextlib.contextmanager
+def session(
+    trace_path: Optional[str] = None, metrics_enabled: bool = False
+) -> Iterator[None]:
+    """Scope telemetry to one run: install a trace sink, flip the registry.
+
+    This is what :class:`~repro.api.pipeline.MuffinPipeline` wraps around
+    ``run()`` to honour the spec's ``obs`` section.  Previous state (an
+    already-installed writer, the registry's enabled flag) is restored on
+    exit, so nested sessions and test isolation behave.
+    """
+    previous_writer = _trace.active_writer()
+    previous_enabled = METRICS.enabled
+    writer: Optional[TraceWriter] = None
+    if trace_path is not None:
+        writer = TraceWriter(trace_path)
+        _trace.install(writer)
+    if metrics_enabled:
+        METRICS.enable()
+    try:
+        yield
+    finally:
+        METRICS.enabled = previous_enabled
+        if writer is not None:
+            if previous_writer is not None:
+                _trace.install(previous_writer)
+            else:
+                _trace.uninstall()
+            writer.close()
+
+
+__all__ = [
+    "session",
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelCardinalityError",
+    "MetricsError",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "TraceWriter",
+    "active_writer",
+    "install",
+    "uninstall",
+    "load_spans",
+    "render_tree",
+    "span",
+]

@@ -1,0 +1,275 @@
+"""Hierarchical tracing: ``span()`` context manager, JSONL sink, tree CLI.
+
+A span measures one named region of work (``"pipeline/stage/search"``,
+``"search/batch"``, ``"serve/batch"``) on the monotonic
+``time.perf_counter()`` clock — never wall clock, so durations survive
+NTP adjustments.  Nesting is tracked with a :mod:`contextvars` variable,
+which makes parenthood follow the call stack in each thread and across
+``contextvars.copy_context()`` boundaries.
+
+Rows are append-only JSONL in the :class:`repro.utils.logging.RunLogger`
+row shape — ``event`` key first, floats rounded, JSON-scalar values — so
+trace files and run logs can share tooling::
+
+    {"event": "span", "name": "search/batch", "span_id": 3, "parent_id": 1,
+     "start_s": 0.1042, "duration_s": 0.0881, "batch": 2}
+
+Spans are written at *exit*, so children precede their parents in the
+file; :func:`build_tree` reorders by id.  ``python -m repro trace
+<file>`` renders the tree with total and self (total minus children)
+times.
+
+Like the metrics layer, tracing is off by default and cheap when off:
+:func:`span` reads one module attribute and yields immediately when no
+writer is installed.  Span ids are sequential — the tracer never touches
+RNG state.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import io
+import json
+import sys
+import threading
+import time
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, TextIO
+
+from ..analysis.runtime import register_shared_state, touch_shared_state
+
+__all__ = [
+    "TraceWriter",
+    "span",
+    "install",
+    "uninstall",
+    "active_writer",
+    "load_spans",
+    "build_tree",
+    "render_tree",
+    "main",
+]
+
+_parent_span = contextvars.ContextVar("repro_trace_parent", default=None)
+
+#: The process-wide writer ``span()`` records into; ``None`` disables tracing.
+_writer: Optional["TraceWriter"] = None
+
+
+class TraceWriter:
+    """Appends span rows as JSONL; thread-safe, ids sequential from 1."""
+
+    def __init__(self, path_or_stream) -> None:
+        if hasattr(path_or_stream, "write"):
+            self._stream: TextIO = path_or_stream
+            self._owns_stream = False
+            self.path = getattr(path_or_stream, "name", "<stream>")
+        else:
+            self.path = str(path_or_stream)
+            self._stream = open(self.path, "a", encoding="utf-8")
+            self._owns_stream = True
+        self._lock = threading.Lock()
+        self._next_id = 1
+        # Epoch on the monotonic clock: start_s is relative to writer creation.
+        self._epoch = time.perf_counter()
+        register_shared_state("obs-trace", self, lock=self._lock)
+
+    def allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            touch_shared_state("obs-trace", self)
+            return span_id
+
+    def write_row(self, row: Mapping[str, object]) -> None:
+        line = json.dumps(row, sort_keys=False)
+        with self._lock:
+            self._stream.write(line + "\n")
+            touch_shared_state("obs-trace", self)
+
+    def flush(self) -> None:
+        with self._lock:
+            self._stream.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._stream.flush()
+            if self._owns_stream:
+                self._stream.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def install(writer: TraceWriter) -> TraceWriter:
+    """Make ``writer`` the process-wide span sink."""
+    global _writer
+    _writer = writer
+    return writer
+
+
+def uninstall() -> None:
+    """Stop tracing; pending ``span()`` bodies still close cleanly."""
+    global _writer
+    if _writer is not None:
+        _writer.flush()
+    _writer = None
+
+
+def active_writer() -> Optional[TraceWriter]:
+    return _writer
+
+
+@contextlib.contextmanager
+def span(name: str, **attrs: object) -> Iterator[Optional[int]]:
+    """Measure a named region; nests via the ambient context.
+
+    No-op (one attribute read) when no writer is installed.  Attribute
+    values must be JSON scalars; durations are recorded in seconds on the
+    monotonic clock, rounded to microseconds.
+    """
+    writer = _writer
+    if writer is None:
+        yield None
+        return
+    span_id = writer.allocate_id()
+    parent_id = _parent_span.get()
+    token = _parent_span.set(span_id)
+    start = time.perf_counter()
+    try:
+        yield span_id
+    finally:
+        duration = time.perf_counter() - start
+        _parent_span.reset(token)
+        row: Dict[str, object] = {
+            "event": "span",
+            "name": str(name),
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "start_s": round(start - writer._epoch, 6),
+            "duration_s": round(duration, 6),
+        }
+        for key, value in attrs.items():
+            row[key] = round(value, 6) if isinstance(value, float) else value
+        # The writer installed at entry may have been uninstalled while the
+        # body ran; fall back to it so the span is never silently dropped.
+        (_writer or writer).write_row(row)
+
+
+# ----------------------------------------------------------------------
+# Reading and rendering
+# ----------------------------------------------------------------------
+def load_spans(path) -> List[Dict[str, object]]:
+    """Parse a trace file, keeping only well-formed span rows."""
+    rows: List[Dict[str, object]] = []
+    if hasattr(path, "read"):
+        stream = path
+        lines = stream.read().splitlines()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(row, dict) and row.get("event") == "span" and "span_id" in row:
+            rows.append(row)
+    return rows
+
+
+def build_tree(rows: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
+    """Nest span rows into root nodes with ``children`` and ``self_s``.
+
+    Orphans (parent id never written, e.g. a crashed run) are promoted to
+    roots so the renderer never loses data.  Children are ordered by
+    start time.
+    """
+    nodes: Dict[int, Dict[str, object]] = {}
+    for row in rows:
+        node = dict(row)
+        node["children"] = []
+        nodes[int(row["span_id"])] = node
+    roots: List[Dict[str, object]] = []
+    for node in nodes.values():
+        parent_id = node.get("parent_id")
+        parent = nodes.get(parent_id) if parent_id is not None else None
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+
+    def finalise(node: Dict[str, object]) -> None:
+        children: List[Dict[str, object]] = node["children"]
+        children.sort(key=lambda child: (child.get("start_s", 0.0), child["span_id"]))
+        child_total = sum(float(child.get("duration_s", 0.0)) for child in children)
+        node["self_s"] = max(0.0, float(node.get("duration_s", 0.0)) - child_total)
+        for child in children:
+            finalise(child)
+
+    roots.sort(key=lambda node: (node.get("start_s", 0.0), node["span_id"]))
+    for root in roots:
+        finalise(root)
+    return roots
+
+
+_ROW_KEYS = {"event", "name", "span_id", "parent_id", "start_s", "duration_s", "children", "self_s"}
+
+
+def render_tree(rows: Sequence[Mapping[str, object]]) -> str:
+    """Plain-text span tree with total/self times and attributes."""
+    roots = build_tree(rows)
+    if not roots:
+        return "(no spans)"
+    out = io.StringIO()
+
+    def emit(node: Mapping[str, object], depth: int) -> None:
+        attrs = {k: v for k, v in node.items() if k not in _ROW_KEYS}
+        attr_text = (
+            "  " + " ".join(f"{k}={v}" for k, v in attrs.items()) if attrs else ""
+        )
+        indent = "  " * depth
+        out.write(
+            f"{indent}{node['name']}  total {float(node.get('duration_s', 0.0)):.6f}s"
+            f"  self {float(node['self_s']):.6f}s{attr_text}\n"
+        )
+        for child in node["children"]:
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return out.getvalue().rstrip("\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro trace <file>`` — render a span tree."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace", description="Render a span trace file as a tree."
+    )
+    parser.add_argument("file", help="trace JSONL file written by TraceWriter")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the nested tree as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+    try:
+        rows = load_spans(args.file)
+    except OSError as exc:
+        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(build_tree(rows), indent=2))
+    else:
+        count = len(rows)
+        print(f"{args.file}: {count} span{'s' if count != 1 else ''}")
+        print(render_tree(rows))
+    return 0

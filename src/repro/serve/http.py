@@ -14,6 +14,11 @@ in-process callers.  Endpoints:
 ``GET /stats``
     Full server + windowed-fairness statistics.
 
+``GET /metrics``
+    Prometheus text exposition (version 0.0.4) of the process-wide
+    :data:`repro.obs.METRICS` registry — request counters, latency and
+    micro-batch-size histograms, queue-depth gauges.
+
 ``GET /healthz``
     Liveness probe with the model name and artifact spec hash.
 """
@@ -25,6 +30,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
+from ..obs import METRICS
 from .server import InferenceServer, ServeClient
 
 #: request body size guard (16 MiB) — a JSON feature matrix beyond this is
@@ -40,6 +46,14 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, content_type: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -61,6 +75,11 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif self.path == "/stats":
             self._send_json(inference.stats())
+        elif self.path == "/metrics":
+            self._send_text(
+                METRICS.render_prometheus(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
         else:
             self._send_json({"error": f"unknown path '{self.path}'"}, status=404)
 

@@ -38,11 +38,32 @@ from ..analysis.runtime import register_shared_state, touch_shared_state
 from ..core.backend import DEFAULT_BACKEND, get_backend
 from ..core.execution import build_executor
 from ..core.fusing import FusedModel
+from ..obs import DEFAULT_LATENCY_BUCKETS_MS, DEFAULT_SIZE_BUCKETS, METRICS
 from ..utils.logging import RunLogger
 from ..zoo.persistence import load_fused_model
 from .monitor import FairnessMonitor
 
 PathLike = Union[str, Path]
+
+_REQUESTS_TOTAL = METRICS.counter(
+    "repro_serve_requests_total",
+    "Requests answered by the micro-batching server, by outcome.",
+    labelnames=("outcome",),
+)
+_REQUEST_LATENCY_MS = METRICS.histogram(
+    "repro_serve_request_latency_ms",
+    "End-to-end request latency (enqueue to response), milliseconds.",
+    buckets=DEFAULT_LATENCY_BUCKETS_MS,
+)
+_BATCH_ROWS = METRICS.histogram(
+    "repro_serve_batch_rows",
+    "Sample rows coalesced into one micro-batch forward pass.",
+    buckets=DEFAULT_SIZE_BUCKETS,
+)
+_QUEUE_DEPTH = METRICS.gauge(
+    "repro_serve_queue_depth",
+    "Requests waiting in the micro-batcher queue after the last batch.",
+)
 
 
 @dataclass
@@ -174,7 +195,9 @@ class InferenceServer:
             if self._thread is not None and self._thread.is_alive():
                 return self
             touch_shared_state("serve-lifecycle", self)
-            self.started_at = time.time()
+            # perf_counter, not time.time(): uptime is a duration, and the
+            # wall clock can step backwards (NTP) mid-run.
+            self.started_at = time.perf_counter()
             self._thread = threading.Thread(
                 target=self._serve_loop, name="muffin-serve", daemon=True
             )
@@ -292,6 +315,7 @@ class InferenceServer:
             )
         except BaseException as exc:  # answer every caller, never hang them
             self.errors += len(batch)
+            _REQUESTS_TOTAL.inc(len(batch), outcome="error")
             for request in batch:
                 request.error = exc
                 request.done.set()
@@ -314,6 +338,7 @@ class InferenceServer:
                 batch_rows=int(stacked.shape[0]),
                 latency_ms=(now - request.enqueued_at) * 1000.0,
             )
+            _REQUEST_LATENCY_MS.observe(request.response.latency_ms)
             self.monitor.observe(
                 request.response.predictions, request.groups, request.labels
             )
@@ -321,6 +346,9 @@ class InferenceServer:
         self.batches_served += 1
         self.requests_served += len(batch)
         self.samples_served += int(stacked.shape[0])
+        _REQUESTS_TOTAL.inc(len(batch), outcome="ok")
+        _BATCH_ROWS.observe(float(stacked.shape[0]))
+        _QUEUE_DEPTH.set(float(self._queue.qsize()))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -333,7 +361,9 @@ class InferenceServer:
             "spec_hash": self.model.metadata.get("spec_hash"),
             "running": self.is_running,
             "uptime_s": (
-                round(time.time() - self.started_at, 3) if self.started_at else 0.0
+                round(time.perf_counter() - self.started_at, 3)
+                if self.started_at is not None
+                else 0.0
             ),
             "requests": self.requests_served,
             "samples": self.samples_served,

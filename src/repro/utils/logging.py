@@ -24,12 +24,15 @@ class RunLogger:
         self.rows: List[Dict[str, object]] = []
         self.stream = stream if stream is not None else sys.stdout
         self.verbose = verbose
-        self._start = time.time()
+        # Durations come off the monotonic clock: time.time() is the wall
+        # clock and can step (NTP), which would make elapsed_s jump or go
+        # negative mid-run.  Wall-clock time is only for row *timestamps*.
+        self._start = time.perf_counter()
 
     def log(self, **metrics: object) -> Dict[str, object]:
         """Record one row of metrics (adds an ``elapsed_s`` column)."""
         row = dict(metrics)
-        row.setdefault("elapsed_s", round(time.time() - self._start, 3))
+        row.setdefault("elapsed_s", round(time.perf_counter() - self._start, 3))
         self.rows.append(row)
         if self.verbose:
             printable = ", ".join(f"{k}={_format_value(v)}" for k, v in metrics.items())

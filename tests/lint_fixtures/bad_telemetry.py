@@ -1,0 +1,39 @@
+"""RL8 fixture: wall-clock durations anywhere; print/stdlib logging when
+checked under a hot-module rel path (e.g. src/repro/core/search.py)."""
+
+import logging
+import time
+
+
+def wallclock_duration(start):
+    return time.time() - start  # line 9: duration off the steppable wall clock
+
+
+def wallclock_duration_flipped(deadline):
+    return deadline - time.time()  # line 13: same bug, operand order flipped
+
+
+def nested_wallclock_duration(start):
+    return round(1000.0 * (time.time() - start), 3)  # line 17: buried in arithmetic
+
+
+def timestamp_is_fine():
+    return {"submitted_at": time.time()}  # row timestamp, not a duration
+
+
+def monotonic_duration_is_fine(start):
+    return time.perf_counter() - start  # the sanctioned duration clock
+
+
+def suppressed_duration(start):
+    return time.time() - start  # repro-lint: disable=RL8 -- legacy schema field
+
+
+def print_on_hot_path(result):
+    print(f"evaluated {result}")  # line 33: fires only under a hot-module rel
+
+
+def stdlib_logging_on_hot_path(result):
+    logging.info("evaluated %s", result)  # line 37: fires only under a hot rel
+    logger = logging.getLogger("repro")  # line 38: ditto
+    return logger

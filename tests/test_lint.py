@@ -31,6 +31,7 @@ from repro.analysis.rules import (
     AtomicPersistenceRule,
     DtypeDisciplineRule,
     LockHygieneRule,
+    TelemetryDisciplineRule,
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -184,6 +185,49 @@ class TestDtypeDisciplineRule:
     def test_live_hot_modules_are_clean(self):
         for rel in DtypeDisciplineRule.HOT_MODULES:
             report = run_lint(root=REPO_ROOT, paths=[REPO_ROOT / rel], select=["RL7"])
+            assert report.ok, report.render_text()
+
+
+class TestTelemetryDisciplineRule:
+    def test_wallclock_durations_fire_everywhere(self):
+        # run through the engine (suppression honoured); the fixture's own
+        # tests/ path is outside the hot set, so only durations can fire
+        report = lint_fixture("bad_telemetry.py", select=["RL8"])
+        assert {f.line for f in report.findings} == {9, 13, 17}
+        assert all(f.code == "RL8" for f in report.findings)
+        assert all("subtraction" in f.message for f in report.findings)
+
+    def test_inline_suppression_silences_the_line(self):
+        report = lint_fixture("bad_telemetry.py", select=["RL8"])
+        # line 29 carries ``# repro-lint: disable=RL8``
+        assert 29 not in {f.line for f in report.findings}
+
+    def test_print_and_stdlib_logging_fire_on_hot_paths(self):
+        source = fixture_source("bad_telemetry.py", "src/repro/core/search.py")
+        project = Project(root=REPO_ROOT)
+        findings = list(TelemetryDisciplineRule().check_file(source, project))
+        # check_file bypasses suppression: durations {9, 13, 17, 29} plus
+        # the output findings {33, 37, 38}
+        assert {f.line for f in findings} == {9, 13, 17, 29, 33, 37, 38}
+        messages = [f.message for f in findings]
+        assert any("print()" in m for m in messages)
+        assert any("logging.info()" in m for m in messages)
+        assert any("logging.getLogger()" in m for m in messages)
+
+    def test_obs_layer_is_exempt(self):
+        source = fixture_source("bad_telemetry.py", "src/repro/obs/trace.py")
+        project = Project(root=REPO_ROOT)
+        assert list(TelemetryDisciplineRule().check_file(source, project)) == []
+
+    def test_timestamps_and_perf_counter_are_fine(self):
+        report = lint_fixture("bad_telemetry.py", select=["RL8"])
+        lines = {f.line for f in report.findings}
+        assert 21 not in lines  # plain time.time() timestamp
+        assert 25 not in lines  # perf_counter duration
+
+    def test_live_hot_modules_are_clean(self):
+        for rel in TelemetryDisciplineRule.HOT_MODULES:
+            report = run_lint(root=REPO_ROOT, paths=[REPO_ROOT / rel], select=["RL8"])
             assert report.ok, report.render_text()
 
 
@@ -417,7 +461,7 @@ class TestSelfCheck:
         from repro.analysis.core import LINT_RULES
 
         assert set(LINT_RULES.names()) == {
-            "RL1", "RL2", "RL3", "RL4", "RL5", "RL6", "RL7",
+            "RL1", "RL2", "RL3", "RL4", "RL5", "RL6", "RL7", "RL8",
         }
         for code in LINT_RULES.names():
             rule = LINT_RULES.get(code)()

@@ -1,0 +1,103 @@
+"""Telemetry is observation only: results with it on and off are bit-identical.
+
+The tentpole guarantee of the obs layer — spans and metrics never touch RNG
+state, never reorder work and never enter ``spec_hash()`` — is proven here
+end-to-end: the same spec run with tracing + metrics enabled produces the
+same ``result_hash()`` as a run with telemetry fully off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    DatasetSpec,
+    FinalizeSpec,
+    MuffinPipeline,
+    PoolSpec,
+    RunSpec,
+    SearchSpec,
+)
+from repro.api.spec import ObsSpec
+from repro.obs import METRICS, active_writer, load_spans
+
+ARCHS = ("MobileNet_V3_Small", "ResNet-18", "DenseNet121")
+
+
+def tiny_spec(**overrides) -> RunSpec:
+    fields = dict(
+        name="obs-identity",
+        dataset=DatasetSpec(name="synthetic_isic", num_samples=900, seed=11, split_seed=2),
+        pool=PoolSpec(architectures=ARCHS, epochs=8, batch_size=256, seed=4),
+        search=SearchSpec(
+            attributes=("age", "site"),
+            base_model="MobileNet_V3_Small",
+            episodes=4,
+            episode_batch=2,
+            head_epochs=4,
+            seed=0,
+        ),
+        finalize=FinalizeSpec(selection="reward", name="Muffin-obs"),
+    )
+    fields.update(overrides)
+    return RunSpec(**fields)
+
+
+class TestSpecHashExclusion:
+    def test_obs_section_never_enters_spec_hash(self):
+        base = tiny_spec()
+        traced = tiny_spec(obs=ObsSpec(trace_path="t.jsonl", metrics_enabled=True))
+        assert base.spec_hash() == traced.spec_hash()
+
+    def test_obs_round_trips_through_dict(self):
+        traced = tiny_spec(obs=ObsSpec(trace_path="t.jsonl", metrics_enabled=True))
+        clone = RunSpec.from_dict(traced.to_dict())
+        assert clone.obs.trace_path == "t.jsonl"
+        assert clone.obs.metrics_enabled is True
+
+
+class TestBitIdentity:
+    @pytest.fixture(scope="class")
+    def plain_result(self, tmp_path_factory):
+        cache = tmp_path_factory.mktemp("obs-off")
+        return MuffinPipeline(tiny_spec(), cache_dir=cache).run()
+
+    @pytest.fixture(scope="class")
+    def traced_result(self, tmp_path_factory):
+        cache = tmp_path_factory.mktemp("obs-on")
+        trace_path = cache / "trace.jsonl"
+        spec = tiny_spec(
+            obs=ObsSpec(trace_path=str(trace_path), metrics_enabled=True)
+        )
+        result = MuffinPipeline(spec, cache_dir=cache).run()
+        return result, trace_path
+
+    def test_telemetry_on_and_off_are_bit_identical(self, plain_result, traced_result):
+        traced, _ = traced_result
+        assert traced.result.result_hash() == plain_result.result.result_hash()
+
+    def test_traced_run_wrote_a_span_tree(self, traced_result):
+        _, trace_path = traced_result
+        rows = load_spans(trace_path)
+        names = [row["name"] for row in rows]
+        assert "pipeline/run" in names
+        assert "pipeline/stage/search" in names
+        assert any(name == "search/batch" for name in names)
+        # spans close inner-first, so the run root is the last row
+        assert names[-1] == "pipeline/run"
+
+    def test_traced_run_recorded_stage_metrics(self, traced_result):
+        # the pipeline session enabled METRICS for the traced run; the
+        # counters keep their totals after the session restored the flag
+        stages = METRICS.get("repro_pipeline_stages_total")
+        executed = {
+            labels["stage"]
+            for labels, payload in stages.series()
+            if labels["status"] != "cached" and payload["value"] >= 1
+        }
+        # the traced run started from an empty cache: every stage executed
+        assert {"dataset", "split", "pool", "search", "finalize"} <= executed
+
+    def test_session_state_is_restored_after_run(self, traced_result):
+        assert METRICS.enabled is False
+        assert active_writer() is None

@@ -1,0 +1,215 @@
+"""The tracing half of repro.obs: spans, trees, the CLI, the session scope."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+import repro.obs.trace as trace_mod
+from repro.obs import (
+    METRICS,
+    TraceWriter,
+    active_writer,
+    install,
+    load_spans,
+    render_tree,
+    session,
+    span,
+    uninstall,
+)
+from repro.obs.trace import build_tree, main as trace_main
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """No test leaks an installed writer into the next one."""
+    yield
+    uninstall()
+
+
+def _spans_from(buffer: io.StringIO):
+    buffer.seek(0)
+    return load_spans(buffer)
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+class TestSpanRecording:
+    def test_span_without_writer_is_a_noop(self):
+        assert active_writer() is None
+        with span("anything", attr=1) as span_id:
+            assert span_id is None
+
+    def test_nesting_links_parent_ids(self):
+        buffer = io.StringIO()
+        install(TraceWriter(buffer))
+        with span("outer") as outer_id:
+            with span("inner-a") as a_id:
+                pass
+            with span("inner-b"):
+                pass
+        rows = _spans_from(buffer)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["inner-a"]["parent_id"] == outer_id
+        assert by_name["inner-b"]["parent_id"] == outer_id
+        assert by_name["inner-a"]["span_id"] == a_id
+        # spans close inner-first, so children precede parents in the file
+        assert [row["name"] for row in rows] == ["inner-a", "inner-b", "outer"]
+
+    def test_ids_are_sequential_from_one(self):
+        buffer = io.StringIO()
+        install(TraceWriter(buffer))
+        with span("a"):
+            with span("b"):
+                pass
+        ids = sorted(row["span_id"] for row in _spans_from(buffer))
+        assert ids == [1, 2]
+
+    def test_attrs_ride_along_and_floats_are_rounded(self):
+        buffer = io.StringIO()
+        install(TraceWriter(buffer))
+        with span("work", batch=3, ratio=0.123456789, tag="x"):
+            pass
+        row = _spans_from(buffer)[0]
+        assert row["batch"] == 3
+        assert row["ratio"] == 0.123457
+        assert row["tag"] == "x"
+        assert row["duration_s"] >= 0.0
+        assert row["event"] == "span"
+
+    def test_writer_to_file_appends_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+        install(writer)
+        with span("one"):
+            pass
+        uninstall()
+        writer.close()
+        rows = load_spans(path)
+        assert [row["name"] for row in rows] == ["one"]
+
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            'not json\n'
+            '{"event": "span", "name": "ok", "span_id": 1, "parent_id": null, '
+            '"start_s": 0.0, "duration_s": 0.5}\n'
+            '{"event": "fairness-window"}\n'
+            '{"event": "span", "torn": tru'
+        )
+        rows = load_spans(path)
+        assert [row["name"] for row in rows] == ["ok"]
+
+
+# ----------------------------------------------------------------------
+# Tree building and rendering
+# ----------------------------------------------------------------------
+def _rows():
+    return [
+        {"event": "span", "name": "child", "span_id": 2, "parent_id": 1,
+         "start_s": 0.1, "duration_s": 0.3},
+        {"event": "span", "name": "root", "span_id": 1, "parent_id": None,
+         "start_s": 0.0, "duration_s": 1.0},
+        {"event": "span", "name": "late-child", "span_id": 3, "parent_id": 1,
+         "start_s": 0.5, "duration_s": 0.2, "batch": 7},
+    ]
+
+
+class TestTree:
+    def test_build_tree_nests_and_computes_self_time(self):
+        roots = build_tree(_rows())
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["name"] == "root"
+        assert [child["name"] for child in root["children"]] == ["child", "late-child"]
+        assert root["self_s"] == pytest.approx(0.5)  # 1.0 - (0.3 + 0.2)
+        assert root["children"][0]["self_s"] == pytest.approx(0.3)
+
+    def test_orphans_are_promoted_to_roots(self):
+        rows = [{"event": "span", "name": "lost", "span_id": 9, "parent_id": 4,
+                 "start_s": 0.0, "duration_s": 0.1}]
+        roots = build_tree(rows)
+        assert [root["name"] for root in roots] == ["lost"]
+
+    def test_render_tree_shows_totals_and_attrs(self):
+        text = render_tree(_rows())
+        lines = text.splitlines()
+        assert lines[0].startswith("root  total 1.000000s  self 0.500000s")
+        assert lines[1].startswith("  child  total 0.300000s")
+        assert "batch=7" in lines[2]
+
+    def test_render_tree_empty(self):
+        assert render_tree([]) == "(no spans)"
+
+
+# ----------------------------------------------------------------------
+# The CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for row in _rows():
+                handle.write(json.dumps(row) + "\n")
+        return path
+
+    def test_text_rendering(self, trace_file, capsys):
+        assert trace_main([str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert f"{trace_file}: 3 spans" in out
+        assert "root  total 1.000000s" in out
+
+    def test_json_rendering(self, trace_file, capsys):
+        assert trace_main([str(trace_file), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document[0]["name"] == "root"
+        assert document[0]["children"][1]["batch"] == 7
+
+    def test_main_module_dispatches_trace(self, trace_file, capsys):
+        from repro.__main__ import main
+
+        assert main(["trace", str(trace_file)]) == 0
+        assert "3 spans" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# The session scope pipelines wrap around run()
+# ----------------------------------------------------------------------
+class TestSession:
+    def test_session_installs_and_restores(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert active_writer() is None
+        assert METRICS.enabled is False
+        with session(trace_path=str(path), metrics_enabled=True):
+            assert active_writer() is not None
+            assert METRICS.enabled is True
+            with span("inside"):
+                pass
+        assert active_writer() is None
+        assert METRICS.enabled is False
+        assert [row["name"] for row in load_spans(path)] == ["inside"]
+
+    def test_session_restores_previous_writer(self):
+        buffer = io.StringIO()
+        outer = install(TraceWriter(buffer))
+        with session(trace_path=None, metrics_enabled=False):
+            assert active_writer() is outer
+        assert active_writer() is outer
+
+    def test_nested_session_restores_outer_writer(self, tmp_path):
+        outer_path = tmp_path / "outer.jsonl"
+        inner_path = tmp_path / "inner.jsonl"
+        with session(trace_path=str(outer_path)):
+            outer_writer = active_writer()
+            with session(trace_path=str(inner_path)):
+                assert active_writer() is not outer_writer
+                with span("inner-work"):
+                    pass
+            assert active_writer() is outer_writer
+        assert trace_mod._writer is None
+        assert [row["name"] for row in load_spans(inner_path)] == ["inner-work"]
