@@ -15,19 +15,30 @@ The full deployment loop of the serving subsystem:
    that traffic;
 5. scrape ``GET /metrics`` off the HTTP frontend and check the telemetry
    layer agrees with the server's own counters (request totals, a
-   well-formed Prometheus latency histogram).
+   well-formed Prometheus latency histogram);
+6. demonstrate **admission control**: fill a deliberately tiny bounded
+   queue and show the typed, immediate ``ServerOverloaded`` rejection (the
+   HTTP frontend maps it to 429 + ``Retry-After``) — then recovery, the
+   shed request succeeding on retry once the backlog drains;
+7. with ``--chaos``: kill one shard mid-burst under a deterministic
+   :class:`repro.serve.FaultPlan` and prove zero accepted requests are
+   lost, every answer stays bit-identical, no request outlives its
+   deadline, and ``/metrics`` records the supervisor's restart.
 
 Run with::
 
     python examples/serve_quickstart.py
     python examples/serve_quickstart.py --spec examples/specs/smoke.json --cache-dir .ci-cache
+    python examples/serve_quickstart.py --chaos --spec examples/specs/smoke.json --cache-dir .ci-cache
 
 The script asserts every response matches the direct forward pass and that
-the monitor saw the labelled traffic — the CI serving smoke runs it as-is.
+the monitor saw the labelled traffic — the CI serving smoke runs it as-is,
+and the CI chaos smoke runs it with ``--chaos``.
 """
 
 import argparse
 import threading
+import time
 from pathlib import Path
 from urllib.request import urlopen
 
@@ -35,12 +46,21 @@ import numpy as np
 
 from repro.api import MuffinPipeline, RunSpec
 from repro.obs import METRICS
-from repro.serve import InferenceServer, ServeClient, ServeConfig, ServeHTTPServer
+from repro.serve import (
+    FaultPlan,
+    InferenceServer,
+    ServeClient,
+    ServeConfig,
+    ServeHTTPServer,
+    ServerOverloaded,
+)
 from repro.zoo import load_fused_model
 
 DEFAULT_SPEC = Path(__file__).parent / "specs" / "quickstart.json"
 REQUESTS = 50
 ROWS_PER_REQUEST = 4
+CHAOS_REQUESTS = 32
+CHAOS_DEADLINE_MS = 20_000.0
 
 
 def check_metrics_exposition(text: str, expected_requests: int) -> None:
@@ -75,11 +95,102 @@ def check_metrics_exposition(text: str, expected_requests: int) -> None:
     assert values["repro_serve_request_latency_ms_sum"] >= 0.0
 
 
+def demo_overload_and_recovery(fused, features) -> None:
+    """Admission control: typed immediate rejection, then recovery."""
+    server = InferenceServer(
+        fused, ServeConfig(batch_window_ms=1.0, max_batch=8, queue_depth=4,
+                           log_every=0, retry_after_s=0.5)
+    )
+    # fill the only queue before the workers start: every slot taken
+    sample = features[:1]
+    accepted = [server.submit(sample) for _ in range(4)]
+    began = time.perf_counter()
+    try:
+        server.submit(sample)
+        raise AssertionError("the 5th request must be shed, not queued")
+    except ServerOverloaded as exc:
+        shed_ms = (time.perf_counter() - began) * 1000.0
+        assert shed_ms < 50.0, f"rejection took {shed_ms:.1f}ms (must be <50ms)"
+        print(
+            f"\noverload: request shed in {shed_ms:.2f}ms with "
+            f"Retry-After {exc.retry_after}s ({exc})"
+        )
+    server.start()  # capacity comes back: the accepted backlog drains...
+    for request in accepted:
+        assert request.done.wait(timeout=30) and request.error is None
+    retry = server.submit(sample)  # ...and the shed request succeeds on retry
+    assert retry.done.wait(timeout=30) and retry.error is None
+    server.stop()
+    print("recovery: backlog drained and the shed request succeeded on retry")
+
+
+def demo_chaos_shard_kill(fused, features, direct) -> None:
+    """Deterministic mid-burst shard kill: zero losses, visible restart."""
+    plan = FaultPlan(
+        [{"kind": "crash_shard", "shard": 0, "at_batch": 1}], seed=2023
+    )
+    config = ServeConfig(
+        batch_window_ms=2.0,
+        max_batch=8,
+        log_every=0,
+        num_shards=2,
+        queue_depth=64,
+        fault_plan=plan,
+        restart_backoff_ms=20.0,
+        supervise_interval_ms=10.0,
+    )
+    server = InferenceServer(fused, config, verbose=True)
+    pending = [
+        server.submit(features[i : i + 1], deadline_ms=CHAOS_DEADLINE_MS)
+        for i in range(CHAOS_REQUESTS)
+    ]
+    burst_start = time.perf_counter()
+    server.start()
+    for i, request in enumerate(pending):
+        # no request may hang past its deadline — wait at most the deadline
+        # (plus slack for a loaded runner) before declaring it hung
+        assert request.done.wait(timeout=CHAOS_DEADLINE_MS / 1000.0 + 10.0), (
+            f"request {i} hung past its deadline"
+        )
+        assert request.error is None, f"request {i} lost: {request.error!r}"
+        assert np.array_equal(request.response.predictions, direct[i : i + 1]), (
+            f"request {i}: answer changed after the shard kill"
+        )
+    elapsed = time.perf_counter() - burst_start
+    stats = server.stats()
+    assert stats["restarts"] >= 1, "the planned shard kill never fired"
+    with ServeHTTPServer(server, host="127.0.0.1", port=0) as httpd:
+        host, port = httpd.address
+        with urlopen(f"http://{host}:{port}/metrics", timeout=10) as response:
+            exposition = response.read().decode("utf-8")
+    restart_lines = [
+        line
+        for line in exposition.splitlines()
+        if line.startswith("repro_serve_shard_restarts_total") and not line.startswith("#")
+    ]
+    assert restart_lines and any(
+        float(line.rsplit(" ", 1)[1]) >= 1 for line in restart_lines
+    ), "/metrics must show the shard restart counter"
+    server.stop()
+    print(
+        f"\nchaos: shard 0 killed mid-burst; all {CHAOS_REQUESTS} accepted "
+        f"requests answered bit-identically in {elapsed * 1000:.0f}ms "
+        f"(redispatched={stats['redispatched']}, restarts={stats['restarts']})"
+    )
+    print(f"  /metrics: {restart_lines[0]}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--spec", default=str(DEFAULT_SPEC))
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--batch-window-ms", type=float, default=20.0)
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="kill one shard mid-burst under a deterministic fault plan and "
+        "assert zero accepted requests are lost",
+    )
     args = parser.parse_args()
 
     # 1. Run (or resume) the pipeline; the export stage bundles the model.
@@ -160,6 +271,14 @@ def main() -> None:
     for attribute, value in window["unfairness_score"].items():
         gap = window["accuracy_gap"][attribute]
         print(f"  U({attribute}) = {value:.4f}   accuracy gap = {gap:.4f}")
+    # 6. Admission control: overload is a typed, immediate rejection —
+    # and the shed request succeeds on retry once capacity returns.
+    demo_overload_and_recovery(fused, features)
+
+    # 7. Chaos: kill a shard mid-burst and prove nothing is lost.
+    if args.chaos:
+        demo_chaos_shard_kill(fused, features, direct)
+
     print("\nserve this artifact over HTTP with:")
     print(f"  python -m repro serve {artifact_path} --port 8000")
 

@@ -369,6 +369,37 @@ def _serve_command(argv: Sequence[str]) -> int:
         help="array backend for the feature batch ('numpy-float64' default; "
         "'numpy-float32' serves under the tolerance contract)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="independent micro-batcher shards over bit-identical model "
+        "replicas (default: 1)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=128,
+        metavar="N",
+        help="bound of each shard's request queue; when every queue is full "
+        "new requests are rejected with HTTP 429 (default: 128)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="default per-request deadline; expired requests are shed with "
+        "HTTP 504 before their forward pass (default: none)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON_OR_PATH",
+        help="deterministic fault-injection plan (inline JSON or a .json "
+        "path) for chaos testing the shard supervisor",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(list(argv))
 
@@ -381,6 +412,10 @@ def _serve_command(argv: Sequence[str]) -> int:
             max_workers=args.max_workers,
             monitor_window=args.monitor_window,
             log_every=args.log_every,
+            num_shards=args.shards,
+            queue_depth=args.queue_depth,
+            default_deadline_ms=args.deadline_ms,
+            fault_plan=args.fault_plan,
             **({"backend": args.backend} if args.backend else {}),
         )
         server = InferenceServer(fused, config, verbose=not args.quiet)

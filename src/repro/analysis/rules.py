@@ -1,4 +1,4 @@
-"""AST rule families RL1/RL3/RL4/RL6/RL7/RL8 — the repo-specific invariants.
+"""AST rule families RL1/RL3/RL4/RL6/RL7/RL8/RL9 — the repo-specific invariants.
 
 Each rule encodes a contract the fast paths of PRs 2–6 are sold on but the
 interpreter cannot enforce:
@@ -32,6 +32,11 @@ interpreter cannot enforce:
   ``logging`` directly — operational output routes through ``RunLogger``
   rows and the :mod:`repro.obs` metrics/span layer, which are structured,
   off-by-default-cheap and TSAN-audited.
+* **RL9 failure discipline** — the fault-tolerant serve/master tiers are
+  only as good as their failure handling: a broad ``except`` that swallows
+  without logging or re-raising turns a crash the supervisor would recover
+  from into silent corruption, and an *unbounded* ``queue.Queue()`` turns
+  overload into unbounded latency instead of fast, typed rejection.
 
 All rules are purely syntactic (no imports of the checked code), so they
 run on broken trees, fixtures and work-in-progress branches alike.
@@ -51,6 +56,7 @@ __all__ = [
     "LockHygieneRule",
     "DtypeDisciplineRule",
     "TelemetryDisciplineRule",
+    "FailureDisciplineRule",
 ]
 
 
@@ -619,6 +625,7 @@ class TelemetryDisciplineRule(FileRule):
         "src/repro/nn/fused.py",
         "src/repro/fairness/engine.py",
         "src/repro/serve/server.py",
+        "src/repro/serve/supervisor.py",
         "src/repro/master/worker.py",
     )
 
@@ -688,4 +695,145 @@ class TelemetryDisciplineRule(FileRule):
                 dotted = resolve_dotted(sub.func, aliases)
                 if dotted == "time.time":
                     return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# RL9 — failure-handling discipline in the fault-tolerant tiers
+# ----------------------------------------------------------------------
+@LINT_RULES.register("RL9")
+class FailureDisciplineRule(FileRule):
+    """Swallowed broad excepts and unbounded queues in serve/ and master/."""
+
+    code = "RL9"
+    name = "failure-discipline"
+    description = (
+        "in the fault-tolerant serve/master tiers a bare 'except:' / "
+        "'except Exception' must log, re-raise or use the caught error — "
+        "never swallow it silently — and every queue.Queue must be bounded "
+        "(overload is shed with a typed error, not absorbed into latency)"
+    )
+
+    #: only the supervised concurrent tiers are in scope — everywhere else a
+    #: broad except is an application-level judgement call
+    SCOPE_DIRS = ("src/repro/serve/", "src/repro/master/")
+
+    #: constructors that buffer work; unbounded means overload turns into
+    #: unbounded memory + latency instead of fast rejection
+    _QUEUE_CTORS = {"queue.Queue", "queue.LifoQueue", "queue.PriorityQueue"}
+
+    #: call attribute names that count as surfacing the failure (RunLogger
+    #: .event rows, stdlib-ish logger methods, metric counters)
+    _SURFACE_ATTRS = {
+        "event", "log", "debug", "info", "warning", "warn", "error",
+        "exception", "critical", "fail", "inc",
+    }
+
+    _EXCEPT_HINT = (
+        "re-raise (possibly as a typed error 'from exc'), log the failure "
+        "through RunLogger.event(...), or at minimum consult the bound "
+        "exception — a silently swallowed crash defeats the supervisor"
+    )
+    _QUEUE_HINT = (
+        "construct queue.Queue(maxsize=<bound>) and shed overflow with a "
+        "typed error (ServerOverloaded); unbounded buffering hides overload "
+        "as latency"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        if not any(
+            marker in source.rel
+            for marker in (d.rstrip("/") + "/" for d in self.SCOPE_DIRS)
+        ):
+            return []
+        aliases = collect_import_aliases(source.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if self._is_broad(node.type) and self._swallows(node):
+                    caught = (
+                        "bare except"
+                        if node.type is None
+                        else f"except {ast.unparse(node.type)}"
+                    )
+                    findings.append(
+                        _finding(
+                            source, node, self.code,
+                            f"{caught} swallows the failure: the handler "
+                            "neither re-raises, nor logs, nor uses the "
+                            "caught exception",
+                            self._EXCEPT_HINT,
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = resolve_dotted(node.func, aliases)
+                if dotted == "queue.SimpleQueue":
+                    findings.append(
+                        _finding(
+                            source, node, self.code,
+                            "queue.SimpleQueue() cannot be bounded; overload "
+                            "must be shed, not buffered without limit",
+                            self._QUEUE_HINT,
+                        )
+                    )
+                elif dotted in self._QUEUE_CTORS and self._is_unbounded(node):
+                    findings.append(
+                        _finding(
+                            source, node, self.code,
+                            f"{dotted}() constructed without a positive "
+                            "maxsize: an unbounded queue turns overload into "
+                            "unbounded latency and memory",
+                            self._QUEUE_HINT,
+                        )
+                    )
+        return findings
+
+    # -- broad-ness -----------------------------------------------------
+    @classmethod
+    def _is_broad(cls, annotation: Optional[ast.expr]) -> bool:
+        if annotation is None:  # bare except:
+            return True
+        if isinstance(annotation, ast.Tuple):
+            return any(cls._is_broad(elt) for elt in annotation.elts)
+        name = None
+        if isinstance(annotation, ast.Name):
+            name = annotation.id
+        elif isinstance(annotation, ast.Attribute):
+            name = annotation.attr
+        return name in ("Exception", "BaseException")
+
+    # -- does the handler surface the failure? --------------------------
+    def _swallows(self, handler: ast.ExceptHandler) -> bool:
+        bound = handler.name
+        for stmt in handler.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Raise):
+                    return False
+                if bound is not None and isinstance(sub, ast.Name) and sub.id == bound:
+                    return False
+                if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                    if sub.func.attr in self._SURFACE_ATTRS:
+                        return False
+        return True
+
+    # -- queue bound ----------------------------------------------------
+    @staticmethod
+    def _is_unbounded(call: ast.Call) -> bool:
+        size: Optional[ast.expr] = None
+        if call.args:
+            size = call.args[0]
+        for kw in call.keywords:
+            if kw.arg == "maxsize":
+                size = kw.value
+        if size is None:
+            return True
+        # a constant bound must be positive; a computed bound is trusted
+        if isinstance(size, ast.Constant) and isinstance(size.value, (int, float)):
+            return size.value <= 0
+        if (
+            isinstance(size, ast.UnaryOp)
+            and isinstance(size.op, ast.USub)
+            and isinstance(size.operand, ast.Constant)
+        ):
+            return True  # negative literal, e.g. maxsize=-1
         return False

@@ -18,7 +18,7 @@ resumable, multi-process one:
   submit/status/watch/cancel``.
 """
 
-from .client import MasterClient, MasterError, resolve_endpoint
+from .client import MasterClient, MasterError, MasterUnreachable, resolve_endpoint
 from .db import (
     RUN_STATUSES,
     TERMINAL_STATUSES,
@@ -36,6 +36,7 @@ __all__ = [
     "MasterClient",
     "MasterConfig",
     "MasterError",
+    "MasterUnreachable",
     "MasterServer",
     "ProtocolError",
     "RUN_STATUSES",

@@ -26,6 +26,34 @@ class MasterError(RuntimeError):
     """A master that cannot be reached, or a request it rejected."""
 
 
+class MasterUnreachable(MasterError):
+    """Every connect attempt to the master failed (transient ``OSError``).
+
+    Raised only after the bounded retry schedule is exhausted; the message
+    names the attempt count so operators can tell a flaky network (message
+    mentions several attempts) from a dead master at first glance.
+    """
+
+    def __init__(self, message: str, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = int(attempts)
+
+
+def _retry_jitter(attempt: int, host: str, port: int) -> float:
+    """Deterministic jitter fraction in [0, 1) for a given attempt.
+
+    A pure integer hash of (attempt, endpoint) — no RNG draw — so retry
+    timing replays identically run-to-run while still decorrelating two
+    clients hammering different endpoints.
+    """
+    acc = 0x9E3779B97F4A7C15
+    for value in (attempt, port, *(ord(c) for c in host)):
+        acc = (acc ^ (value & 0xFFFFFFFFFFFFFFFF)) * 0xBF58476D1CE4E5B9
+        acc &= 0xFFFFFFFFFFFFFFFF
+        acc ^= acc >> 31
+    return (acc & 0xFF) / 256.0
+
+
 def resolve_endpoint(db_root: PathLike) -> Tuple[str, int]:
     """Read a running master's address from its database root."""
     path = Path(db_root) / ENDPOINT_FILE
@@ -50,28 +78,57 @@ class MasterClient:
         port: Optional[int] = None,
         db: Optional[PathLike] = None,
         timeout: float = 10.0,
+        retries: int = 3,
+        backoff_s: float = 0.1,
+        backoff_max_s: float = 2.0,
     ) -> None:
         if host is None or port is None:
             if db is None:
                 raise MasterError("MasterClient needs host+port or a database root (db=...)")
             host, port = resolve_endpoint(db)
+        if retries < 0:
+            raise MasterError("retries must be non-negative")
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_max_s = float(backoff_max_s)
 
     # ------------------------------------------------------------------
+    def _connect_with_retry(self):
+        """Connect, surviving up to ``retries`` transient ``OSError`` s.
+
+        A refused or timed-out connect is retried with exponential backoff
+        plus deterministic jitter (a pure hash of attempt+endpoint, so the
+        schedule replays identically); exhaustion raises
+        :class:`MasterUnreachable` naming the attempt count.
+        """
+        attempts = self.retries + 1
+        last_error: Optional[OSError] = None
+        for attempt in range(attempts):
+            if attempt > 0:
+                delay = min(
+                    self.backoff_s * (2.0 ** (attempt - 1)), self.backoff_max_s
+                )
+                time.sleep(delay * (1.0 + _retry_jitter(attempt, self.host, self.port)))
+            try:
+                return connect(self.host, self.port, timeout=self.timeout)
+            except OSError as exc:
+                last_error = exc
+        raise MasterUnreachable(
+            f"cannot reach master at {self.host}:{self.port} after "
+            f"{attempts} attempt(s) ({last_error})",
+            attempts=attempts,
+        ) from last_error
+
     def _request(self, message: Dict[str, object]) -> Dict[str, object]:
         """One connect → request → response round trip.
 
         Per-request connections keep the client stateless: a master restart
         between two ``watch`` polls is invisible to the caller.
         """
-        try:
-            sock = connect(self.host, self.port, timeout=self.timeout)
-        except OSError as exc:
-            raise MasterError(
-                f"cannot reach master at {self.host}:{self.port} ({exc})"
-            ) from exc
+        sock = self._connect_with_retry()
         try:
             send_message(sock, message)
             response = recv_message(sock)

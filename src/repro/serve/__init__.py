@@ -1,5 +1,5 @@
-"""Online serving subsystem: deployable artifacts, micro-batched inference
-and live fairness monitoring.
+"""Online serving subsystem: deployable artifacts, sharded micro-batched
+inference, fault tolerance and live fairness monitoring.
 
 The end product of a Muffin search is a fused model meant for deployment;
 this package is the deployment side of the reproduction:
@@ -7,17 +7,34 @@ this package is the deployment side of the reproduction:
 * export a searched model with
   :func:`~repro.zoo.persistence.save_fused_model` (or the pipeline's
   ``export`` stage / ``python -m repro export``);
-* serve it with :class:`InferenceServer` — a thread-safe request queue and
-  a micro-batcher that coalesces concurrent requests into single stacked
-  forward passes — via the in-process :class:`ServeClient` or the HTTP
-  frontend (``python -m repro serve <artifact> --port 8000``);
+* serve it with :class:`InferenceServer` — a supervised
+  :class:`~repro.serve.supervisor.ShardPool` of micro-batcher shards over
+  bit-identical model replicas, with bounded queues, admission control,
+  client deadlines, automatic restart and graceful drain — via the
+  in-process :class:`ServeClient` or the HTTP frontend
+  (``python -m repro serve <artifact> --port 8000 --shards 2``);
+* break it on purpose with a :class:`FaultPlan` (deterministic, seeded
+  crash/delay/poison injection) to prove the supervision works;
 * watch it with :class:`FairnessMonitor`, which scores labelled traffic in
   a sliding window through the vectorized evaluation engine and exposes the
   paper's unfairness metrics live on ``/stats``.
+
+Failures are typed (:mod:`repro.serve.errors`): :class:`ServerOverloaded`
+(HTTP 429 + ``Retry-After``), :class:`ServerClosed` (503),
+:class:`DeadlineExceeded` (504) and :class:`InferenceFailed` (500).
 """
 
+from .errors import (
+    DeadlineExceeded,
+    InferenceFailed,
+    ServeError,
+    ServerClosed,
+    ServerOverloaded,
+)
+from .faults import FaultEvent, FaultPlan, InjectedCrash, PoisonedRequest
 from .monitor import FairnessMonitor
 from .server import InferenceResponse, InferenceServer, ServeClient, ServeConfig
+from .supervisor import Shard, ShardPool, ShardState
 from .http import ServeHTTPServer, serve_forever
 
 __all__ = [
@@ -28,4 +45,16 @@ __all__ = [
     "FairnessMonitor",
     "ServeHTTPServer",
     "serve_forever",
+    "ServeError",
+    "ServerClosed",
+    "ServerOverloaded",
+    "DeadlineExceeded",
+    "InferenceFailed",
+    "FaultEvent",
+    "FaultPlan",
+    "InjectedCrash",
+    "PoisonedRequest",
+    "Shard",
+    "ShardPool",
+    "ShardState",
 ]

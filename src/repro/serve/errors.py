@@ -1,0 +1,62 @@
+"""Typed serving errors: every way a request can fail has its own class.
+
+The serving tier never answers a caller with a bare ``RuntimeError`` — each
+failure mode maps to a distinct type (and, through :mod:`repro.serve.http`,
+a distinct HTTP status), so clients can tell *retry later* apart from
+*give up*:
+
+* :class:`ServerClosed` — the server is draining or stopped (HTTP 503).
+  Retrying against this instance is pointless; a load balancer should move
+  on to another replica.
+* :class:`ServerOverloaded` — admission control rejected the request
+  because every shard queue is at its bound (HTTP 429 with ``Retry-After``).
+  The request was never queued; retry after the hinted delay.
+* :class:`DeadlineExceeded` — the request's deadline expired before its
+  forward pass ran; it was shed from the queue (HTTP 504).
+* :class:`InferenceFailed` — the forward pass itself raised, or the shard
+  serving the request crashed past the re-dispatch budget (HTTP 500).
+  The original exception rides along as ``__cause__``.
+
+All of them subclass :class:`ServeError` (itself a ``RuntimeError``, so
+pre-existing ``except RuntimeError`` callers keep working).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "ServerClosed",
+    "ServerOverloaded",
+    "DeadlineExceeded",
+    "InferenceFailed",
+]
+
+
+class ServeError(RuntimeError):
+    """Base of every typed serving failure."""
+
+
+class ServerClosed(ServeError):
+    """Submitted to a draining or stopped server — not retryable here."""
+
+
+class ServerOverloaded(ServeError):
+    """Admission control shed the request: every shard queue is full.
+
+    ``retry_after`` is the server's hint (seconds) for when capacity is
+    likely back; the HTTP frontend surfaces it as a ``Retry-After`` header
+    on the 429 response.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline expired before it reached a forward pass."""
+
+
+class InferenceFailed(ServeError):
+    """The forward pass failed (or the shard crashed past its re-dispatch
+    budget); the underlying exception is chained as ``__cause__``."""

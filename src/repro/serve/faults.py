@@ -1,0 +1,211 @@
+"""Deterministic fault injection for the sharded serving tier.
+
+Fault-tolerance code that is only ever exercised by real outages is
+untested code — so the serving tier takes a :class:`FaultPlan`: an explicit,
+seeded, JSON-round-tripping schedule of failures that the shard batch loop
+consults at well-defined points.  Three fault kinds cover the failure modes
+the supervisor is sold on:
+
+* ``crash_shard`` — raise :class:`InjectedCrash` inside the batch loop of a
+  chosen shard at a chosen (cumulative, restart-surviving) batch index: the
+  shard thread dies mid-batch exactly like a segfaulting forward would, and
+  the supervisor must re-dispatch the in-flight requests and restart the
+  shard.
+* ``delay_forward`` — sleep before the forward pass (with a deterministic,
+  seed-derived jitter), simulating a slow or briefly hung replica so the
+  heartbeat state machine's ``suspect`` transitions can be driven in tests.
+* ``poison_request`` — the N-th *admitted* request raises when it reaches a
+  forward pass, modelling a request that reliably crashes the model; the
+  shard isolates it by bisection and fails only that request.
+
+Everything is deterministic: triggers are counters (admission index, per
+shard-slot batch index), never wall-clock or RNG draws, and the delay
+jitter is a pure hash of ``(seed, shard, batch)`` — the same plan replays
+the same faults on every run, which is what makes the chaos CI smoke and
+the survival benchmark assertable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+PathLike = Union[str, Path]
+
+#: the fault kinds the shard loop knows how to inject
+FAULT_KINDS = ("crash_shard", "delay_forward", "poison_request")
+
+
+class InjectedCrash(BaseException):
+    """A planned shard crash.
+
+    Deliberately a ``BaseException`` (not ``Exception``): the shard's
+    poison-isolation retry catches ``Exception`` to bisect a failing batch,
+    and a *crash* must sail straight through that machinery and kill the
+    shard thread, exactly like a real interpreter-level failure.
+    """
+
+
+class PoisonedRequest(Exception):
+    """A planned per-request forward failure (isolatable by bisection)."""
+
+
+def _mix(*values: int) -> int:
+    """Deterministic 64-bit mix (splitmix-style) for seed-derived jitter."""
+    acc = 0x9E3779B97F4A7C15
+    for value in values:
+        acc = (acc ^ (value & 0xFFFFFFFFFFFFFFFF)) * 0xBF58476D1CE4E5B9
+        acc &= 0xFFFFFFFFFFFFFFFF
+        acc ^= acc >> 31
+    return acc
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault.
+
+    ``shard`` is a shard-slot index (``None`` matches any shard);
+    ``at_batch`` counts batches *attempted on that slot* cumulatively across
+    restarts, so a crash event fires exactly once; ``at_request`` is the
+    admission index (the N-th accepted request) for poison events; ``ms``
+    and ``jitter`` shape ``delay_forward`` sleeps.
+    """
+
+    kind: str
+    shard: Optional[int] = None
+    at_batch: Optional[int] = None
+    at_request: Optional[int] = None
+    ms: float = 0.0
+    #: +/- fraction of ``ms`` added deterministically from the plan seed
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind '{self.kind}'; expected one of {list(FAULT_KINDS)}"
+            )
+        if self.kind == "poison_request" and self.at_request is None:
+            raise ValueError("poison_request events need at_request=<admission index>")
+        if self.kind in ("crash_shard", "delay_forward") and self.at_batch is None:
+            raise ValueError(f"{self.kind} events need at_batch=<batch index>")
+        if self.ms < 0 or not (0.0 <= self.jitter <= 1.0):
+            raise ValueError("ms must be >= 0 and jitter within [0, 1]")
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"kind": self.kind}
+        for name in ("shard", "at_batch", "at_request"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = int(value)
+        if self.kind == "delay_forward":
+            payload["ms"] = self.ms
+            if self.jitter:
+                payload["jitter"] = self.jitter
+        return payload
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of injected serving faults."""
+
+    def __init__(self, events: Sequence[FaultEvent] = (), seed: int = 0) -> None:
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            event if isinstance(event, FaultEvent) else FaultEvent(**event)
+            for event in events
+        )
+        self.seed = int(seed)
+        self._poisoned = frozenset(
+            event.at_request for event in self.events if event.kind == "poison_request"
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks the shard loop calls
+    # ------------------------------------------------------------------
+    def poisons(self, admission_index: int) -> bool:
+        """Whether the request admitted at this index is a planned poison."""
+        return admission_index in self._poisoned
+
+    def delay_seconds(self, shard: int, batch_index: int) -> float:
+        """Planned pre-forward delay for this (shard, batch), or 0."""
+        total = 0.0
+        for event in self.events:
+            if event.kind != "delay_forward" or event.at_batch != batch_index:
+                continue
+            if event.shard is not None and event.shard != shard:
+                continue
+            ms = event.ms
+            if event.jitter:
+                # pure function of (seed, shard, batch): replays identically
+                unit = _mix(self.seed, shard, batch_index) / float(1 << 64)
+                ms *= 1.0 + event.jitter * (2.0 * unit - 1.0)
+            total += ms
+        return total / 1000.0
+
+    def check_batch(self, shard: int, batch_index: int) -> None:
+        """Raise :class:`InjectedCrash` if this (shard, batch) is planned to die."""
+        for event in self.events:
+            if event.kind != "crash_shard" or event.at_batch != batch_index:
+                continue
+            if event.shard is not None and event.shard != shard:
+                continue
+            raise InjectedCrash(
+                f"fault plan: crash_shard on shard {shard} at batch {batch_index}"
+            )
+
+    def check_request(self, admission_index: int) -> None:
+        """Raise :class:`PoisonedRequest` if this admitted request is poison."""
+        if self.poisons(admission_index):
+            raise PoisonedRequest(
+                f"fault plan: poisoned request (admission index {admission_index})"
+            )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ValueError("a fault plan must be a JSON object")
+        events = payload.get("events", [])
+        if not isinstance(events, list):
+            raise ValueError("fault plan 'events' must be a list")
+        return cls(
+            events=[FaultEvent(**event) for event in events],
+            seed=int(payload.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, source: Union[str, PathLike]) -> "FaultPlan":
+        """Parse a plan from a JSON string or a ``.json`` file path."""
+        text = str(source)
+        path = Path(text)
+        if not text.lstrip().startswith("{") and path.suffix == ".json":
+            text = path.read_text()
+        try:
+            return cls.from_dict(json.loads(text))
+        except (json.JSONDecodeError, TypeError) as exc:
+            raise ValueError(f"fault plan does not parse: {exc}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"FaultPlan(seed={self.seed}, events={len(self.events)})"
+
+
+def resolve_fault_plan(
+    plan: Union[None, FaultPlan, Dict[str, object], str, PathLike]
+) -> Optional[FaultPlan]:
+    """Coerce the config-level value (plan / dict / JSON / path) to a plan."""
+    if plan is None or isinstance(plan, FaultPlan):
+        return plan
+    if isinstance(plan, dict):
+        return FaultPlan.from_dict(plan)
+    return FaultPlan.from_json(plan)

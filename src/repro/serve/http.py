@@ -20,7 +20,14 @@ in-process callers.  Endpoints:
     micro-batch-size histograms, queue-depth gauges.
 
 ``GET /healthz``
-    Liveness probe with the model name and artifact spec hash.
+    Liveness probe with the model name, artifact spec hash and per-shard
+    health states.
+
+Typed serving failures map to distinct HTTP statuses so callers can tell
+*retry later* apart from *give up*: ``ServerOverloaded`` → **429** with a
+``Retry-After`` header, ``ServerClosed`` → **503**, ``DeadlineExceeded`` →
+**504**, a failed forward pass (``InferenceFailed``) → **500** with the
+underlying cause in the error detail.
 """
 
 from __future__ import annotations
@@ -28,9 +35,10 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..obs import METRICS
+from .errors import DeadlineExceeded, ServerClosed, ServerOverloaded
 from .server import InferenceServer, ServeClient
 
 #: request body size guard (16 MiB) — a JSON feature matrix beyond this is
@@ -42,11 +50,18 @@ class _Handler(BaseHTTPRequestHandler):
     server: "ServeHTTPServer"
 
     # ------------------------------------------------------------------
-    def _send_json(self, payload: Dict[str, object], status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Dict[str, object],
+        status: int = 200,
+        headers: Sequence[Tuple[str, str]] = (),
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -71,6 +86,10 @@ class _Handler(BaseHTTPRequestHandler):
                     "status": "ok" if inference.is_running else "stopped",
                     "model": inference.model.name,
                     "spec_hash": inference.model.metadata.get("spec_hash"),
+                    "shards": [
+                        {"slot": s["slot"], "state": s["state"]}
+                        for s in inference.pool.shard_stats()
+                    ],
                 }
             )
         elif self.path == "/stats":
@@ -98,21 +117,41 @@ class _Handler(BaseHTTPRequestHandler):
             payload = json.loads(self.rfile.read(length))
             if not isinstance(payload, dict) or "features" not in payload:
                 raise ValueError("request body must be an object with 'features'")
+            deadline_ms = payload.get("deadline_ms")
+            if deadline_ms is not None and not isinstance(deadline_ms, (int, float)):
+                raise ValueError("deadline_ms must be a number (milliseconds)")
             response = self.server.client.predict(
                 payload["features"],
                 groups=payload.get("groups"),
                 labels=payload.get("labels"),
                 timeout=self.server.request_timeout,
+                deadline_ms=deadline_ms,
             )
         except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
             self._send_json({"error": str(exc)}, status=400)
+            return
+        except ServerOverloaded as exc:
+            # Admission control shed the request before queuing: tell the
+            # caller when capacity is expected back.
+            self._send_json(
+                {"error": str(exc), "retry_after_s": exc.retry_after},
+                status=429,
+                headers=(("Retry-After", f"{max(1, round(exc.retry_after))}"),),
+            )
+            return
+        except ServerClosed as exc:
+            self._send_json({"error": str(exc)}, status=503)
+            return
+        except DeadlineExceeded as exc:
+            self._send_json({"error": str(exc)}, status=504)
             return
         except TimeoutError as exc:
             self._send_json({"error": str(exc)}, status=503)
             return
         except RuntimeError as exc:
-            # A failed batch forward (ServeClient re-raises it) must still
-            # produce a JSON error response, not a dropped connection.
+            # A failed batch forward (ServeClient raises InferenceFailed
+            # chaining it) must still produce a JSON error response, not a
+            # dropped connection.
             cause = exc.__cause__
             detail = f"{exc}: {cause}" if cause is not None else str(exc)
             self._send_json({"error": detail}, status=500)

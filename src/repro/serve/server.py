@@ -4,8 +4,10 @@ The serving hot path is the fused forward pass, and its cost is dominated by
 per-call overhead (python dispatch, per-member composition, small GEMMs) —
 so the server coalesces concurrent requests into **micro-batches**:
 
-* every request enters a thread-safe FIFO queue;
-* a single worker thread pops the first request, then keeps collecting
+* every request enters a *bounded* per-shard FIFO queue (admission control
+  rejects with :class:`~repro.serve.errors.ServerOverloaded` when every
+  queue is at its bound — the server never queues-and-hopes);
+* each shard's worker thread pops the first request, then keeps collecting
   until either ``batch_window_ms`` elapses or ``max_batch`` sample rows are
   gathered;
 * the collected feature matrices are stacked into one
@@ -14,56 +16,48 @@ so the server coalesces concurrent requests into **micro-batches**:
   :mod:`repro.core.execution` executor), and the results are sliced back to
   the individual requests in submission order.
 
-Because the forward pass is deterministic, a batched response carries the
-same predicted labels as a one-request-at-a-time forward pass — batching
-changes throughput, never answers.
+Because the forward pass is deterministic and row-independent, a batched
+response carries the same predicted labels as a one-request-at-a-time
+forward pass — batching changes throughput, never answers.  The same holds
+across shards: every shard serves a bit-identical replica of one artifact,
+so ``num_shards`` changes capacity and blast radius, never answers.
 
-``ServeClient`` is the in-process client the tests and the CI smoke use;
+Fault tolerance lives in :mod:`repro.serve.supervisor` (the
+:class:`~repro.serve.supervisor.ShardPool`: health state machine,
+restarts with backoff, re-dispatch, graceful drain) — this module is the
+user-facing facade: :class:`ServeConfig`, :class:`InferenceServer` and the
+in-process :class:`ServeClient` the tests and the CI smoke use;
 :mod:`repro.serve.http` layers a stdlib HTTP/JSON frontend on top of the
 same server object.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
-from ..analysis.runtime import register_shared_state, touch_shared_state
 from ..core.backend import DEFAULT_BACKEND, get_backend
 from ..core.execution import build_executor
 from ..core.fusing import FusedModel
-from ..obs import DEFAULT_LATENCY_BUCKETS_MS, DEFAULT_SIZE_BUCKETS, METRICS
 from ..utils.logging import RunLogger
 from ..zoo.persistence import load_fused_model
+from .errors import InferenceFailed, ServeError
+from .faults import FaultPlan, resolve_fault_plan
 from .monitor import FairnessMonitor
+from .supervisor import InferenceResponse, PendingRequest, Shard, ShardPool
 
 PathLike = Union[str, Path]
 
-_REQUESTS_TOTAL = METRICS.counter(
-    "repro_serve_requests_total",
-    "Requests answered by the micro-batching server, by outcome.",
-    labelnames=("outcome",),
-)
-_REQUEST_LATENCY_MS = METRICS.histogram(
-    "repro_serve_request_latency_ms",
-    "End-to-end request latency (enqueue to response), milliseconds.",
-    buckets=DEFAULT_LATENCY_BUCKETS_MS,
-)
-_BATCH_ROWS = METRICS.histogram(
-    "repro_serve_batch_rows",
-    "Sample rows coalesced into one micro-batch forward pass.",
-    buckets=DEFAULT_SIZE_BUCKETS,
-)
-_QUEUE_DEPTH = METRICS.gauge(
-    "repro_serve_queue_depth",
-    "Requests waiting in the micro-batcher queue after the last batch.",
-)
+__all__ = [
+    "ServeConfig",
+    "InferenceResponse",
+    "InferenceServer",
+    "ServeClient",
+]
 
 
 @dataclass
@@ -89,6 +83,38 @@ class ServeConfig:
     #: ('numpy-float64' is bit-identical to pre-backend serving;
     #: 'numpy-float32' halves the feature batch under the tolerance contract)
     backend: str = DEFAULT_BACKEND
+    #: independent micro-batcher shards, each over its own bit-identical
+    #: model replica
+    num_shards: int = 1
+    #: bound of each shard's request queue — this IS the admission-control
+    #: threshold: when every queue holds this many requests, submit()
+    #: rejects immediately with ServerOverloaded
+    queue_depth: int = 128
+    #: deadline applied to requests that do not carry their own (ms; None
+    #: means requests without an explicit deadline never expire)
+    default_deadline_ms: Optional[float] = None
+    #: how long an idle shard waits between heartbeats (ms)
+    heartbeat_interval_ms: float = 25.0
+    #: supervisor sweep period (ms)
+    supervise_interval_ms: float = 50.0
+    #: a shard silent for longer than this turns 'suspect' (ms)
+    suspect_after_ms: float = 500.0
+    #: a shard silent for longer than this is force-restarted (ms)
+    restart_after_ms: float = 5000.0
+    #: restart backoff: first delay, growth factor, cap (ms)
+    restart_backoff_ms: float = 50.0
+    restart_backoff_factor: float = 2.0
+    restart_backoff_max_ms: float = 2000.0
+    #: circuit breaker: a slot that crashed this many times stays stopped
+    max_restarts: int = 5
+    #: how many times an in-flight request may be re-dispatched after shard
+    #: crashes before it is failed fast with InferenceFailed
+    max_redispatch: int = 2
+    #: Retry-After hint (seconds) attached to ServerOverloaded rejections
+    retry_after_s: float = 1.0
+    #: deterministic fault-injection plan (FaultPlan, dict, JSON string or
+    #: path to a .json file); None serves faithfully
+    fault_plan: Union[None, FaultPlan, Dict[str, object], str] = None
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -97,53 +123,31 @@ class ServeConfig:
             raise ValueError("max_batch must be positive")
         if self.monitor_window <= 0:
             raise ValueError("monitor_window must be positive")
-        # Resolve aliases eagerly so an unknown backend fails at config time.
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if self.queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive (or None)")
+        if self.max_restarts < 0 or self.max_redispatch < 0:
+            raise ValueError("max_restarts and max_redispatch must be non-negative")
+        if self.restart_backoff_factor < 1.0:
+            raise ValueError("restart_backoff_factor must be >= 1")
+        # Resolve aliases eagerly so an unknown backend fails at config time,
+        # and parse the fault plan so a malformed one fails here, not mid-serve.
         self.backend = get_backend(self.backend).name
-
-
-@dataclass
-class InferenceResponse:
-    """What the server returns for one request."""
-
-    predictions: np.ndarray
-    consensus_mask: np.ndarray
-    probabilities: Optional[np.ndarray] = None
-    batch_id: int = -1
-    batch_rows: int = 0
-    latency_ms: float = 0.0
-
-    def to_dict(self) -> Dict[str, object]:
-        payload: Dict[str, object] = {
-            "predictions": self.predictions.tolist(),
-            "consensus": self.consensus_mask.tolist(),
-            "batch_id": self.batch_id,
-            "batch_rows": self.batch_rows,
-            "latency_ms": round(self.latency_ms, 3),
-        }
-        if self.probabilities is not None:
-            payload["probabilities"] = self.probabilities.tolist()
-        return payload
-
-
-@dataclass
-class _PendingRequest:
-    """One queued request plus its completion signal."""
-
-    features: np.ndarray
-    groups: Dict[str, np.ndarray]
-    labels: Optional[np.ndarray]
-    enqueued_at: float
-    done: threading.Event = field(default_factory=threading.Event)
-    response: Optional[InferenceResponse] = None
-    error: Optional[BaseException] = None
-
-
-#: queue sentinel that wakes the worker up for shutdown
-_SHUTDOWN = object()
+        self.fault_plan = resolve_fault_plan(self.fault_plan)
 
 
 class InferenceServer:
-    """Long-running micro-batched serving loop around one fused model."""
+    """Long-running micro-batched serving facade around one fused model.
+
+    The heavy lifting — sharding, health supervision, admission control,
+    deadlines, drain — happens in the :class:`ShardPool` this facade owns;
+    this class keeps the schema validation, the stable public surface
+    (``submit``/``start``/``stop``/``stats``) and the single-shard
+    ergonomics the rest of the repo builds on.
+    """
 
     def __init__(
         self,
@@ -168,57 +172,36 @@ class InferenceServer:
             log_every=self.config.log_every,
             logger=self.logger,
         )
-        self._queue: "queue.Queue" = queue.Queue()
         self._backend = get_backend(self.config.backend)
         self._executor = build_executor(self.config.executor, self.config.max_workers)
-        self._thread: Optional[threading.Thread] = None
-        self._stopped = False
-        self._lock = threading.Lock()
+        self.pool = ShardPool(
+            model,
+            self.config,
+            backend=self._backend,
+            executor=self._executor,
+            logger=self.logger,
+            monitor=self.monitor,
+        )
         self.started_at: Optional[float] = None
-        self.requests_served = 0
-        self.samples_served = 0
-        self.batches_served = 0
-        self.errors = 0
-        # REPRO_TSAN contracts: lifecycle fields flip only under _lock; the
-        # serving counters are single-writer (the micro-batcher thread).
-        register_shared_state("serve-lifecycle", self, lock=self._lock)
-        register_shared_state("serve-counters", self)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "InferenceServer":
-        """Start the batcher worker thread (idempotent)."""
-        with self._lock:
-            if self._stopped:
-                raise RuntimeError("a stopped inference server cannot be restarted")
-            if self._thread is not None and self._thread.is_alive():
-                return self
-            touch_shared_state("serve-lifecycle", self)
+        """Start the shard workers and their supervisor (idempotent)."""
+        self.pool.start()
+        if self.started_at is None:
             # perf_counter, not time.time(): uptime is a duration, and the
             # wall clock can step backwards (NTP) mid-run.
             self.started_at = time.perf_counter()
-            self._thread = threading.Thread(
-                target=self._serve_loop, name="muffin-serve", daemon=True
-            )
-            self._thread.start()
         return self
 
     def stop(self, timeout: Optional[float] = 30.0) -> None:
-        """Stop accepting requests, drain the queue and join the worker."""
-        with self._lock:
-            if self._stopped:
-                return
-            touch_shared_state("serve-lifecycle", self)
-            self._stopped = True
-            thread = self._thread
-            self._thread = None
-            # Enqueued under the same lock submit() holds, so no request can
-            # slip in behind the sentinel and starve its caller; everything
-            # ahead of it is still answered (FIFO).
-            self._queue.put(_SHUTDOWN)
-        if thread is not None and thread.is_alive():
-            thread.join(timeout=timeout)
+        """Graceful drain: stop admitting, finish every accepted request
+        (bit-identically), then stop the shards.  Requests still unanswered
+        when ``timeout`` expires are failed with ``ServerClosed`` — never
+        left hanging."""
+        self.pool.drain(timeout=timeout)
         self._executor.shutdown()
 
     def __enter__(self) -> "InferenceServer":
@@ -229,8 +212,7 @@ class InferenceServer:
 
     @property
     def is_running(self) -> bool:
-        thread = self._thread
-        return thread is not None and thread.is_alive()
+        return self.pool.is_running
 
     # ------------------------------------------------------------------
     # Request intake
@@ -240,122 +222,62 @@ class InferenceServer:
         features: np.ndarray,
         groups: Optional[Mapping[str, np.ndarray]] = None,
         labels: Optional[np.ndarray] = None,
-    ) -> _PendingRequest:
+        deadline_ms: Optional[float] = None,
+    ) -> PendingRequest:
         """Validate and enqueue one request; returns its pending handle.
 
         Requests may be enqueued before :meth:`start` — a cold burst is
-        drained in ``max_batch`` chunks as soon as the worker comes up.
+        drained in ``max_batch`` chunks as soon as the workers come up.
+        Raises :class:`~repro.serve.errors.ServerClosed` on a draining or
+        stopped server and :class:`~repro.serve.errors.ServerOverloaded`
+        (immediately, without queuing) when every shard queue is at its
+        bound.  ``deadline_ms`` (or ``config.default_deadline_ms``) bounds
+        how long the request may wait: expired requests are shed before
+        their forward pass with :class:`~repro.serve.errors.DeadlineExceeded`.
         """
         matrix = self.schema.validate_features(features)
         n = matrix.shape[0]
-        request = _PendingRequest(
+        now = time.perf_counter()
+        budget_ms = deadline_ms if deadline_ms is not None else self.config.default_deadline_ms
+        if budget_ms is not None and budget_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+        request = PendingRequest(
             features=matrix,
             groups=self.schema.validate_groups(groups, n),
             labels=self.schema.validate_labels(labels, n),
-            enqueued_at=time.perf_counter(),
+            enqueued_at=now,
+            deadline_at=None if budget_ms is None else now + budget_ms / 1000.0,
         )
-        # The stopped-check and the enqueue share stop()'s lock: a request
-        # can never land behind the shutdown sentinel and hang its caller.
-        with self._lock:
-            if self._stopped:
-                raise RuntimeError("the inference server is shutting down")
-            self._queue.put(request)
-        return request
-
-    # ------------------------------------------------------------------
-    # The micro-batcher
-    # ------------------------------------------------------------------
-    def _collect_batch(
-        self, first: "_PendingRequest"
-    ) -> Tuple[List["_PendingRequest"], bool]:
-        """Coalesce requests after ``first`` within the batching window."""
-        config = self.config
-        batch = [first]
-        rows = first.features.shape[0]
-        deadline = time.monotonic() + config.batch_window_ms / 1000.0
-        exiting = False
-        while rows < config.max_batch:
-            remaining = deadline - time.monotonic()
-            try:
-                if remaining <= 0:
-                    item = self._queue.get_nowait()
-                else:
-                    item = self._queue.get(timeout=remaining)
-            except queue.Empty:
-                break
-            if item is _SHUTDOWN:
-                exiting = True
-                break
-            batch.append(item)
-            rows += item.features.shape[0]
-        return batch, exiting
-
-    def _serve_loop(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is _SHUTDOWN:
-                break
-            batch, exiting = self._collect_batch(item)
-            self._process_batch(batch)
-            self.monitor.maybe_log()
-            if exiting:
-                break
-
-    def _process_batch(self, batch: List["_PendingRequest"]) -> None:
-        touch_shared_state("serve-counters", self)
-        features = [request.features for request in batch]
-        stacked = features[0] if len(features) == 1 else np.concatenate(features, axis=0)
-        # For the float64 backend this cast is a no-op (bit-identical); for
-        # float32 it halves the batch before the member forwards.
-        stacked = self._backend.asarray(stacked)
-        batch_id = self.batches_served
-        try:
-            detailed = self.model.predict_detailed_features(
-                stacked, executor=self._executor
-            )
-        except BaseException as exc:  # answer every caller, never hang them
-            self.errors += len(batch)
-            _REQUESTS_TOTAL.inc(len(batch), outcome="error")
-            for request in batch:
-                request.error = exc
-                request.done.set()
-            return
-        now = time.perf_counter()
-        offset = 0
-        for request in batch:
-            n = request.features.shape[0]
-            rows = slice(offset, offset + n)
-            offset += n
-            request.response = InferenceResponse(
-                predictions=detailed.predictions[rows],
-                consensus_mask=detailed.consensus_mask[rows],
-                probabilities=(
-                    detailed.probabilities[rows]
-                    if self.config.return_probabilities
-                    else None
-                ),
-                batch_id=batch_id,
-                batch_rows=int(stacked.shape[0]),
-                latency_ms=(now - request.enqueued_at) * 1000.0,
-            )
-            _REQUEST_LATENCY_MS.observe(request.response.latency_ms)
-            self.monitor.observe(
-                request.response.predictions, request.groups, request.labels
-            )
-            request.done.set()
-        self.batches_served += 1
-        self.requests_served += len(batch)
-        self.samples_served += int(stacked.shape[0])
-        _REQUESTS_TOTAL.inc(len(batch), outcome="ok")
-        _BATCH_ROWS.observe(float(stacked.shape[0]))
-        _QUEUE_DEPTH.set(float(self._queue.qsize()))
+        return self.pool.submit(request)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def shards(self) -> List[Shard]:
+        """Live shard objects (tests reach replica models through this)."""
+        return self.pool.shards
+
+    @property
+    def requests_served(self) -> int:
+        return self.pool.totals()["requests"]
+
+    @property
+    def samples_served(self) -> int:
+        return self.pool.totals()["samples"]
+
+    @property
+    def batches_served(self) -> int:
+        return self.pool.totals()["batches"]
+
+    @property
+    def errors(self) -> int:
+        return self.pool.totals()["errors"]
+
     def stats(self) -> Dict[str, object]:
         """Structured server + monitor statistics (the ``/stats`` payload)."""
-        served = self.batches_served
+        totals = self.pool.totals()
+        served = totals["batches"]
         return {
             "model": self.model.name,
             "spec_hash": self.model.metadata.get("spec_hash"),
@@ -365,19 +287,29 @@ class InferenceServer:
                 if self.started_at is not None
                 else 0.0
             ),
-            "requests": self.requests_served,
-            "samples": self.samples_served,
+            "requests": totals["requests"],
+            "samples": totals["samples"],
             "batches": served,
-            "errors": self.errors,
+            "errors": totals["errors"],
             "mean_batch_size": (
-                round(self.requests_served / served, 3) if served else 0.0
+                round(totals["requests"] / served, 3) if served else 0.0
             ),
-            "queue_depth": self._queue.qsize(),
+            "queue_depth": self.pool.queue_depth(),
+            "shed": {
+                "overload": totals["shed_overload"],
+                "deadline": totals["shed_deadline"],
+                "closed": totals["shed_closed"],
+            },
+            "redispatched": totals["redispatched"],
+            "restarts": totals["restarts"],
+            "shards": self.pool.shard_stats(),
             "config": {
                 "batch_window_ms": self.config.batch_window_ms,
                 "max_batch": self.config.max_batch,
                 "executor": self.config.executor,
                 "backend": self.config.backend,
+                "num_shards": self.config.num_shards,
+                "queue_depth": self.config.queue_depth,
             },
             "fairness": self.monitor.snapshot(),
         }
@@ -395,16 +327,27 @@ class ServeClient:
         groups: Optional[Mapping[str, np.ndarray]] = None,
         labels: Optional[np.ndarray] = None,
         timeout: Optional[float] = 30.0,
+        deadline_ms: Optional[float] = None,
     ) -> InferenceResponse:
-        """Round-trip one request through the micro-batcher."""
-        request = self.server.submit(features, groups=groups, labels=labels)
+        """Round-trip one request through the micro-batcher.
+
+        Admission failures (:class:`ServerClosed`, :class:`ServerOverloaded`)
+        and shed deadlines (:class:`DeadlineExceeded`) raise their typed
+        error directly; a failed forward pass raises
+        :class:`InferenceFailed` chaining the shard-side exception.
+        """
+        request = self.server.submit(
+            features, groups=groups, labels=labels, deadline_ms=deadline_ms
+        )
         if not request.done.wait(timeout=timeout):
             raise TimeoutError(
                 f"inference request timed out after {timeout}s "
-                f"(queue_depth={self.server._queue.qsize()})"
+                f"(queue_depth={self.server.pool.queue_depth()})"
             )
         if request.error is not None:
-            raise RuntimeError("inference request failed") from request.error
+            if isinstance(request.error, ServeError):
+                raise request.error
+            raise InferenceFailed("inference request failed") from request.error
         assert request.response is not None
         return request.response
 

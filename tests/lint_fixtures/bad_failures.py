@@ -1,0 +1,86 @@
+"""Known-bad failure handling for the RL9 fixture tests.
+
+Only meaningful when checked under a forced ``src/repro/serve/`` or
+``src/repro/master/`` path — the rule is scoped to the fault-tolerant
+tiers.  Expected findings (through the engine, suppression honoured):
+lines 15, 22, 29, 36, 45, 46, 47, 50.
+"""
+
+import queue
+
+
+def swallow_bare():
+    try:  # handler at line 15: bare except, body is pure pass
+        risky()
+    except:  # noqa: E722 (the point of the fixture)
+        pass
+
+
+def swallow_exception():
+    try:  # handler at line 22: except Exception, swallowed
+        risky()
+    except Exception:
+        pass
+
+
+def swallow_base_exception():
+    try:  # handler at line 29: except BaseException, swallowed
+        risky()
+    except BaseException:
+        return None
+
+
+def swallow_bound_but_unused():
+    try:  # handler at line 36: binds exc but never consults it
+        risky()
+    except Exception as exc:
+        counter = 0
+        counter += 1
+        return counter
+
+
+def unbounded_queues():
+    # every construction below must fire: no maxsize, explicit zero,
+    # negative literal, and the unboundable SimpleQueue
+    a = queue.Queue()  # line 45
+    b = queue.LifoQueue(maxsize=0)  # line 46
+    c = queue.PriorityQueue(-1)  # line 47
+    # a computed bound is trusted — not flagged
+    d = queue.Queue(maxsize=max(1, len("x")))
+    e = queue.SimpleQueue()  # line 50
+    return a, b, c, d, e
+
+
+def fine_handlers(logger):
+    # all four idioms below surface the failure — none may fire
+    try:
+        risky()
+    except Exception as exc:
+        raise RuntimeError("typed wrapper") from exc
+    try:
+        risky()
+    except Exception:
+        logger.event("risky-failed")
+    try:
+        risky()
+    except Exception as exc:
+        record(exc)
+    try:
+        risky()
+    except (ValueError, KeyError):
+        pass  # narrow excepts are an application-level judgement call
+
+
+def suppressed():
+    try:
+        risky()
+    except Exception:  # repro-lint: disable=RL9
+        pass
+
+
+def risky():
+    raise ValueError("boom")
+
+
+def record(exc):
+    return exc

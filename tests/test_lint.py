@@ -30,6 +30,7 @@ from repro.analysis.registry_audit import (
 from repro.analysis.rules import (
     AtomicPersistenceRule,
     DtypeDisciplineRule,
+    FailureDisciplineRule,
     LockHygieneRule,
     TelemetryDisciplineRule,
 )
@@ -228,6 +229,59 @@ class TestTelemetryDisciplineRule:
     def test_live_hot_modules_are_clean(self):
         for rel in TelemetryDisciplineRule.HOT_MODULES:
             report = run_lint(root=REPO_ROOT, paths=[REPO_ROOT / rel], select=["RL8"])
+            assert report.ok, report.render_text()
+
+
+class TestFailureDisciplineRule:
+    def _findings(self, rel="src/repro/serve/supervisor.py"):
+        source = fixture_source("bad_failures.py", rel)
+        project = Project(root=REPO_ROOT)
+        return list(FailureDisciplineRule().check_file(source, project))
+
+    def test_fires_on_every_swallowed_broad_except(self):
+        lines = {f.line for f in self._findings()}
+        # bare except, except Exception, except BaseException, bound-but-
+        # unused exc (plus line 77's suppressed handler — check_file
+        # bypasses the suppression pass)
+        assert {15, 22, 29, 36, 77} <= lines
+        messages = [f.message for f in self._findings()]
+        assert any("bare except" in m for m in messages)
+        assert any("except BaseException" in m for m in messages)
+
+    def test_fires_on_every_unbounded_queue(self):
+        lines = {f.line for f in self._findings()}
+        assert {45, 46, 47, 50} <= lines
+        messages = [f.message for f in self._findings()]
+        assert any("SimpleQueue" in m for m in messages)
+        assert any("queue.LifoQueue" in m for m in messages)
+
+    def test_exactly_the_expected_findings(self):
+        assert {f.line for f in self._findings()} == {15, 22, 29, 36, 45, 46, 47, 50, 77}
+        assert all(f.code == "RL9" for f in self._findings())
+
+    def test_surfaced_failures_and_computed_bounds_are_fine(self):
+        # fine_handlers() (raise-from, logger.event, record(exc), a narrow
+        # tuple) and the computed maxsize on line 49 must not fire
+        lines = {f.line for f in self._findings()}
+        assert not any(54 <= line <= 72 for line in lines)
+        assert 49 not in lines
+
+    def test_suppression_comment_is_honoured_by_the_engine(self):
+        report = lint_fixture("bad_failures.py", select=["RL9"])
+        # under its real tests/lint_fixtures path the file is out of scope
+        assert report.ok
+
+    def test_master_scope_also_fires(self):
+        assert self._findings(rel="src/repro/master/worker.py")
+
+    def test_out_of_scope_paths_are_ignored(self):
+        assert self._findings(rel="src/repro/core/search.py") == []
+
+    def test_live_serve_and_master_trees_are_clean(self):
+        for rel in FailureDisciplineRule.SCOPE_DIRS:
+            paths = sorted((REPO_ROOT / rel).glob("*.py"))
+            assert paths
+            report = run_lint(root=REPO_ROOT, paths=paths, select=["RL9"])
             assert report.ok, report.render_text()
 
 
@@ -461,7 +515,7 @@ class TestSelfCheck:
         from repro.analysis.core import LINT_RULES
 
         assert set(LINT_RULES.names()) == {
-            "RL1", "RL2", "RL3", "RL4", "RL5", "RL6", "RL7", "RL8",
+            "RL1", "RL2", "RL3", "RL4", "RL5", "RL6", "RL7", "RL8", "RL9",
         }
         for code in LINT_RULES.names():
             rule = LINT_RULES.get(code)()

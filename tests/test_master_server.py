@@ -19,6 +19,7 @@ from repro.master import (
     MasterConfig,
     MasterError,
     MasterServer,
+    MasterUnreachable,
     resolve_endpoint,
 )
 
@@ -227,3 +228,65 @@ class TestClientProtocol:
             MasterClient(db=tmp_path / "nowhere")
         with pytest.raises(MasterError):
             MasterClient()
+
+
+class TestClientConnectRetry:
+    """Transient connect failures are retried with deterministic backoff;
+    exhaustion raises the typed MasterUnreachable naming the attempt count."""
+
+    def test_exhaustion_raises_typed_error_with_attempt_count(self):
+        # 127.0.0.1:1 refuses instantly, so three attempts stay fast
+        client = MasterClient(host="127.0.0.1", port=1, retries=2, backoff_s=0.01)
+        began = time.monotonic()
+        with pytest.raises(MasterUnreachable, match="3 attempt") as err:
+            client.ping()
+        assert time.monotonic() - began < 5.0
+        assert err.value.attempts == 3
+        assert isinstance(err.value, MasterError)  # existing handlers keep working
+        assert isinstance(err.value.__cause__, OSError)
+
+    def test_zero_retries_fails_on_first_attempt(self):
+        client = MasterClient(host="127.0.0.1", port=1, retries=0, backoff_s=0.01)
+        with pytest.raises(MasterUnreachable, match="1 attempt") as err:
+            client.ping()
+        assert err.value.attempts == 1
+
+    def test_transient_failures_then_success(self, monkeypatch):
+        from repro.master import client as client_module
+
+        calls = {"n": 0}
+        sentinel = object()
+
+        def flaky_connect(host, port, timeout):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConnectionRefusedError("not up yet")
+            return sentinel
+
+        slept = []
+        monkeypatch.setattr(client_module, "connect", flaky_connect)
+        monkeypatch.setattr(client_module.time, "sleep", slept.append)
+        client = MasterClient(
+            host="127.0.0.1", port=65000, retries=3, backoff_s=0.1, backoff_max_s=1.0
+        )
+        assert client._connect_with_retry() is sentinel
+        assert calls["n"] == 3
+        # exponential base schedule (0.1, 0.2) with a bounded jitter on top
+        assert len(slept) == 2
+        assert 0.1 <= slept[0] <= 0.2
+        assert 0.2 <= slept[1] <= 0.4
+
+    def test_backoff_jitter_is_deterministic(self):
+        from repro.master.client import _retry_jitter
+
+        first = [_retry_jitter(attempt, "127.0.0.1", 7777) for attempt in range(1, 5)]
+        again = [_retry_jitter(attempt, "127.0.0.1", 7777) for attempt in range(1, 5)]
+        assert first == again  # pure hash, no RNG: replays identically
+        assert all(0.0 <= unit < 1.0 for unit in first)
+        # and it actually varies across attempts/endpoints
+        assert len(set(first)) > 1
+        assert _retry_jitter(1, "127.0.0.1", 7777) != _retry_jitter(1, "10.0.0.2", 7777)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(MasterError, match="non-negative"):
+            MasterClient(host="127.0.0.1", port=1, retries=-1)

@@ -280,7 +280,8 @@ class TestHTTPFrontend:
             def predict_detailed_features(self, *args, **kwargs):
                 raise MemoryError("synthetic forward failure")
 
-        monkeypatch.setattr(httpd.inference, "model", Boom())
+        # the shard's worker loop forwards through its own replica reference
+        monkeypatch.setattr(httpd.inference.shards[0], "model", Boom())
         with pytest.raises(urllib.error.HTTPError) as err:
             self._post(httpd, {"features": serving_features[:1].tolist()})
         assert err.value.code == 500
