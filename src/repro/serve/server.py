@@ -107,6 +107,9 @@ class ServeConfig:
     restart_backoff_max_ms: float = 2000.0
     #: circuit breaker: a slot that crashed this many times stays stopped
     max_restarts: int = 5
+    #: a slot that has stayed healthy this long has its crash count forgiven
+    #: — the breaker measures crash frequency, not lifetime total (ms)
+    breaker_reset_ms: float = 30000.0
     #: how many times an in-flight request may be re-dispatched after shard
     #: crashes before it is failed fast with InferenceFailed
     max_redispatch: int = 2
@@ -133,6 +136,8 @@ class ServeConfig:
             raise ValueError("max_restarts and max_redispatch must be non-negative")
         if self.restart_backoff_factor < 1.0:
             raise ValueError("restart_backoff_factor must be >= 1")
+        if self.breaker_reset_ms <= 0:
+            raise ValueError("breaker_reset_ms must be positive")
         # Resolve aliases eagerly so an unknown backend fails at config time,
         # and parse the fault plan so a malformed one fails here, not mid-serve.
         self.backend = get_backend(self.backend).name

@@ -215,6 +215,12 @@ class Shard:
         self.queue = request_queue
         self.state = ShardState.STARTING  # written by the supervisor, under pool lock
         self.abandoned = threading.Event()
+        #: set by a hang-restart only: the replacement shard copies this
+        #: shard's counters at spawn time, so the zombie thread (which may
+        #: still be finishing a batch) must stop mutating them — otherwise
+        #: its late increments are silently lost from pool totals and the
+        #: fault-plan batch index could replay or skip.
+        self.frozen = threading.Event()
         self.thread = threading.Thread(
             target=self._run,
             name=f"muffin-shard-{slot}.g{generation}",
@@ -306,7 +312,8 @@ class Shard:
                         "ago while queued; dropped before the forward pass"
                     )
                 ):
-                    self.shed_deadline += 1
+                    if not self.frozen.is_set():
+                        self.shed_deadline += 1
                     _SHED_TOTAL.inc(reason="deadline")
                     _REQUESTS_TOTAL.inc(outcome="deadline")
             else:
@@ -317,7 +324,8 @@ class Shard:
         touch_shared_state(f"serve-shard-{self.slot}.g{self.generation}", self)
         self.inflight = tuple(batch)
         batch_index = self.batches_attempted
-        self.batches_attempted += 1
+        if not self.frozen.is_set():
+            self.batches_attempted += 1
         plan = self.pool.plan
         if plan is not None:
             delay = plan.delay_seconds(self.slot, batch_index)
@@ -341,9 +349,12 @@ class Shard:
             self._forward_stacked(batch, batch_id)
         except Exception as exc:
             if len(batch) == 1:
-                self.errors += 1
+                if not self.frozen.is_set():
+                    self.errors += 1
                 _REQUESTS_TOTAL.inc(outcome="error")
-                batch[0].fail(exc)
+                failure = InferenceFailed("forward pass failed for this request")
+                failure.__cause__ = exc
+                batch[0].fail(failure)
                 return
             middle = len(batch) // 2
             self._forward(batch[:middle], batch_id)
@@ -368,9 +379,10 @@ class Shard:
         return_probabilities = pool.config.return_probabilities
         # batch-level counters land before any waiter is woken: a caller
         # unblocked by the last finish() must already see this batch
-        self.batches_served += 1
-        self.requests_served += len(batch)
-        self.samples_served += int(stacked.shape[0])
+        if not self.frozen.is_set():
+            self.batches_served += 1
+            self.requests_served += len(batch)
+            self.samples_served += int(stacked.shape[0])
         _BATCH_ROWS.observe(float(stacked.shape[0]))
         for request in batch:
             rows = slice(offset, offset + request.rows)
@@ -396,27 +408,6 @@ class Shard:
 
             request.finish(response, on_win=record)
         _QUEUE_DEPTH.set(float(pool.queue_depth()))
-
-
-def _shard_queue_depth(shard: "Shard") -> int:
-    return shard.queue.qsize()
-
-
-def _enqueue_least_loaded(shards: List["Shard"], request: PendingRequest) -> bool:
-    """Queue on the shortest queue in ``shards``; False when all are full.
-
-    The single-shard fast path skips the depth reads entirely —
-    ``put_nowait`` itself is the bound check.
-    """
-    if len(shards) > 1:
-        shards = sorted(shards, key=_shard_queue_depth)
-    for shard in shards:
-        try:
-            shard.queue.put_nowait(request)
-        except queue.Full:
-            continue
-        return True
-    return False
 
 
 class ShardPool:
@@ -456,9 +447,13 @@ class ShardPool:
             Shard(self, slot, 0, self._replica(slot), self._queues[slot])
             for slot in range(num_shards)
         ]
-        #: per-slot crash history: restart counts and pending-restart times
+        #: per-slot crash history: breaker-window restart counts, pending
+        #: restart times/causes, and when the slot last restarted (for decay)
         self._restart_counts: List[int] = [0] * num_shards
         self._restart_due: List[Optional[float]] = [None] * num_shards
+        self._restart_cause: List[str] = ["crash"] * num_shards
+        self._last_restart_at: List[float] = [0.0] * num_shards
+        self._restarts_total = 0
         self._generations: List[int] = [0] * num_shards
         self._supervisor_wake = threading.Event()
         #: set while no supervisor loop is running (join surrogate — the
@@ -578,6 +573,30 @@ class ShardPool:
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
+    def _enqueue_least_loaded(
+        self, shards: List[Shard], request: PendingRequest
+    ) -> bool:
+        """Queue on the shortest of the shards' slot queues; False when all
+        are full (lock held).
+
+        Queues are looked up by slot in ``self._queues`` — never through
+        ``shard.queue``: a hang-restart swaps the slot's queue while the old
+        ``Shard`` object lingers in RESTARTING until its backoff elapses,
+        and admitting through that stale reference would strand the request
+        on a queue nothing ever drains.  The single-queue fast path skips
+        the depth reads entirely — ``put_nowait`` itself is the bound check.
+        """
+        queues = [self._queues[shard.slot] for shard in shards]
+        if len(queues) > 1:
+            queues.sort(key=lambda q: q.qsize())
+        for slot_queue in queues:
+            try:
+                slot_queue.put_nowait(request)
+            except queue.Full:
+                continue
+            return True
+        return False
+
     def submit(self, request: PendingRequest) -> PendingRequest:
         """Admit a request onto the least-loaded admissible shard queue.
 
@@ -614,9 +633,9 @@ class ShardPool:
                 raise DeadlineExceeded("request deadline expired before admission")
             touch_shared_state("serve-pool", self)
             request.admission_index = self._admitted
-            if _enqueue_least_loaded(preferred, request) or _enqueue_least_loaded(
-                fallback, request
-            ):
+            if self._enqueue_least_loaded(
+                preferred, request
+            ) or self._enqueue_least_loaded(fallback, request):
                 self._admitted += 1
                 return request
             self._shed_overload += 1
@@ -668,16 +687,18 @@ class ShardPool:
             if self._stopped:
                 request.fail(ServerClosed("the inference server is shutting down"))
                 return
-            targets = [
-                s
+            # authoritative slot queues only (shard.queue may be a swapped-out
+            # zombie queue after a hang-restart)
+            target_queues = [
+                self._queues[s.slot]
                 for s in self._shards
                 if s is not crashed
                 and s.state in (ShardState.HEALTHY, ShardState.STARTING)
             ]
-            targets.sort(key=lambda s: s.queue.qsize())
+            target_queues.sort(key=lambda q: q.qsize())
             # own slot last: its queue survives the restart, so the request
             # is served by the replacement shard after the backoff
-            for target_queue in [s.queue for s in targets] + [crashed.queue]:
+            for target_queue in target_queues + [self._queues[crashed.slot]]:
                 try:
                     target_queue.put_nowait(request)
                 except queue.Full:
@@ -718,7 +739,7 @@ class ShardPool:
                     due = self._restart_due[slot]
                     if due is not None:
                         if now >= due:
-                            restarts.append((slot, "crash"))
+                            restarts.append((slot, self._restart_cause[slot]))
                         continue
                     if shard.state == ShardState.STOPPED:
                         continue
@@ -737,6 +758,22 @@ class ShardPool:
                             self._set_state(shard, ShardState.SUSPECT)
                     elif shard.state in (ShardState.SUSPECT, ShardState.STARTING):
                         self._set_state(shard, ShardState.HEALTHY)
+                    if (
+                        shard.state == ShardState.HEALTHY
+                        and self._restart_counts[slot]
+                        and now - self._last_restart_at[slot]
+                        > self.config.breaker_reset_ms / 1000.0
+                    ):
+                        # The breaker measures crash *frequency*, not lifetime
+                        # total: a slot healthy this long is forgiven its past
+                        # crashes, so sparse transient failures over a long
+                        # uptime can never permanently stop it.
+                        self.logger.event(
+                            "shard-breaker-reset",
+                            shard=slot,
+                            forgiven=self._restart_counts[slot],
+                        )
+                        self._restart_counts[slot] = 0
                 for slot, cause in restarts:
                     self._spawn_replacement(slot, cause)
 
@@ -752,7 +789,10 @@ class ShardPool:
             self.config.restart_backoff_max_ms,
         )
         self._restart_counts[slot] = count + 1
+        self._restarts_total += 1
         self._restart_due[slot] = now + backoff / 1000.0
+        self._restart_cause[slot] = cause
+        self._last_restart_at[slot] = now
         _SHARD_RESTARTS.inc(cause=cause)
         self.logger.event(
             "shard-restart-scheduled",
@@ -766,6 +806,9 @@ class ShardPool:
         """Abandon a silent (hung) shard: fail its in-flight futures, give
         the slot a fresh queue with the old backlog, schedule a replacement
         (lock held)."""
+        # freeze counters first: the replacement copies them at spawn time,
+        # and the zombie thread may still be finishing a batch
+        shard.frozen.set()
         shard.abandoned.set()
         hung = InferenceFailed(
             f"shard {slot} unresponsive for "
@@ -892,7 +935,7 @@ class ShardPool:
             shed_closed = self._shed_closed
             redispatched = self._redispatched
             admitted = self._admitted
-            restarts = sum(self._restart_counts)
+            restarts = self._restarts_total
         return {
             "admitted": admitted,
             "requests": sum(s.requests_served for s in shards),
@@ -909,13 +952,14 @@ class ShardPool:
     def shard_stats(self) -> List[Dict[str, object]]:
         with self._lock:
             shards = list(self._shards)
+            queues = list(self._queues)
             counts = list(self._restart_counts)
         return [
             {
                 "slot": shard.slot,
                 "generation": shard.generation,
                 "state": shard.state,
-                "queue_depth": shard.queue.qsize(),
+                "queue_depth": queues[shard.slot].qsize(),
                 "batches": shard.batches_served,
                 "requests": shard.requests_served,
                 "restarts": counts[shard.slot],

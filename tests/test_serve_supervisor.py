@@ -292,7 +292,10 @@ class TestFaultInjection:
         for i, request in enumerate(pending):
             assert request.done.wait(timeout=30)
             if i == 3:
-                assert isinstance(request.error, PoisonedRequest)
+                # the typed-error contract: isolated forward failures surface
+                # as InferenceFailed chaining the original exception
+                assert isinstance(request.error, InferenceFailed)
+                assert isinstance(request.error.__cause__, PoisonedRequest)
             else:
                 assert request.error is None, f"request {i}: {request.error!r}"
                 np.testing.assert_array_equal(
@@ -360,6 +363,85 @@ class TestFaultInjection:
         fresh = server.submit(serving_features[1:2])
         assert fresh.done.wait(timeout=30)
         assert fresh.error is None
+        server.stop()
+
+    def test_admission_during_hang_restart_backoff_is_served(
+        self, bound_model, serving_features, direct_predictions
+    ):
+        # Regression: a hang-restart swaps the slot's queue while the old
+        # shard object lingers in RESTARTING until its backoff elapses.  A
+        # request admitted in that window must land on the fresh queue the
+        # replacement will own — on the abandoned zombie's queue it would
+        # hang forever (worst with num_shards=1, where there is no fallback).
+        plan = FaultPlan(
+            [FaultEvent(kind="delay_forward", shard=0, at_batch=0, ms=2000.0)]
+        )
+        server = make_server(
+            bound_model,
+            num_shards=1,
+            fault_plan=plan,
+            heartbeat_interval_ms=10.0,
+            supervise_interval_ms=10.0,
+            suspect_after_ms=50.0,
+            restart_after_ms=150.0,
+            restart_backoff_ms=750.0,
+        )
+        events = []
+        original_event = server.pool.logger.event
+
+        def recording_event(name, **fields):
+            events.append((name, fields))
+            original_event(name, **fields)
+
+        server.pool.logger.event = recording_event
+        server.start()
+        stuck = server.submit(serving_features[:1])
+        assert stuck.done.wait(timeout=10)  # failed by the force-restart
+        assert isinstance(stuck.error, InferenceFailed)
+        assert wait_until(
+            lambda: server.stats()["shards"][0]["state"] == ShardState.RESTARTING,
+            timeout=10.0,
+        )
+        during_backoff = server.submit(serving_features[1:2])
+        assert during_backoff.done.wait(
+            timeout=30
+        ), "request admitted during the restart backoff window hung"
+        assert during_backoff.error is None
+        np.testing.assert_array_equal(
+            during_backoff.response.predictions, direct_predictions[1:2]
+        )
+        assert server.stats()["restarts"] == 1
+        # the structured log attributes the restart to the hang, not a crash
+        restarted = [fields for name, fields in events if name == "shard-restarted"]
+        assert restarted and restarted[0]["cause"] == "hang"
+        server.stop()
+
+    def test_breaker_forgives_a_slot_after_healthy_uptime(
+        self, bound_model, serving_features
+    ):
+        # the circuit breaker measures crash frequency, not lifetime total:
+        # a slot that stays healthy for breaker_reset_ms gets its crash
+        # count back, while the pool-level cumulative restart total survives
+        plan = FaultPlan([FaultEvent(kind="crash_shard", shard=0, at_batch=0)])
+        server = make_server(
+            bound_model,
+            num_shards=1,
+            batch_window_ms=1.0,
+            fault_plan=plan,
+            restart_backoff_ms=10.0,
+            supervise_interval_ms=10.0,
+            heartbeat_interval_ms=10.0,
+            breaker_reset_ms=150.0,
+        )
+        request = server.submit(serving_features[:1])
+        server.start()
+        assert request.done.wait(timeout=30)
+        assert request.error is None  # re-dispatched to the replacement
+        assert server.stats()["restarts"] == 1
+        assert wait_until(
+            lambda: server.stats()["shards"][0]["restarts"] == 0, timeout=10.0
+        ), "healthy uptime never reset the slot's breaker window"
+        assert server.stats()["restarts"] == 1  # cumulative total is untouched
         server.stop()
 
     def test_circuit_breaker_stops_a_crash_looping_slot(
